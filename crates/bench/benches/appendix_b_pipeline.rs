@@ -1,0 +1,31 @@
+//! Appendix B bench: the full matrix → tournament → batching pipeline on the
+//! paper's worked example (and on a larger synthetic matrix for scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tommy_sim::experiments::appendix_b;
+
+fn appendix_b_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("appendix_b");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+
+    let result = appendix_b::run(0.75);
+    println!(
+        "appendix_b: batches at threshold 0.75 = {:?}",
+        appendix_b::batches_as_labels(&result)
+    );
+
+    group.bench_function("worked_example_threshold_075", |b| {
+        b.iter(|| appendix_b::run(0.75))
+    });
+    group.bench_function("worked_example_threshold_090", |b| {
+        b.iter(|| appendix_b::run(0.9))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, appendix_b_pipeline);
+criterion_main!(benches);

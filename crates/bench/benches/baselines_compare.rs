@@ -1,0 +1,32 @@
+//! Ablation A4 bench: FIFO / WFO / TrueTime / Tommy across network jitter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tommy_sim::experiments::baselines;
+
+fn baselines_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines_compare");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    for row in baselines::run(50, 150, 1.0, 20.0, &baselines::default_jitters(), 17) {
+        println!(
+            "baselines: jitter={:>5.1} fifo={:.4} wfo={:.4} truetime={:.4} tommy={:.4}",
+            row.network_jitter,
+            row.fifo.normalized(),
+            row.wfo.normalized(),
+            row.truetime.normalized(),
+            row.tommy.normalized()
+        );
+    }
+
+    group.bench_function("four_sequencers_one_jitter", |b| {
+        b.iter(|| baselines::run(50, 150, 1.0, 20.0, &[5.0], 17))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, baselines_bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 5 regeneration bench: runs the Tommy-vs-TrueTime comparison at
+//! three points of the clock-error axis and prints the resulting RAS values,
+//! so `cargo bench` both times the pipeline and reproduces the figure's
+//! shape (Tommy ≥ TrueTime, gap growing with clock error).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tommy_bench::bench_scenario;
+use tommy_sim::runner::run_offline_comparison;
+
+fn fig5_ras(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_ras");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    for sigma in [0.0, 40.0, 120.0] {
+        let cfg = bench_scenario().with_clock_std_dev(sigma);
+        // Print the figure row once, outside the timing loop.
+        let result = run_offline_comparison(&cfg);
+        println!(
+            "fig5: sigma={sigma:>6.1} tommy_ras={:>7} truetime_ras={:>7} tommy_norm={:.4} truetime_norm={:.4}",
+            result.tommy.score(),
+            result.truetime.score(),
+            result.tommy.normalized(),
+            result.truetime.normalized()
+        );
+        group.bench_with_input(BenchmarkId::new("comparison", sigma as u64), &cfg, |b, cfg| {
+            b.iter(|| run_offline_comparison(cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5_ras);
+criterion_main!(benches);

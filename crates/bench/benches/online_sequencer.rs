@@ -1,0 +1,36 @@
+//! Appendix C / online sequencing bench: replays the worked example and a
+//! small streaming workload through the online sequencer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tommy_sim::experiments::appendix_c;
+use tommy_sim::experiments::psafe_sweep::{self, OnlineSetup};
+use tommy_sim::scenario::ScenarioConfig;
+
+fn online_sequencer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_sequencer");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    let result = appendix_c::run(0.999);
+    println!(
+        "appendix_c: {} batch(es), {} messages, T_b = {:.3}",
+        result.stats.batches_emitted, result.stats.messages_emitted, result.safe_after
+    );
+
+    group.bench_function("appendix_c_example", |b| b.iter(|| appendix_c::run(0.999)));
+
+    let base = ScenarioConfig::default()
+        .with_size(20, 100)
+        .with_clock_std_dev(5.0)
+        .with_gap(2.0);
+    group.bench_function("streaming_100_messages", |b| {
+        b.iter(|| psafe_sweep::run(&base, &OnlineSetup::default(), &[0.999]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, online_sequencer);
+criterion_main!(benches);

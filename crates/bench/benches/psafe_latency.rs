@@ -1,0 +1,37 @@
+//! Ablation A2 bench: the p_safe latency/confidence trade-off on the online
+//! sequencer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tommy_sim::experiments::psafe_sweep::{self, OnlineSetup};
+use tommy_sim::scenario::ScenarioConfig;
+
+fn psafe_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("psafe_latency");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    let base = ScenarioConfig::default()
+        .with_size(20, 80)
+        .with_clock_std_dev(5.0)
+        .with_gap(2.0);
+    for row in psafe_sweep::run(&base, &OnlineSetup::default(), &psafe_sweep::default_p_safes()) {
+        println!(
+            "psafe_latency: p_safe={:.4} mean_latency={:.3} violations={} ras_norm={:.4}",
+            row.p_safe,
+            row.mean_emission_latency,
+            row.fairness_violations,
+            row.ras.normalized()
+        );
+    }
+
+    group.bench_function("sweep", |b| {
+        b.iter(|| psafe_sweep::run(&base, &OnlineSetup::default(), &[0.9, 0.999]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, psafe_bench);
+criterion_main!(benches);

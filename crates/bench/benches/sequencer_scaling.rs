@@ -1,0 +1,31 @@
+//! Ablation A5 bench: offline sequencing cost as the message count grows
+//! (the pairwise matrix is O(n²); this quantifies the constant).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tommy_sim::runner::run_offline_comparison;
+use tommy_sim::scenario::ScenarioConfig;
+
+fn scaling_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequencer_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    for messages in [50usize, 200, 500] {
+        let cfg = ScenarioConfig::default()
+            .with_size(messages.min(100), messages)
+            .with_clock_std_dev(20.0)
+            .with_gap(1.0);
+        group.bench_with_input(
+            BenchmarkId::new("offline_comparison", messages),
+            &cfg,
+            |b, cfg| b.iter(|| run_offline_comparison(cfg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling_bench);
+criterion_main!(benches);

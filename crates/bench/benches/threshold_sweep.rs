@@ -1,0 +1,30 @@
+//! Ablation A1 bench: the threshold sweep (batch resolution vs confidence).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tommy_bench::bench_scenario;
+use tommy_sim::experiments::threshold_sweep;
+
+fn threshold_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threshold_sweep");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    let base = bench_scenario();
+    for row in threshold_sweep::run(&base, &[0.6, 0.75, 0.9]) {
+        println!(
+            "threshold_sweep: threshold={:.2} batches={} ras_norm={:.4} coverage={:.4} accuracy={:.4}",
+            row.threshold, row.batches, row.ras_normalized, row.coverage, row.accuracy
+        );
+    }
+
+    group.bench_function("three_thresholds", |b| {
+        b.iter(|| threshold_sweep::run(&base, &[0.6, 0.75, 0.9]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, threshold_bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Wire-protocol codec bench: encode/decode throughput of the frames a busy
+//! sequencer handles (submits, heartbeats, batch emissions, distribution
+//! shares).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tommy_clock::shared::SharedDistribution;
+use tommy_core::message::{ClientId, MessageId};
+use tommy_wire::frame::{encode_frame, FrameDecoder};
+use tommy_wire::messages::WireMessage;
+
+fn wire_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+
+    let submit = WireMessage::Submit {
+        id: MessageId(123),
+        client: ClientId(7),
+        timestamp: 1234.567,
+    };
+    let batch = WireMessage::BatchEmit {
+        rank: 42,
+        message_ids: (0..64).map(MessageId).collect(),
+    };
+    let share = WireMessage::ShareDistribution {
+        client: ClientId(7),
+        distribution: SharedDistribution::Histogram {
+            lo: -50.0,
+            hi: 50.0,
+            counts: vec![3; 64],
+        },
+    };
+
+    group.bench_function("encode_submit", |b| b.iter(|| encode_frame(&submit)));
+    group.bench_function("encode_batch_64", |b| b.iter(|| encode_frame(&batch)));
+    group.bench_function("encode_share_histogram", |b| b.iter(|| encode_frame(&share)));
+
+    let stream: Vec<u8> = [&submit, &batch, &share]
+        .iter()
+        .flat_map(|m| encode_frame(m).to_vec())
+        .collect();
+    group.bench_function("decode_three_frames", |b| {
+        b.iter(|| {
+            let mut decoder = FrameDecoder::new();
+            decoder.feed(&stream);
+            decoder.drain().unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, wire_bench);
+criterion_main!(benches);

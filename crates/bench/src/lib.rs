@@ -1,0 +1,36 @@
+//! # tommy-bench
+//!
+//! Criterion benchmark harness for the Tommy reproduction. Each bench target
+//! regenerates (a scaled-down version of) one figure/table of the paper or
+//! one DESIGN.md ablation; see `DESIGN.md` §2 for the mapping and
+//! `EXPERIMENTS.md` for the recorded results.
+//!
+//! The benches share a small helper for a fast Criterion configuration so
+//! that `cargo bench --workspace` completes in minutes rather than hours.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tommy_sim::scenario::ScenarioConfig;
+
+/// A scenario sized for benchmarking: large enough to be representative,
+/// small enough that a criterion iteration completes in milliseconds.
+pub fn bench_scenario() -> ScenarioConfig {
+    ScenarioConfig::default()
+        .with_size(100, 200)
+        .with_clock_std_dev(20.0)
+        .with_gap(1.0)
+        .with_seed(42)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_scenario_is_small_but_nontrivial() {
+        let s = bench_scenario();
+        assert!(s.clients >= 50);
+        assert!(s.messages >= 100);
+    }
+}

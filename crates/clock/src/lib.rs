@@ -1,0 +1,40 @@
+//! # tommy-clock
+//!
+//! Clock substrate for the Tommy probabilistic fair ordering system.
+//!
+//! The paper's system model (§3.1) gives every client a local clock whose
+//! offset `θ` with respect to the sequencer's clock is a random variable with
+//! a per-client distribution `f_θ`. Clients learn their own distribution by
+//! accumulating clock-synchronization probes (§5) and share it with the
+//! sequencer. This crate provides:
+//!
+//! * [`offset`] — the ground-truth clock model a simulated client actually
+//!   follows (offset distribution, optional deterministic drift);
+//! * [`sim_clock`] — a client's readable local clock built on that model:
+//!   reading it at true time `t` yields the noisy timestamp `T = t + θ`;
+//! * [`probe`] — NTP-style two-way synchronization probes and the offset /
+//!   RTT estimates derived from them;
+//! * [`sync`] — a simulated probe exchange between a client and the sequencer
+//!   over an asymmetric, jittery path, producing a stream of offset samples;
+//! * [`learning`] — client-side accumulation of offset samples into a learned
+//!   distribution (parametric Gaussian fit, histogram, or KDE);
+//! * [`shared`] — the compact representation of a learned distribution that a
+//!   client ships to the sequencer ("clients merely send their respective
+//!   learned distributions to the sequencer", §3.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod learning;
+pub mod offset;
+pub mod probe;
+pub mod shared;
+pub mod sim_clock;
+pub mod sync;
+
+pub use learning::{DistributionLearner, LearnedModel};
+pub use offset::ClockModel;
+pub use probe::{OffsetSample, ProbeExchange};
+pub use shared::SharedDistribution;
+pub use sim_clock::SimClock;
+pub use sync::{PathModel, SyncSession};

@@ -1,0 +1,111 @@
+//! Synchronization probes and the offset estimates derived from them.
+//!
+//! Footnote 1 of the paper: "A synchronization probe is a packet sent by a
+//! clock synchronization protocol from one client to the other to find and
+//! correct any clock offset." We model the classic NTP-style two-way
+//! exchange: the client records its local send time `t0`, the sequencer
+//! stamps receive/transmit times `t1`/`t2` with its own clock, and the client
+//! records the local receive time `t3`. The standard estimator
+//! `((t1 − t0) + (t2 − t3)) / 2` recovers the offset of the *sequencer's*
+//! clock relative to the client up to half the path asymmetry; we negate it
+//! so the sample estimates the client's offset `θ` w.r.t. the sequencer,
+//! matching §3.1.
+
+/// Timestamps of one two-way probe exchange.
+///
+/// `t0`/`t3` are in the client's clock frame, `t1`/`t2` in the sequencer's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeExchange {
+    /// Client-side transmit time of the request (client clock).
+    pub t0: f64,
+    /// Sequencer-side receive time of the request (sequencer clock).
+    pub t1: f64,
+    /// Sequencer-side transmit time of the reply (sequencer clock).
+    pub t2: f64,
+    /// Client-side receive time of the reply (client clock).
+    pub t3: f64,
+}
+
+impl ProbeExchange {
+    /// The classic NTP offset estimate of the client's clock relative to the
+    /// sequencer's clock (positive = client clock runs ahead).
+    ///
+    /// With symmetric path delays this equals the true offset exactly; path
+    /// asymmetry shows up as estimation noise, which is precisely the noise
+    /// the learned distribution is meant to capture.
+    pub fn offset_estimate(&self) -> f64 {
+        // Offset of the *server* relative to the client is
+        // ((t1 - t0) + (t2 - t3)) / 2; the client's offset w.r.t. the server
+        // is its negation.
+        -(((self.t1 - self.t0) + (self.t2 - self.t3)) / 2.0)
+    }
+
+    /// Round-trip time excluding sequencer processing time.
+    pub fn round_trip_time(&self) -> f64 {
+        (self.t3 - self.t0) - (self.t2 - self.t1)
+    }
+}
+
+/// One learned offset sample: the estimate plus the RTT it was derived from
+/// (small-RTT samples are less contaminated by queueing noise and some
+/// learning policies weight them more heavily).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OffsetSample {
+    /// Estimated client offset w.r.t. the sequencer clock.
+    pub offset: f64,
+    /// Round-trip time of the probe that produced the estimate.
+    pub rtt: f64,
+    /// True time (sequencer frame) at which the probe completed.
+    pub completed_at: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build an exchange given the true client offset and one-way delays.
+    fn exchange(true_offset: f64, fwd_delay: f64, rev_delay: f64, processing: f64) -> ProbeExchange {
+        // Ground truth in sequencer time: client sends at true time 100.
+        let send_true = 100.0;
+        let t0 = send_true + true_offset; // client clock
+        let t1 = send_true + fwd_delay; // sequencer clock
+        let t2 = t1 + processing; // sequencer clock
+        let recv_true = send_true + fwd_delay + processing + rev_delay;
+        let t3 = recv_true + true_offset; // client clock
+        ProbeExchange { t0, t1, t2, t3 }
+    }
+
+    #[test]
+    fn symmetric_path_recovers_exact_offset() {
+        for offset in [-25.0, -1.0, 0.0, 3.5, 40.0] {
+            let e = exchange(offset, 5.0, 5.0, 1.0);
+            assert!(
+                (e.offset_estimate() - offset).abs() < 1e-9,
+                "offset {offset}: estimate {}",
+                e.offset_estimate()
+            );
+        }
+    }
+
+    #[test]
+    fn asymmetry_biases_estimate_by_half_the_difference() {
+        let e = exchange(10.0, 8.0, 2.0, 0.0);
+        // Asymmetry (fwd - rev) = 6 ⇒ server-relative estimate biased by +3,
+        // so the client estimate is biased by -3... verify directionally.
+        let err = e.offset_estimate() - 10.0;
+        assert!((err.abs() - 3.0).abs() < 1e-9, "err = {err}");
+    }
+
+    #[test]
+    fn rtt_excludes_processing_time() {
+        let e = exchange(0.0, 4.0, 6.0, 100.0);
+        assert!((e.round_trip_time() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rtt_independent_of_offset() {
+        let a = exchange(0.0, 3.0, 7.0, 1.0);
+        let b = exchange(500.0, 3.0, 7.0, 1.0);
+        assert!((a.round_trip_time() - b.round_trip_time()).abs() < 1e-9);
+    }
+}

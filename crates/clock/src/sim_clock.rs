@@ -1,0 +1,173 @@
+//! A client's readable local clock.
+//!
+//! §4 of the paper: "At message generation, a client reads the wall-clock
+//! time `t`, samples noise `ε` from the distribution, and tags the message
+//! with `T = t + ε`." [`SimClock`] implements that read operation and records
+//! the ground-truth read times so experiments can compare against the
+//! omniscient observer of Definition 1.
+
+use crate::offset::ClockModel;
+use rand::RngCore;
+
+/// One clock read: the true (sequencer-frame) time at which the read happened
+/// and the noisy local timestamp the client observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockReading {
+    /// Ground-truth time of the read in the sequencer's frame.
+    pub true_time: f64,
+    /// The timestamp the client's local clock reported (`true_time + θ`).
+    pub local_time: f64,
+}
+
+impl ClockReading {
+    /// The instantaneous offset `θ` realized by this read.
+    pub fn offset(&self) -> f64 {
+        self.local_time - self.true_time
+    }
+}
+
+/// A simulated client clock.
+///
+/// The clock is *stateless* across reads in the same way as the paper's
+/// model: each read draws a fresh offset from the client's distribution. A
+/// monotonic variant is available through [`SimClock::read_monotonic`], which
+/// never lets the local timestamp go backwards — real clients use monotonic
+/// clocks, and the online sequencer's per-client watermark logic relies on
+/// per-client timestamps being non-decreasing.
+#[derive(Debug, Clone)]
+pub struct SimClock {
+    model: ClockModel,
+    last_local: Option<f64>,
+    readings: Vec<ClockReading>,
+    record: bool,
+}
+
+impl SimClock {
+    /// Create a clock following the given ground-truth model.
+    pub fn new(model: ClockModel) -> Self {
+        SimClock {
+            model,
+            last_local: None,
+            readings: Vec::new(),
+            record: false,
+        }
+    }
+
+    /// Enable recording of every reading (for ground-truth evaluation).
+    pub fn recording(mut self) -> Self {
+        self.record = true;
+        self
+    }
+
+    /// The underlying ground-truth model.
+    pub fn model(&self) -> &ClockModel {
+        &self.model
+    }
+
+    /// Read the clock at true time `true_time`.
+    pub fn read(&mut self, true_time: f64, rng: &mut dyn RngCore) -> ClockReading {
+        let local_time = true_time + self.model.sample_offset(true_time, rng);
+        let reading = ClockReading {
+            true_time,
+            local_time,
+        };
+        if self.record {
+            self.readings.push(reading);
+        }
+        reading
+    }
+
+    /// Read the clock but clamp the result so local timestamps never move
+    /// backwards (monotonic local clock).
+    pub fn read_monotonic(&mut self, true_time: f64, rng: &mut dyn RngCore) -> ClockReading {
+        let mut reading = self.read(true_time, rng);
+        if let Some(last) = self.last_local {
+            if reading.local_time < last {
+                reading.local_time = last;
+            }
+        }
+        self.last_local = Some(reading.local_time);
+        if self.record {
+            // Replace the recorded (non-clamped) value with the clamped one.
+            if let Some(r) = self.readings.last_mut() {
+                *r = reading;
+            }
+        }
+        reading
+    }
+
+    /// All recorded readings (empty unless [`SimClock::recording`] was used).
+    pub fn readings(&self) -> &[ClockReading] {
+        &self.readings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reading_offset_matches_definition() {
+        let mut clock = SimClock::new(ClockModel::gaussian(10.0, 0.0));
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = clock.read(100.0, &mut rng);
+        assert_eq!(r.true_time, 100.0);
+        assert_eq!(r.local_time, 110.0);
+        assert_eq!(r.offset(), 10.0);
+    }
+
+    #[test]
+    fn perfect_clock_reads_true_time() {
+        let mut clock = SimClock::new(ClockModel::perfect());
+        let mut rng = StdRng::seed_from_u64(1);
+        for t in [0.0, 5.5, 1234.25] {
+            assert_eq!(clock.read(t, &mut rng).local_time, t);
+        }
+    }
+
+    #[test]
+    fn monotonic_reads_never_go_backwards() {
+        let mut clock = SimClock::new(ClockModel::gaussian(0.0, 50.0));
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..1000 {
+            let r = clock.read_monotonic(i as f64, &mut rng);
+            assert!(r.local_time >= last);
+            last = r.local_time;
+        }
+    }
+
+    #[test]
+    fn recording_stores_readings() {
+        let mut clock = SimClock::new(ClockModel::gaussian(0.0, 1.0)).recording();
+        let mut rng = StdRng::seed_from_u64(3);
+        for t in 0..10 {
+            clock.read(t as f64, &mut rng);
+        }
+        assert_eq!(clock.readings().len(), 10);
+        assert_eq!(clock.readings()[4].true_time, 4.0);
+    }
+
+    #[test]
+    fn non_recording_clock_stores_nothing() {
+        let mut clock = SimClock::new(ClockModel::gaussian(0.0, 1.0));
+        let mut rng = StdRng::seed_from_u64(3);
+        clock.read(1.0, &mut rng);
+        assert!(clock.readings().is_empty());
+    }
+
+    #[test]
+    fn monotonic_recording_stores_clamped_value() {
+        let mut clock = SimClock::new(ClockModel::gaussian(0.0, 100.0)).recording();
+        let mut rng = StdRng::seed_from_u64(11);
+        for i in 0..200 {
+            clock.read_monotonic(i as f64 * 0.01, &mut rng);
+        }
+        let readings = clock.readings();
+        for w in readings.windows(2) {
+            assert!(w[1].local_time >= w[0].local_time);
+        }
+    }
+}

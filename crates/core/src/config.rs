@@ -1,0 +1,152 @@
+//! Sequencer configuration.
+
+use tommy_stats::convolution::ConvolutionMethod;
+
+/// Configuration shared by the offline and online Tommy sequencers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequencerConfig {
+    /// Batch-boundary confidence threshold of §3.4 (the paper uses 0.75):
+    /// adjacent messages `i → j` in the extracted linear order are split into
+    /// different batches only when `p(i → j) > threshold`.
+    pub threshold: f64,
+    /// Safe-emission confidence of §3.5 (the paper suggests 0.999): a batch
+    /// is only emitted once, for every member `i`, the sequencer's clock has
+    /// passed a time `T^F_i` with `P(T*_i < T^F_i) > p_safe`.
+    pub p_safe: f64,
+    /// Convolution implementation used when building difference distributions
+    /// for non-Gaussian offset pairs.
+    pub convolution: ConvolutionMethod,
+    /// Number of grid points used when discretizing non-Gaussian offset
+    /// distributions.
+    pub grid_points: usize,
+    /// When `true`, intransitive tournaments are repaired with the
+    /// *stochastic* feedback-arc-set heuristic (random, probability-weighted
+    /// edge removals) instead of the deterministic greedy one, trading
+    /// per-decision determinism for long-run stochastic fairness (§3.4).
+    pub stochastic_cycle_breaking: bool,
+}
+
+impl Default for SequencerConfig {
+    fn default() -> Self {
+        SequencerConfig {
+            threshold: 0.75,
+            p_safe: 0.999,
+            convolution: ConvolutionMethod::Auto,
+            grid_points: 1024,
+            stochastic_cycle_breaking: false,
+        }
+    }
+}
+
+impl SequencerConfig {
+    /// Create a configuration with the paper's defaults.
+    pub fn new() -> Self {
+        SequencerConfig::default()
+    }
+
+    /// Set the batch-boundary threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.5 < threshold < 1.0`: at or below 0.5 every adjacent
+    /// pair would be split (the relation itself is only defined for the
+    /// higher-probability direction), and at 1.0 nothing ever would be.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        assert!(
+            threshold > 0.5 && threshold < 1.0,
+            "threshold must be in (0.5, 1.0), got {threshold}"
+        );
+        self.threshold = threshold;
+        self
+    }
+
+    /// Set the safe-emission confidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.5 < p_safe < 1.0`.
+    pub fn with_p_safe(mut self, p_safe: f64) -> Self {
+        assert!(
+            p_safe > 0.5 && p_safe < 1.0,
+            "p_safe must be in (0.5, 1.0), got {p_safe}"
+        );
+        self.p_safe = p_safe;
+        self
+    }
+
+    /// Select the convolution implementation.
+    pub fn with_convolution(mut self, method: ConvolutionMethod) -> Self {
+        self.convolution = method;
+        self
+    }
+
+    /// Set the discretization grid resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 16 points are requested.
+    pub fn with_grid_points(mut self, points: usize) -> Self {
+        assert!(points >= 16, "need at least 16 grid points, got {points}");
+        self.grid_points = points;
+        self
+    }
+
+    /// Enable or disable stochastic cycle breaking.
+    pub fn with_stochastic_cycle_breaking(mut self, enabled: bool) -> Self {
+        self.stochastic_cycle_breaking = enabled;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SequencerConfig::default();
+        assert_eq!(c.threshold, 0.75);
+        assert_eq!(c.p_safe, 0.999);
+        assert_eq!(c.grid_points, 1024);
+        assert!(!c.stochastic_cycle_breaking);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = SequencerConfig::new()
+            .with_threshold(0.9)
+            .with_p_safe(0.99)
+            .with_grid_points(256)
+            .with_convolution(ConvolutionMethod::Fft)
+            .with_stochastic_cycle_breaking(true);
+        assert_eq!(c.threshold, 0.9);
+        assert_eq!(c.p_safe, 0.99);
+        assert_eq!(c.grid_points, 256);
+        assert_eq!(c.convolution, ConvolutionMethod::Fft);
+        assert!(c.stochastic_cycle_breaking);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in (0.5, 1.0)")]
+    fn threshold_at_half_rejected() {
+        SequencerConfig::new().with_threshold(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in (0.5, 1.0)")]
+    fn threshold_of_one_rejected() {
+        SequencerConfig::new().with_threshold(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p_safe must be in (0.5, 1.0)")]
+    fn psafe_of_one_rejected() {
+        SequencerConfig::new().with_p_safe(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 16 grid points")]
+    fn tiny_grid_rejected() {
+        SequencerConfig::new().with_grid_points(4);
+    }
+}

@@ -1,0 +1,94 @@
+//! Error types for the core sequencing library.
+
+use crate::message::{ClientId, MessageId};
+
+/// Errors surfaced by the sequencers and relation machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A message referenced a client whose offset distribution has not been
+    /// registered with the sequencer.
+    UnknownClient(ClientId),
+    /// A message id was submitted twice to the same sequencer.
+    DuplicateMessage(MessageId),
+    /// The same client sent timestamps that move backwards, violating the
+    /// monotone-local-clock assumption the online watermark logic needs.
+    NonMonotoneTimestamp {
+        /// The offending client.
+        client: ClientId,
+        /// The previously observed timestamp.
+        previous: f64,
+        /// The newly observed (smaller) timestamp.
+        observed: f64,
+    },
+    /// An operation that needs at least one message was invoked on an empty
+    /// input.
+    EmptyInput,
+    /// A computed probability was not a number (typically a degenerate
+    /// distribution interacting with an empty grid).
+    InvalidProbability {
+        /// The message whose comparison produced the invalid value.
+        left: MessageId,
+        /// The other message in the comparison.
+        right: MessageId,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::UnknownClient(c) => {
+                write!(f, "no offset distribution registered for {c}")
+            }
+            CoreError::DuplicateMessage(m) => write!(f, "duplicate message id {m}"),
+            CoreError::NonMonotoneTimestamp {
+                client,
+                previous,
+                observed,
+            } => write!(
+                f,
+                "{client} sent a non-monotone timestamp: {observed} after {previous}"
+            ),
+            CoreError::EmptyInput => write!(f, "operation requires at least one message"),
+            CoreError::InvalidProbability { left, right } => {
+                write!(f, "comparison of {left} and {right} produced an invalid probability")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::UnknownClient(ClientId(7));
+        assert!(e.to_string().contains("client7"));
+
+        let e = CoreError::DuplicateMessage(MessageId(3));
+        assert!(e.to_string().contains("msg3"));
+
+        let e = CoreError::NonMonotoneTimestamp {
+            client: ClientId(1),
+            previous: 10.0,
+            observed: 9.0,
+        };
+        assert!(e.to_string().contains("non-monotone"));
+
+        assert!(CoreError::EmptyInput.to_string().contains("at least one"));
+
+        let e = CoreError::InvalidProbability {
+            left: MessageId(1),
+            right: MessageId(2),
+        };
+        assert!(e.to_string().contains("invalid probability"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error>(_e: &E) {}
+        assert_error(&CoreError::EmptyInput);
+    }
+}

@@ -1,0 +1,222 @@
+//! Feedback-arc-set style ordering heuristics for cyclic components.
+//!
+//! §3.4 of the paper: an intransitive `likely-happened-before` relation can
+//! produce cycles; breaking them requires discarding some pairwise evidence,
+//! and finding the minimum set of edges to discard is NP-hard. Two heuristics
+//! are provided:
+//!
+//! * [`greedy_order`] — a weighted variant of the Eades–Lin–Smyth greedy
+//!   feedback-arc-set heuristic: repeatedly emit the vertex whose outgoing
+//!   probability mass most exceeds its incoming mass. Deterministic.
+//! * [`stochastic_order`] — emits vertices by weighted random sampling, with
+//!   weights proportional to each vertex's outgoing probability mass. Over
+//!   many sequencing rounds no message is *systematically* disadvantaged by
+//!   the cycle-breaking choice — the "stochastic fairness" direction the
+//!   paper sketches.
+
+use rand::Rng;
+use rand::RngCore;
+
+/// Order the vertices `members` using the greedy heuristic.
+///
+/// `prob(a, b)` must return the probability that `a` precedes `b` (only
+/// called for distinct members). The returned vector is a permutation of
+/// `members`.
+pub fn greedy_order(members: &[usize], prob: &dyn Fn(usize, usize) -> f64) -> Vec<usize> {
+    let mut remaining: Vec<usize> = members.to_vec();
+    let mut order = Vec::with_capacity(members.len());
+    while !remaining.is_empty() {
+        // Score = Σ_out p(v, u) − Σ_in p(u, v) over remaining vertices.
+        let mut best_idx = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for (idx, &v) in remaining.iter().enumerate() {
+            let mut score = 0.0;
+            for &u in &remaining {
+                if u == v {
+                    continue;
+                }
+                score += prob(v, u) - prob(u, v);
+            }
+            if score > best_score + 1e-15 {
+                best_score = score;
+                best_idx = idx;
+            }
+        }
+        order.push(remaining.remove(best_idx));
+    }
+    order
+}
+
+/// Order the vertices `members` by weighted random sampling without
+/// replacement: at every step vertex `v` is selected with probability
+/// proportional to its total outgoing probability mass towards the remaining
+/// vertices.
+pub fn stochastic_order(
+    members: &[usize],
+    prob: &dyn Fn(usize, usize) -> f64,
+    rng: &mut dyn RngCore,
+) -> Vec<usize> {
+    let mut remaining: Vec<usize> = members.to_vec();
+    let mut order = Vec::with_capacity(members.len());
+    while remaining.len() > 1 {
+        let weights: Vec<f64> = remaining
+            .iter()
+            .map(|&v| {
+                let w: f64 = remaining
+                    .iter()
+                    .filter(|&&u| u != v)
+                    .map(|&u| prob(v, u))
+                    .sum();
+                // Every vertex keeps a small floor weight so no message is
+                // ever permanently starved by the sampler.
+                w.max(1e-6)
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut pick = rng.random::<f64>() * total;
+        let mut chosen = remaining.len() - 1;
+        for (idx, &w) in weights.iter().enumerate() {
+            if pick < w {
+                chosen = idx;
+                break;
+            }
+            pick -= w;
+        }
+        order.push(remaining.remove(chosen));
+    }
+    order.extend(remaining);
+    order
+}
+
+/// Count how much pairwise probability mass an ordering discards: the sum of
+/// `p(b, a)` over pairs ordered `a` before `b` where `p(b, a) > 0.5` (i.e.
+/// edges of the tournament pointing backwards in the ordering).
+pub fn backward_weight(order: &[usize], prob: &dyn Fn(usize, usize) -> f64) -> f64 {
+    let mut total = 0.0;
+    for (i, &a) in order.iter().enumerate() {
+        for &b in order.iter().skip(i + 1) {
+            let p_back = prob(b, a);
+            if p_back > 0.5 {
+                total += p_back;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    /// Build a probability closure from a map of directed pair probabilities.
+    fn prob_from(pairs: &[((usize, usize), f64)]) -> impl Fn(usize, usize) -> f64 + '_ {
+        let map: HashMap<(usize, usize), f64> = pairs.iter().copied().collect();
+        move |a, b| {
+            if let Some(&p) = map.get(&(a, b)) {
+                p
+            } else if let Some(&p) = map.get(&(b, a)) {
+                1.0 - p
+            } else {
+                0.5
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_recovers_transitive_order() {
+        // 0 clearly precedes 1 precedes 2.
+        let pairs = [((0, 1), 0.9), ((1, 2), 0.85), ((0, 2), 0.95)];
+        let prob = prob_from(&pairs);
+        let order = greedy_order(&[2, 0, 1], &prob);
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn greedy_handles_cycle_without_losing_members() {
+        // Rock–paper–scissors cycle.
+        let pairs = [((0, 1), 0.8), ((1, 2), 0.8), ((2, 0), 0.8)];
+        let prob = prob_from(&pairs);
+        let order = greedy_order(&[0, 1, 2], &prob);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn greedy_breaks_asymmetric_cycle_at_weakest_edge() {
+        // Cycle where 2 -> 0 is the weakest evidence: dropping it costs least,
+        // so the order should be 0, 1, 2.
+        let pairs = [((0, 1), 0.95), ((1, 2), 0.9), ((2, 0), 0.55)];
+        let prob = prob_from(&pairs);
+        let order = greedy_order(&[0, 1, 2], &prob);
+        assert_eq!(order, vec![0, 1, 2]);
+        let bw = backward_weight(&order, &prob);
+        assert!((bw - 0.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stochastic_order_is_a_permutation() {
+        let pairs = [((0, 1), 0.8), ((1, 2), 0.8), ((2, 0), 0.8)];
+        let prob = prob_from(&pairs);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let order = stochastic_order(&[0, 1, 2], &prob, &mut rng);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn stochastic_order_varies_across_runs_on_a_cycle() {
+        let pairs = [((0, 1), 0.8), ((1, 2), 0.8), ((2, 0), 0.8)];
+        let prob = prob_from(&pairs);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut firsts = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let order = stochastic_order(&[0, 1, 2], &prob, &mut rng);
+            firsts.insert(order[0]);
+        }
+        // In a symmetric cycle every member should get to go first sometimes.
+        assert_eq!(firsts.len(), 3, "firsts = {firsts:?}");
+    }
+
+    #[test]
+    fn stochastic_order_respects_strong_evidence() {
+        // 0 precedes 1 with overwhelming probability; the sampler should
+        // rarely reverse them.
+        let pairs = [((0, 1), 0.999)];
+        let prob = prob_from(&pairs);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut zero_first = 0;
+        let runs = 500;
+        for _ in 0..runs {
+            let order = stochastic_order(&[0, 1], &prob, &mut rng);
+            if order == vec![0, 1] {
+                zero_first += 1;
+            }
+        }
+        assert!(zero_first > 450, "zero first {zero_first}/{runs}");
+    }
+
+    #[test]
+    fn backward_weight_zero_for_consistent_order() {
+        let pairs = [((0, 1), 0.9), ((1, 2), 0.8), ((0, 2), 0.7)];
+        let prob = prob_from(&pairs);
+        assert_eq!(backward_weight(&[0, 1, 2], &prob), 0.0);
+        assert!(backward_weight(&[2, 1, 0], &prob) > 0.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let prob = |_: usize, _: usize| 0.5;
+        assert!(greedy_order(&[], &prob).is_empty());
+        assert_eq!(greedy_order(&[4], &prob), vec![4]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(stochastic_order(&[], &prob, &mut rng).is_empty());
+        assert_eq!(stochastic_order(&[9], &prob, &mut rng), vec![9]);
+    }
+}

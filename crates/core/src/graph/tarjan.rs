@@ -1,0 +1,137 @@
+//! Tarjan's strongly-connected-components algorithm (iterative).
+//!
+//! Cycles in the preceding-probability tournament (possible when the relation
+//! is intransitive, §3.4) are confined to strongly connected components; the
+//! condensation of the tournament is always acyclic, so ordering the SCCs and
+//! then ordering within each SCC yields a complete linear order.
+
+/// Compute the strongly connected components of a directed graph given as
+/// adjacency lists. Components are returned in **reverse topological order**
+/// of the condensation (i.e. a component appears before the components that
+/// point to it), which is the natural output order of Tarjan's algorithm.
+pub fn strongly_connected_components(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    let mut next_index = 0usize;
+
+    // Iterative DFS state: (vertex, next child position).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut child_pos)) = call_stack.last_mut() {
+            if *child_pos == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *child_pos < adj[v].len() {
+                let w = adj[v][*child_pos];
+                *child_pos += 1;
+                assert!(w < n, "edge target {w} out of range for {n} vertices");
+                if index[w] == usize::MAX {
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                // Finished v: pop and propagate lowlink to parent.
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("stack holds the component");
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort_unstable();
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn component_sets(adj: &[Vec<usize>]) -> HashSet<Vec<usize>> {
+        strongly_connected_components(adj).into_iter().collect()
+    }
+
+    #[test]
+    fn acyclic_graph_has_singleton_components() {
+        let adj = vec![vec![1], vec![2], vec![]];
+        let comps = strongly_connected_components(&adj);
+        assert_eq!(comps.len(), 3);
+        assert!(comps.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn simple_cycle_is_one_component() {
+        let adj = vec![vec![1], vec![2], vec![0]];
+        let comps = strongly_connected_components(&adj);
+        assert_eq!(comps, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn mixed_graph() {
+        // 0 <-> 1 form a cycle; 2 -> 0; 3 isolated.
+        let adj = vec![vec![1], vec![0], vec![0], vec![]];
+        let comps = component_sets(&adj);
+        assert!(comps.contains(&vec![0, 1]));
+        assert!(comps.contains(&vec![2]));
+        assert!(comps.contains(&vec![3]));
+    }
+
+    #[test]
+    fn components_in_reverse_topological_order() {
+        // 0 -> 1 -> 2 (all singletons). Reverse topological order: 2, 1, 0.
+        let adj = vec![vec![1], vec![2], vec![]];
+        let comps = strongly_connected_components(&adj);
+        assert_eq!(comps, vec![vec![2], vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn intransitive_tournament_cycle_detected() {
+        // The rock–paper–scissors tournament of three events plus one event
+        // that everyone beats: cycle {0,1,2}, then {3}.
+        let adj = vec![vec![1, 3], vec![2, 3], vec![0, 3], vec![]];
+        let comps = strongly_connected_components(&adj);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![3]);
+        assert_eq!(comps[1], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 50_000-vertex chain: the iterative implementation must handle it.
+        let n = 50_000;
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|i| if i + 1 < n { vec![i + 1] } else { vec![] })
+            .collect();
+        let comps = strongly_connected_components(&adj);
+        assert_eq!(comps.len(), n);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(strongly_connected_components(&[]).is_empty());
+    }
+}

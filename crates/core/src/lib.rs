@@ -1,0 +1,80 @@
+//! # tommy-core
+//!
+//! The core of the Tommy probabilistic fair ordering system — a from-scratch
+//! reproduction of *"Beyond Lamport, Towards Probabilistic Fair Ordering"*
+//! (HotNets '25).
+//!
+//! ## What the paper proposes
+//!
+//! A *fair sequencer* must order messages by when they were generated, not by
+//! when they happen to arrive. Perfect clock synchronization is impossible, so
+//! Tommy embraces the error instead: every client learns the distribution of
+//! its clock offset relative to the sequencer and shares it; the sequencer
+//! compares two noisy timestamps *probabilistically*, producing the
+//! `likely-happened-before` relation `i --p--> j` (§3.2/§3.3). Pairwise
+//! probabilities are assembled into a tournament graph, a linear order is
+//! extracted (unique for transitive probabilities, heuristic otherwise), and
+//! adjacent messages whose ordering confidence is below a threshold are fused
+//! into the same *batch* (§3.4). Batches are emitted in rank order; an online
+//! variant (§3.5) additionally waits for a safe-emission time and per-client
+//! watermarks before releasing a batch.
+//!
+//! ## Crate layout
+//!
+//! * [`message`] — message, client and timestamp types.
+//! * [`config`] — sequencer configuration (threshold, `p_safe`, …).
+//! * [`registry`] — per-client offset distributions with cached
+//!   discretizations and pairwise difference distributions.
+//! * [`relation`] — the preceding probability and the
+//!   [`LikelyHappenedBefore`](relation::LikelyHappenedBefore) relation.
+//! * [`precedence`] — the pairwise probability matrix for a set of messages.
+//! * [`tournament`] — the directed tournament induced by the matrix,
+//!   transitivity checks and cycle handling.
+//! * [`graph`] — topological sort, Tarjan SCC, feedback-arc-set heuristics.
+//! * [`batching`] — threshold batching of a linear order into ranked batches.
+//! * [`sequencer`] — the offline sequencer (§3.4) and the online sequencer
+//!   with safe emission and watermarks (§3.5).
+//! * [`baselines`] — FIFO, WaitsForOne and TrueTime-style sequencers used in
+//!   the paper's evaluation (§2, §4).
+//! * [`tiebreak`] — randomized tie-breaking to extend the fair partial order
+//!   to a fair total order (§5 "Extension to Fair Total Order").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod batching;
+pub mod config;
+pub mod error;
+pub mod graph;
+pub mod message;
+pub mod precedence;
+pub mod registry;
+pub mod relation;
+pub mod sequencer;
+pub mod tiebreak;
+pub mod tournament;
+
+pub use batching::{Batch, FairOrder};
+pub use config::SequencerConfig;
+pub use error::CoreError;
+pub use message::{ClientId, Message, MessageId};
+pub use precedence::PrecedenceMatrix;
+pub use registry::DistributionRegistry;
+pub use relation::LikelyHappenedBefore;
+pub use sequencer::offline::TommySequencer;
+pub use sequencer::online::{OnlineSequencer, OnlineStats};
+pub use tournament::Tournament;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::baselines::{FifoSequencer, TrueTimeSequencer, WfoSequencer};
+    pub use crate::batching::{Batch, FairOrder};
+    pub use crate::config::SequencerConfig;
+    pub use crate::message::{ClientId, Message, MessageId};
+    pub use crate::registry::DistributionRegistry;
+    pub use crate::sequencer::offline::TommySequencer;
+    pub use crate::sequencer::online::OnlineSequencer;
+    pub use tommy_stats::distribution::OffsetDistribution;
+    pub use tommy_stats::gaussian::Gaussian;
+}

@@ -1,0 +1,272 @@
+//! The pairwise preceding-probability matrix.
+//!
+//! §3.4 of the paper models each message as a node of a graph whose directed
+//! edges carry preceding probabilities. [`PrecedenceMatrix`] is the dense
+//! representation of those probabilities for one set of messages, built from
+//! the per-client distributions in a [`DistributionRegistry`].
+
+use crate::error::CoreError;
+use crate::message::{Message, MessageId};
+use crate::registry::DistributionRegistry;
+use std::collections::HashMap;
+
+/// Dense matrix of preceding probabilities for a fixed set of messages.
+///
+/// `prob(i, j)` is `P(message i truly precedes message j)`; by construction
+/// `prob(i, j) + prob(j, i) = 1` (up to numeric noise, which is symmetrized
+/// away at build time) and `prob(i, i) = 0.5`.
+#[derive(Debug, Clone)]
+pub struct PrecedenceMatrix {
+    messages: Vec<Message>,
+    index: HashMap<MessageId, usize>,
+    probs: Vec<f64>,
+}
+
+impl PrecedenceMatrix {
+    /// Compute the full matrix for `messages` using the distributions in
+    /// `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyInput`] for an empty slice,
+    /// [`CoreError::DuplicateMessage`] if a message id repeats, and
+    /// [`CoreError::UnknownClient`] if any message's client has no registered
+    /// distribution.
+    pub fn compute(
+        messages: &[Message],
+        registry: &DistributionRegistry,
+    ) -> Result<Self, CoreError> {
+        if messages.is_empty() {
+            return Err(CoreError::EmptyInput);
+        }
+        let n = messages.len();
+        let mut index = HashMap::with_capacity(n);
+        for (i, m) in messages.iter().enumerate() {
+            if index.insert(m.id, i).is_some() {
+                return Err(CoreError::DuplicateMessage(m.id));
+            }
+        }
+
+        let mut probs = vec![0.5; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let p = registry.preceding_probability(&messages[i], &messages[j])?;
+                probs[i * n + j] = p;
+                probs[j * n + i] = 1.0 - p;
+            }
+        }
+        Ok(PrecedenceMatrix {
+            messages: messages.to_vec(),
+            index,
+            probs,
+        })
+    }
+
+    /// Build a matrix directly from explicit pairwise probabilities — used by
+    /// tests and by the Appendix B worked example, where the paper gives the
+    /// matrix directly instead of deriving it from distributions.
+    ///
+    /// `pairwise[i][j]` must hold `P(i precedes j)` for `i != j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are inconsistent or probabilities are outside
+    /// `[0, 1]`.
+    pub fn from_probabilities(messages: &[Message], pairwise: &[Vec<f64>]) -> Self {
+        let n = messages.len();
+        assert!(n > 0, "need at least one message");
+        assert_eq!(pairwise.len(), n, "matrix row count mismatch");
+        let mut index = HashMap::with_capacity(n);
+        for (i, m) in messages.iter().enumerate() {
+            assert!(
+                index.insert(m.id, i).is_none(),
+                "duplicate message id {}",
+                m.id
+            );
+        }
+        let mut probs = vec![0.5; n * n];
+        for i in 0..n {
+            assert_eq!(pairwise[i].len(), n, "matrix column count mismatch");
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let p = pairwise[i][j];
+                assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+                probs[i * n + j] = p;
+            }
+        }
+        PrecedenceMatrix {
+            messages: messages.to_vec(),
+            index,
+            probs,
+        }
+    }
+
+    /// Number of messages.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether the matrix is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// The messages, in index order.
+    pub fn messages(&self) -> &[Message] {
+        &self.messages
+    }
+
+    /// The message at index `i`.
+    pub fn message(&self, i: usize) -> &Message {
+        &self.messages[i]
+    }
+
+    /// Index of a message id, if present.
+    pub fn index_of(&self, id: MessageId) -> Option<usize> {
+        self.index.get(&id).copied()
+    }
+
+    /// `P(message at index i precedes message at index j)`.
+    pub fn prob(&self, i: usize, j: usize) -> f64 {
+        self.probs[i * self.messages.len() + j]
+    }
+
+    /// `P(a precedes b)` by message id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is not in the matrix.
+    pub fn prob_by_id(&self, a: MessageId, b: MessageId) -> f64 {
+        let i = self.index_of(a).unwrap_or_else(|| panic!("{a} not in matrix"));
+        let j = self.index_of(b).unwrap_or_else(|| panic!("{b} not in matrix"));
+        self.prob(i, j)
+    }
+
+    /// The fraction of unordered pairs whose higher-direction probability
+    /// exceeds `threshold` — i.e. the fraction of pairs the sequencer can
+    /// confidently order. A direct measure of how much fairness resolution a
+    /// given clock-error level permits.
+    pub fn confident_pair_fraction(&self, threshold: f64) -> f64 {
+        let n = self.messages.len();
+        if n < 2 {
+            return 1.0;
+        }
+        let mut confident = 0usize;
+        let mut total = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total += 1;
+                let p = self.prob(i, j).max(self.prob(j, i));
+                if p > threshold {
+                    confident += 1;
+                }
+            }
+        }
+        confident as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ClientId;
+    use tommy_stats::distribution::OffsetDistribution;
+
+    fn msg(id: u64, client: u32, ts: f64) -> Message {
+        Message::new(MessageId(id), ClientId(client), ts)
+    }
+
+    fn registry(sigma: f64, clients: u32) -> DistributionRegistry {
+        let mut reg = DistributionRegistry::new();
+        for c in 0..clients {
+            reg.register(ClientId(c), OffsetDistribution::gaussian(0.0, sigma));
+        }
+        reg
+    }
+
+    #[test]
+    fn matrix_is_complementary() {
+        let reg = registry(5.0, 3);
+        let msgs = vec![msg(0, 0, 10.0), msg(1, 1, 12.0), msg(2, 2, 30.0)];
+        let m = PrecedenceMatrix::compute(&msgs, &reg).unwrap();
+        for i in 0..3 {
+            assert!((m.prob(i, i) - 0.5).abs() < 1e-12);
+            for j in 0..3 {
+                assert!((m.prob(i, j) + m.prob(j, i) - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn widely_separated_messages_are_confidently_ordered() {
+        let reg = registry(1.0, 2);
+        let msgs = vec![msg(0, 0, 0.0), msg(1, 1, 100.0)];
+        let m = PrecedenceMatrix::compute(&msgs, &reg).unwrap();
+        assert!(m.prob(0, 1) > 0.999);
+        assert_eq!(m.confident_pair_fraction(0.75), 1.0);
+    }
+
+    #[test]
+    fn close_messages_with_noisy_clocks_are_uncertain() {
+        let reg = registry(50.0, 2);
+        let msgs = vec![msg(0, 0, 0.0), msg(1, 1, 1.0)];
+        let m = PrecedenceMatrix::compute(&msgs, &reg).unwrap();
+        assert!(m.prob(0, 1) < 0.6);
+        assert_eq!(m.confident_pair_fraction(0.75), 0.0);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let reg = registry(1.0, 2);
+        let msgs = vec![msg(0, 0, 0.0), msg(0, 1, 1.0)];
+        assert_eq!(
+            PrecedenceMatrix::compute(&msgs, &reg).unwrap_err(),
+            CoreError::DuplicateMessage(MessageId(0))
+        );
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let reg = registry(1.0, 1);
+        assert_eq!(
+            PrecedenceMatrix::compute(&[], &reg).unwrap_err(),
+            CoreError::EmptyInput
+        );
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let reg = registry(1.0, 2);
+        let msgs = vec![msg(7, 0, 0.0), msg(9, 1, 5.0)];
+        let m = PrecedenceMatrix::compute(&msgs, &reg).unwrap();
+        assert_eq!(m.index_of(MessageId(9)), Some(1));
+        assert_eq!(m.index_of(MessageId(8)), None);
+        assert!(m.prob_by_id(MessageId(7), MessageId(9)) > 0.99);
+    }
+
+    #[test]
+    fn from_probabilities_appendix_b_matrix() {
+        // The Appendix B example matrix (A, B, C, D).
+        let msgs = vec![msg(0, 0, 0.0), msg(1, 1, 0.0), msg(2, 2, 0.0), msg(3, 3, 0.0)];
+        let pairwise = vec![
+            vec![0.5, 0.85, 0.65, 0.92],
+            vec![0.15, 0.5, 0.72, 0.68],
+            vec![0.35, 0.28, 0.5, 0.80],
+            vec![0.08, 0.32, 0.20, 0.5],
+        ];
+        let m = PrecedenceMatrix::from_probabilities(&msgs, &pairwise);
+        assert_eq!(m.prob(0, 1), 0.85);
+        assert_eq!(m.prob(2, 3), 0.80);
+        assert_eq!(m.prob(3, 0), 0.08);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_probabilities_rejects_bad_values() {
+        let msgs = vec![msg(0, 0, 0.0), msg(1, 1, 0.0)];
+        let pairwise = vec![vec![0.5, 1.5], vec![-0.5, 0.5]];
+        PrecedenceMatrix::from_probabilities(&msgs, &pairwise);
+    }
+}

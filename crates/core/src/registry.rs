@@ -1,0 +1,310 @@
+//! Per-client offset distributions and cached derived quantities.
+//!
+//! The sequencer needs, for every pair of clients, the distribution of the
+//! difference of their clock offsets (§3.3). Building those difference
+//! distributions involves discretization and convolution, so the registry
+//! caches both the per-client discretized PDFs and the per-pair difference
+//! PDFs. For Gaussian pairs no grid is ever built — the closed form of §3.2
+//! is used directly.
+//!
+//! ## Sign convention
+//!
+//! A client's offset distribution describes `δ = local_clock − sequencer_clock`
+//! — exactly the noise `ε` the paper's evaluation (§4) adds to the wall-clock
+//! time when tagging a message (`T = t + ε`). With that convention the
+//! preceding probability is
+//!
+//! ```text
+//! P(T*_i < T*_j | T_i, T_j) = P(δ_i − δ_j > T_i − T_j)
+//! ```
+//!
+//! which for Gaussian offsets reduces to the paper's closed form
+//! `Φ((T_j − T_i + μ_i − μ_j)/√(σ_i² + σ_j²))`.
+
+use crate::config::SequencerConfig;
+use crate::error::CoreError;
+use crate::message::{ClientId, Message};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tommy_stats::clamp_probability;
+use tommy_stats::convolution::{difference_distribution, ConvolutionMethod};
+use tommy_stats::discretized::DiscretizedPdf;
+use tommy_stats::distribution::OffsetDistribution;
+
+/// Registry of per-client clock-offset distributions with derived caches.
+#[derive(Debug)]
+pub struct DistributionRegistry {
+    distributions: HashMap<ClientId, OffsetDistribution>,
+    grid_points: usize,
+    convolution: ConvolutionMethod,
+    discretized: RwLock<HashMap<ClientId, Arc<DiscretizedPdf>>>,
+    differences: RwLock<HashMap<(ClientId, ClientId), Arc<DiscretizedPdf>>>,
+}
+
+impl Default for DistributionRegistry {
+    fn default() -> Self {
+        DistributionRegistry::new()
+    }
+}
+
+impl DistributionRegistry {
+    /// An empty registry with default grid resolution and automatic
+    /// convolution selection.
+    pub fn new() -> Self {
+        let cfg = SequencerConfig::default();
+        DistributionRegistry::with_numerics(cfg.grid_points, cfg.convolution)
+    }
+
+    /// An empty registry with explicit numeric parameters.
+    pub fn with_numerics(grid_points: usize, convolution: ConvolutionMethod) -> Self {
+        assert!(grid_points >= 16, "need at least 16 grid points");
+        DistributionRegistry {
+            distributions: HashMap::new(),
+            grid_points,
+            convolution,
+            discretized: RwLock::new(HashMap::new()),
+            differences: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Build a registry matching a sequencer configuration.
+    pub fn from_config(config: &SequencerConfig) -> Self {
+        DistributionRegistry::with_numerics(config.grid_points, config.convolution)
+    }
+
+    /// Register (or replace) a client's offset distribution, invalidating any
+    /// cached quantities involving that client.
+    pub fn register(&mut self, client: ClientId, distribution: OffsetDistribution) {
+        self.distributions.insert(client, distribution);
+        self.discretized.write().remove(&client);
+        self.differences
+            .write()
+            .retain(|(a, b), _| *a != client && *b != client);
+    }
+
+    /// The distribution registered for `client`, if any.
+    pub fn get(&self, client: ClientId) -> Option<&OffsetDistribution> {
+        self.distributions.get(&client)
+    }
+
+    /// Whether `client` has a registered distribution.
+    pub fn contains(&self, client: ClientId) -> bool {
+        self.distributions.contains_key(&client)
+    }
+
+    /// Number of registered clients.
+    pub fn len(&self) -> usize {
+        self.distributions.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.distributions.is_empty()
+    }
+
+    /// All registered clients, sorted.
+    pub fn clients(&self) -> Vec<ClientId> {
+        let mut v: Vec<ClientId> = self.distributions.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    fn distribution_or_err(&self, client: ClientId) -> Result<&OffsetDistribution, CoreError> {
+        self.distributions
+            .get(&client)
+            .ok_or(CoreError::UnknownClient(client))
+    }
+
+    fn discretized_for(&self, client: ClientId) -> Result<Arc<DiscretizedPdf>, CoreError> {
+        if let Some(pdf) = self.discretized.read().get(&client) {
+            return Ok(Arc::clone(pdf));
+        }
+        let dist = self.distribution_or_err(client)?;
+        let pdf = Arc::new(DiscretizedPdf::from_distribution(dist, self.grid_points));
+        self.discretized.write().insert(client, Arc::clone(&pdf));
+        Ok(pdf)
+    }
+
+    /// The cached distribution of `δ_i − δ_j` for a pair of clients (built on
+    /// demand).
+    pub fn difference_for(
+        &self,
+        client_i: ClientId,
+        client_j: ClientId,
+    ) -> Result<Arc<DiscretizedPdf>, CoreError> {
+        let key = (client_i, client_j);
+        if let Some(diff) = self.differences.read().get(&key) {
+            return Ok(Arc::clone(diff));
+        }
+        let f_i = self.discretized_for(client_i)?;
+        let f_j = self.discretized_for(client_j)?;
+        // difference_distribution(a, b) returns the PDF of (b − a); we want
+        // δ_i − δ_j, so pass (f_j, f_i).
+        let diff = Arc::new(difference_distribution(&f_j, &f_i, self.convolution));
+        self.differences.write().insert(key, Arc::clone(&diff));
+        Ok(diff)
+    }
+
+    /// The preceding probability `P(T*_i < T*_j | T_i, T_j)` for two messages
+    /// (§3.2/§3.3 of the paper).
+    ///
+    /// Messages from the *same* client are compared deterministically by
+    /// their local timestamps (one client's offsets cancel out under the
+    /// paper's per-message offset model with a shared clock); ties yield 0.5.
+    pub fn preceding_probability(&self, i: &Message, j: &Message) -> Result<f64, CoreError> {
+        if i.client == j.client {
+            return Ok(if i.timestamp < j.timestamp {
+                1.0
+            } else if i.timestamp > j.timestamp {
+                0.0
+            } else {
+                0.5
+            });
+        }
+
+        let d_i = self.distribution_or_err(i.client)?;
+        let d_j = self.distribution_or_err(j.client)?;
+
+        let p = match (d_i.as_gaussian(), d_j.as_gaussian()) {
+            (Some(gi), Some(gj)) => gi.preceding_probability(i.timestamp, gj, j.timestamp),
+            _ => {
+                let diff = self.difference_for(i.client, j.client)?;
+                diff.tail(i.timestamp - j.timestamp)
+            }
+        };
+
+        if p.is_nan() {
+            return Err(CoreError::InvalidProbability {
+                left: i.id,
+                right: j.id,
+            });
+        }
+        Ok(clamp_probability(p))
+    }
+
+    /// Number of cached pairwise difference distributions (exposed for tests
+    /// and benchmarks of the caching behaviour).
+    pub fn cached_differences(&self) -> usize {
+        self.differences.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageId;
+    use tommy_stats::gaussian::Gaussian;
+
+    fn msg(id: u64, client: u32, ts: f64) -> Message {
+        Message::new(MessageId(id), ClientId(client), ts)
+    }
+
+    #[test]
+    fn gaussian_pair_matches_closed_form() {
+        let mut reg = DistributionRegistry::new();
+        reg.register(ClientId(0), OffsetDistribution::gaussian(0.0, 5.0));
+        reg.register(ClientId(1), OffsetDistribution::gaussian(2.0, 3.0));
+        let a = msg(0, 0, 100.0);
+        let b = msg(1, 1, 110.0);
+        let p = reg.preceding_probability(&a, &b).unwrap();
+        let expected = Gaussian::new(0.0, 5.0).preceding_probability(100.0, &Gaussian::new(2.0, 3.0), 110.0);
+        assert!((p - expected).abs() < 1e-12);
+        // No grids should have been built for the Gaussian fast path.
+        assert_eq!(reg.cached_differences(), 0);
+    }
+
+    #[test]
+    fn numeric_path_agrees_with_gaussian_closed_form() {
+        // Register one Gaussian as an "empirical-like" non-Gaussian wrapper by
+        // using a mixture with a single component, forcing the numeric path.
+        let g = Gaussian::new(1.0, 4.0);
+        let as_mixture = OffsetDistribution::Mixture(vec![(1.0, OffsetDistribution::Gaussian(g))]);
+        let mut reg = DistributionRegistry::new();
+        reg.register(ClientId(0), as_mixture.clone());
+        reg.register(ClientId(1), OffsetDistribution::gaussian(-1.0, 2.0));
+
+        let a = msg(0, 0, 50.0);
+        let b = msg(1, 1, 53.0);
+        let numeric = reg.preceding_probability(&a, &b).unwrap();
+        let closed = g.preceding_probability(50.0, &Gaussian::new(-1.0, 2.0), 53.0);
+        assert!(
+            (numeric - closed).abs() < tommy_stats::PROBABILITY_TOLERANCE,
+            "numeric {numeric} vs closed {closed}"
+        );
+        assert_eq!(reg.cached_differences(), 1);
+    }
+
+    #[test]
+    fn same_client_comparison_is_deterministic() {
+        let mut reg = DistributionRegistry::new();
+        reg.register(ClientId(0), OffsetDistribution::gaussian(0.0, 100.0));
+        let a = msg(0, 0, 1.0);
+        let b = msg(1, 0, 2.0);
+        assert_eq!(reg.preceding_probability(&a, &b).unwrap(), 1.0);
+        assert_eq!(reg.preceding_probability(&b, &a).unwrap(), 0.0);
+        let c = msg(2, 0, 1.0);
+        assert_eq!(reg.preceding_probability(&a, &c).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn unknown_client_is_an_error() {
+        let reg = DistributionRegistry::new();
+        let a = msg(0, 0, 1.0);
+        let b = msg(1, 1, 2.0);
+        assert_eq!(
+            reg.preceding_probability(&a, &b),
+            Err(CoreError::UnknownClient(ClientId(0)))
+        );
+    }
+
+    #[test]
+    fn probabilities_of_reversed_pairs_sum_to_one() {
+        let mut reg = DistributionRegistry::new();
+        reg.register(ClientId(0), OffsetDistribution::laplace(0.0, 3.0));
+        reg.register(ClientId(1), OffsetDistribution::gaussian(1.0, 2.0));
+        let a = msg(0, 0, 10.0);
+        let b = msg(1, 1, 12.0);
+        let p_ab = reg.preceding_probability(&a, &b).unwrap();
+        let p_ba = reg.preceding_probability(&b, &a).unwrap();
+        assert!(
+            (p_ab + p_ba - 1.0).abs() < 0.02,
+            "p_ab = {p_ab}, p_ba = {p_ba}"
+        );
+    }
+
+    #[test]
+    fn registration_invalidates_pair_cache() {
+        let mut reg = DistributionRegistry::new();
+        reg.register(ClientId(0), OffsetDistribution::laplace(0.0, 1.0));
+        reg.register(ClientId(1), OffsetDistribution::laplace(5.0, 1.0));
+        let a = msg(0, 0, 0.0);
+        let b = msg(1, 1, 0.0);
+        // Client 1's clock runs 5 units ahead, so with equal raw timestamps
+        // its event actually happened ~5 units earlier: a precedes b is
+        // unlikely.
+        let p_before = reg.preceding_probability(&a, &b).unwrap();
+        assert_eq!(reg.cached_differences(), 1);
+
+        // Flip client 1 to run 5 units behind: the cached difference must not
+        // be reused and the probability must flip.
+        reg.register(ClientId(1), OffsetDistribution::laplace(-5.0, 1.0));
+        assert_eq!(reg.cached_differences(), 0);
+        let p_after = reg.preceding_probability(&a, &b).unwrap();
+        assert!(p_before < 0.1, "p_before = {p_before}");
+        assert!(p_after > 0.9, "p_after = {p_after}");
+    }
+
+    #[test]
+    fn clients_listing_is_sorted() {
+        let mut reg = DistributionRegistry::new();
+        for id in [5u32, 1, 3] {
+            reg.register(ClientId(id), OffsetDistribution::gaussian(0.0, 1.0));
+        }
+        assert_eq!(reg.clients(), vec![ClientId(1), ClientId(3), ClientId(5)]);
+        assert_eq!(reg.len(), 3);
+        assert!(!reg.is_empty());
+        assert!(reg.contains(ClientId(3)));
+        assert!(!reg.contains(ClientId(2)));
+    }
+}

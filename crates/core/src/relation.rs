@@ -1,0 +1,138 @@
+//! The `likely-happened-before` relation.
+//!
+//! §1/§3.2 of the paper introduce `x --p--> y`: "x happened before y with
+//! probability p". The relation generalizes Lamport's happened-before to
+//! *concurrent* events: any two timestamped messages can be related, but only
+//! probabilistically, and — unlike Lamport's relation — the result is not
+//! necessarily transitive (§3.4, Appendix A).
+
+use crate::error::CoreError;
+use crate::message::{Message, MessageId};
+use crate::registry::DistributionRegistry;
+
+/// One directed `likely-happened-before` edge: `from --p--> to`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LikelyHappenedBefore {
+    /// The message that likely happened first.
+    pub from: MessageId,
+    /// The message that likely happened later.
+    pub to: MessageId,
+    /// The probability that `from` truly precedes `to`.
+    pub probability: f64,
+}
+
+impl LikelyHappenedBefore {
+    /// Construct the relation between two messages, oriented so the edge
+    /// points from the more-likely-earlier message to the other one (i.e.
+    /// `probability >= 0.5`). This mirrors the paper's construction where,
+    /// of the two directed edges between a pair, the lower-weight one is
+    /// discarded.
+    pub fn between(
+        registry: &DistributionRegistry,
+        a: &Message,
+        b: &Message,
+    ) -> Result<LikelyHappenedBefore, CoreError> {
+        let p_ab = registry.preceding_probability(a, b)?;
+        if p_ab >= 0.5 {
+            Ok(LikelyHappenedBefore {
+                from: a.id,
+                to: b.id,
+                probability: p_ab,
+            })
+        } else {
+            Ok(LikelyHappenedBefore {
+                from: b.id,
+                to: a.id,
+                probability: 1.0 - p_ab,
+            })
+        }
+    }
+
+    /// Whether this edge clears the batching threshold of §3.4 — i.e. the
+    /// sequencer is confident enough to place the two messages in different
+    /// batches.
+    pub fn is_confident(&self, threshold: f64) -> bool {
+        self.probability > threshold
+    }
+}
+
+impl std::fmt::Display for LikelyHappenedBefore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} --{:.3}--> {}", self.from, self.probability, self.to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ClientId;
+    use tommy_stats::distribution::OffsetDistribution;
+
+    fn registry() -> DistributionRegistry {
+        let mut reg = DistributionRegistry::new();
+        reg.register(ClientId(0), OffsetDistribution::gaussian(0.0, 2.0));
+        reg.register(ClientId(1), OffsetDistribution::gaussian(0.0, 2.0));
+        reg
+    }
+
+    fn msg(id: u64, client: u32, ts: f64) -> Message {
+        Message::new(MessageId(id), ClientId(client), ts)
+    }
+
+    #[test]
+    fn edge_points_from_likely_earlier_message() {
+        let reg = registry();
+        let a = msg(0, 0, 100.0);
+        let b = msg(1, 1, 120.0);
+        let rel = LikelyHappenedBefore::between(&reg, &a, &b).unwrap();
+        assert_eq!(rel.from, MessageId(0));
+        assert_eq!(rel.to, MessageId(1));
+        assert!(rel.probability > 0.99);
+
+        // Asking in the other argument order yields the same oriented edge.
+        let rel2 = LikelyHappenedBefore::between(&reg, &b, &a).unwrap();
+        assert_eq!(rel2.from, MessageId(0));
+        assert!((rel2.probability - rel.probability).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probability_never_below_half() {
+        let reg = registry();
+        for gap in [-50.0, -1.0, 0.0, 0.5, 10.0] {
+            let a = msg(0, 0, 100.0);
+            let b = msg(1, 1, 100.0 + gap);
+            let rel = LikelyHappenedBefore::between(&reg, &a, &b).unwrap();
+            assert!(rel.probability >= 0.5 - 1e-9, "p = {}", rel.probability);
+        }
+    }
+
+    #[test]
+    fn confidence_threshold() {
+        let rel = LikelyHappenedBefore {
+            from: MessageId(0),
+            to: MessageId(1),
+            probability: 0.8,
+        };
+        assert!(rel.is_confident(0.75));
+        assert!(!rel.is_confident(0.9));
+        assert!(!rel.is_confident(0.8)); // strictly greater, per §3.4
+    }
+
+    #[test]
+    fn display_shows_probability() {
+        let rel = LikelyHappenedBefore {
+            from: MessageId(2),
+            to: MessageId(7),
+            probability: 0.925,
+        };
+        assert_eq!(rel.to_string(), "msg2 --0.925--> msg7");
+    }
+
+    #[test]
+    fn unknown_client_propagates_error() {
+        let reg = DistributionRegistry::new();
+        let a = msg(0, 0, 1.0);
+        let b = msg(1, 1, 2.0);
+        assert!(LikelyHappenedBefore::between(&reg, &a, &b).is_err());
+    }
+}

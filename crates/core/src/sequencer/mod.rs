@@ -1,0 +1,21 @@
+//! The Tommy sequencers.
+//!
+//! * [`offline`] — the batch-mode sequencer of §3.4: all messages are present
+//!   before sequencing begins (this is the mode the paper evaluates in §4).
+//! * [`online`] — the streaming sequencer of §3.5: messages arrive over time,
+//!   and a batch is emitted only once its safe-emission time has passed and
+//!   per-client watermarks prove that no message that belongs in (or before)
+//!   the batch can still be in flight.
+//! * [`emission`] — safe-emission time computation (`T^F_i`, `T_b`).
+//! * [`watermark`] — per-client completeness tracking via messages and
+//!   heartbeats over ordered channels.
+
+pub mod emission;
+pub mod offline;
+pub mod online;
+pub mod watermark;
+
+pub use emission::{batch_emission_time, safe_emission_time};
+pub use offline::{SequencingOutcome, TommySequencer};
+pub use online::{EmittedBatch, OnlineSequencer, OnlineStats};
+pub use watermark::WatermarkTracker;

@@ -1,0 +1,258 @@
+//! The offline (batch-mode) Tommy sequencer.
+//!
+//! §3 of the paper, assuming "all messages are present at the sequencer
+//! before it starts sequencing" (the assumption §3.5 later lifts — see
+//! [`crate::sequencer::online`]). The pipeline is:
+//!
+//! 1. compute the pairwise preceding probabilities ([`PrecedenceMatrix`]),
+//! 2. build the tournament and extract a linear order
+//!    ([`crate::tournament::Tournament`]),
+//! 3. batch adjacent messages whose ordering confidence is below the
+//!    threshold ([`FairOrder::from_linear_order`]).
+
+use crate::batching::FairOrder;
+use crate::config::SequencerConfig;
+use crate::error::CoreError;
+use crate::message::{ClientId, Message};
+use crate::precedence::PrecedenceMatrix;
+use crate::registry::DistributionRegistry;
+use crate::tournament::Tournament;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tommy_stats::distribution::OffsetDistribution;
+
+/// Detailed output of one sequencing run.
+#[derive(Debug, Clone)]
+pub struct SequencingOutcome {
+    /// The fair partial order (totally ordered batches).
+    pub order: FairOrder,
+    /// Whether the tournament was transitive (always true for Gaussian
+    /// offsets, Appendix A of the paper).
+    pub transitive: bool,
+    /// Number of strongly connected components with more than one message —
+    /// i.e. the number of intransitivity cycles that had to be broken.
+    pub cyclic_components: usize,
+    /// Fraction of message pairs the sequencer could order with confidence
+    /// above the threshold.
+    pub confident_pair_fraction: f64,
+}
+
+/// The offline Tommy sequencer.
+#[derive(Debug)]
+pub struct TommySequencer {
+    config: SequencerConfig,
+    registry: DistributionRegistry,
+    rng: StdRng,
+}
+
+impl TommySequencer {
+    /// Create a sequencer with the given configuration and an empty client
+    /// registry.
+    pub fn new(config: SequencerConfig) -> Self {
+        TommySequencer::with_seed(config, 0)
+    }
+
+    /// Create a sequencer with an explicit RNG seed (only used when
+    /// stochastic cycle breaking is enabled).
+    pub fn with_seed(config: SequencerConfig, seed: u64) -> Self {
+        TommySequencer {
+            registry: DistributionRegistry::from_config(&config),
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SequencerConfig {
+        &self.config
+    }
+
+    /// Register a client's (learned or seeded) offset distribution.
+    pub fn register_client(&mut self, client: ClientId, distribution: OffsetDistribution) {
+        self.registry.register(client, distribution);
+    }
+
+    /// Read access to the registry (e.g. for computing emission times).
+    pub fn registry(&self) -> &DistributionRegistry {
+        &self.registry
+    }
+
+    /// Number of registered clients.
+    pub fn client_count(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Sequence a set of messages into a fair partial order.
+    pub fn sequence(&mut self, messages: &[Message]) -> Result<FairOrder, CoreError> {
+        Ok(self.sequence_detailed(messages)?.order)
+    }
+
+    /// Sequence a set of messages, returning diagnostics alongside the order.
+    pub fn sequence_detailed(
+        &mut self,
+        messages: &[Message],
+    ) -> Result<SequencingOutcome, CoreError> {
+        let matrix = PrecedenceMatrix::compute(messages, &self.registry)?;
+        Ok(self.sequence_matrix(&matrix))
+    }
+
+    /// Sequence an already-computed precedence matrix (used by the Appendix B
+    /// worked example, where the paper supplies the matrix directly, and by
+    /// the online sequencer which reuses this pipeline on its pending set).
+    pub fn sequence_matrix(&mut self, matrix: &PrecedenceMatrix) -> SequencingOutcome {
+        let tournament = Tournament::from_matrix(matrix);
+        let transitive = tournament.is_transitive();
+        let cyclic_components = tournament
+            .components_in_order()
+            .iter()
+            .filter(|c| c.len() > 1)
+            .count();
+        let rng: Option<&mut dyn rand::RngCore> = if self.config.stochastic_cycle_breaking {
+            Some(&mut self.rng)
+        } else {
+            None
+        };
+        let linear = tournament.linear_order(matrix, &self.config, rng);
+        let order = FairOrder::from_linear_order(matrix, &linear, self.config.threshold);
+        let confident_pair_fraction = matrix.confident_pair_fraction(self.config.threshold);
+        SequencingOutcome {
+            order,
+            transitive,
+            cyclic_components,
+            confident_pair_fraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageId;
+
+    fn msg(id: u64, client: u32, ts: f64) -> Message {
+        Message::new(MessageId(id), ClientId(client), ts)
+    }
+
+    fn gaussian_sequencer(sigma: f64, clients: u32) -> TommySequencer {
+        let mut seq = TommySequencer::new(SequencerConfig::default());
+        for c in 0..clients {
+            seq.register_client(ClientId(c), OffsetDistribution::gaussian(0.0, sigma));
+        }
+        seq
+    }
+
+    #[test]
+    fn well_separated_messages_get_distinct_ranks() {
+        let mut seq = gaussian_sequencer(1.0, 4);
+        let msgs: Vec<Message> = (0..4).map(|i| msg(i, i as u32, i as f64 * 100.0)).collect();
+        let outcome = seq.sequence_detailed(&msgs).unwrap();
+        assert!(outcome.transitive);
+        assert_eq!(outcome.cyclic_components, 0);
+        assert_eq!(outcome.order.num_batches(), 4);
+        for (i, m) in msgs.iter().enumerate() {
+            assert_eq!(outcome.order.rank_of(m.id), Some(i));
+        }
+        assert!((outcome.confident_pair_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indistinguishable_messages_share_a_batch() {
+        let mut seq = gaussian_sequencer(100.0, 3);
+        let msgs = vec![msg(0, 0, 10.0), msg(1, 1, 10.5), msg(2, 2, 11.0)];
+        let order = seq.sequence(&msgs).unwrap();
+        assert_eq!(order.num_batches(), 1);
+        assert_eq!(order.batches()[0].len(), 3);
+    }
+
+    #[test]
+    fn gaussian_offsets_are_always_transitive() {
+        // Appendix A: Gaussian preferences are transitive, so no cycles ever.
+        let mut seq = TommySequencer::new(SequencerConfig::default());
+        for c in 0..20u32 {
+            seq.register_client(
+                ClientId(c),
+                OffsetDistribution::gaussian(c as f64 - 10.0, 1.0 + c as f64),
+            );
+        }
+        let msgs: Vec<Message> = (0..20).map(|i| msg(i, i as u32, (i % 7) as f64 * 3.0)).collect();
+        let outcome = seq.sequence_detailed(&msgs).unwrap();
+        assert!(outcome.transitive);
+        assert_eq!(outcome.cyclic_components, 0);
+    }
+
+    #[test]
+    fn ranks_respect_timestamp_order_for_identical_clients() {
+        // With identical symmetric clocks, the extracted linear order must
+        // follow the raw timestamps (the probability of the earlier-stamped
+        // message preceding is always > 0.5).
+        let mut seq = gaussian_sequencer(5.0, 6);
+        let msgs: Vec<Message> = (0..6).map(|i| msg(i, i as u32, i as f64 * 2.0)).collect();
+        let order = seq.sequence(&msgs).unwrap();
+        let mut last_rank = 0;
+        for m in &msgs {
+            let r = order.rank_of(m.id).unwrap();
+            assert!(r >= last_rank);
+            last_rank = r;
+        }
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        let mut seq = gaussian_sequencer(1.0, 1);
+        assert_eq!(seq.sequence(&[]), Err(CoreError::EmptyInput));
+    }
+
+    #[test]
+    fn unknown_client_is_an_error() {
+        let mut seq = gaussian_sequencer(1.0, 1);
+        let msgs = vec![msg(0, 0, 1.0), msg(1, 5, 2.0)];
+        assert_eq!(
+            seq.sequence(&msgs),
+            Err(CoreError::UnknownClient(ClientId(5)))
+        );
+    }
+
+    #[test]
+    fn appendix_b_example_end_to_end() {
+        // Feed the Appendix B probability matrix through the same pipeline the
+        // sequencer uses and check the published batching falls out.
+        let msgs: Vec<Message> = (0..4).map(|i| msg(i, i as u32, 0.0)).collect();
+        let matrix = PrecedenceMatrix::from_probabilities(
+            &msgs,
+            &[
+                vec![0.5, 0.85, 0.65, 0.92],
+                vec![0.15, 0.5, 0.72, 0.68],
+                vec![0.35, 0.28, 0.5, 0.80],
+                vec![0.08, 0.32, 0.20, 0.5],
+            ],
+        );
+        let mut seq = TommySequencer::new(SequencerConfig::default());
+        let outcome = seq.sequence_matrix(&matrix);
+        assert!(outcome.transitive);
+        let batches = outcome.order.batches();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].messages, vec![MessageId(0)]);
+        assert_eq!(batches[1].messages, vec![MessageId(1), MessageId(2)]);
+        assert_eq!(batches[2].messages, vec![MessageId(3)]);
+    }
+
+    #[test]
+    fn stochastic_cycle_breaking_still_sequences_everything() {
+        let config = SequencerConfig::default().with_stochastic_cycle_breaking(true);
+        let mut seq = TommySequencer::with_seed(config, 7);
+        // A cyclic matrix (rock–paper–scissors).
+        let msgs: Vec<Message> = (0..3).map(|i| msg(i, i as u32, 0.0)).collect();
+        let matrix = PrecedenceMatrix::from_probabilities(
+            &msgs,
+            &[
+                vec![0.5, 0.8, 0.3],
+                vec![0.2, 0.5, 0.8],
+                vec![0.7, 0.2, 0.5],
+            ],
+        );
+        let outcome = seq.sequence_matrix(&matrix);
+        assert!(!outcome.transitive);
+        assert_eq!(outcome.cyclic_components, 1);
+        assert_eq!(outcome.order.num_messages(), 3);
+    }
+}

@@ -1,0 +1,548 @@
+//! The online (streaming) Tommy sequencer.
+//!
+//! §3.5 of the paper: messages arrive as a stream and the sequencer must
+//! guarantee that "once a batch of messages is emitted … no new message
+//! should arrive that either belongs in the same batch or demands a lower
+//! rank". Two mechanisms provide that guarantee:
+//!
+//! * **Safe emission time** (Q1): for every message in the candidate batch a
+//!   future time `T^F_i` with `P(T*_i < T^F_i) > p_safe` is computed; the
+//!   batch may only be emitted after `T_b = max_k T^F_k` on the sequencer's
+//!   clock, and only if no message that belongs in (or before) the batch has
+//!   arrived in the meantime.
+//! * **Watermarks** (Q2): with a known client set and ordered per-client
+//!   channels, a batch containing timestamps up to `t` is only emitted once
+//!   every client has been heard from (message or heartbeat) with a
+//!   timestamp greater than `t`.
+//!
+//! The candidate batch is recomputed from the full pending set on every
+//! arrival and every clock tick, so a late high-uncertainty message merges
+//! into the open batch exactly as in the Appendix C worked example.
+
+use crate::batching::FairOrder;
+use crate::config::SequencerConfig;
+use crate::error::CoreError;
+use crate::message::{ClientId, Message, MessageId};
+use crate::precedence::PrecedenceMatrix;
+use crate::registry::DistributionRegistry;
+use crate::sequencer::emission::batch_emission_time;
+use crate::sequencer::watermark::WatermarkTracker;
+use crate::tournament::Tournament;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use tommy_stats::distribution::OffsetDistribution;
+
+/// One batch emitted by the online sequencer, with emission metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmittedBatch {
+    /// Rank of the batch (0 is first).
+    pub rank: usize,
+    /// The messages in the batch.
+    pub messages: Vec<Message>,
+    /// Sequencer-clock time at which the batch was emitted.
+    pub emitted_at: f64,
+    /// The safe-emission time `T_b` that gated the batch.
+    pub safe_after: f64,
+}
+
+impl EmittedBatch {
+    /// The message ids of the batch.
+    pub fn message_ids(&self) -> Vec<MessageId> {
+        self.messages.iter().map(|m| m.id).collect()
+    }
+}
+
+/// Counters describing an online sequencing run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    /// Batches emitted so far.
+    pub batches_emitted: usize,
+    /// Messages emitted so far.
+    pub messages_emitted: usize,
+    /// Messages that arrived *after* a batch they confidently belonged in (or
+    /// before) had already been emitted — fairness violations the paper's
+    /// `p_safe` mechanism is designed to make rare.
+    pub fairness_violations: usize,
+    /// Largest number of simultaneously pending messages observed.
+    pub max_pending: usize,
+    /// Sum over emitted messages of (emission time − arrival time); divide by
+    /// `messages_emitted` for the mean emission latency.
+    pub total_emission_latency: f64,
+}
+
+impl OnlineStats {
+    /// Mean per-message emission latency (0 when nothing was emitted).
+    pub fn mean_emission_latency(&self) -> f64 {
+        if self.messages_emitted == 0 {
+            0.0
+        } else {
+            self.total_emission_latency / self.messages_emitted as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PendingMessage {
+    message: Message,
+    arrived_at: f64,
+}
+
+/// The online Tommy sequencer.
+#[derive(Debug)]
+pub struct OnlineSequencer {
+    config: SequencerConfig,
+    registry: DistributionRegistry,
+    watermarks: WatermarkTracker,
+    pending: Vec<PendingMessage>,
+    seen_ids: HashSet<MessageId>,
+    emitted: Vec<EmittedBatch>,
+    emitted_order: FairOrder,
+    last_emitted: Vec<Message>,
+    stats: OnlineStats,
+    rng: StdRng,
+    now: f64,
+}
+
+impl OnlineSequencer {
+    /// Create an online sequencer with no registered clients.
+    pub fn new(config: SequencerConfig) -> Self {
+        OnlineSequencer {
+            registry: DistributionRegistry::from_config(&config),
+            watermarks: WatermarkTracker::new(&[]),
+            pending: Vec::new(),
+            seen_ids: HashSet::new(),
+            emitted: Vec::new(),
+            emitted_order: FairOrder::default(),
+            last_emitted: Vec::new(),
+            stats: OnlineStats::default(),
+            rng: StdRng::seed_from_u64(0),
+            config,
+            now: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Register a client and its offset distribution. All participating
+    /// clients must be registered before they submit (known-client-set
+    /// assumption of §3.5).
+    pub fn register_client(&mut self, client: ClientId, distribution: OffsetDistribution) {
+        self.registry.register(client, distribution);
+        self.watermarks.add_client(client);
+    }
+
+    /// Mark a client as failed: it stops constraining watermarks so the
+    /// sequencer stays live (the trade-off §3.5 discusses).
+    pub fn retire_client(&mut self, client: ClientId) {
+        self.watermarks.retire(client);
+    }
+
+    /// The sequencer's current clock (the largest time passed to any
+    /// submit/heartbeat/tick call so far).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of messages waiting to be emitted.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> OnlineStats {
+        self.stats
+    }
+
+    /// Every batch emitted so far.
+    pub fn emitted(&self) -> &[EmittedBatch] {
+        &self.emitted
+    }
+
+    /// The emitted batches as a [`FairOrder`] (for metric computation).
+    pub fn emitted_order(&self) -> &FairOrder {
+        &self.emitted_order
+    }
+
+    fn advance_clock(&mut self, now: f64) {
+        if now > self.now {
+            self.now = now;
+        }
+    }
+
+    /// Submit a message that arrived at sequencer-clock time `arrival_time`.
+    /// Returns any batches that became safe to emit as a result.
+    pub fn submit(
+        &mut self,
+        message: Message,
+        arrival_time: f64,
+    ) -> Result<Vec<EmittedBatch>, CoreError> {
+        if !self.registry.contains(message.client) {
+            return Err(CoreError::UnknownClient(message.client));
+        }
+        if !self.seen_ids.insert(message.id) {
+            return Err(CoreError::DuplicateMessage(message.id));
+        }
+        self.advance_clock(arrival_time);
+        self.watermarks.observe(message.client, message.timestamp)?;
+
+        // Fairness-violation detection: the message confidently precedes (or
+        // cannot be separated from) something already emitted in the most
+        // recent batch.
+        if !self.last_emitted.is_empty() {
+            let violates = self.last_emitted.iter().any(|emitted| {
+                match self.registry.preceding_probability(&message, emitted) {
+                    Ok(p) => p >= 1.0 - self.config.threshold,
+                    Err(_) => false,
+                }
+            });
+            if violates {
+                self.stats.fairness_violations += 1;
+            }
+        }
+
+        self.pending.push(PendingMessage {
+            message,
+            arrived_at: arrival_time,
+        });
+        self.stats.max_pending = self.stats.max_pending.max(self.pending.len());
+        Ok(self.try_emit())
+    }
+
+    /// Record a heartbeat (a timestamp-only liveness message) from a client.
+    pub fn heartbeat(
+        &mut self,
+        client: ClientId,
+        timestamp: f64,
+        arrival_time: f64,
+    ) -> Result<Vec<EmittedBatch>, CoreError> {
+        if !self.registry.contains(client) {
+            return Err(CoreError::UnknownClient(client));
+        }
+        self.advance_clock(arrival_time);
+        self.watermarks.observe(client, timestamp)?;
+        Ok(self.try_emit())
+    }
+
+    /// Advance the sequencer clock to `now` without new input, emitting any
+    /// batches whose safe-emission time has passed.
+    pub fn tick(&mut self, now: f64) -> Vec<EmittedBatch> {
+        self.advance_clock(now);
+        self.try_emit()
+    }
+
+    /// Drain every remaining pending message unconditionally (used at the end
+    /// of an experiment to flush messages whose watermarks will never advance
+    /// because the workload has ended).
+    pub fn flush(&mut self) -> Vec<EmittedBatch> {
+        let mut emitted = Vec::new();
+        while !self.pending.is_empty() {
+            let (batch_msgs, safe_after) = match self.candidate_batch() {
+                Some(c) => c,
+                None => break,
+            };
+            emitted.push(self.emit_batch(batch_msgs, safe_after));
+        }
+        emitted
+    }
+
+    /// Compute the lowest-rank candidate batch of the pending set together
+    /// with its safe emission time.
+    fn candidate_batch(&mut self) -> Option<(Vec<Message>, f64)> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let messages: Vec<Message> = self.pending.iter().map(|p| p.message.clone()).collect();
+        let matrix = PrecedenceMatrix::compute(&messages, &self.registry)
+            .expect("pending messages come from registered clients");
+        let tournament = Tournament::from_matrix(&matrix);
+        let rng: Option<&mut dyn rand::RngCore> = if self.config.stochastic_cycle_breaking {
+            Some(&mut self.rng)
+        } else {
+            None
+        };
+        let linear = tournament.linear_order(&matrix, &self.config, rng);
+        let order = FairOrder::from_linear_order(&matrix, &linear, self.config.threshold);
+        let first = order.batches().first()?;
+
+        // Appendix C closure rule: the open batch absorbs every pending
+        // message that cannot be confidently separated from some member of
+        // the batch, transitively. A single high-uncertainty message can this
+        // way pull several otherwise-orderable messages into one batch.
+        let mut in_batch: Vec<usize> = first
+            .messages
+            .iter()
+            .map(|id| matrix.index_of(*id).expect("id from matrix"))
+            .collect();
+        let mut member = vec![false; matrix.len()];
+        for &i in &in_batch {
+            member[i] = true;
+        }
+        loop {
+            let mut grew = false;
+            for cand in 0..matrix.len() {
+                if member[cand] {
+                    continue;
+                }
+                let inseparable = in_batch.iter().any(|&b| {
+                    let p = matrix.prob(b, cand).max(matrix.prob(cand, b));
+                    p <= self.config.threshold
+                });
+                if inseparable {
+                    member[cand] = true;
+                    in_batch.push(cand);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        in_batch.sort_unstable();
+        let batch_msgs: Vec<Message> = in_batch.iter().map(|&i| messages[i].clone()).collect();
+        let safe_after = batch_emission_time(&self.registry, &batch_msgs, self.config.p_safe);
+        Some((batch_msgs, safe_after))
+    }
+
+    fn emit_batch(&mut self, batch_msgs: Vec<Message>, safe_after: f64) -> EmittedBatch {
+        let ids: HashSet<MessageId> = batch_msgs.iter().map(|m| m.id).collect();
+        // Account emission latency and drop from pending.
+        let mut remaining = Vec::with_capacity(self.pending.len() - batch_msgs.len());
+        for p in self.pending.drain(..) {
+            if ids.contains(&p.message.id) {
+                self.stats.total_emission_latency += (self.now - p.arrived_at).max(0.0);
+            } else {
+                remaining.push(p);
+            }
+        }
+        self.pending = remaining;
+
+        let rank = self.emitted.len();
+        self.emitted_order
+            .push_batch(batch_msgs.iter().map(|m| m.id).collect());
+        self.stats.batches_emitted += 1;
+        self.stats.messages_emitted += batch_msgs.len();
+        self.last_emitted = batch_msgs.clone();
+        let emitted = EmittedBatch {
+            rank,
+            messages: batch_msgs,
+            emitted_at: self.now,
+            safe_after,
+        };
+        self.emitted.push(emitted.clone());
+        emitted
+    }
+
+    /// Emit every batch that currently satisfies both safety conditions.
+    fn try_emit(&mut self) -> Vec<EmittedBatch> {
+        let mut out = Vec::new();
+        loop {
+            let (batch_msgs, safe_after) = match self.candidate_batch() {
+                Some(c) => c,
+                None => break,
+            };
+            // Condition (i): the sequencer clock reached T_b.
+            if self.now < safe_after {
+                break;
+            }
+            // Condition (ii): watermark completeness up to the batch horizon.
+            let horizon = batch_msgs
+                .iter()
+                .map(|m| m.timestamp)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if !self.watermarks.is_complete_up_to(horizon) {
+                break;
+            }
+            out.push(self.emit_batch(batch_msgs, safe_after));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(id: u64, client: u32, ts: f64) -> Message {
+        Message::new(MessageId(id), ClientId(client), ts)
+    }
+
+    fn sequencer(clients: &[(u32, f64)]) -> OnlineSequencer {
+        let mut seq = OnlineSequencer::new(SequencerConfig::default());
+        for &(c, sigma) in clients {
+            seq.register_client(ClientId(c), OffsetDistribution::gaussian(0.0, sigma));
+        }
+        seq
+    }
+
+    #[test]
+    fn nothing_emits_before_safe_time_and_watermark() {
+        let mut seq = sequencer(&[(0, 1.0), (1, 1.0)]);
+        // Client 0 submits; client 1 silent — watermark blocks emission.
+        let emitted = seq.submit(msg(0, 0, 100.0), 101.0).unwrap();
+        assert!(emitted.is_empty());
+        assert_eq!(seq.pending_len(), 1);
+
+        // Client 1 heartbeats past the horizon — not enough: the submitting
+        // client itself must also be heard from past the horizon (its own
+        // message at exactly 100.0 does not prove nothing ≤ 100.0 is in
+        // flight).
+        let emitted = seq.heartbeat(ClientId(1), 120.0, 120.0).unwrap();
+        assert!(emitted.is_empty());
+        let emitted = seq.heartbeat(ClientId(0), 121.0, 121.0).unwrap();
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(emitted[0].messages.len(), 1);
+        assert_eq!(seq.pending_len(), 0);
+        assert!(emitted[0].safe_after > 100.0);
+    }
+
+    #[test]
+    fn safe_time_blocks_until_clock_advances() {
+        let mut seq = sequencer(&[(0, 10.0), (1, 10.0)]);
+        seq.submit(msg(0, 0, 100.0), 100.0).unwrap();
+        // Watermarks satisfied immediately by far-future heartbeats from
+        // both clients.
+        seq.heartbeat(ClientId(1), 200.0, 100.4).unwrap();
+        let emitted = seq.heartbeat(ClientId(0), 200.0, 100.5).unwrap();
+        // T_b ≈ 100 + 3.09 × 10 ≈ 131: not yet.
+        assert!(emitted.is_empty());
+        let emitted = seq.tick(140.0);
+        assert_eq!(emitted.len(), 1);
+        assert!(emitted[0].safe_after > 125.0 && emitted[0].safe_after < 135.0);
+        assert!((seq.stats().mean_emission_latency() - 40.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn well_separated_stream_preserves_order_and_ranks() {
+        let mut seq = sequencer(&[(0, 1.0), (1, 1.0)]);
+        let mut all_emitted = Vec::new();
+        for i in 0..10u64 {
+            let client = (i % 2) as u32;
+            let ts = i as f64 * 100.0;
+            all_emitted.extend(seq.submit(msg(i, client, ts), ts + 1.0).unwrap());
+            // Both clients heartbeat regularly so watermarks advance.
+            all_emitted.extend(seq.heartbeat(ClientId(0), ts + 50.0, ts + 50.0).unwrap());
+            all_emitted.extend(seq.heartbeat(ClientId(1), ts + 50.0, ts + 50.0).unwrap());
+        }
+        all_emitted.extend(seq.tick(10_000.0));
+        all_emitted.extend(seq.heartbeat(ClientId(0), 20_000.0, 20_000.0).unwrap());
+        all_emitted.extend(seq.heartbeat(ClientId(1), 20_000.0, 20_000.0).unwrap());
+
+        let order = seq.emitted_order();
+        assert_eq!(order.num_messages(), 10);
+        // Ranks must follow generation order for well separated messages.
+        for i in 0..9u64 {
+            assert!(
+                order.rank_of(MessageId(i)).unwrap() < order.rank_of(MessageId(i + 1)).unwrap()
+            );
+        }
+        // Ranks of emitted batches are strictly increasing.
+        for (i, b) in seq.emitted().iter().enumerate() {
+            assert_eq!(b.rank, i);
+        }
+        assert_eq!(seq.stats().fairness_violations, 0);
+    }
+
+    #[test]
+    fn appendix_c_high_uncertainty_message_merges_batches() {
+        // Two clients: C1 precise (σ = 0.05), C2 very noisy (σ = 1.0).
+        // True times: 1a at 100.0, 2 at 100.2, 1b at 100.3 (timestamps per the
+        // appendix: 100.0, 100.6, 100.3), arrivals in that order.
+        let mut seq = sequencer(&[(1, 0.05), (2, 1.0)]);
+        assert!(seq.submit(msg(0, 1, 100.0), 100.05).unwrap().is_empty());
+        assert!(seq.submit(msg(1, 2, 100.6), 100.25).unwrap().is_empty());
+        assert!(seq.submit(msg(2, 1, 100.3), 100.35).unwrap().is_empty());
+
+        // Let both clients heartbeat far past the horizon and the clock pass
+        // every safe-emission time.
+        seq.heartbeat(ClientId(1), 200.0, 200.0).unwrap();
+        let emitted = seq.heartbeat(ClientId(2), 200.0, 200.0).unwrap();
+
+        // All three messages end up in a single batch: C2's uncertainty makes
+        // it inseparable from both of C1's messages, and batches are
+        // contiguous in the linear order.
+        let total: usize = emitted.iter().map(|b| b.messages.len()).sum();
+        assert_eq!(total, 3);
+        assert_eq!(emitted.len(), 1, "expected one merged batch");
+        assert_eq!(seq.emitted_order().num_batches(), 1);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_submissions_rejected() {
+        let mut seq = sequencer(&[(0, 1.0)]);
+        seq.submit(msg(0, 0, 1.0), 1.0).unwrap();
+        assert_eq!(
+            seq.submit(msg(0, 0, 2.0), 2.0),
+            Err(CoreError::DuplicateMessage(MessageId(0)))
+        );
+        assert_eq!(
+            seq.submit(msg(1, 9, 2.0), 2.0),
+            Err(CoreError::UnknownClient(ClientId(9)))
+        );
+    }
+
+    #[test]
+    fn non_monotone_client_timestamps_rejected() {
+        let mut seq = sequencer(&[(0, 1.0)]);
+        seq.submit(msg(0, 0, 10.0), 10.0).unwrap();
+        let err = seq.submit(msg(1, 0, 5.0), 11.0).unwrap_err();
+        assert!(matches!(err, CoreError::NonMonotoneTimestamp { .. }));
+    }
+
+    #[test]
+    fn retiring_a_silent_client_restores_liveness() {
+        let mut seq = sequencer(&[(0, 1.0), (1, 1.0)]);
+        seq.submit(msg(0, 0, 100.0), 100.0).unwrap();
+        seq.heartbeat(ClientId(0), 500.0, 500.0).unwrap();
+        // Client 1 never speaks; even far in the future nothing emits.
+        assert!(seq.tick(1_000.0).is_empty());
+        seq.retire_client(ClientId(1));
+        let emitted = seq.tick(1_001.0);
+        assert_eq!(emitted.len(), 1);
+    }
+
+    #[test]
+    fn flush_drains_everything() {
+        let mut seq = sequencer(&[(0, 5.0), (1, 5.0)]);
+        for i in 0..6u64 {
+            seq.submit(msg(i, (i % 2) as u32, 100.0 + i as f64), 100.0 + i as f64)
+                .unwrap();
+        }
+        assert!(seq.pending_len() > 0);
+        let emitted = seq.flush();
+        assert!(!emitted.is_empty());
+        assert_eq!(seq.pending_len(), 0);
+        assert_eq!(seq.emitted_order().num_messages(), 6);
+    }
+
+    #[test]
+    fn late_message_counts_as_fairness_violation() {
+        let mut seq = sequencer(&[(0, 1.0), (1, 1.0)]);
+        seq.submit(msg(0, 0, 100.0), 100.0).unwrap();
+        let mut emitted = seq.heartbeat(ClientId(1), 150.0, 150.0).unwrap();
+        emitted.extend(seq.heartbeat(ClientId(0), 150.0, 151.0).unwrap());
+        emitted.extend(seq.tick(200.0));
+        assert_eq!(emitted.len(), 1);
+        // A message that clearly should have preceded the emitted one arrives
+        // late (client 1's first *message*, timestamp far in the past is not
+        // allowed because its heartbeat already advanced to 150; use a
+        // timestamp just above 150 but overlapping the emitted message? No —
+        // use a different client). Register a third client late.
+        seq.register_client(ClientId(2), OffsetDistribution::gaussian(0.0, 1.0));
+        let before = seq.stats().fairness_violations;
+        seq.submit(msg(1, 2, 99.0), 201.0).unwrap();
+        assert_eq!(seq.stats().fairness_violations, before + 1);
+    }
+
+    #[test]
+    fn stats_track_pending_and_counts() {
+        let mut seq = sequencer(&[(0, 1.0), (1, 1.0)]);
+        seq.submit(msg(0, 0, 10.0), 10.0).unwrap();
+        seq.submit(msg(1, 1, 1000.0), 1000.0).unwrap();
+        assert!(seq.stats().max_pending >= 2);
+        seq.tick(5_000.0);
+        seq.heartbeat(ClientId(0), 5_000.0, 5_000.0).unwrap();
+        seq.heartbeat(ClientId(1), 5_000.0, 5_000.0).unwrap();
+        let stats = seq.stats();
+        assert_eq!(stats.messages_emitted, 2);
+        assert_eq!(stats.batches_emitted, 2);
+    }
+}

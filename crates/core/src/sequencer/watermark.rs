@@ -1,0 +1,204 @@
+//! Per-client watermarks for completeness.
+//!
+//! §3.5 / Appendix C (Q2) of the paper: assuming a *known, fixed set of
+//! clients* and an ordered delivery channel per client, the sequencer can
+//! conclude that every message with timestamp `≤ t` has arrived once it has
+//! received a message *or heartbeat* with timestamp greater than `t` from
+//! every client. [`WatermarkTracker`] maintains the per-client high-water
+//! marks and exposes the global watermark (the minimum across clients).
+//!
+//! The paper also notes the liveness cost of this design: "a failed client
+//! may halt the sequencer from emitting any messages". The tracker therefore
+//! supports explicitly retiring a client, which is how a deployment would
+//! plug in a failure detector.
+
+use crate::error::CoreError;
+use crate::message::ClientId;
+use std::collections::HashMap;
+
+/// Tracks the largest timestamp observed from every known client.
+#[derive(Debug, Clone)]
+pub struct WatermarkTracker {
+    latest: HashMap<ClientId, Option<f64>>,
+    retired: HashMap<ClientId, bool>,
+}
+
+impl WatermarkTracker {
+    /// Create a tracker for a fixed, known set of clients.
+    pub fn new(clients: &[ClientId]) -> Self {
+        WatermarkTracker {
+            latest: clients.iter().map(|&c| (c, None)).collect(),
+            retired: clients.iter().map(|&c| (c, false)).collect(),
+        }
+    }
+
+    /// Add a client after construction (e.g. late registration).
+    pub fn add_client(&mut self, client: ClientId) {
+        self.latest.entry(client).or_insert(None);
+        self.retired.entry(client).or_insert(false);
+    }
+
+    /// Mark a client as failed/left; it no longer constrains the watermark.
+    pub fn retire(&mut self, client: ClientId) {
+        if let Some(flag) = self.retired.get_mut(&client) {
+            *flag = true;
+        }
+    }
+
+    /// Whether the client is known to the tracker.
+    pub fn knows(&self, client: ClientId) -> bool {
+        self.latest.contains_key(&client)
+    }
+
+    /// Number of known (non-retired) clients.
+    pub fn active_clients(&self) -> usize {
+        self.retired.values().filter(|&&r| !r).count()
+    }
+
+    /// Observe a message or heartbeat timestamp from a client.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownClient`] for unknown clients and
+    /// [`CoreError::NonMonotoneTimestamp`] if the client's timestamps move
+    /// backwards (which would break the completeness argument — timestamps on
+    /// an ordered channel must be non-decreasing).
+    pub fn observe(&mut self, client: ClientId, timestamp: f64) -> Result<(), CoreError> {
+        let entry = self
+            .latest
+            .get_mut(&client)
+            .ok_or(CoreError::UnknownClient(client))?;
+        if let Some(previous) = *entry {
+            if timestamp < previous {
+                return Err(CoreError::NonMonotoneTimestamp {
+                    client,
+                    previous,
+                    observed: timestamp,
+                });
+            }
+        }
+        *entry = Some(timestamp);
+        Ok(())
+    }
+
+    /// The latest timestamp observed from a client, if any.
+    pub fn latest(&self, client: ClientId) -> Option<f64> {
+        self.latest.get(&client).copied().flatten()
+    }
+
+    /// The global watermark: the minimum of the per-client latest timestamps
+    /// over all non-retired clients. `None` until every active client has
+    /// been heard from at least once.
+    pub fn watermark(&self) -> Option<f64> {
+        let mut min: Option<f64> = None;
+        for (client, latest) in &self.latest {
+            if self.retired.get(client).copied().unwrap_or(false) {
+                continue;
+            }
+            match latest {
+                None => return None,
+                Some(t) => {
+                    min = Some(match min {
+                        None => *t,
+                        Some(m) => m.min(*t),
+                    });
+                }
+            }
+        }
+        min
+    }
+
+    /// Whether the sequencer can be sure every message with timestamp `<= t`
+    /// has arrived (Q2 of §3.5): true iff the watermark is strictly greater
+    /// than `t`.
+    pub fn is_complete_up_to(&self, t: f64) -> bool {
+        match self.watermark() {
+            Some(w) => w > t,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clients(n: u32) -> Vec<ClientId> {
+        (0..n).map(ClientId).collect()
+    }
+
+    #[test]
+    fn watermark_requires_all_clients() {
+        let mut w = WatermarkTracker::new(&clients(3));
+        assert_eq!(w.watermark(), None);
+        w.observe(ClientId(0), 10.0).unwrap();
+        w.observe(ClientId(1), 20.0).unwrap();
+        assert_eq!(w.watermark(), None);
+        w.observe(ClientId(2), 5.0).unwrap();
+        assert_eq!(w.watermark(), Some(5.0));
+    }
+
+    #[test]
+    fn watermark_is_minimum_of_latest() {
+        let mut w = WatermarkTracker::new(&clients(2));
+        w.observe(ClientId(0), 10.0).unwrap();
+        w.observe(ClientId(1), 3.0).unwrap();
+        assert_eq!(w.watermark(), Some(3.0));
+        w.observe(ClientId(1), 30.0).unwrap();
+        assert_eq!(w.watermark(), Some(10.0));
+    }
+
+    #[test]
+    fn completeness_is_strict() {
+        let mut w = WatermarkTracker::new(&clients(1));
+        w.observe(ClientId(0), 10.0).unwrap();
+        assert!(w.is_complete_up_to(9.999));
+        assert!(!w.is_complete_up_to(10.0));
+        assert!(!w.is_complete_up_to(11.0));
+    }
+
+    #[test]
+    fn non_monotone_timestamps_rejected() {
+        let mut w = WatermarkTracker::new(&clients(1));
+        w.observe(ClientId(0), 10.0).unwrap();
+        let err = w.observe(ClientId(0), 9.0).unwrap_err();
+        assert!(matches!(err, CoreError::NonMonotoneTimestamp { .. }));
+        // Equal timestamps are allowed (heartbeat repeats).
+        w.observe(ClientId(0), 10.0).unwrap();
+    }
+
+    #[test]
+    fn unknown_client_rejected() {
+        let mut w = WatermarkTracker::new(&clients(1));
+        assert_eq!(
+            w.observe(ClientId(9), 1.0),
+            Err(CoreError::UnknownClient(ClientId(9)))
+        );
+        assert!(!w.knows(ClientId(9)));
+    }
+
+    #[test]
+    fn retiring_a_silent_client_restores_liveness() {
+        let mut w = WatermarkTracker::new(&clients(3));
+        w.observe(ClientId(0), 100.0).unwrap();
+        w.observe(ClientId(1), 200.0).unwrap();
+        // Client 2 never speaks: watermark blocked — the liveness hazard the
+        // paper describes.
+        assert_eq!(w.watermark(), None);
+        w.retire(ClientId(2));
+        assert_eq!(w.watermark(), Some(100.0));
+        assert_eq!(w.active_clients(), 2);
+    }
+
+    #[test]
+    fn late_client_addition() {
+        let mut w = WatermarkTracker::new(&clients(1));
+        w.observe(ClientId(0), 50.0).unwrap();
+        assert_eq!(w.watermark(), Some(50.0));
+        w.add_client(ClientId(1));
+        assert_eq!(w.watermark(), None);
+        w.observe(ClientId(1), 60.0).unwrap();
+        assert_eq!(w.watermark(), Some(50.0));
+        assert_eq!(w.latest(ClientId(1)), Some(60.0));
+    }
+}

@@ -1,0 +1,273 @@
+//! The tournament graph induced by pairwise preceding probabilities.
+//!
+//! §3.4 of the paper: "we model each message as a node in a graph, where
+//! `--p-->` denotes a directed edge with weight p. In our construction there
+//! will be two edges between each pair of nodes; for every such pair, we
+//! discard the edge with the lower weight." The result is a *tournament*.
+//! If the underlying probabilities are transitive (guaranteed for Gaussian
+//! offsets, Appendix A), the tournament is a transitive tournament with a
+//! unique Hamiltonian path; otherwise it contains cycles which are broken by
+//! the heuristics in [`crate::graph::fas`].
+
+use crate::config::SequencerConfig;
+use crate::graph::fas::{greedy_order, stochastic_order};
+use crate::graph::tarjan::strongly_connected_components;
+use crate::graph::toposort::{topological_sort, TopoResult};
+use crate::precedence::PrecedenceMatrix;
+use rand::RngCore;
+
+/// A tournament over the messages of a [`PrecedenceMatrix`].
+#[derive(Debug, Clone)]
+pub struct Tournament {
+    n: usize,
+    /// `adj[i]` lists the indices j such that the kept edge is `i -> j`.
+    adj: Vec<Vec<usize>>,
+}
+
+impl Tournament {
+    /// Build the tournament from a precedence matrix: for each pair keep the
+    /// direction with the larger probability (ties, `p = 0.5` exactly, are
+    /// broken towards the smaller index so the result is still a tournament).
+    pub fn from_matrix(matrix: &PrecedenceMatrix) -> Self {
+        let n = matrix.len();
+        let mut adj = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if matrix.prob(i, j) >= matrix.prob(j, i) {
+                    adj[i].push(j);
+                } else {
+                    adj[j].push(i);
+                }
+            }
+        }
+        Tournament { n, adj }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the tournament has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Out-neighbours of node `i`.
+    pub fn successors(&self, i: usize) -> &[usize] {
+        &self.adj[i]
+    }
+
+    /// Whether the kept edge between `i` and `j` points `i -> j`.
+    pub fn has_edge(&self, i: usize, j: usize) -> bool {
+        self.adj[i].contains(&j)
+    }
+
+    /// Whether the tournament is transitive (equivalently: acyclic).
+    ///
+    /// Uses the score-sequence characterization: a tournament on `n` nodes is
+    /// transitive iff its out-degrees are exactly `{0, 1, …, n−1}`.
+    pub fn is_transitive(&self) -> bool {
+        let mut degrees: Vec<usize> = self.adj.iter().map(|a| a.len()).collect();
+        degrees.sort_unstable();
+        degrees.iter().enumerate().all(|(i, &d)| d == i)
+    }
+
+    /// Whether the tournament contains at least one cycle.
+    pub fn has_cycle(&self) -> bool {
+        !self.is_transitive()
+    }
+
+    /// The unique topological order if the tournament is transitive.
+    pub fn hamiltonian_path(&self) -> Option<Vec<usize>> {
+        match topological_sort(&self.adj) {
+            TopoResult::Unique(order) => Some(order),
+            TopoResult::Multiple(order) if self.n <= 1 => Some(order),
+            _ => None,
+        }
+    }
+
+    /// The strongly connected components, in topological order of the
+    /// condensation (earliest component first).
+    pub fn components_in_order(&self) -> Vec<Vec<usize>> {
+        let mut comps = strongly_connected_components(&self.adj);
+        // Tarjan returns reverse topological order.
+        comps.reverse();
+        comps
+    }
+
+    /// Extract a complete linear order of all messages (§3.4).
+    ///
+    /// * Transitive tournament → the unique Hamiltonian path.
+    /// * Cyclic tournament → the condensation is ordered topologically and
+    ///   each cyclic component is ordered by the greedy feedback-arc-set
+    ///   heuristic, or by the stochastic heuristic when
+    ///   [`SequencerConfig::stochastic_cycle_breaking`] is set (in which case
+    ///   `rng` must be provided).
+    pub fn linear_order(
+        &self,
+        matrix: &PrecedenceMatrix,
+        config: &SequencerConfig,
+        mut rng: Option<&mut dyn RngCore>,
+    ) -> Vec<usize> {
+        if let Some(path) = self.hamiltonian_path() {
+            return path;
+        }
+        let prob = |a: usize, b: usize| matrix.prob(a, b);
+        let mut order = Vec::with_capacity(self.n);
+        for component in self.components_in_order() {
+            if component.len() == 1 {
+                order.push(component[0]);
+                continue;
+            }
+            let ordered = if config.stochastic_cycle_breaking {
+                let rng = rng
+                    .as_deref_mut()
+                    .expect("stochastic cycle breaking requires an RNG");
+                stochastic_order(&component, &prob, rng)
+            } else {
+                greedy_order(&component, &prob)
+            };
+            order.extend(ordered);
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{ClientId, Message, MessageId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn msgs(n: usize) -> Vec<Message> {
+        (0..n)
+            .map(|i| Message::new(MessageId(i as u64), ClientId(i as u32), 0.0))
+            .collect()
+    }
+
+    fn matrix_from(pairwise: Vec<Vec<f64>>) -> PrecedenceMatrix {
+        PrecedenceMatrix::from_probabilities(&msgs(pairwise.len()), &pairwise)
+    }
+
+    fn appendix_b_matrix() -> PrecedenceMatrix {
+        matrix_from(vec![
+            vec![0.5, 0.85, 0.65, 0.92],
+            vec![0.15, 0.5, 0.72, 0.68],
+            vec![0.35, 0.28, 0.5, 0.80],
+            vec![0.08, 0.32, 0.20, 0.5],
+        ])
+    }
+
+    fn cyclic_matrix() -> PrecedenceMatrix {
+        // 0 beats 1, 1 beats 2, 2 beats 0 — plus 3 loses to everyone.
+        matrix_from(vec![
+            vec![0.5, 0.8, 0.3, 0.9],
+            vec![0.2, 0.5, 0.8, 0.9],
+            vec![0.7, 0.2, 0.5, 0.9],
+            vec![0.1, 0.1, 0.1, 0.5],
+        ])
+    }
+
+    #[test]
+    fn appendix_b_tournament_is_transitive() {
+        let t = Tournament::from_matrix(&appendix_b_matrix());
+        assert!(t.is_transitive());
+        assert!(!t.has_cycle());
+        assert!(t.has_edge(0, 1));
+        assert!(t.has_edge(1, 2));
+        assert!(t.has_edge(2, 3));
+        assert!(t.has_edge(0, 3));
+    }
+
+    #[test]
+    fn appendix_b_hamiltonian_path_is_abcd() {
+        let t = Tournament::from_matrix(&appendix_b_matrix());
+        assert_eq!(t.hamiltonian_path(), Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn cyclic_tournament_detected() {
+        let t = Tournament::from_matrix(&cyclic_matrix());
+        assert!(t.has_cycle());
+        assert!(!t.is_transitive());
+        assert_eq!(t.hamiltonian_path(), None);
+    }
+
+    #[test]
+    fn components_isolate_the_cycle() {
+        let t = Tournament::from_matrix(&cyclic_matrix());
+        let comps = t.components_in_order();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1, 2]); // the cycle comes first
+        assert_eq!(comps[1], vec![3]); // the universally-last message
+    }
+
+    #[test]
+    fn linear_order_on_transitive_matrix_is_the_unique_path() {
+        let t = Tournament::from_matrix(&appendix_b_matrix());
+        let order = t.linear_order(&appendix_b_matrix(), &SequencerConfig::default(), None);
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn linear_order_on_cycle_is_complete_and_ends_with_loser() {
+        let m = cyclic_matrix();
+        let t = Tournament::from_matrix(&m);
+        let order = t.linear_order(&m, &SequencerConfig::default(), None);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        assert_eq!(*order.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn stochastic_linear_order_varies_on_cycles() {
+        let m = cyclic_matrix();
+        let t = Tournament::from_matrix(&m);
+        let config = SequencerConfig::default().with_stochastic_cycle_breaking(true);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut leaders = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let order = t.linear_order(&m, &config, Some(&mut rng));
+            leaders.insert(order[0]);
+            assert_eq!(*order.last().unwrap(), 3);
+        }
+        assert!(leaders.len() >= 2, "leaders = {leaders:?}");
+    }
+
+    #[test]
+    fn ties_still_produce_a_tournament() {
+        // All probabilities exactly 0.5: every pair still gets exactly one edge.
+        let m = matrix_from(vec![
+            vec![0.5, 0.5, 0.5],
+            vec![0.5, 0.5, 0.5],
+            vec![0.5, 0.5, 0.5],
+        ]);
+        let t = Tournament::from_matrix(&m);
+        let mut edge_count = 0;
+        for i in 0..3 {
+            edge_count += t.successors(i).len();
+        }
+        assert_eq!(edge_count, 3); // C(3,2) edges
+    }
+
+    #[test]
+    fn single_message_tournament() {
+        let m = matrix_from(vec![vec![0.5]]);
+        let t = Tournament::from_matrix(&m);
+        assert_eq!(t.len(), 1);
+        assert!(t.is_transitive());
+        assert_eq!(t.hamiltonian_path(), Some(vec![0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an RNG")]
+    fn stochastic_without_rng_panics() {
+        let m = cyclic_matrix();
+        let t = Tournament::from_matrix(&m);
+        let config = SequencerConfig::default().with_stochastic_cycle_breaking(true);
+        t.linear_order(&m, &config, None);
+    }
+}

@@ -1,0 +1,128 @@
+//! Batch-size statistics.
+//!
+//! §3.4 of the paper: "the more batches we make, the better fairness we
+//! achieve … Ideally, each batch should be of size 1." These statistics
+//! quantify how close a sequencer output gets to that ideal for a given
+//! threshold and clock-error level (ablation A1 in DESIGN.md).
+
+use tommy_core::batching::FairOrder;
+
+/// Summary statistics of the batch-size distribution of one sequencer output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchStats {
+    /// Number of messages sequenced.
+    pub messages: usize,
+    /// Number of batches produced.
+    pub batches: usize,
+    /// Size of the largest batch.
+    pub max_batch_size: usize,
+    /// Mean batch size.
+    pub mean_batch_size: f64,
+    /// Fraction of batches containing exactly one message.
+    pub singleton_fraction: f64,
+    /// Fraction of messages that are alone in their batch — the "fully
+    /// fairly ordered" fraction.
+    pub fully_ordered_fraction: f64,
+}
+
+impl BatchStats {
+    /// Compute batch statistics from a sequencer output.
+    pub fn from_order(order: &FairOrder) -> Self {
+        let sizes = order.batch_sizes();
+        let messages = order.num_messages();
+        let batches = sizes.len();
+        if batches == 0 {
+            return BatchStats {
+                messages: 0,
+                batches: 0,
+                max_batch_size: 0,
+                mean_batch_size: 0.0,
+                singleton_fraction: 0.0,
+                fully_ordered_fraction: 0.0,
+            };
+        }
+        let singletons = sizes.iter().filter(|&&s| s == 1).count();
+        BatchStats {
+            messages,
+            batches,
+            max_batch_size: *sizes.iter().max().expect("non-empty"),
+            mean_batch_size: messages as f64 / batches as f64,
+            singleton_fraction: singletons as f64 / batches as f64,
+            fully_ordered_fraction: singletons as f64 / messages as f64,
+        }
+    }
+
+    /// A scalar "resolution" figure in `[0, 1]`: 1 when every batch is a
+    /// singleton (fair total order), approaching 0 as everything collapses
+    /// into one batch.
+    pub fn resolution(&self) -> f64 {
+        if self.messages == 0 {
+            return 0.0;
+        }
+        (self.batches as f64 - 1.0) / (self.messages as f64 - 1.0).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tommy_core::message::MessageId;
+
+    fn order_of(sizes: &[usize]) -> FairOrder {
+        let mut next = 0u64;
+        let groups: Vec<Vec<MessageId>> = sizes
+            .iter()
+            .map(|&s| {
+                (0..s)
+                    .map(|_| {
+                        let id = MessageId(next);
+                        next += 1;
+                        id
+                    })
+                    .collect()
+            })
+            .collect();
+        FairOrder::from_groups(groups)
+    }
+
+    #[test]
+    fn all_singletons() {
+        let stats = BatchStats::from_order(&order_of(&[1, 1, 1, 1]));
+        assert_eq!(stats.messages, 4);
+        assert_eq!(stats.batches, 4);
+        assert_eq!(stats.max_batch_size, 1);
+        assert_eq!(stats.singleton_fraction, 1.0);
+        assert_eq!(stats.fully_ordered_fraction, 1.0);
+        assert_eq!(stats.resolution(), 1.0);
+    }
+
+    #[test]
+    fn one_big_batch() {
+        let stats = BatchStats::from_order(&order_of(&[5]));
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.max_batch_size, 5);
+        assert_eq!(stats.mean_batch_size, 5.0);
+        assert_eq!(stats.singleton_fraction, 0.0);
+        assert_eq!(stats.resolution(), 0.0);
+    }
+
+    #[test]
+    fn mixed_batches() {
+        let stats = BatchStats::from_order(&order_of(&[1, 3, 1, 2]));
+        assert_eq!(stats.messages, 7);
+        assert_eq!(stats.batches, 4);
+        assert_eq!(stats.max_batch_size, 3);
+        assert!((stats.mean_batch_size - 1.75).abs() < 1e-12);
+        assert!((stats.singleton_fraction - 0.5).abs() < 1e-12);
+        assert!((stats.fully_ordered_fraction - 2.0 / 7.0).abs() < 1e-12);
+        assert!(stats.resolution() > 0.0 && stats.resolution() < 1.0);
+    }
+
+    #[test]
+    fn empty_order() {
+        let stats = BatchStats::from_order(&FairOrder::default());
+        assert_eq!(stats.messages, 0);
+        assert_eq!(stats.batches, 0);
+        assert_eq!(stats.resolution(), 0.0);
+    }
+}

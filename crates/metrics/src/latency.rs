@@ -1,0 +1,102 @@
+//! Emission-latency summaries.
+//!
+//! §3.5 of the paper: "The parameter p_safe presents a trade-off between
+//! latency of emitting a batch and certainty of fairness." The p_safe
+//! ablation (A2 in DESIGN.md) sweeps p_safe and reports these latency
+//! summaries next to the fairness metrics.
+
+/// Summary statistics over a set of latency samples.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean latency.
+    pub mean: f64,
+    /// Median (p50) latency.
+    pub p50: f64,
+    /// 99th-percentile latency.
+    pub p99: f64,
+    /// Maximum latency.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Summarize a set of latency samples (returns all-zero for an empty
+    /// input).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "latency samples must be finite"
+        );
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        LatencySummary {
+            count: sorted.len(),
+            mean,
+            p50: percentile(&sorted, 0.50),
+            p99: percentile(&sorted, 0.99),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_uniform_samples() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert!((s.p50 - 50.5).abs() < 1e-9);
+        assert!(s.p99 > 98.0 && s.p99 <= 100.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = LatencySummary::from_samples(&[7.5]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.p50, 7.5);
+        assert_eq!(s.p99, 7.5);
+        assert_eq!(s.max, 7.5);
+    }
+
+    #[test]
+    fn empty_input_gives_zeros() {
+        let s = LatencySummary::from_samples(&[]);
+        assert_eq!(s, LatencySummary::default());
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let s = LatencySummary::from_samples(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_samples_rejected() {
+        LatencySummary::from_samples(&[1.0, f64::NAN]);
+    }
+}

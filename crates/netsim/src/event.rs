@@ -1,0 +1,78 @@
+//! Scheduled events.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+
+/// An event scheduled to fire at a given simulated time.
+///
+/// Events with equal times fire in the order they were scheduled (the
+/// sequence number breaks ties), which keeps simulations deterministic.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotonic sequence number assigned by the queue.
+    pub seq: u64,
+    /// The event payload.
+    pub payload: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Natural ordering is "earlier first"; the queue wraps this in
+        // `Reverse` to build a min-heap on a max-heap structure.
+        self.at
+            .cmp(&other.at)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earlier_event_sorts_first() {
+        let a = ScheduledEvent {
+            at: SimTime::new(1.0),
+            seq: 5,
+            payload: "a",
+        };
+        let b = ScheduledEvent {
+            at: SimTime::new(2.0),
+            seq: 1,
+            payload: "b",
+        };
+        assert!(a < b);
+    }
+
+    #[test]
+    fn equal_times_break_ties_by_sequence() {
+        let a = ScheduledEvent {
+            at: SimTime::new(1.0),
+            seq: 1,
+            payload: (),
+        };
+        let b = ScheduledEvent {
+            at: SimTime::new(1.0),
+            seq: 2,
+            payload: (),
+        };
+        assert!(a < b);
+        assert_ne!(a, b);
+    }
+}

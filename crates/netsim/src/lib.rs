@@ -1,0 +1,64 @@
+//! # tommy-netsim
+//!
+//! A small deterministic discrete-event network simulator.
+//!
+//! The paper's online sequencing design (§3.5, Appendix C) hinges on network
+//! asynchrony: "messages do not necessarily arrive in timestamp order" and
+//! the sequencer must reason about which messages may still be in flight.
+//! The paper's own evaluation is simulation based; this crate provides the
+//! substrate for those simulations:
+//!
+//! * [`time`] — a totally ordered simulated-time type;
+//! * [`event`]/[`queue`] — a seeded, deterministic discrete-event loop;
+//! * [`link`] — point-to-point links with configurable base delay, jitter
+//!   (any [`tommy_stats`] distribution), and loss;
+//! * [`channel`] — FIFO ("TCP-like") ordered channels versus unordered
+//!   ("UDP-like") channels, the distinction §3.5 relies on for watermarks;
+//! * [`topology`] — multi-region layouts with per-region-pair latency, the
+//!   multi-data-center setting that motivates Tommy in §2;
+//! * [`trace`] — delivery traces for post-hoc analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod event;
+pub mod link;
+pub mod queue;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+pub use channel::{ChannelKind, DeliveryChannel};
+pub use event::ScheduledEvent;
+pub use link::LinkModel;
+pub use queue::EventQueue;
+pub use time::SimTime;
+pub use topology::{Region, RegionTopology};
+pub use trace::{DeliveryRecord, DeliveryTrace};
+
+/// Identifier of a simulated node (client or sequencer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(7).to_string(), "node7");
+    }
+
+    #[test]
+    fn node_id_ordering() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(3), NodeId(3));
+    }
+}

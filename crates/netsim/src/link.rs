@@ -1,0 +1,185 @@
+//! Point-to-point link models.
+//!
+//! A [`LinkModel`] turns a send time into a delivery time (or a drop) by
+//! sampling a one-way delay distribution. Jittery links naturally reorder
+//! messages — the phenomenon that breaks the equivalence between FIFO
+//! arrival order and generation order (§1 of the paper) and motivates fair
+//! sequencing in the first place.
+
+use crate::time::SimTime;
+use rand::RngCore;
+use tommy_stats::distribution::{Distribution, OffsetDistribution};
+
+/// A one-way link with stochastic delay and optional loss.
+#[derive(Debug, Clone)]
+pub struct LinkModel {
+    delay: OffsetDistribution,
+    loss_probability: f64,
+    min_delay: f64,
+}
+
+impl LinkModel {
+    /// A link whose delay follows `delay` (samples are clamped below at
+    /// `min_delay_floor`, and negative samples are clamped to zero).
+    pub fn new(delay: OffsetDistribution) -> Self {
+        LinkModel {
+            delay,
+            loss_probability: 0.0,
+            min_delay: 0.0,
+        }
+    }
+
+    /// A deterministic link with constant delay — the "equal length wires" of
+    /// the on-premise exchange in Figure 4 of the paper.
+    pub fn constant(delay: f64) -> Self {
+        assert!(delay >= 0.0, "delay must be non-negative");
+        // A degenerate uniform keeps the sampling path uniform across models.
+        let eps = (delay.abs() * 1e-12).max(1e-12);
+        LinkModel {
+            delay: OffsetDistribution::uniform(delay, delay + eps),
+            loss_probability: 0.0,
+            min_delay: delay,
+        }
+    }
+
+    /// A link with fixed propagation delay plus exponentially distributed
+    /// queueing jitter with the given mean — the canonical WAN model used by
+    /// the multi-region experiments.
+    pub fn jittered(base_delay: f64, jitter_mean: f64) -> Self {
+        assert!(base_delay >= 0.0, "delay must be non-negative");
+        assert!(jitter_mean >= 0.0, "jitter must be non-negative");
+        if jitter_mean == 0.0 {
+            return LinkModel::constant(base_delay);
+        }
+        LinkModel {
+            delay: OffsetDistribution::shifted_exponential(base_delay, 1.0 / jitter_mean),
+            loss_probability: 0.0,
+            min_delay: base_delay,
+        }
+    }
+
+    /// Set the probability that a message is dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1)`.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "loss probability must be in [0,1), got {p}");
+        self.loss_probability = p;
+        self
+    }
+
+    /// Set a hard lower bound on sampled delays.
+    pub fn with_min_delay(mut self, min_delay: f64) -> Self {
+        assert!(min_delay >= 0.0, "min delay must be non-negative");
+        self.min_delay = min_delay;
+        self
+    }
+
+    /// The configured loss probability.
+    pub fn loss_probability(&self) -> f64 {
+        self.loss_probability
+    }
+
+    /// Sample a one-way delay.
+    pub fn sample_delay(&self, rng: &mut dyn RngCore) -> f64 {
+        self.delay.sample(rng).max(self.min_delay).max(0.0)
+    }
+
+    /// Compute the delivery time for a message sent at `sent_at`, or `None`
+    /// if the message is dropped.
+    pub fn deliver(&self, sent_at: SimTime, rng: &mut dyn RngCore) -> Option<SimTime> {
+        if self.loss_probability > 0.0 {
+            let u: f64 = rand::Rng::random(&mut *rng);
+            if u < self.loss_probability {
+                return None;
+            }
+        }
+        Some(sent_at + self.sample_delay(rng))
+    }
+
+    /// Mean one-way delay of the model.
+    pub fn mean_delay(&self) -> f64 {
+        self.delay.mean().max(self.min_delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_link_is_deterministic() {
+        let link = LinkModel::constant(5.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let d = link.sample_delay(&mut rng);
+            assert!((d - 5.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn jittered_link_mean_matches_parameters() {
+        let link = LinkModel::jittered(10.0, 4.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| link.sample_delay(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 14.0).abs() < 0.2, "mean = {mean}");
+        assert!((link.mean_delay() - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delays_never_below_floor() {
+        let link = LinkModel::new(OffsetDistribution::gaussian(1.0, 10.0)).with_min_delay(0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(link.sample_delay(&mut rng) >= 0.5);
+        }
+    }
+
+    #[test]
+    fn loss_probability_drops_about_the_right_fraction() {
+        let link = LinkModel::constant(1.0).with_loss(0.3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let delivered = (0..n)
+            .filter(|_| link.deliver(SimTime::ZERO, &mut rng).is_some())
+            .count();
+        let rate = delivered as f64 / n as f64;
+        assert!((rate - 0.7).abs() < 0.02, "delivery rate = {rate}");
+    }
+
+    #[test]
+    fn jitter_reorders_messages() {
+        // Two messages sent 0.1 apart over a high-jitter link should be
+        // reordered a substantial fraction of the time.
+        let link = LinkModel::jittered(1.0, 5.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut reordered = 0;
+        let trials = 5_000;
+        for _ in 0..trials {
+            let a = link.deliver(SimTime::new(0.0), &mut rng).unwrap();
+            let b = link.deliver(SimTime::new(0.1), &mut rng).unwrap();
+            if b < a {
+                reordered += 1;
+            }
+        }
+        let frac = reordered as f64 / trials as f64;
+        assert!(frac > 0.3, "reorder fraction = {frac}");
+    }
+
+    #[test]
+    fn zero_jitter_path_collapses_to_constant() {
+        let link = LinkModel::jittered(3.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!((link.sample_delay(&mut rng) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_rejected() {
+        LinkModel::constant(1.0).with_loss(1.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! A deterministic discrete-event queue.
+
+use crate::event::ScheduledEvent;
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A min-heap of scheduled events with a monotone clock.
+///
+/// The queue enforces causality: events cannot be scheduled in the past
+/// relative to the last popped event.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<ScheduledEvent<E>>>,
+    now: SimTime,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time (the time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedule `payload` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current simulated time.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule an event in the past ({} < {})",
+            at,
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(ScheduledEvent { at, seq, payload }));
+    }
+
+    /// Schedule `payload` to fire `delay` time units from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative.
+    pub fn schedule_after(&mut self, delay: f64, payload: E) {
+        assert!(delay >= 0.0, "delay must be non-negative, got {delay}");
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Pop the next event, advancing the simulated clock to its fire time.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let Reverse(event) = self.heap.pop()?;
+        self.now = event.at;
+        self.processed += 1;
+        Some(event)
+    }
+
+    /// Drain and return every event scheduled at or before `until`, in order,
+    /// advancing the clock to `until` (or to the last popped event if later
+    /// events remain).
+    pub fn drain_until(&mut self, until: SimTime) -> Vec<ScheduledEvent<E>> {
+        let mut out = Vec::new();
+        while let Some(t) = self.peek_time() {
+            if t > until {
+                break;
+            }
+            out.push(self.pop().expect("peeked event exists"));
+        }
+        if self.now < until {
+            self.now = until;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::new(3.0), "c");
+        q.schedule_at(SimTime::new(1.0), "a");
+        q.schedule_at(SimTime::new(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn equal_time_events_keep_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(SimTime::new(5.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_after(4.0, ());
+        q.schedule_after(2.0, ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::new(2.0));
+        q.pop();
+        assert_eq!(q.now(), SimTime::new(4.0));
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::new(10.0), 1);
+        q.pop();
+        q.schedule_after(5.0, 2);
+        assert_eq!(q.peek_time(), Some(SimTime::new(15.0)));
+    }
+
+    #[test]
+    fn drain_until_returns_prefix_and_advances_clock() {
+        let mut q = EventQueue::new();
+        for i in 1..=10 {
+            q.schedule_at(SimTime::new(i as f64), i);
+        }
+        let first = q.drain_until(SimTime::new(4.5));
+        assert_eq!(first.len(), 4);
+        assert_eq!(q.now(), SimTime::new(4.5));
+        assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    fn drain_until_with_no_events_advances_clock() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        let drained = q.drain_until(SimTime::new(7.0));
+        assert!(drained.is_empty());
+        assert_eq!(q.now(), SimTime::new(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_rejected() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::new(5.0), ());
+        q.pop();
+        q.schedule_at(SimTime::new(1.0), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_delay_rejected() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule_after(-1.0, ());
+    }
+}

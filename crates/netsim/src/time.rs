@@ -1,0 +1,140 @@
+//! Simulated time.
+//!
+//! Simulation time is a non-negative `f64` measured in abstract "time units"
+//! (the paper's evaluation is unit-agnostic; experiments typically interpret
+//! one unit as one microsecond). [`SimTime`] provides the total ordering an
+//! event queue needs, rejecting NaN at construction.
+
+use std::cmp::Ordering;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Create a simulation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is NaN or infinite.
+    pub fn new(t: f64) -> Self {
+        assert!(t.is_finite(), "simulation time must be finite, got {t}");
+        SimTime(t)
+    }
+
+    /// The raw value in time units.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Saturating subtraction: never goes below zero.
+    pub fn saturating_sub(self, other: SimTime) -> f64 {
+        (self.0 - other.0).max(0.0)
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Construction forbids NaN, so total ordering is well defined.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime::new(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl From<f64> for SimTime {
+    fn from(t: f64) -> Self {
+        SimTime::new(t)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t={:.6}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::new(5.0);
+        let b = a + 2.5;
+        assert_eq!(b.as_f64(), 7.5);
+        assert_eq!(b - a, 2.5);
+        let mut c = a;
+        c += 1.0;
+        assert_eq!(c.as_f64(), 6.0);
+    }
+
+    #[test]
+    fn saturating_sub_floors_at_zero() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(3.0);
+        assert_eq!(a.saturating_sub(b), 0.0);
+        assert_eq!(b.saturating_sub(a), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinity_rejected() {
+        SimTime::new(f64::INFINITY);
+    }
+}

@@ -1,0 +1,147 @@
+//! Delivery traces.
+//!
+//! Experiments record every (sender, send time, delivery time) triple so the
+//! metrics crate can compare arrival order, generation order and sequencer
+//! output order — the three orders Figures 2–4 of the paper contrast.
+
+use crate::time::SimTime;
+use crate::NodeId;
+
+/// One delivered message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeliveryRecord {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Application-level message identifier.
+    pub message_id: u64,
+    /// True time at which the message was sent.
+    pub sent_at: SimTime,
+    /// True time at which the message was delivered.
+    pub delivered_at: SimTime,
+}
+
+impl DeliveryRecord {
+    /// One-way latency experienced by this message.
+    pub fn latency(&self) -> f64 {
+        self.delivered_at - self.sent_at
+    }
+}
+
+/// An append-only trace of deliveries.
+#[derive(Debug, Clone, Default)]
+pub struct DeliveryTrace {
+    records: Vec<DeliveryRecord>,
+}
+
+impl DeliveryTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        DeliveryTrace::default()
+    }
+
+    /// Append one record.
+    pub fn record(&mut self, record: DeliveryRecord) {
+        self.records.push(record);
+    }
+
+    /// All records in insertion order.
+    pub fn records(&self) -> &[DeliveryRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Message ids sorted by delivery time (the FIFO arrival order a plain
+    /// sequencer would use).
+    pub fn arrival_order(&self) -> Vec<u64> {
+        let mut sorted: Vec<&DeliveryRecord> = self.records.iter().collect();
+        sorted.sort_by(|a, b| a.delivered_at.cmp(&b.delivered_at));
+        sorted.iter().map(|r| r.message_id).collect()
+    }
+
+    /// Message ids sorted by true send time (the omniscient-observer order of
+    /// Definition 1 in the paper).
+    pub fn generation_order(&self) -> Vec<u64> {
+        let mut sorted: Vec<&DeliveryRecord> = self.records.iter().collect();
+        sorted.sort_by(|a, b| a.sent_at.cmp(&b.sent_at));
+        sorted.iter().map(|r| r.message_id).collect()
+    }
+
+    /// Mean one-way latency over all records (0 if empty).
+    pub fn mean_latency(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.latency()).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Number of adjacent pairs (in arrival order) whose generation order is
+    /// inverted — a direct measure of how much the network reorders traffic.
+    pub fn reorder_count(&self) -> usize {
+        let mut sorted: Vec<&DeliveryRecord> = self.records.iter().collect();
+        sorted.sort_by(|a, b| a.delivered_at.cmp(&b.delivered_at));
+        sorted
+            .windows(2)
+            .filter(|w| w[1].sent_at < w[0].sent_at)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, sent: f64, delivered: f64) -> DeliveryRecord {
+        DeliveryRecord {
+            from: NodeId(id as u32),
+            to: NodeId(999),
+            message_id: id,
+            sent_at: SimTime::new(sent),
+            delivered_at: SimTime::new(delivered),
+        }
+    }
+
+    #[test]
+    fn latency_per_record() {
+        assert!((rec(1, 2.0, 5.5).latency() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orders_differ_when_network_reorders() {
+        let mut trace = DeliveryTrace::new();
+        trace.record(rec(1, 0.0, 10.0)); // sent first, arrives last
+        trace.record(rec(2, 1.0, 2.0));
+        trace.record(rec(3, 2.0, 3.0));
+        assert_eq!(trace.generation_order(), vec![1, 2, 3]);
+        assert_eq!(trace.arrival_order(), vec![2, 3, 1]);
+        assert_eq!(trace.reorder_count(), 1);
+    }
+
+    #[test]
+    fn mean_latency() {
+        let mut trace = DeliveryTrace::new();
+        trace.record(rec(1, 0.0, 1.0));
+        trace.record(rec(2, 0.0, 3.0));
+        assert!((trace.mean_latency() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_defaults() {
+        let trace = DeliveryTrace::new();
+        assert!(trace.is_empty());
+        assert_eq!(trace.len(), 0);
+        assert_eq!(trace.mean_latency(), 0.0);
+        assert_eq!(trace.reorder_count(), 0);
+        assert!(trace.arrival_order().is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! Reproduce the Appendix B worked example: the four-message probability
+//! matrix, the extracted order A ≺ B ≺ C ≺ D, and the batching
+//! {A} ≺ {B, C} ≺ {D} at threshold 0.75 (plus the 0.6 / 0.9 variants the
+//! appendix discusses).
+
+use tommy_sim::experiments::appendix_b;
+
+fn main() {
+    println!("Appendix B pairwise preceding probabilities (rows precede columns):");
+    print!("      ");
+    for label in appendix_b::LABELS {
+        print!("{label:>7}");
+    }
+    println!();
+    for (i, row) in appendix_b::APPENDIX_B_MATRIX.iter().enumerate() {
+        print!("  {} ", appendix_b::LABELS[i]);
+        for (j, p) in row.iter().enumerate() {
+            if i == j {
+                print!("{:>7}", "-");
+            } else {
+                print!("{p:>7.2}");
+            }
+        }
+        println!();
+    }
+    println!();
+
+    for threshold in [0.6, 0.75, 0.9] {
+        let result = appendix_b::run(threshold);
+        let labels = appendix_b::batches_as_labels(&result);
+        println!(
+            "threshold {threshold:>4}: transitive={} batches={}",
+            result.transitive,
+            labels
+                .iter()
+                .map(|b| format!("{{{b}}}"))
+                .collect::<Vec<_>>()
+                .join(" < ")
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Ablation A4: FIFO vs WFO vs TrueTime vs Tommy across network jitter
+//! levels (the Figure 2–4 deployment spectrum).
+
+use tommy_sim::experiments::baselines;
+use tommy_sim::output::{fmt, Table};
+
+fn main() {
+    let clock_std_dev = 20.0;
+    let rows = baselines::run(100, 300, 1.0, clock_std_dev, &baselines::default_jitters(), 17);
+    eprintln!("baseline spectrum: clock sigma = {clock_std_dev}");
+    let mut table = Table::new(&["jitter", "fifo", "wfo", "truetime", "tommy"]);
+    for row in &rows {
+        table.row(&[
+            fmt(row.network_jitter, 1),
+            fmt(row.fifo.normalized(), 4),
+            fmt(row.wfo.normalized(), 4),
+            fmt(row.truetime.normalized(), 4),
+            fmt(row.tommy.normalized(), 4),
+        ]);
+    }
+    println!("{}", table.render());
+}

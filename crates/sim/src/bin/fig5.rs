@@ -1,0 +1,44 @@
+//! Regenerate Figure 5: RAS of Tommy vs TrueTime vs clock standard deviation,
+//! for several inter-message gaps.
+//!
+//! Usage: `cargo run -p tommy-sim --release --bin fig5 [clients] [messages]`
+//! (defaults: 500 clients, 500 messages — the paper's population size).
+
+use tommy_sim::experiments::fig5;
+use tommy_sim::output::{fmt, Table};
+use tommy_sim::scenario::ScenarioConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let clients: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(500);
+    let messages: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(500);
+
+    let base = ScenarioConfig::default().with_size(clients, messages).with_seed(42);
+    let (sigmas, gaps) = fig5::default_sweep();
+    eprintln!(
+        "figure 5 sweep: {clients} clients, {messages} messages, seed {}, threshold {}",
+        base.seed, base.threshold
+    );
+
+    let rows = fig5::run(&base, &sigmas, &gaps);
+    let mut table = Table::new(&[
+        "gap",
+        "clock_std_dev",
+        "tommy_ras",
+        "truetime_ras",
+        "tommy_norm",
+        "truetime_norm",
+    ]);
+    for row in &rows {
+        table.row(&[
+            fmt(row.inter_message_gap, 1),
+            fmt(row.clock_std_dev, 1),
+            row.tommy_ras.to_string(),
+            row.truetime_ras.to_string(),
+            fmt(row.tommy_normalized, 4),
+            fmt(row.truetime_normalized, 4),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("# CSV\n{}", table.to_csv());
+}

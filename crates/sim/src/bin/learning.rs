@@ -1,0 +1,19 @@
+//! Ablation A6: learned vs oracle clock-offset distributions as a function of
+//! the synchronization-probe budget.
+
+use tommy_sim::experiments::learning;
+use tommy_sim::output::{fmt, Table};
+
+fn main() {
+    let rows = learning::run(50, 150, 2.0, 15.0, &learning::default_probe_counts(), 23);
+    let mut table = Table::new(&["probes", "learned_ras_norm", "oracle_ras_norm", "gap"]);
+    for row in &rows {
+        table.row(&[
+            row.probes.to_string(),
+            fmt(row.learned.normalized(), 4),
+            fmt(row.oracle.normalized(), 4),
+            fmt(row.oracle.normalized() - row.learned.normalized(), 4),
+        ]);
+    }
+    println!("{}", table.render());
+}

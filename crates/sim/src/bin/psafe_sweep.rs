@@ -1,0 +1,35 @@
+//! Ablation A2: sweep `p_safe` on the online sequencer and report the
+//! emission-latency / fairness trade-off.
+
+use tommy_sim::experiments::psafe_sweep::{self, OnlineSetup};
+use tommy_sim::output::{fmt, Table};
+use tommy_sim::scenario::ScenarioConfig;
+
+fn main() {
+    let base = ScenarioConfig::default()
+        .with_size(50, 200)
+        .with_clock_std_dev(5.0)
+        .with_gap(2.0);
+    eprintln!(
+        "p_safe sweep: {} clients, {} messages, sigma {}",
+        base.clients, base.messages, base.clock_std_dev
+    );
+    let rows = psafe_sweep::run(&base, &OnlineSetup::default(), &psafe_sweep::default_p_safes());
+    let mut table = Table::new(&[
+        "p_safe",
+        "mean_emission_latency",
+        "fairness_violations",
+        "ras_norm",
+        "emitted_before_flush",
+    ]);
+    for row in &rows {
+        table.row(&[
+            fmt(row.p_safe, 4),
+            fmt(row.mean_emission_latency, 3),
+            row.fairness_violations.to_string(),
+            fmt(row.ras.normalized(), 4),
+            row.emitted_before_flush.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

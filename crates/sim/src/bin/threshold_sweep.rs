@@ -1,0 +1,37 @@
+//! Ablation A1: sweep the batching threshold and report batch resolution,
+//! coverage, accuracy and RAS.
+
+use tommy_sim::experiments::threshold_sweep;
+use tommy_sim::output::{fmt, Table};
+use tommy_sim::scenario::ScenarioConfig;
+
+fn main() {
+    let base = ScenarioConfig::default()
+        .with_size(200, 400)
+        .with_clock_std_dev(20.0)
+        .with_gap(1.0);
+    eprintln!(
+        "threshold sweep: {} clients, {} messages, sigma {}, gap {}",
+        base.clients, base.messages, base.clock_std_dev, base.inter_message_gap
+    );
+    let rows = threshold_sweep::run(&base, &threshold_sweep::default_thresholds());
+    let mut table = Table::new(&[
+        "threshold",
+        "batches",
+        "ras_norm",
+        "accuracy",
+        "coverage",
+        "resolution",
+    ]);
+    for row in &rows {
+        table.row(&[
+            fmt(row.threshold, 2),
+            row.batches.to_string(),
+            fmt(row.ras_normalized, 4),
+            fmt(row.accuracy, 4),
+            fmt(row.coverage, 4),
+            fmt(row.resolution, 4),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,114 @@
+//! Figure 5: RAS of Tommy vs TrueTime as a function of clock error and
+//! inter-message gap.
+//!
+//! The paper's figure plots, for a 500-client simulation with Gaussian clock
+//! offsets, the summed Rank Agreement Score of Tommy and of the TrueTime
+//! baseline against the clock standard deviation (x-axis), with marker size
+//! proportional to the inter-message gap. The expected shape: the two match
+//! at low clock error, Tommy wins increasingly as the error grows or the gap
+//! shrinks, and under extreme uncertainty Tommy's score can dip below zero
+//! while TrueTime floors at zero.
+
+use crate::runner::run_offline_comparison;
+use crate::scenario::ScenarioConfig;
+
+/// One point of Figure 5.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Row {
+    /// Clock offset standard deviation (x-axis).
+    pub clock_std_dev: f64,
+    /// Inter-message gap (marker size).
+    pub inter_message_gap: f64,
+    /// Tommy's raw RAS (sum over pairs).
+    pub tommy_ras: i64,
+    /// TrueTime's raw RAS.
+    pub truetime_ras: i64,
+    /// Tommy's RAS normalized by the pair count.
+    pub tommy_normalized: f64,
+    /// TrueTime's RAS normalized by the pair count.
+    pub truetime_normalized: f64,
+}
+
+/// The sweep used by the `fig5` binary and bench: clock std-dev 0–120 in
+/// steps of 10, gaps {0.5, 2, 10}.
+pub fn default_sweep() -> (Vec<f64>, Vec<f64>) {
+    let sigmas: Vec<f64> = (0..=12).map(|i| i as f64 * 10.0).collect();
+    let gaps = vec![0.5, 2.0, 10.0];
+    (sigmas, gaps)
+}
+
+/// Run the Figure 5 sweep for the given base scenario size.
+pub fn run(base: &ScenarioConfig, sigmas: &[f64], gaps: &[f64]) -> Vec<Fig5Row> {
+    let mut rows = Vec::with_capacity(sigmas.len() * gaps.len());
+    for &gap in gaps {
+        for &sigma in sigmas {
+            let cfg = base.with_clock_std_dev(sigma).with_gap(gap);
+            let result = run_offline_comparison(&cfg);
+            rows.push(Fig5Row {
+                clock_std_dev: sigma,
+                inter_message_gap: gap,
+                tommy_ras: result.tommy.score(),
+                truetime_ras: result.truetime.score(),
+                tommy_normalized: result.tommy.normalized(),
+                truetime_normalized: result.truetime.normalized(),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_base() -> ScenarioConfig {
+        ScenarioConfig::default().with_size(30, 60).with_seed(11)
+    }
+
+    #[test]
+    fn sweep_produces_one_row_per_point() {
+        let rows = run(&small_base(), &[0.0, 40.0], &[1.0, 10.0]);
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn figure5_shape_tommy_at_least_matches_truetime() {
+        // The paper's qualitative claim: the two coincide when clocks are
+        // good, Tommy wins clearly in the moderate-error regime, and under
+        // extreme uncertainty Tommy may dip (even below zero) while TrueTime
+        // floors at exactly zero.
+        let rows = run(&small_base(), &[0.0, 10.0, 40.0, 80.0], &[1.0]);
+        for row in &rows[..3] {
+            assert!(
+                row.tommy_ras >= row.truetime_ras,
+                "sigma {}: tommy {} < truetime {}",
+                row.clock_std_dev,
+                row.tommy_ras,
+                row.truetime_ras
+            );
+        }
+        // The advantage is strict somewhere in the moderate-error regime.
+        assert!(rows[..3].iter().any(|r| r.tommy_ras > r.truetime_ras));
+        // TrueTime never goes negative, even at the extreme end.
+        assert!(rows.iter().all(|r| r.truetime_ras >= 0));
+    }
+
+    #[test]
+    fn truetime_degrades_to_indifference_as_error_grows() {
+        let rows = run(&small_base(), &[0.0, 80.0], &[1.0]);
+        let low = rows[0].truetime_normalized;
+        let high = rows[1].truetime_normalized;
+        assert!(low > 0.9, "low-error TrueTime should be near-perfect, got {low}");
+        assert!(high < 0.2, "high-error TrueTime should be near zero, got {high}");
+        assert!(high >= 0.0, "TrueTime never goes negative");
+    }
+
+    #[test]
+    fn wider_gaps_shift_the_crossover_right() {
+        // At the same clock error, a wider inter-message gap gives both
+        // systems better scores.
+        let rows = run(&small_base(), &[40.0], &[0.5, 10.0]);
+        assert!(rows[1].tommy_normalized >= rows[0].tommy_normalized);
+        assert!(rows[1].truetime_normalized >= rows[0].truetime_normalized);
+    }
+}

@@ -1,0 +1,32 @@
+//! # tommy-sim
+//!
+//! The experiment harness of the Tommy reproduction. It composes the
+//! substrate crates (workload generation, clock models, the network
+//! simulator) with the sequencers in `tommy-core` and the metrics in
+//! `tommy-metrics` to regenerate every quantitative result of the paper:
+//!
+//! * **Figure 5** — RAS of Tommy vs the TrueTime baseline as a function of
+//!   the clock standard deviation and the inter-message gap
+//!   ([`experiments::fig5`]).
+//! * **Appendix B** — the four-message worked example
+//!   ([`experiments::appendix_b`]).
+//! * **Appendix C** — the online-sequencing worked example
+//!   ([`experiments::appendix_c`]).
+//! * **Ablations A1–A6** of DESIGN.md — threshold sweep, `p_safe` sweep,
+//!   non-Gaussian offsets, baseline spectrum, scalability and
+//!   distribution-learning experiments.
+//!
+//! Every experiment is exposed both as a library function returning typed
+//! rows (so integration tests and criterion benches can call it) and as a
+//! binary under `src/bin/` that prints the rows as a table/CSV.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod output;
+pub mod runner;
+pub mod scenario;
+
+pub use runner::{run_offline_comparison, ComparisonResult};
+pub use scenario::ScenarioConfig;

@@ -1,0 +1,196 @@
+//! End-to-end offline comparison runner (the §4 evaluation loop).
+//!
+//! One run follows the paper's evaluation exactly: seed every client with a
+//! Gaussian clock-offset distribution, generate ground-truth events with a
+//! controlled inter-message gap, tag each with `T = t + ε`, hand the full
+//! message set to each sequencer (Tommy, TrueTime, WFO), and score every
+//! output against the omniscient observer with the Rank Agreement Score.
+
+use crate::scenario::ScenarioConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tommy_core::baselines::{TrueTimeSequencer, WfoSequencer};
+use tommy_core::config::SequencerConfig;
+use tommy_core::message::{ClientId, Message};
+use tommy_core::registry::DistributionRegistry;
+use tommy_core::sequencer::offline::TommySequencer;
+use tommy_metrics::batchstats::BatchStats;
+use tommy_metrics::ras::{rank_agreement_score, RasScore};
+use tommy_stats::distribution::OffsetDistribution;
+use tommy_workload::population::ClockPopulation;
+use tommy_workload::tagging::tag_messages;
+use tommy_workload::uniform::UniformWorkload;
+
+/// The scored output of one scenario for all compared sequencers.
+#[derive(Debug, Clone, Copy)]
+pub struct ComparisonResult {
+    /// RAS of the Tommy offline sequencer.
+    pub tommy: RasScore,
+    /// RAS of the TrueTime-style baseline.
+    pub truetime: RasScore,
+    /// RAS of the WaitsForOne baseline (timestamp sort).
+    pub wfo: RasScore,
+    /// Batch statistics of Tommy's output.
+    pub tommy_batches: BatchStats,
+    /// Batch statistics of TrueTime's output.
+    pub truetime_batches: BatchStats,
+    /// Whether Tommy's tournament was transitive (expected `true` for
+    /// Gaussian offsets, Appendix A).
+    pub transitive: bool,
+}
+
+/// Generate the messages of a scenario (shared by the offline comparison and
+/// the online experiments).
+///
+/// Inter-message gaps are exponentially distributed with mean
+/// `inter_message_gap` (a Poisson-like auction burst), so adjacent gaps span
+/// a range of values instead of being all identical — the same spread the
+/// paper's workload exhibits and what gives Figure 5 its smooth shape.
+pub fn generate_messages(config: &ScenarioConfig, rng: &mut StdRng) -> Vec<Message> {
+    let population = ClockPopulation::gaussian(config.clock_std_dev);
+    let clocks = population.build(config.clients, rng);
+    let events = if config.inter_message_gap > 0.0 {
+        let gap_dist =
+            OffsetDistribution::shifted_exponential(0.0, 1.0 / config.inter_message_gap);
+        let mut t = 0.0;
+        (0..config.messages)
+            .map(|_| {
+                use tommy_stats::distribution::Distribution as _;
+                t += gap_dist.sample(rng);
+                let client = ClientId(rand::Rng::random_range(rng, 0..config.clients as u32));
+                tommy_workload::events::GenerationEvent::new(client, t)
+            })
+            .collect()
+    } else {
+        let workload =
+            UniformWorkload::new(config.clients, config.messages, config.inter_message_gap)
+                .with_shuffled_clients();
+        workload.generate(rng)
+    };
+    tag_messages(&events, &clocks, 0, rng)
+}
+
+/// Build a registry seeded with the oracle distributions of a homogeneous
+/// Gaussian population (the §4 setting: "we seed the clients with clock
+/// offsets distributions, instead of clients learning such distributions").
+pub fn oracle_registry(config: &ScenarioConfig) -> DistributionRegistry {
+    let mut registry = DistributionRegistry::new();
+    for c in 0..config.clients as u32 {
+        registry.register(
+            ClientId(c),
+            OffsetDistribution::gaussian(0.0, config.clock_std_dev),
+        );
+    }
+    registry
+}
+
+/// Run one offline comparison scenario.
+pub fn run_offline_comparison(config: &ScenarioConfig) -> ComparisonResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let messages = generate_messages(config, &mut rng);
+
+    // Tommy.
+    let seq_config = SequencerConfig::default().with_threshold(config.threshold);
+    let mut tommy = TommySequencer::new(seq_config);
+    for c in 0..config.clients as u32 {
+        tommy.register_client(
+            ClientId(c),
+            OffsetDistribution::gaussian(0.0, config.clock_std_dev),
+        );
+    }
+    let outcome = tommy
+        .sequence_detailed(&messages)
+        .expect("all clients registered");
+
+    // TrueTime baseline.
+    let registry = oracle_registry(config);
+    let truetime_order = TrueTimeSequencer::new(&registry)
+        .sequence(&messages)
+        .expect("all clients registered");
+
+    // WFO baseline (assumes negligible clock error; here it just sorts by
+    // the noisy timestamps).
+    let clients: Vec<ClientId> = (0..config.clients as u32).map(ClientId).collect();
+    let wfo_order =
+        WfoSequencer::sequence_offline(&clients, &messages).expect("all clients registered");
+
+    ComparisonResult {
+        tommy: rank_agreement_score(&outcome.order, &messages),
+        truetime: rank_agreement_score(&truetime_order, &messages),
+        wfo: rank_agreement_score(&wfo_order, &messages),
+        tommy_batches: BatchStats::from_order(&outcome.order),
+        truetime_batches: BatchStats::from_order(&truetime_order),
+        transitive: outcome.transitive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(sigma: f64, gap: f64) -> ScenarioConfig {
+        ScenarioConfig::default()
+            .with_size(40, 80)
+            .with_clock_std_dev(sigma)
+            .with_gap(gap)
+            .with_seed(7)
+    }
+
+    #[test]
+    fn perfect_clocks_give_perfect_scores() {
+        let result = run_offline_comparison(&small(0.0, 1.0));
+        assert!(result.tommy.normalized() > 0.99, "{:?}", result.tommy);
+        assert!(result.truetime.normalized() > 0.99);
+        assert!(result.wfo.normalized() > 0.99);
+        assert!(result.transitive);
+    }
+
+    #[test]
+    fn tommy_beats_truetime_under_large_clock_error() {
+        // Figure 5's headline: when the clock error is large relative to the
+        // inter-message gap, TrueTime collapses to indifference (score ~0)
+        // while Tommy still orders many pairs correctly.
+        let result = run_offline_comparison(&small(50.0, 1.0));
+        assert!(
+            result.tommy.score() > result.truetime.score(),
+            "tommy {:?} vs truetime {:?}",
+            result.tommy,
+            result.truetime
+        );
+        assert!(result.truetime.normalized() >= 0.0);
+        assert!(result.tommy_batches.batches >= result.truetime_batches.batches);
+    }
+
+    #[test]
+    fn truetime_never_scores_negative() {
+        for sigma in [5.0, 20.0, 80.0] {
+            let result = run_offline_comparison(&small(sigma, 0.5));
+            assert!(result.truetime.score() >= 0, "sigma {sigma}: {:?}", result.truetime);
+        }
+    }
+
+    #[test]
+    fn gaussian_population_is_always_transitive() {
+        for seed in 0..5 {
+            let cfg = small(30.0, 1.0).with_seed(seed);
+            assert!(run_offline_comparison(&cfg).transitive);
+        }
+    }
+
+    #[test]
+    fn results_are_deterministic_per_seed() {
+        let a = run_offline_comparison(&small(25.0, 1.0));
+        let b = run_offline_comparison(&small(25.0, 1.0));
+        assert_eq!(a.tommy.score(), b.tommy.score());
+        assert_eq!(a.truetime.score(), b.truetime.score());
+        assert_eq!(a.wfo.score(), b.wfo.score());
+    }
+
+    #[test]
+    fn wider_gap_improves_everyone() {
+        let tight = run_offline_comparison(&small(20.0, 0.5));
+        let wide = run_offline_comparison(&small(20.0, 50.0));
+        assert!(wide.tommy.normalized() > tight.tommy.normalized());
+        assert!(wide.truetime.normalized() >= tight.truetime.normalized());
+    }
+}

@@ -1,0 +1,111 @@
+//! Scenario configuration shared by the experiments.
+
+/// Configuration of one offline-comparison scenario (the §4 evaluation
+/// setup: seeded Gaussian clock offsets, all messages present before
+/// sequencing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioConfig {
+    /// Number of clients (the paper uses 500).
+    pub clients: usize,
+    /// Total number of messages generated across clients.
+    pub messages: usize,
+    /// Standard deviation of every client's Gaussian clock offset (the
+    /// x-axis of Figure 5).
+    pub clock_std_dev: f64,
+    /// Gap between consecutive message generations across clients (the
+    /// marker-size axis of Figure 5).
+    pub inter_message_gap: f64,
+    /// Batch-boundary threshold (the paper uses 0.75).
+    pub threshold: f64,
+    /// RNG seed; every scenario is fully deterministic given its seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            clients: 500,
+            messages: 500,
+            clock_std_dev: 20.0,
+            inter_message_gap: 1.0,
+            threshold: 0.75,
+            seed: 42,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// The paper's evaluation population size with everything else default.
+    pub fn paper_default() -> Self {
+        ScenarioConfig::default()
+    }
+
+    /// Builder: set the clock standard deviation.
+    pub fn with_clock_std_dev(mut self, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite());
+        self.clock_std_dev = sigma;
+        self
+    }
+
+    /// Builder: set the inter-message gap.
+    pub fn with_gap(mut self, gap: f64) -> Self {
+        assert!(gap >= 0.0 && gap.is_finite());
+        self.inter_message_gap = gap;
+        self
+    }
+
+    /// Builder: set the number of clients and messages.
+    pub fn with_size(mut self, clients: usize, messages: usize) -> Self {
+        assert!(clients > 0 && messages > 0);
+        self.clients = clients;
+        self.messages = messages;
+        self
+    }
+
+    /// Builder: set the batching threshold.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        assert!(threshold > 0.5 && threshold < 1.0);
+        self.threshold = threshold;
+        self
+    }
+
+    /// Builder: set the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = ScenarioConfig::paper_default();
+        assert_eq!(cfg.clients, 500);
+        assert_eq!(cfg.threshold, 0.75);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let cfg = ScenarioConfig::default()
+            .with_clock_std_dev(80.0)
+            .with_gap(0.5)
+            .with_size(50, 100)
+            .with_threshold(0.9)
+            .with_seed(7);
+        assert_eq!(cfg.clock_std_dev, 80.0);
+        assert_eq!(cfg.inter_message_gap, 0.5);
+        assert_eq!(cfg.clients, 50);
+        assert_eq!(cfg.messages, 100);
+        assert_eq!(cfg.threshold, 0.9);
+        assert_eq!(cfg.seed, 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_threshold_rejected() {
+        ScenarioConfig::default().with_threshold(0.4);
+    }
+}

@@ -1,0 +1,330 @@
+//! Grid-discretized probability density functions.
+//!
+//! §3.3 of the paper: when clock offsets are not Gaussian "we must estimate
+//! the PDF f_Δθ for each pair of clients to compute the preceding
+//! probabilities". The sequencer receives each client's offset distribution,
+//! discretizes it onto a uniform grid, convolves pairs of grids (see
+//! [`crate::convolution`]) and integrates tails. [`DiscretizedPdf`] is that
+//! grid representation.
+
+use crate::distribution::Distribution;
+use crate::integrate::trapezoid_uniform;
+
+/// A probability density sampled on a uniform grid.
+///
+/// The density value at grid point `i` corresponds to `x = lo + i * step`.
+/// The represented distribution is the piecewise-linear interpolation of the
+/// grid values, normalized to integrate to one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscretizedPdf {
+    lo: f64,
+    step: f64,
+    densities: Vec<f64>,
+}
+
+impl DiscretizedPdf {
+    /// Default number of grid points used when discretizing a distribution.
+    pub const DEFAULT_POINTS: usize = 1024;
+
+    /// Create a discretized PDF from raw grid values.
+    ///
+    /// Values are clamped to be non-negative and normalized to unit mass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are supplied, `step <= 0`, or the
+    /// total mass is zero.
+    pub fn from_raw(lo: f64, step: f64, densities: Vec<f64>) -> Self {
+        assert!(densities.len() >= 2, "need at least two grid points");
+        assert!(step > 0.0 && step.is_finite(), "invalid step {step}");
+        assert!(lo.is_finite(), "invalid lower bound {lo}");
+        let mut pdf = DiscretizedPdf {
+            lo,
+            step,
+            densities: densities.into_iter().map(|v| v.max(0.0)).collect(),
+        };
+        pdf.normalize();
+        pdf
+    }
+
+    /// Discretize an analytic distribution onto `points` grid points spanning
+    /// its effective support.
+    pub fn from_distribution(dist: &dyn Distribution, points: usize) -> Self {
+        assert!(points >= 2, "need at least two grid points");
+        let (lo, hi) = dist.support();
+        assert!(hi > lo, "distribution support must be non-degenerate");
+        let step = (hi - lo) / (points - 1) as f64;
+        let densities: Vec<f64> = (0..points)
+            .map(|i| dist.pdf(lo + i as f64 * step))
+            .collect();
+        DiscretizedPdf::from_raw(lo, step, densities)
+    }
+
+    /// Discretize with the default grid resolution.
+    pub fn from_distribution_default(dist: &dyn Distribution) -> Self {
+        DiscretizedPdf::from_distribution(dist, Self::DEFAULT_POINTS)
+    }
+
+    fn normalize(&mut self) {
+        let mass = trapezoid_uniform(&self.densities, self.step);
+        assert!(
+            mass > 0.0,
+            "cannot normalize a PDF with zero total mass (lo={}, step={})",
+            self.lo,
+            self.step
+        );
+        let inv = 1.0 / mass;
+        for v in &mut self.densities {
+            *v *= inv;
+        }
+    }
+
+    /// Lower bound of the grid.
+    #[inline]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the grid.
+    #[inline]
+    pub fn hi(&self) -> f64 {
+        self.lo + self.step * (self.densities.len() - 1) as f64
+    }
+
+    /// Grid spacing.
+    #[inline]
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Number of grid points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.densities.len()
+    }
+
+    /// Whether the grid is empty (never true for a constructed value).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.densities.is_empty()
+    }
+
+    /// The grid density values.
+    #[inline]
+    pub fn densities(&self) -> &[f64] {
+        &self.densities
+    }
+
+    /// The x coordinate of grid point `i`.
+    #[inline]
+    pub fn x_at(&self, i: usize) -> f64 {
+        self.lo + i as f64 * self.step
+    }
+
+    /// Density at an arbitrary `x` by linear interpolation (zero outside the
+    /// grid).
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x > self.hi() {
+            return 0.0;
+        }
+        let pos = (x - self.lo) / self.step;
+        let i = pos.floor() as usize;
+        if i + 1 >= self.densities.len() {
+            return self.densities[self.densities.len() - 1];
+        }
+        let frac = pos - i as f64;
+        self.densities[i] * (1.0 - frac) + self.densities[i + 1] * frac
+    }
+
+    /// `P(X <= x)` by trapezoidal integration of the grid.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= self.lo {
+            return 0.0;
+        }
+        if x >= self.hi() {
+            return 1.0;
+        }
+        let pos = (x - self.lo) / self.step;
+        let full = pos.floor() as usize;
+        // Integrate complete cells.
+        let mut acc = 0.0;
+        for i in 0..full {
+            acc += 0.5 * (self.densities[i] + self.densities[i + 1]) * self.step;
+        }
+        // Partial last cell with interpolated endpoint.
+        let frac = pos - full as f64;
+        if frac > 0.0 && full + 1 < self.densities.len() {
+            let end = self.densities[full] * (1.0 - frac) + self.densities[full + 1] * frac;
+            acc += 0.5 * (self.densities[full] + end) * self.step * frac;
+        }
+        crate::clamp_probability(acc)
+    }
+
+    /// Tail probability `P(X > x)`.
+    #[inline]
+    pub fn tail(&self, x: f64) -> f64 {
+        crate::clamp_probability(1.0 - self.cdf(x))
+    }
+
+    /// Mean of the discretized distribution.
+    pub fn mean(&self) -> f64 {
+        let weighted: Vec<f64> = self
+            .densities
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| self.x_at(i) * d)
+            .collect();
+        trapezoid_uniform(&weighted, self.step)
+    }
+
+    /// Variance of the discretized distribution.
+    pub fn variance(&self) -> f64 {
+        let mean = self.mean();
+        let weighted: Vec<f64> = self
+            .densities
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (self.x_at(i) - mean).powi(2) * d)
+            .collect();
+        trapezoid_uniform(&weighted, self.step).max(0.0)
+    }
+
+    /// The distribution of `−X`: the grid is reflected about zero.
+    pub fn negate(&self) -> DiscretizedPdf {
+        let mut densities: Vec<f64> = self.densities.clone();
+        densities.reverse();
+        DiscretizedPdf {
+            lo: -self.hi(),
+            step: self.step,
+            densities,
+        }
+    }
+
+    /// Resample this PDF onto a new grid with the given spacing (used to align
+    /// two PDFs with different steps before convolving them).
+    pub fn resample(&self, step: f64) -> DiscretizedPdf {
+        assert!(step > 0.0 && step.is_finite(), "invalid step {step}");
+        let span = self.hi() - self.lo;
+        let points = ((span / step).ceil() as usize + 1).max(2);
+        let densities: Vec<f64> = (0..points)
+            .map(|i| self.pdf(self.lo + i as f64 * step))
+            .collect();
+        DiscretizedPdf::from_raw(self.lo, step, densities)
+    }
+
+    /// Smallest `x` on the grid with `P(X <= x) >= p` (grid-resolution
+    /// quantile). `p` must be in `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+        let mut acc = 0.0;
+        for i in 0..self.densities.len() - 1 {
+            let cell = 0.5 * (self.densities[i] + self.densities[i + 1]) * self.step;
+            if acc + cell >= p {
+                // Linear interpolation inside the cell.
+                let need = p - acc;
+                let frac = if cell > 0.0 { need / cell } else { 0.0 };
+                return self.x_at(i) + frac * self.step;
+            }
+            acc += cell;
+        }
+        self.hi()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::OffsetDistribution;
+    use crate::gaussian::Gaussian;
+
+    #[test]
+    fn discretized_gaussian_matches_analytic_cdf() {
+        let g = Gaussian::new(2.0, 3.0);
+        let pdf = DiscretizedPdf::from_distribution(&g, 2048);
+        for x in [-4.0, -1.0, 2.0, 5.0, 8.0] {
+            assert!(
+                (pdf.cdf(x) - g.cdf(x)).abs() < 2e-3,
+                "cdf({x}) = {} vs {}",
+                pdf.cdf(x),
+                g.cdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn mean_and_variance_match_analytic() {
+        let g = Gaussian::new(-1.5, 2.0);
+        let pdf = DiscretizedPdf::from_distribution(&g, 2048);
+        assert!((pdf.mean() - -1.5).abs() < 1e-2);
+        assert!((pdf.variance() - 4.0).abs() < 5e-2);
+    }
+
+    #[test]
+    fn tail_plus_cdf_is_one() {
+        let d = OffsetDistribution::laplace(0.0, 1.0);
+        let pdf = DiscretizedPdf::from_distribution_default(&d);
+        for x in [-3.0, -1.0, 0.0, 0.5, 2.0] {
+            assert!((pdf.cdf(x) + pdf.tail(x) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn negate_reflects_distribution() {
+        let d = OffsetDistribution::shifted_exponential(1.0, 0.5);
+        let pdf = DiscretizedPdf::from_distribution_default(&d);
+        let neg = pdf.negate();
+        assert!((neg.mean() + pdf.mean()).abs() < 1e-6);
+        assert!((neg.cdf(-2.0) - pdf.tail(2.0)).abs() < 1e-2);
+        assert!((neg.hi() + pdf.lo()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let g = Gaussian::new(0.0, 1.0);
+        let pdf = DiscretizedPdf::from_distribution(&g, 4096);
+        for p in [0.1, 0.25, 0.5, 0.9, 0.99] {
+            let x = pdf.quantile(p);
+            assert!((pdf.cdf(x) - p).abs() < 1e-3, "p={p} x={x}");
+            assert!((x - g.quantile(p)).abs() < 2e-2);
+        }
+    }
+
+    #[test]
+    fn resample_preserves_shape() {
+        let g = Gaussian::new(4.0, 1.0);
+        let pdf = DiscretizedPdf::from_distribution(&g, 1024);
+        let coarse = pdf.resample(pdf.step() * 2.0);
+        assert!((coarse.mean() - 4.0).abs() < 1e-2);
+        assert!((coarse.cdf(4.0) - 0.5).abs() < 1e-2);
+    }
+
+    #[test]
+    fn from_raw_normalizes() {
+        let pdf = DiscretizedPdf::from_raw(0.0, 1.0, vec![1.0, 1.0, 1.0, 1.0, 1.0]);
+        // Uniform over [0,4] → mass 1, mean 2.
+        assert!((pdf.mean() - 2.0).abs() < 1e-9);
+        assert!((pdf.cdf(2.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pdf_zero_outside_support() {
+        let g = Gaussian::new(0.0, 1.0);
+        let pdf = DiscretizedPdf::from_distribution(&g, 256);
+        assert_eq!(pdf.pdf(pdf.lo() - 1.0), 0.0);
+        assert_eq!(pdf.pdf(pdf.hi() + 1.0), 0.0);
+        assert_eq!(pdf.cdf(pdf.lo() - 1.0), 0.0);
+        assert_eq!(pdf.cdf(pdf.hi() + 1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero total mass")]
+    fn zero_mass_rejected() {
+        DiscretizedPdf::from_raw(0.0, 1.0, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two grid points")]
+    fn single_point_rejected() {
+        DiscretizedPdf::from_raw(0.0, 1.0, vec![1.0]);
+    }
+}

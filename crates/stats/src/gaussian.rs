@@ -1,0 +1,243 @@
+//! The Gaussian (normal) distribution and the paper's closed-form preceding
+//! probability for Gaussian clock offsets.
+
+use crate::erf::{std_normal_cdf, std_normal_inv_cdf, std_normal_pdf};
+use rand::Rng;
+
+/// A Gaussian distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Gaussian {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Gaussian {
+    /// The standard normal `N(0, 1)`.
+    pub const STANDARD: Gaussian = Gaussian {
+        mean: 0.0,
+        std_dev: 1.0,
+    };
+
+    /// Create a Gaussian with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative, NaN, or infinite. A standard deviation
+    /// of exactly zero is allowed and models a perfectly synchronized clock
+    /// (a degenerate point mass).
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "standard deviation must be finite and non-negative, got {std_dev}"
+        );
+        assert!(mean.is_finite(), "mean must be finite, got {mean}");
+        Gaussian { mean, std_dev }
+    }
+
+    /// Create a Gaussian from mean and variance.
+    pub fn from_variance(mean: f64, variance: f64) -> Self {
+        assert!(
+            variance.is_finite() && variance >= 0.0,
+            "variance must be finite and non-negative, got {variance}"
+        );
+        Gaussian::new(mean, variance.sqrt())
+    }
+
+    /// The mean.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation.
+    #[inline]
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// The variance.
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        self.std_dev * self.std_dev
+    }
+
+    /// Probability density at `x`. A zero-variance Gaussian returns `0.0`
+    /// everywhere except at the mean where the density is unbounded; callers
+    /// working with degenerate clocks should use [`Gaussian::cdf`] instead.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if self.std_dev == 0.0 {
+            return if x == self.mean { f64::INFINITY } else { 0.0 };
+        }
+        std_normal_pdf((x - self.mean) / self.std_dev) / self.std_dev
+    }
+
+    /// Cumulative distribution function at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.std_dev == 0.0 {
+            return if x < self.mean { 0.0 } else { 1.0 };
+        }
+        std_normal_cdf((x - self.mean) / self.std_dev)
+    }
+
+    /// Quantile (inverse CDF) at probability `p ∈ (0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.std_dev == 0.0 {
+            return self.mean;
+        }
+        self.mean + self.std_dev * std_normal_inv_cdf(p)
+    }
+
+    /// Draw one sample using the Box–Muller transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.std_dev == 0.0 {
+            return self.mean;
+        }
+        self.mean + self.std_dev * sample_std_normal(rng)
+    }
+
+    /// The distribution of the difference `other − self` of two independent
+    /// Gaussians (used for `Δθ = θ_j − θ_i`).
+    pub fn difference(&self, other: &Gaussian) -> Gaussian {
+        Gaussian::from_variance(other.mean - self.mean, self.variance() + other.variance())
+    }
+
+    /// Closed-form preceding probability of the paper, §3.2:
+    ///
+    /// `P(T*_i < T*_j | T_i, T_j) = Φ((T_j − T_i + μ_i − μ_j)/√(σ_i² + σ_j²))`
+    ///
+    /// where `self` is the offset distribution of the client that produced
+    /// `t_i` and `other` the one that produced `t_j`. When both variances are
+    /// zero the comparison is deterministic and the result is 0, 0.5 or 1.
+    pub fn preceding_probability(&self, t_i: f64, other: &Gaussian, t_j: f64) -> f64 {
+        let denom = (self.variance() + other.variance()).sqrt();
+        let numer = t_j - t_i + self.mean - other.mean;
+        if denom == 0.0 {
+            return if numer > 0.0 {
+                1.0
+            } else if numer < 0.0 {
+                0.0
+            } else {
+                0.5
+            };
+        }
+        std_normal_cdf(numer / denom)
+    }
+}
+
+/// Sample from the standard normal distribution via the Box–Muller transform.
+pub fn sample_std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let g = Gaussian::new(2.0, 3.0);
+        let mut sum = 0.0;
+        let step = 0.01;
+        let mut x = -20.0;
+        while x < 24.0 {
+            sum += g.pdf(x) * step;
+            x += step;
+        }
+        assert!((sum - 1.0).abs() < 1e-3, "integral = {sum}");
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let g = Gaussian::new(-1.0, 2.0);
+        let mut prev = 0.0;
+        for i in -100..=100 {
+            let x = i as f64 * 0.1;
+            let c = g.cdf(x);
+            assert!(c >= prev - 1e-12);
+            assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let g = Gaussian::new(5.0, 0.7);
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            let x = g.quantile(p);
+            assert!((g.cdf(x) - p).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_moments() {
+        let g = Gaussian::new(-3.0, 4.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - -3.0).abs() < 0.05, "mean = {mean}");
+        assert!((var - 16.0).abs() < 0.3, "var = {var}");
+    }
+
+    #[test]
+    fn difference_distribution() {
+        let a = Gaussian::new(1.0, 3.0);
+        let b = Gaussian::new(4.0, 4.0);
+        let d = a.difference(&b);
+        assert!((d.mean() - 3.0).abs() < 1e-12);
+        assert!((d.variance() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preceding_probability_equal_timestamps_equal_clocks() {
+        let g = Gaussian::new(0.0, 5.0);
+        let p = g.preceding_probability(100.0, &g, 100.0);
+        assert!((p - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn preceding_probability_moves_with_gap() {
+        let g = Gaussian::new(0.0, 5.0);
+        // j's timestamp 10 units later: likely i precedes j.
+        let p = g.preceding_probability(100.0, &g, 110.0);
+        assert!(p > 0.9, "p = {p}");
+        // Reverse the gap.
+        let q = g.preceding_probability(110.0, &g, 100.0);
+        assert!((p + q - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preceding_probability_accounts_for_means() {
+        // Client i runs 10 units ahead (mean offset -10 corrects it back),
+        // so equal raw timestamps mean i actually happened later.
+        let gi = Gaussian::new(-10.0, 1.0);
+        let gj = Gaussian::new(0.0, 1.0);
+        let p = gi.preceding_probability(100.0, &gj, 100.0);
+        assert!(p < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn degenerate_zero_variance_is_deterministic() {
+        let g = Gaussian::new(0.0, 0.0);
+        assert_eq!(g.preceding_probability(1.0, &g, 2.0), 1.0);
+        assert_eq!(g.preceding_probability(2.0, &g, 1.0), 0.0);
+        assert_eq!(g.preceding_probability(1.0, &g, 1.0), 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(g.sample(&mut rng), 0.0);
+        assert_eq!(g.quantile(0.9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_std_dev_rejected() {
+        Gaussian::new(0.0, -1.0);
+    }
+}

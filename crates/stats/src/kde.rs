@@ -1,0 +1,232 @@
+//! Gaussian kernel density estimation.
+//!
+//! When a client has only raw clock-offset probe samples (no parametric
+//! model), KDE produces a smooth PDF estimate that the sequencer can
+//! discretize and convolve (§3.3 of the paper: "We must estimate the PDF
+//! f_Δθ for each pair of clients").
+
+use crate::erf::{std_normal_cdf, std_normal_pdf};
+
+/// A Gaussian kernel density estimate over a fixed set of samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDensity {
+    samples: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl KernelDensity {
+    /// Build a KDE with Silverman's rule-of-thumb bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains non-finite values.
+    pub fn new(samples: &[f64]) -> Self {
+        let bw = silverman_bandwidth(samples);
+        KernelDensity::with_bandwidth(samples, bw)
+    }
+
+    /// Build a KDE with an explicit bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty, contains non-finite values, or
+    /// `bandwidth <= 0`.
+    pub fn with_bandwidth(samples: &[f64], bandwidth: f64) -> Self {
+        assert!(!samples.is_empty(), "KDE requires at least one sample");
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "KDE samples must be finite"
+        );
+        assert!(
+            bandwidth.is_finite() && bandwidth > 0.0,
+            "bandwidth must be positive, got {bandwidth}"
+        );
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        KernelDensity {
+            samples: sorted,
+            bandwidth,
+        }
+    }
+
+    /// The bandwidth in use.
+    #[inline]
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Number of underlying samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the KDE has no samples (never true for a constructed value).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Estimated density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let sum: f64 = self
+            .samples
+            .iter()
+            .map(|&s| std_normal_pdf((x - s) / h))
+            .sum();
+        sum / (self.samples.len() as f64 * h)
+    }
+
+    /// Estimated cumulative distribution at `x` (smooth ECDF).
+    pub fn cdf(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let sum: f64 = self
+            .samples
+            .iter()
+            .map(|&s| std_normal_cdf((x - s) / h))
+            .sum();
+        sum / self.samples.len() as f64
+    }
+
+    /// Mean of the estimate (equals the sample mean).
+    pub fn mean(&self) -> f64 {
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Variance of the estimate (sample variance plus kernel variance).
+    pub fn variance(&self) -> f64 {
+        let mean = self.mean();
+        let sample_var = self
+            .samples
+            .iter()
+            .map(|x| (x - mean).powi(2))
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        sample_var + self.bandwidth * self.bandwidth
+    }
+
+    /// The `idx`-th underlying sample in ascending order (used by the smooth
+    /// bootstrap sampler in `tommy-stats::distribution`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn sample_at(&self, idx: usize) -> f64 {
+        self.samples[idx]
+    }
+
+    /// Effective support: `[min − 5h, max + 5h]`.
+    pub fn support(&self) -> (f64, f64) {
+        let lo = *self.samples.first().expect("non-empty");
+        let hi = *self.samples.last().expect("non-empty");
+        (lo - 5.0 * self.bandwidth, hi + 5.0 * self.bandwidth)
+    }
+}
+
+/// Silverman's rule-of-thumb bandwidth: `0.9 · min(σ̂, IQR/1.34) · n^{−1/5}`.
+///
+/// Falls back to a small constant when the sample has zero spread so the KDE
+/// stays well defined for degenerate (perfectly synchronized) clocks.
+pub fn silverman_bandwidth(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "bandwidth of empty sample");
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    let sd = var.sqrt();
+
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let iqr = crate::quantile::quantile_sorted(&sorted, 0.75)
+        - crate::quantile::quantile_sorted(&sorted, 0.25);
+
+    let spread = if iqr > 0.0 { sd.min(iqr / 1.34) } else { sd };
+    let bw = 0.9 * spread * n.powf(-0.2);
+    if bw > 0.0 {
+        bw
+    } else {
+        1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::Gaussian;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gaussian_samples(mean: f64, sd: f64, n: usize, seed: u64) -> Vec<f64> {
+        let g = Gaussian::new(mean, sd);
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| g.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let samples = gaussian_samples(0.0, 2.0, 500, 11);
+        let kde = KernelDensity::new(&samples);
+        let (lo, hi) = kde.support();
+        let integral = crate::integrate::simpson(|x| kde.pdf(x), lo, hi, 2000);
+        assert!((integral - 1.0).abs() < 1e-3, "integral = {integral}");
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let samples = gaussian_samples(3.0, 1.0, 200, 5);
+        let kde = KernelDensity::new(&samples);
+        let mut prev = 0.0;
+        for i in -100..=200 {
+            let x = i as f64 * 0.1;
+            let c = kde.cdf(x);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn kde_recovers_gaussian_shape() {
+        let samples = gaussian_samples(-2.0, 3.0, 4000, 42);
+        let kde = KernelDensity::new(&samples);
+        let truth = Gaussian::new(-2.0, 3.0);
+        for i in -6..=2 {
+            let x = i as f64;
+            assert!(
+                (kde.pdf(x) - truth.pdf(x)).abs() < 0.02,
+                "pdf mismatch at {x}: {} vs {}",
+                kde.pdf(x),
+                truth.pdf(x)
+            );
+            assert!((kde.cdf(x) - truth.cdf(x)).abs() < 0.03);
+        }
+    }
+
+    #[test]
+    fn mean_matches_sample_mean() {
+        let samples = [1.0, 2.0, 3.0, 10.0];
+        let kde = KernelDensity::with_bandwidth(&samples, 0.5);
+        assert!((kde.mean() - 4.0).abs() < 1e-12);
+        assert!(kde.variance() > 0.0);
+    }
+
+    #[test]
+    fn degenerate_samples_get_positive_bandwidth() {
+        let bw = silverman_bandwidth(&[5.0, 5.0, 5.0]);
+        assert!(bw > 0.0);
+        let kde = KernelDensity::new(&[5.0, 5.0, 5.0]);
+        assert!(kde.pdf(5.0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_samples_rejected() {
+        KernelDensity::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn non_positive_bandwidth_rejected() {
+        KernelDensity::with_bandwidth(&[1.0], 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Sample quantiles and monotone bisection.
+//!
+//! The online sequencer (§3.5 of the paper) finds, for each message `i`, a
+//! future time `T^F_i` such that `P(T*_i < T^F_i) > p_safe`. The paper notes
+//! this can be computed "by a binary search on the future timestamps"; the
+//! [`bisect_increasing`] helper implements exactly that search against any
+//! monotone probability function.
+
+/// Compute the `q`-quantile (`0 ≤ q ≤ 1`) of a sample using linear
+/// interpolation between order statistics (type-7 / the default of most
+/// statistics packages).
+///
+/// Returns `None` for an empty sample.
+pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Same as [`quantile`] but assumes the input is already sorted ascending.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The median of a sample (`None` if empty).
+pub fn median(samples: &[f64]) -> Option<f64> {
+    quantile(samples, 0.5)
+}
+
+/// Find the smallest `x ∈ [lo, hi]` such that `f(x) >= target`, assuming `f`
+/// is non-decreasing, to within absolute tolerance `tol` on `x`.
+///
+/// Returns `None` when `f(hi) < target` (the target is unreachable within the
+/// bracket). If `f(lo) >= target` already, returns `lo`.
+pub fn bisect_increasing<F: Fn(f64) -> f64>(
+    f: F,
+    lo: f64,
+    hi: f64,
+    target: f64,
+    tol: f64,
+) -> Option<f64> {
+    assert!(hi >= lo, "invalid bracket [{lo}, {hi}]");
+    assert!(tol > 0.0, "tolerance must be positive");
+    if f(lo) >= target {
+        return Some(lo);
+    }
+    if f(hi) < target {
+        return None;
+    }
+    let mut lo = lo;
+    let mut hi = hi;
+    // 200 iterations is far more than needed to reach any sensible tol but
+    // bounds the loop against pathological functions.
+    for _ in 0..200 {
+        if hi - lo <= tol {
+            break;
+        }
+        let mid = 0.5 * (lo + hi);
+        if f(mid) >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_basic() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(5.0));
+        assert_eq!(quantile(&xs, 0.5), Some(3.0));
+        assert_eq!(quantile(&xs, 0.25), Some(2.0));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile(&xs, 0.3), Some(3.0));
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let xs = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(quantile(&xs, 0.5), Some(3.0));
+    }
+
+    #[test]
+    fn quantile_empty_is_none() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn median_even_count() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+    }
+
+    #[test]
+    fn bisect_finds_threshold() {
+        // f(x) = x^2 on [0, 10]; smallest x with x^2 >= 49 is 7.
+        let x = bisect_increasing(|x| x * x, 0.0, 10.0, 49.0, 1e-9).unwrap();
+        assert!((x - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bisect_returns_lo_when_already_satisfied() {
+        let x = bisect_increasing(|x| x, 5.0, 10.0, 3.0, 1e-9).unwrap();
+        assert_eq!(x, 5.0);
+    }
+
+    #[test]
+    fn bisect_returns_none_when_unreachable() {
+        assert_eq!(bisect_increasing(|x| x, 0.0, 1.0, 2.0, 1e-9), None);
+    }
+
+    #[test]
+    fn bisect_step_function() {
+        // Non-decreasing step function with jump at 3.
+        let f = |x: f64| if x < 3.0 { 0.0 } else { 1.0 };
+        let x = bisect_increasing(f, 0.0, 10.0, 0.5, 1e-9).unwrap();
+        assert!((x - 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,188 @@
+//! The sequencer client library.
+//!
+//! A [`SequencerClient`] owns one TCP connection to the sequencer. It can
+//! run synchronization probes (learning its offset distribution with a
+//! [`DistributionLearner`]), share the learned distribution, submit
+//! timestamped messages, send heartbeats and receive emitted batches.
+
+use crate::error::TransportError;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::TcpStream;
+use tommy_clock::learning::{DistributionLearner, LearnedModel};
+use tommy_clock::shared::SharedDistribution;
+use tommy_core::message::{ClientId, MessageId};
+use tommy_wire::frame::{encode_frame, FrameDecoder};
+use tommy_wire::messages::WireMessage;
+
+/// An emitted batch as observed by a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientBatch {
+    /// Rank of the batch.
+    pub rank: u64,
+    /// Message ids in the batch.
+    pub message_ids: Vec<MessageId>,
+}
+
+/// A client connection to the sequencer.
+pub struct SequencerClient {
+    id: ClientId,
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    next_message_id: u64,
+    next_probe_seq: u64,
+    learner: DistributionLearner,
+    pending: Vec<WireMessage>,
+}
+
+impl SequencerClient {
+    /// Connect to a sequencer.
+    pub async fn connect(addr: &str, id: ClientId) -> Result<Self, TransportError> {
+        let stream = TcpStream::connect(addr).await?;
+        stream.set_nodelay(true)?;
+        Ok(SequencerClient {
+            id,
+            stream,
+            decoder: FrameDecoder::new(),
+            next_message_id: (id.0 as u64) << 32,
+            next_probe_seq: 0,
+            learner: DistributionLearner::new(LearnedModel::GaussianFit),
+            pending: Vec::new(),
+        })
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Number of offset samples accumulated from probes so far.
+    pub fn probe_samples(&self) -> usize {
+        self.learner.len()
+    }
+
+    async fn send(&mut self, message: &WireMessage) -> Result<(), TransportError> {
+        let frame = encode_frame(message);
+        self.stream.write_all(&frame).await?;
+        Ok(())
+    }
+
+    async fn read_more(&mut self) -> Result<(), TransportError> {
+        let mut buf = vec![0u8; 8 * 1024];
+        let n = self.stream.read(&mut buf).await?;
+        if n == 0 {
+            return Err(TransportError::ConnectionClosed);
+        }
+        self.decoder.feed(&buf[..n]);
+        self.pending.extend(self.decoder.drain()?);
+        Ok(())
+    }
+
+    /// Wait for the next frame matching `want`, buffering everything else.
+    async fn wait_for<F, T>(&mut self, mut want: F) -> Result<T, TransportError>
+    where
+        F: FnMut(&WireMessage) -> Option<T>,
+    {
+        loop {
+            if let Some(pos) = self.pending.iter().position(|m| want(m).is_some()) {
+                let msg = self.pending.remove(pos);
+                return Ok(want(&msg).expect("matched above"));
+            }
+            self.read_more().await?;
+        }
+    }
+
+    /// Run one synchronization probe: send the client's local timestamp,
+    /// receive the sequencer's receive/transmit stamps, and record the offset
+    /// sample with the learner. Returns the estimated offset.
+    pub async fn probe(&mut self, local_now: f64) -> Result<f64, TransportError> {
+        let seq = self.next_probe_seq;
+        self.next_probe_seq += 1;
+        self.send(&WireMessage::Probe { seq, t0: local_now }).await?;
+        let (t0, t1, t2) = self
+            .wait_for(|m| match m {
+                WireMessage::ProbeReply {
+                    seq: reply_seq,
+                    t0,
+                    t1,
+                    t2,
+                } if *reply_seq == seq => Some((*t0, *t1, *t2)),
+                _ => None,
+            })
+            .await?;
+        // The reply was consumed as fast as the runtime allowed; treat the
+        // receive time as "now" on the client clock for the classic estimator.
+        let t3 = local_now + (t2 - t1).max(0.0) + 1e-6;
+        let exchange = tommy_clock::probe::ProbeExchange { t0, t1, t2, t3 };
+        let offset = exchange.offset_estimate();
+        self.learner.record(offset);
+        Ok(offset)
+    }
+
+    /// Share an explicit distribution with the sequencer.
+    pub async fn share_distribution(
+        &mut self,
+        distribution: SharedDistribution,
+    ) -> Result<(), TransportError> {
+        self.send(&WireMessage::ShareDistribution {
+            client: self.id,
+            distribution,
+        })
+        .await
+    }
+
+    /// Share whatever the probe learner has accumulated (Gaussian fit), or a
+    /// fallback standard deviation if fewer than two probes have run.
+    pub async fn share_learned_distribution(
+        &mut self,
+        fallback_std_dev: f64,
+    ) -> Result<(), TransportError> {
+        let shared = match self.learner.learned() {
+            Some(dist) => SharedDistribution::from_distribution(&dist),
+            None => SharedDistribution::Gaussian {
+                mean: 0.0,
+                std_dev: fallback_std_dev,
+            },
+        };
+        self.share_distribution(shared).await
+    }
+
+    /// Submit a timestamped message; waits for the sequencer's Ack and
+    /// returns the message id.
+    pub async fn submit(&mut self, timestamp: f64) -> Result<MessageId, TransportError> {
+        let id = MessageId(self.next_message_id);
+        self.next_message_id += 1;
+        self.send(&WireMessage::Submit {
+            id,
+            client: self.id,
+            timestamp,
+        })
+        .await?;
+        self.wait_for(|m| match m {
+            WireMessage::Ack { id: acked } if *acked == id => Some(()),
+            _ => None,
+        })
+        .await?;
+        Ok(id)
+    }
+
+    /// Send a heartbeat with the given local timestamp.
+    pub async fn heartbeat(&mut self, timestamp: f64) -> Result<(), TransportError> {
+        self.send(&WireMessage::Heartbeat {
+            client: self.id,
+            timestamp,
+        })
+        .await
+    }
+
+    /// Wait for the next emitted batch.
+    pub async fn next_batch(&mut self) -> Result<ClientBatch, TransportError> {
+        self.wait_for(|m| match m {
+            WireMessage::BatchEmit { rank, message_ids } => Some(ClientBatch {
+                rank: *rank,
+                message_ids: message_ids.clone(),
+            }),
+            _ => None,
+        })
+        .await
+    }
+}

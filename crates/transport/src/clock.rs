@@ -1,0 +1,55 @@
+//! The sequencer's clock.
+//!
+//! §3.1 of the paper: clients only need to be synchronized *with the
+//! sequencer's clock*, not with a global clock. The server therefore exposes
+//! a single monotonic clock — seconds since the server started — that stamps
+//! probe replies and drives safe-emission decisions.
+
+use std::time::Instant;
+
+/// A monotonic clock measured in seconds since an epoch chosen at creation.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerClock {
+    epoch: Instant,
+}
+
+impl Default for ServerClock {
+    fn default() -> Self {
+        ServerClock::new()
+    }
+}
+
+impl ServerClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        ServerClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since the epoch.
+    pub fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let clock = ServerClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+        assert!(a >= 0.0);
+    }
+
+    #[test]
+    fn copies_share_the_epoch() {
+        let clock = ServerClock::new();
+        let copy = clock;
+        assert!((clock.now() - copy.now()).abs() < 0.1);
+    }
+}

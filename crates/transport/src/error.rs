@@ -1,0 +1,77 @@
+//! Transport errors.
+
+use tommy_core::error::CoreError;
+use tommy_wire::error::WireError;
+
+/// Errors surfaced by the networked sequencer and client.
+#[derive(Debug)]
+pub enum TransportError {
+    /// An I/O error from the underlying socket.
+    Io(std::io::Error),
+    /// A malformed or corrupted frame.
+    Wire(WireError),
+    /// The sequencer rejected an operation (unknown client, duplicate
+    /// message, non-monotone timestamp, …).
+    Core(CoreError),
+    /// The connection was closed while a response was still expected.
+    ConnectionClosed,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "I/O error: {e}"),
+            TransportError::Wire(e) => write!(f, "wire protocol error: {e}"),
+            TransportError::Core(e) => write!(f, "sequencer error: {e}"),
+            TransportError::ConnectionClosed => write!(f, "connection closed unexpectedly"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Io(e) => Some(e),
+            TransportError::Wire(e) => Some(e),
+            TransportError::Core(e) => Some(e),
+            TransportError::ConnectionClosed => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        TransportError::Wire(e)
+    }
+}
+
+impl From<CoreError> for TransportError {
+    fn from(e: CoreError) -> Self {
+        TransportError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let io: TransportError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        assert!(io.to_string().contains("I/O"));
+
+        let wire: TransportError = WireError::UnknownKind(7).into();
+        assert!(wire.to_string().contains("wire"));
+
+        let core: TransportError = CoreError::EmptyInput.into();
+        assert!(core.to_string().contains("sequencer"));
+
+        assert!(TransportError::ConnectionClosed.to_string().contains("closed"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # tommy-transport
+//!
+//! An async (tokio) TCP deployment of the Tommy sequencer, matching the
+//! system architecture of Figure 1 in the paper: clients connect to the
+//! sequencer over ordered channels (TCP), share their learned clock-offset
+//! distributions, submit timestamped messages and periodic heartbeats, and
+//! receive ranked batches back as the online sequencer emits them.
+//!
+//! The algorithmic core lives entirely in `tommy-core` (runtime-free); this
+//! crate only adds the wire plumbing:
+//!
+//! * [`server::SequencerServer`] — accepts client connections, drives an
+//!   [`OnlineSequencer`](tommy_core::sequencer::online::OnlineSequencer)
+//!   behind a mutex, answers synchronization probes with its own clock, and
+//!   broadcasts emitted batches to every connected client.
+//! * [`client::SequencerClient`] — connects, registers a distribution,
+//!   submits messages/heartbeats, runs NTP-style probes against the server
+//!   and receives emitted batches.
+//! * [`clock::ServerClock`] — the sequencer's monotonic clock (seconds since
+//!   server start), which is the time base all safe-emission decisions use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod clock;
+pub mod error;
+pub mod server;
+
+pub use client::SequencerClient;
+pub use clock::ServerClock;
+pub use error::TransportError;
+pub use server::{SequencerServer, ServerConfig};

@@ -1,0 +1,236 @@
+//! The networked sequencer server.
+//!
+//! One tokio task per connection reads frames, translates them into calls on
+//! the shared [`OnlineSequencer`], and every batch the sequencer emits is
+//! broadcast to all connected clients as a [`WireMessage::BatchEmit`] frame.
+//! Synchronization probes are answered immediately with the server's own
+//! clock, giving clients the raw material to learn their offset
+//! distributions (§5 of the paper).
+
+use crate::clock::ServerClock;
+use crate::error::TransportError;
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::broadcast;
+use tommy_core::config::SequencerConfig;
+use tommy_core::message::{ClientId, Message, MessageId};
+use tommy_core::sequencer::online::{EmittedBatch, OnlineSequencer};
+use tommy_wire::frame::{encode_frame, FrameDecoder};
+use tommy_wire::messages::WireMessage;
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Sequencer (threshold, p_safe, …) configuration.
+    pub sequencer: SequencerConfig,
+    /// How often the server ticks the online sequencer even with no input,
+    /// in milliseconds (drives emissions whose safe time has passed).
+    pub tick_interval_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            sequencer: SequencerConfig::default(),
+            tick_interval_ms: 10,
+        }
+    }
+}
+
+struct Shared {
+    sequencer: Mutex<OnlineSequencer>,
+    clock: ServerClock,
+    emissions: broadcast::Sender<EmittedBatch>,
+}
+
+impl Shared {
+    fn publish(&self, batches: Vec<EmittedBatch>) {
+        for batch in batches {
+            // Send errors only mean there are no subscribers right now.
+            let _ = self.emissions.send(batch);
+        }
+    }
+}
+
+/// A running sequencer server.
+pub struct SequencerServer {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    config: ServerConfig,
+}
+
+impl SequencerServer {
+    /// Bind a server on the given address (use port 0 for an ephemeral port).
+    pub async fn bind(addr: &str, config: ServerConfig) -> Result<Self, TransportError> {
+        let listener = TcpListener::bind(addr).await?;
+        let (emissions, _) = broadcast::channel(1024);
+        let shared = Arc::new(Shared {
+            sequencer: Mutex::new(OnlineSequencer::new(config.sequencer)),
+            clock: ServerClock::new(),
+            emissions,
+        });
+        Ok(SequencerServer {
+            listener,
+            shared,
+            config,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> Result<SocketAddr, TransportError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Number of batches emitted so far.
+    pub fn emitted_batches(&self) -> usize {
+        self.shared.sequencer.lock().emitted().len()
+    }
+
+    /// Run the accept loop forever (spawn this on a task; abort to stop).
+    pub async fn run(self) -> Result<(), TransportError> {
+        // Periodic ticker so batches whose safe-emission time passes without
+        // new input still get emitted.
+        let tick_shared = Arc::clone(&self.shared);
+        let tick_interval = self.config.tick_interval_ms.max(1);
+        tokio::spawn(async move {
+            let mut interval =
+                tokio::time::interval(std::time::Duration::from_millis(tick_interval));
+            loop {
+                interval.tick().await;
+                let now = tick_shared.clock.now();
+                let emitted = tick_shared.sequencer.lock().tick(now);
+                tick_shared.publish(emitted);
+            }
+        });
+
+        loop {
+            let (stream, _) = self.listener.accept().await?;
+            let shared = Arc::clone(&self.shared);
+            tokio::spawn(async move {
+                if let Err(e) = handle_connection(stream, shared).await {
+                    // Connection-level failures only affect that client.
+                    eprintln!("tommy-transport: connection ended with error: {e}");
+                }
+            });
+        }
+    }
+}
+
+async fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<(), TransportError> {
+    stream.set_nodelay(true)?;
+    let (mut reader, writer) = stream.into_split();
+    let writer = Arc::new(tokio::sync::Mutex::new(writer));
+
+    // Forward every emitted batch to this client.
+    let mut emissions = shared.emissions.subscribe();
+    let forward_writer = Arc::clone(&writer);
+    let forwarder = tokio::spawn(async move {
+        while let Ok(batch) = emissions.recv().await {
+            let frame = encode_frame(&WireMessage::BatchEmit {
+                rank: batch.rank as u64,
+                message_ids: batch.messages.iter().map(|m| m.id).collect(),
+            });
+            if forward_writer.lock().await.write_all(&frame).await.is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut decoder = FrameDecoder::new();
+    let mut buf = vec![0u8; 16 * 1024];
+    let result: Result<(), TransportError> = loop {
+        let n = match reader.read(&mut buf).await {
+            Ok(0) => break Ok(()),
+            Ok(n) => n,
+            Err(e) => break Err(e.into()),
+        };
+        decoder.feed(&buf[..n]);
+        loop {
+            let message = match decoder.next_message() {
+                Ok(Some(m)) => m,
+                Ok(None) => break,
+                Err(e) => return Err(e.into()),
+            };
+            if let Some(reply) = handle_message(&shared, message)? {
+                let frame = encode_frame(&reply);
+                writer.lock().await.write_all(&frame).await?;
+            }
+        }
+    };
+
+    forwarder.abort();
+    result
+}
+
+/// Apply one client frame to the shared sequencer; returns an optional direct
+/// reply frame for the sending client.
+fn handle_message(
+    shared: &Shared,
+    message: WireMessage,
+) -> Result<Option<WireMessage>, TransportError> {
+    let now = shared.clock.now();
+    match message {
+        WireMessage::ShareDistribution {
+            client,
+            distribution,
+        } => {
+            let dist = distribution.to_distribution();
+            shared.sequencer.lock().register_client(client, dist);
+            Ok(None)
+        }
+        WireMessage::Submit {
+            id,
+            client,
+            timestamp,
+        } => {
+            let msg = Message::new(id, client, timestamp);
+            let emitted = shared.sequencer.lock().submit(msg, now)?;
+            shared.publish(emitted);
+            Ok(Some(WireMessage::Ack { id }))
+        }
+        WireMessage::Heartbeat { client, timestamp } => {
+            let emitted = shared.sequencer.lock().heartbeat(client, timestamp, now)?;
+            shared.publish(emitted);
+            Ok(None)
+        }
+        WireMessage::Probe { seq, t0 } => {
+            // t1 = receive time, t2 = transmit time on the sequencer clock.
+            let t1 = now;
+            let t2 = shared.clock.now();
+            Ok(Some(WireMessage::ProbeReply { seq, t0, t1, t2 }))
+        }
+        // Client-bound frames are not expected from clients; ignore them so a
+        // confused peer cannot wedge the connection.
+        WireMessage::BatchEmit { .. } | WireMessage::Ack { .. } | WireMessage::ProbeReply { .. } => {
+            Ok(None)
+        }
+    }
+}
+
+/// A convenience handle used by tests and examples: register clients directly
+/// on a server-side sequencer without going through the network (e.g. to
+/// pre-register the known client set before clients connect).
+pub fn preregister(
+    server: &SequencerServer,
+    clients: &[(ClientId, tommy_stats::distribution::OffsetDistribution)],
+) {
+    let mut sequencer = server.shared.sequencer.lock();
+    for (client, dist) in clients {
+        sequencer.register_client(*client, dist.clone());
+    }
+}
+
+/// Re-exported for integration tests that want to assert on emitted ids.
+pub fn emitted_message_ids(server: &SequencerServer) -> Vec<Vec<MessageId>> {
+    server
+        .shared
+        .sequencer
+        .lock()
+        .emitted()
+        .iter()
+        .map(|b| b.messages.iter().map(|m| m.id).collect())
+        .collect()
+}

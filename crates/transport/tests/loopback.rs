@@ -1,0 +1,93 @@
+//! Loopback integration test: a real sequencer server and two real clients
+//! over TCP on localhost, exercising distribution sharing, submission,
+//! heartbeats, probes and batch emission end to end.
+
+use tommy_clock::shared::SharedDistribution;
+use tommy_core::config::SequencerConfig;
+use tommy_core::message::ClientId;
+use tommy_transport::server::{SequencerServer, ServerConfig};
+use tommy_transport::SequencerClient;
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn two_clients_submit_and_receive_batches() {
+    let config = ServerConfig {
+        sequencer: SequencerConfig::default().with_p_safe(0.9),
+        tick_interval_ms: 5,
+    };
+    let server = SequencerServer::bind("127.0.0.1:0", config).await.unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let server_task = tokio::spawn(server.run());
+
+    let mut alice = SequencerClient::connect(&addr, ClientId(0)).await.unwrap();
+    let mut bob = SequencerClient::connect(&addr, ClientId(1)).await.unwrap();
+
+    // Both clients share tight Gaussian distributions (in seconds).
+    alice
+        .share_distribution(SharedDistribution::Gaussian {
+            mean: 0.0,
+            std_dev: 0.001,
+        })
+        .await
+        .unwrap();
+    bob.share_distribution(SharedDistribution::Gaussian {
+        mean: 0.0,
+        std_dev: 0.001,
+    })
+    .await
+    .unwrap();
+    // Give the server a moment to process registrations before submitting.
+    tokio::time::sleep(std::time::Duration::from_millis(50)).await;
+
+    // Submit two well-separated messages (timestamps in the server clock's
+    // ballpark: small positive seconds).
+    let a_id = alice.submit(0.010).await.unwrap();
+    let b_id = bob.submit(0.500).await.unwrap();
+
+    // Heartbeats far past both timestamps let the watermark advance.
+    alice.heartbeat(10.0).await.unwrap();
+    bob.heartbeat(10.0).await.unwrap();
+
+    // Both clients should observe both batches, in rank order, with Alice's
+    // earlier-stamped message ranked first.
+    let mut seen = Vec::new();
+    for _ in 0..2 {
+        let batch = tokio::time::timeout(std::time::Duration::from_secs(5), alice.next_batch())
+            .await
+            .expect("timed out waiting for a batch")
+            .unwrap();
+        seen.push(batch);
+    }
+    assert_eq!(seen.len(), 2);
+    assert!(seen[0].rank < seen[1].rank);
+    assert_eq!(seen[0].message_ids, vec![a_id]);
+    assert_eq!(seen[1].message_ids, vec![b_id]);
+
+    // Bob sees the same emissions.
+    let bob_first = tokio::time::timeout(std::time::Duration::from_secs(5), bob.next_batch())
+        .await
+        .expect("timed out")
+        .unwrap();
+    assert_eq!(bob_first.message_ids, vec![a_id]);
+
+    server_task.abort();
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn probes_feed_the_client_side_learner() {
+    let server = SequencerServer::bind("127.0.0.1:0", ServerConfig::default())
+        .await
+        .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let server_task = tokio::spawn(server.run());
+
+    let mut client = SequencerClient::connect(&addr, ClientId(7)).await.unwrap();
+    for i in 0..8 {
+        let offset = client.probe(i as f64 * 0.01).await.unwrap();
+        assert!(offset.is_finite());
+    }
+    assert_eq!(client.probe_samples(), 8);
+    // Sharing the learned distribution must not error.
+    client.share_learned_distribution(0.001).await.unwrap();
+
+    server_task.abort();
+}

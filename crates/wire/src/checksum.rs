@@ -1,0 +1,61 @@
+//! CRC-32 (IEEE 802.3 polynomial) over frame payloads.
+//!
+//! Implemented from scratch with a lazily built lookup table; the sequencer
+//! rejects frames whose checksum does not match rather than risk ordering a
+//! corrupted timestamp.
+
+/// Compute the CRC-32 (IEEE) of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = table();
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        let idx = ((crc ^ byte as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ table[idx];
+    }
+    !crc
+}
+
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 == 1 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32 test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn different_payloads_have_different_checksums() {
+        assert_ne!(crc32(b"hello"), crc32(b"hellp"));
+        assert_ne!(crc32(b"ab"), crc32(b"ba"));
+    }
+
+    #[test]
+    fn checksum_is_deterministic() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(crc32(&data), crc32(&data));
+    }
+}

@@ -1,0 +1,219 @@
+//! Length-prefixed framing with checksums.
+//!
+//! Frame layout (all little-endian):
+//!
+//! ```text
+//! [u32 length] [u8 kind] [payload bytes...] [u32 crc32(payload)]
+//! ```
+//!
+//! `length` counts everything after itself (kind + payload + crc). The
+//! decoder is incremental: feed it arbitrary byte chunks from a TCP stream
+//! and pull complete messages out as they become available.
+
+use crate::checksum::crc32;
+use crate::error::WireError;
+use crate::messages::WireMessage;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum accepted frame body length (kind + payload + crc). Large enough
+/// for a 64k-sample distribution share, small enough to bound memory per
+/// connection.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Encode a message into a complete frame ready to write to a socket.
+pub fn encode_frame(message: &WireMessage) -> Bytes {
+    let mut payload = BytesMut::new();
+    message.encode_payload(&mut payload);
+    let crc = crc32(&payload);
+    let body_len = 1 + payload.len() + 4;
+    let mut frame = BytesMut::with_capacity(4 + body_len);
+    frame.put_u32_le(body_len as u32);
+    frame.put_u8(message.kind());
+    frame.extend_from_slice(&payload);
+    frame.put_u32_le(crc);
+    frame.freeze()
+}
+
+/// An incremental frame decoder for a byte stream.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buffer: BytesMut,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Number of buffered (not yet consumed) bytes.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Append raw bytes received from the transport.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buffer.extend_from_slice(data);
+    }
+
+    /// Try to decode the next complete message. Returns `Ok(None)` when more
+    /// bytes are needed.
+    pub fn next_message(&mut self) -> Result<Option<WireMessage>, WireError> {
+        if self.buffer.len() < 4 {
+            return Ok(None);
+        }
+        let mut peek = &self.buffer[..];
+        let body_len = peek.get_u32_le() as usize;
+        if body_len > MAX_FRAME_LEN {
+            return Err(WireError::FrameTooLarge { declared: body_len });
+        }
+        if body_len < 5 {
+            // A frame must at least carry a kind byte and a checksum.
+            return Err(WireError::Truncated { context: "frame body" });
+        }
+        if self.buffer.len() < 4 + body_len {
+            return Ok(None);
+        }
+
+        // We have a complete frame: consume it.
+        self.buffer.advance(4);
+        let kind = self.buffer[0];
+        let payload_len = body_len - 5;
+        let payload = self.buffer[1..1 + payload_len].to_vec();
+        let expected =
+            u32::from_le_bytes(self.buffer[1 + payload_len..5 + payload_len].try_into().unwrap());
+        self.buffer.advance(body_len);
+
+        let actual = crc32(&payload);
+        if actual != expected {
+            return Err(WireError::ChecksumMismatch { expected, actual });
+        }
+        WireMessage::decode_payload(kind, &payload).map(Some)
+    }
+
+    /// Decode every complete message currently buffered.
+    pub fn drain(&mut self) -> Result<Vec<WireMessage>, WireError> {
+        let mut out = Vec::new();
+        while let Some(msg) = self.next_message()? {
+            out.push(msg);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tommy_core::message::{ClientId, MessageId};
+
+    fn sample_messages() -> Vec<WireMessage> {
+        vec![
+            WireMessage::Submit {
+                id: MessageId(1),
+                client: ClientId(2),
+                timestamp: 3.5,
+            },
+            WireMessage::Heartbeat {
+                client: ClientId(2),
+                timestamp: 4.0,
+            },
+            WireMessage::BatchEmit {
+                rank: 0,
+                message_ids: vec![MessageId(1)],
+            },
+        ]
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut decoder = FrameDecoder::new();
+        for msg in sample_messages() {
+            decoder.feed(&encode_frame(&msg));
+            let decoded = decoder.next_message().unwrap().unwrap();
+            assert_eq!(decoded, msg);
+        }
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_handles_partial_feeds() {
+        let msg = WireMessage::Submit {
+            id: MessageId(9),
+            client: ClientId(1),
+            timestamp: -2.5,
+        };
+        let frame = encode_frame(&msg);
+        let mut decoder = FrameDecoder::new();
+        // Feed one byte at a time; the message appears only at the end.
+        for (i, byte) in frame.iter().enumerate() {
+            decoder.feed(&[*byte]);
+            let result = decoder.next_message().unwrap();
+            if i + 1 < frame.len() {
+                assert!(result.is_none());
+            } else {
+                assert_eq!(result.unwrap(), msg);
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_handles_coalesced_frames() {
+        let msgs = sample_messages();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode_frame(m));
+        }
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&stream);
+        let decoded = decoder.drain().unwrap();
+        assert_eq!(decoded, msgs);
+    }
+
+    #[test]
+    fn corrupted_payload_is_detected() {
+        let msg = WireMessage::Ack { id: MessageId(1) };
+        let frame = encode_frame(&msg);
+        let mut corrupted = frame.to_vec();
+        // Flip a bit inside the payload (after length + kind).
+        corrupted[6] ^= 0x01;
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&corrupted);
+        let err = decoder.next_message().unwrap_err();
+        assert!(matches!(err, WireError::ChecksumMismatch { .. }));
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut decoder = FrameDecoder::new();
+        let mut bogus = BytesMut::new();
+        bogus.put_u32_le((MAX_FRAME_LEN + 1) as u32);
+        decoder.feed(&bogus);
+        let err = decoder.next_message().unwrap_err();
+        assert!(matches!(err, WireError::FrameTooLarge { .. }));
+    }
+
+    #[test]
+    fn undersized_frame_rejected() {
+        let mut decoder = FrameDecoder::new();
+        let mut bogus = BytesMut::new();
+        bogus.put_u32_le(2);
+        bogus.put_u8(0x01);
+        bogus.put_u8(0x00);
+        decoder.feed(&bogus);
+        let err = decoder.next_message().unwrap_err();
+        assert!(matches!(err, WireError::Truncated { .. }));
+    }
+
+    #[test]
+    fn large_distribution_share_roundtrips() {
+        let msg = WireMessage::ShareDistribution {
+            client: ClientId(3),
+            distribution: tommy_clock::shared::SharedDistribution::Samples(
+                (0..10_000).map(|i| i as f64 * 0.001).collect(),
+            ),
+        };
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&encode_frame(&msg));
+        assert_eq!(decoder.next_message().unwrap().unwrap(), msg);
+    }
+}

@@ -1,0 +1,26 @@
+//! # tommy-wire
+//!
+//! The binary wire protocol spoken between Tommy clients and the sequencer
+//! (Figure 1 of the paper): clients submit timestamped messages, periodically
+//! share their learned clock-offset distributions, and send heartbeats so the
+//! sequencer's watermarks advance; the sequencer emits ranked batches back.
+//!
+//! The protocol is deliberately simple: every frame is
+//! `[u32 length][u8 kind][payload]`, with fixed-width little-endian numeric
+//! fields and a trailing CRC-32 over the payload. Framing and codecs are
+//! hand-rolled over [`bytes`] rather than pulling in a serialization
+//! framework, both to keep the dependency surface small and because the
+//! formats are simple enough that an explicit layout is the better
+//! documentation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod error;
+pub mod frame;
+pub mod messages;
+
+pub use error::WireError;
+pub use frame::{FrameDecoder, MAX_FRAME_LEN};
+pub use messages::WireMessage;

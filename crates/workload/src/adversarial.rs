@@ -1,0 +1,161 @@
+//! Byzantine timestamp manipulation.
+//!
+//! §5 of the paper: "In auction-apps, clients have an incentive to dictate
+//! sequencing of messages e.g., by manipulating the timestamps attached to
+//! the messages, as it may translate to monetary benefits e.g., winning
+//! trades in a financial exchange." This module applies such attacks to an
+//! honest workload so experiments can quantify how much an attacker gains
+//! under each sequencer (the paper leaves defences to future work; measuring
+//! the exposure is the first step).
+
+use tommy_core::message::{ClientId, Message};
+
+/// A timestamp-manipulation strategy for a single Byzantine client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimestampAttack {
+    /// Subtract a constant from every timestamp ("I was earlier than I was").
+    BackdateBy(f64),
+    /// Report a fraction of the honest timestamp's distance to a reference
+    /// time (aggressively racing to the front without being absurd).
+    RaceToFront {
+        /// The reference time the attacker pretends to have acted at.
+        reference: f64,
+        /// Fraction of the honest delay the attacker keeps (0 = claim the
+        /// reference time exactly, 1 = honest).
+        keep_fraction: f64,
+    },
+}
+
+/// Apply an attack to every message of `attacker`, leaving other clients'
+/// messages untouched. Ground-truth times are preserved (the attack changes
+/// what the attacker *claims*, not what actually happened).
+pub fn apply_attack(
+    messages: &[Message],
+    attacker: ClientId,
+    attack: TimestampAttack,
+) -> Vec<Message> {
+    messages
+        .iter()
+        .map(|m| {
+            if m.client != attacker {
+                return m.clone();
+            }
+            let mut forged = m.clone();
+            forged.timestamp = match attack {
+                TimestampAttack::BackdateBy(delta) => m.timestamp - delta,
+                TimestampAttack::RaceToFront {
+                    reference,
+                    keep_fraction,
+                } => reference + (m.timestamp - reference) * keep_fraction.clamp(0.0, 1.0),
+            };
+            forged
+        })
+        .collect()
+}
+
+/// The attacker's mean rank improvement: how many positions earlier (in a
+/// rank ordering) the attacker's messages land under the forged timestamps
+/// compared to the honest ones, according to a plain sort by timestamp.
+/// Positive values mean the attack helps.
+pub fn naive_rank_gain(honest: &[Message], forged: &[Message], attacker: ClientId) -> f64 {
+    fn mean_rank(messages: &[Message], attacker: ClientId) -> f64 {
+        let mut sorted: Vec<&Message> = messages.iter().collect();
+        sorted.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).expect("finite"));
+        let ranks: Vec<usize> = sorted
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.client == attacker)
+            .map(|(i, _)| i)
+            .collect();
+        if ranks.is_empty() {
+            return 0.0;
+        }
+        ranks.iter().sum::<usize>() as f64 / ranks.len() as f64
+    }
+    mean_rank(honest, attacker) - mean_rank(forged, attacker)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tommy_core::message::MessageId;
+
+    fn msgs() -> Vec<Message> {
+        (0..10)
+            .map(|i| {
+                Message::with_true_time(
+                    MessageId(i),
+                    ClientId((i % 5) as u32),
+                    10.0 + i as f64,
+                    10.0 + i as f64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn backdating_only_affects_the_attacker() {
+        let honest = msgs();
+        let forged = apply_attack(&honest, ClientId(2), TimestampAttack::BackdateBy(100.0));
+        for (h, f) in honest.iter().zip(forged.iter()) {
+            if h.client == ClientId(2) {
+                assert!((f.timestamp - (h.timestamp - 100.0)).abs() < 1e-12);
+            } else {
+                assert_eq!(h.timestamp, f.timestamp);
+            }
+            assert_eq!(h.true_time, f.true_time);
+        }
+    }
+
+    #[test]
+    fn backdating_improves_naive_rank() {
+        let honest = msgs();
+        let forged = apply_attack(&honest, ClientId(4), TimestampAttack::BackdateBy(50.0));
+        let gain = naive_rank_gain(&honest, &forged, ClientId(4));
+        assert!(gain > 0.0, "gain = {gain}");
+    }
+
+    #[test]
+    fn race_to_front_compresses_towards_reference() {
+        let honest = msgs();
+        let forged = apply_attack(
+            &honest,
+            ClientId(0),
+            TimestampAttack::RaceToFront {
+                reference: 10.0,
+                keep_fraction: 0.1,
+            },
+        );
+        for (h, f) in honest.iter().zip(forged.iter()) {
+            if h.client == ClientId(0) {
+                assert!(f.timestamp <= h.timestamp);
+                assert!(f.timestamp >= 10.0);
+            }
+        }
+    }
+
+    #[test]
+    fn keep_fraction_one_is_a_noop() {
+        let honest = msgs();
+        let forged = apply_attack(
+            &honest,
+            ClientId(1),
+            TimestampAttack::RaceToFront {
+                reference: 0.0,
+                keep_fraction: 1.0,
+            },
+        );
+        for (h, f) in honest.iter().zip(forged.iter()) {
+            assert_eq!(h.timestamp, f.timestamp);
+        }
+        assert_eq!(naive_rank_gain(&honest, &forged, ClientId(1)), 0.0);
+    }
+
+    #[test]
+    fn absent_attacker_changes_nothing() {
+        let honest = msgs();
+        let forged = apply_attack(&honest, ClientId(99), TimestampAttack::BackdateBy(5.0));
+        assert_eq!(honest, forged);
+        assert_eq!(naive_rank_gain(&honest, &forged, ClientId(99)), 0.0);
+    }
+}

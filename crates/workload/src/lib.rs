@@ -1,0 +1,42 @@
+//! # tommy-workload
+//!
+//! Workload generators for the Tommy experiments.
+//!
+//! §1 of the paper motivates fair sequencing with *auction-apps*: "millions
+//! of events by hundreds of clients are generated within a very small window
+//! of time upon some sensitive event". §4 evaluates fairness as a function of
+//! the clock error and of the inter-message gap across clients. This crate
+//! generates those workloads:
+//!
+//! * [`events`] — ground-truth generation events (who generated what, when,
+//!   according to the omniscient observer);
+//! * [`burst`] — the auction-app burst: all clients respond shortly after a
+//!   trigger (market-volatility broadcast, ad-auction request, drop);
+//! * [`uniform`] — evenly spaced generation with a configurable inter-message
+//!   gap (the second axis of Figure 5);
+//! * [`poisson`] — Poisson arrivals per client, for steady-state experiments;
+//! * [`population`] — per-client clock-error populations (homogeneous,
+//!   heterogeneous, multi-region);
+//! * [`tagging`] — the §4 tagging step: turn generation events into
+//!   [`Message`](tommy_core::message::Message)s by reading each client's
+//!   simulated clock;
+//! * [`adversarial`] — Byzantine timestamp manipulation (§5 "Byzantine
+//!   Clients").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod burst;
+pub mod events;
+pub mod poisson;
+pub mod population;
+pub mod tagging;
+pub mod uniform;
+
+pub use burst::BurstWorkload;
+pub use events::GenerationEvent;
+pub use poisson::PoissonWorkload;
+pub use population::ClockPopulation;
+pub use tagging::tag_messages;
+pub use uniform::UniformWorkload;

@@ -1,0 +1,128 @@
+//! Poisson arrival workloads.
+//!
+//! Steady-state traffic: every client generates messages as an independent
+//! Poisson process. Useful for the online-sequencer experiments, where the
+//! interesting regime is a sustained stream rather than a single burst.
+
+use crate::events::GenerationEvent;
+use rand::Rng;
+use rand::RngCore;
+use tommy_core::message::ClientId;
+
+/// A Poisson workload over a fixed horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonWorkload {
+    /// Number of independent clients.
+    pub clients: usize,
+    /// Per-client arrival rate (messages per time unit).
+    pub rate_per_client: f64,
+    /// Generation horizon: events are generated in `[start, start + horizon)`.
+    pub horizon: f64,
+    /// Start of the horizon.
+    pub start: f64,
+}
+
+impl PoissonWorkload {
+    /// Create a Poisson workload starting at time 0.
+    pub fn new(clients: usize, rate_per_client: f64, horizon: f64) -> Self {
+        assert!(clients > 0, "need at least one client");
+        assert!(rate_per_client > 0.0, "rate must be positive");
+        assert!(horizon > 0.0, "horizon must be positive");
+        PoissonWorkload {
+            clients,
+            rate_per_client,
+            horizon,
+            start: 0.0,
+        }
+    }
+
+    /// Set the start of the generation horizon.
+    pub fn with_start(mut self, start: f64) -> Self {
+        assert!(start.is_finite());
+        self.start = start;
+        self
+    }
+
+    /// Expected total number of events.
+    pub fn expected_messages(&self) -> f64 {
+        self.clients as f64 * self.rate_per_client * self.horizon
+    }
+
+    /// Generate the ground-truth events (per-client exponential gaps).
+    pub fn generate(&self, rng: &mut dyn RngCore) -> Vec<GenerationEvent> {
+        let mut events = Vec::with_capacity(self.expected_messages() as usize + self.clients);
+        for client in 0..self.clients {
+            let mut t = self.start;
+            loop {
+                let u: f64 = 1.0 - rng.random::<f64>();
+                t += -u.ln() / self.rate_per_client;
+                if t >= self.start + self.horizon {
+                    break;
+                }
+                events.push(GenerationEvent::new(ClientId(client as u32), t));
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn event_count_matches_expectation() {
+        let wl = PoissonWorkload::new(20, 0.5, 1000.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let events = wl.generate(&mut rng);
+        let expected = wl.expected_messages();
+        let actual = events.len() as f64;
+        assert!(
+            (actual - expected).abs() / expected < 0.05,
+            "expected ~{expected}, got {actual}"
+        );
+    }
+
+    #[test]
+    fn events_stay_within_horizon() {
+        let wl = PoissonWorkload::new(5, 1.0, 100.0).with_start(500.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let events = wl.generate(&mut rng);
+        assert!(events.iter().all(|e| e.true_time >= 500.0 && e.true_time < 600.0));
+    }
+
+    #[test]
+    fn per_client_times_are_strictly_increasing() {
+        let wl = PoissonWorkload::new(3, 2.0, 200.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let events = wl.generate(&mut rng);
+        for c in 0..3u32 {
+            let times: Vec<f64> = events
+                .iter()
+                .filter(|e| e.client == ClientId(c))
+                .map(|e| e.true_time)
+                .collect();
+            for w in times.windows(2) {
+                assert!(w[1] > w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_gaps_have_the_right_mean() {
+        let wl = PoissonWorkload::new(1, 0.25, 100_000.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let events = wl.generate(&mut rng);
+        let gaps: Vec<f64> = events.windows(2).map(|w| w[1].true_time - w[0].true_time).collect();
+        let mean_gap: f64 = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!((mean_gap - 4.0).abs() < 0.2, "mean gap = {mean_gap}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        PoissonWorkload::new(1, 0.0, 10.0);
+    }
+}

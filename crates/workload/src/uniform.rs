@@ -1,0 +1,123 @@
+//! Evenly spaced generation events with a configurable inter-message gap.
+//!
+//! Figure 5 of the paper sweeps both the clock error and the "inter-messages
+//! gap across clients"; this generator controls the latter exactly: message
+//! `k` is generated at `start + k * gap`, with clients assigned round-robin.
+
+use crate::events::GenerationEvent;
+use rand::Rng;
+use rand::RngCore;
+use tommy_core::message::ClientId;
+
+/// A workload with an exact, constant gap between consecutive generations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformWorkload {
+    /// Number of participating clients (assigned round-robin).
+    pub clients: usize,
+    /// Total number of messages to generate.
+    pub messages: usize,
+    /// Gap between consecutive generation times.
+    pub gap: f64,
+    /// Generation time of the first message.
+    pub start: f64,
+    /// When `true`, the round-robin client assignment is shuffled so that
+    /// consecutive messages come from random clients instead of a fixed
+    /// rotation.
+    pub shuffle_clients: bool,
+}
+
+impl UniformWorkload {
+    /// A uniform workload starting at time 0 with rotating client assignment.
+    pub fn new(clients: usize, messages: usize, gap: f64) -> Self {
+        assert!(clients > 0, "need at least one client");
+        assert!(gap >= 0.0 && gap.is_finite(), "gap must be non-negative");
+        UniformWorkload {
+            clients,
+            messages,
+            gap,
+            start: 0.0,
+            shuffle_clients: false,
+        }
+    }
+
+    /// Randomize which client generates each message.
+    pub fn with_shuffled_clients(mut self) -> Self {
+        self.shuffle_clients = true;
+        self
+    }
+
+    /// Set the generation time of the first message.
+    pub fn with_start(mut self, start: f64) -> Self {
+        assert!(start.is_finite());
+        self.start = start;
+        self
+    }
+
+    /// Generate the ground-truth events.
+    pub fn generate(&self, rng: &mut dyn RngCore) -> Vec<GenerationEvent> {
+        (0..self.messages)
+            .map(|k| {
+                let client = if self.shuffle_clients {
+                    ClientId(rng.random_range(0..self.clients as u32))
+                } else {
+                    ClientId((k % self.clients) as u32)
+                };
+                GenerationEvent::new(client, self.start + k as f64 * self.gap)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{mean_inter_event_gap, min_inter_event_gap};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gap_is_exact() {
+        let wl = UniformWorkload::new(10, 100, 2.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let events = wl.generate(&mut rng);
+        assert_eq!(events.len(), 100);
+        assert_eq!(min_inter_event_gap(&events), Some(2.5));
+        assert_eq!(mean_inter_event_gap(&events), Some(2.5));
+    }
+
+    #[test]
+    fn round_robin_client_assignment() {
+        let wl = UniformWorkload::new(3, 7, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let events = wl.generate(&mut rng);
+        let clients: Vec<u32> = events.iter().map(|e| e.client.0).collect();
+        assert_eq!(clients, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn shuffled_assignment_uses_all_clients() {
+        let wl = UniformWorkload::new(5, 500, 1.0).with_shuffled_clients();
+        let mut rng = StdRng::seed_from_u64(2);
+        let events = wl.generate(&mut rng);
+        let used: std::collections::HashSet<u32> = events.iter().map(|e| e.client.0).collect();
+        assert_eq!(used.len(), 5);
+        for c in &used {
+            assert!(*c < 5);
+        }
+    }
+
+    #[test]
+    fn start_offset_applies() {
+        let wl = UniformWorkload::new(1, 3, 10.0).with_start(1000.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let events = wl.generate(&mut rng);
+        assert_eq!(events[0].true_time, 1000.0);
+        assert_eq!(events[2].true_time, 1020.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_rejected() {
+        UniformWorkload::new(0, 10, 1.0);
+    }
+}

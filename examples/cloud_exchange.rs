@@ -1,0 +1,74 @@
+//! Cloud exchange scenario: a market-volatility broadcast triggers a burst of
+//! orders from hundreds of trading clients within a tiny window, and the
+//! exchange's matching engine needs them fairly ordered despite imperfect
+//! clock synchronization — the motivating application of the paper (§1, §2).
+//!
+//! Run with: `cargo run --release --example cloud_exchange`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tommy::metrics::batchstats::BatchStats;
+use tommy::prelude::*;
+use tommy::workload::burst::BurstWorkload;
+use tommy::workload::population::ClockPopulation;
+use tommy::workload::tagging::tag_messages;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let clients = 200;
+
+    // Clock errors typical of a well-managed cloud tenant: a few tens of
+    // microseconds (we use abstract units: 1 unit = 1 microsecond).
+    let population = ClockPopulation::Heterogeneous {
+        min_std_dev: 5.0,
+        max_std_dev: 50.0,
+        mean_spread: 10.0,
+    };
+    let clocks = population.build(clients, &mut rng);
+
+    // A volatility event at t = 0 makes every client fire one order within a
+    // few hundred microseconds.
+    let workload = BurstWorkload::market_event(clients, 100.0);
+    let events = workload.generate(&mut rng);
+    let orders = tag_messages(&events, &clocks, 0, &mut rng);
+
+    // The exchange sequencer knows each client's (learned) distribution.
+    let mut sequencer = TommySequencer::new(SequencerConfig::default());
+    let mut registry = DistributionRegistry::new();
+    for (client, clock) in &clocks {
+        sequencer.register_client(*client, clock.distribution().clone());
+        registry.register(*client, clock.distribution().clone());
+    }
+
+    let tommy_order = sequencer.sequence(&orders).expect("registered clients");
+    let truetime_order = TrueTimeSequencer::new(&registry)
+        .sequence(&orders)
+        .expect("registered clients");
+
+    let tommy_ras = rank_agreement_score(&tommy_order, &orders);
+    let truetime_ras = rank_agreement_score(&truetime_order, &orders);
+    let tommy_stats = BatchStats::from_order(&tommy_order);
+    let truetime_stats = BatchStats::from_order(&truetime_order);
+
+    println!("cloud exchange burst: {clients} clients, {} orders", orders.len());
+    println!(
+        "  Tommy    : RAS {:>8} (normalized {:+.4}), {} batches, largest batch {}",
+        tommy_ras.score(),
+        tommy_ras.normalized(),
+        tommy_stats.batches,
+        tommy_stats.max_batch_size
+    );
+    println!(
+        "  TrueTime : RAS {:>8} (normalized {:+.4}), {} batches, largest batch {}",
+        truetime_ras.score(),
+        truetime_ras.normalized(),
+        truetime_stats.batches,
+        truetime_stats.max_batch_size
+    );
+    println!(
+        "\nTommy orders {:.1}% of order pairs vs TrueTime's {:.1}% — more fairness \
+         resolution for the matching engine at the same clock quality.",
+        100.0 * tommy_ras.coverage(),
+        100.0 * truetime_ras.coverage()
+    );
+}

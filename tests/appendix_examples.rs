@@ -1,0 +1,34 @@
+//! Integration tests reproducing the paper's two worked examples end to end
+//! through the public API (Appendix B batching and Appendix C online
+//! sequencing).
+
+use tommy::sim::experiments::{appendix_b, appendix_c};
+
+#[test]
+fn appendix_b_reproduces_the_published_batching() {
+    let result = appendix_b::run(0.75);
+    assert!(result.transitive, "the Appendix B matrix is transitive");
+    assert_eq!(
+        appendix_b::batches_as_labels(&result),
+        vec!["A", "BC", "D"],
+        "threshold 0.75 must yield {{A}} < {{B,C}} < {{D}}"
+    );
+}
+
+#[test]
+fn appendix_b_threshold_variants_match_the_appendix_discussion() {
+    assert_eq!(appendix_b::batches_as_labels(&appendix_b::run(0.9)), vec!["ABCD"]);
+    assert_eq!(
+        appendix_b::batches_as_labels(&appendix_b::run(0.6)),
+        vec!["A", "B", "C", "D"]
+    );
+}
+
+#[test]
+fn appendix_c_merges_the_high_uncertainty_client_into_one_batch() {
+    let result = appendix_c::run(0.999);
+    assert_eq!(result.emitted.len(), 1);
+    assert_eq!(result.emitted[0].messages.len(), 3);
+    // The batch waits for the uncertain client's safe-emission time.
+    assert!(result.safe_after > 103.0 && result.safe_after < 105.0);
+}

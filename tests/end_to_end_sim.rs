@@ -1,0 +1,55 @@
+//! End-to-end integration test spanning workload generation, clock
+//! simulation, both sequencers and the metrics — the full §4 evaluation loop
+//! at a reduced scale, plus the online pipeline over the network simulator.
+
+use tommy::sim::experiments::psafe_sweep::{self, OnlineSetup};
+use tommy::sim::runner::run_offline_comparison;
+use tommy::sim::scenario::ScenarioConfig;
+
+#[test]
+fn offline_pipeline_produces_consistent_scores() {
+    let cfg = ScenarioConfig::default()
+        .with_size(50, 100)
+        .with_clock_std_dev(25.0)
+        .with_gap(1.0)
+        .with_seed(1234);
+    let result = run_offline_comparison(&cfg);
+
+    let pairs = 100 * 99 / 2;
+    assert_eq!(result.tommy.pairs(), pairs);
+    assert_eq!(result.truetime.pairs(), pairs);
+    assert_eq!(result.wfo.pairs(), pairs);
+    assert!(result.transitive, "Gaussian offsets must stay transitive");
+    // Tommy orders at least as many pairs correctly as TrueTime commits to.
+    assert!(result.tommy.score() >= result.truetime.score());
+    // The batch structure accounts for every message exactly once.
+    assert_eq!(result.tommy_batches.messages, 100);
+    assert_eq!(result.truetime_batches.messages, 100);
+}
+
+#[test]
+fn online_pipeline_sequences_every_message_exactly_once() {
+    let cfg = ScenarioConfig::default()
+        .with_size(12, 60)
+        .with_clock_std_dev(4.0)
+        .with_gap(2.0)
+        .with_seed(9);
+    let rows = psafe_sweep::run(&cfg, &OnlineSetup::default(), &[0.99]);
+    assert_eq!(rows.len(), 1);
+    let row = &rows[0];
+    assert_eq!(row.ras.pairs(), 60 * 59 / 2);
+    assert!(row.mean_emission_latency >= 0.0);
+    // The emitted order should be far better than random guessing.
+    assert!(row.ras.normalized() > 0.3, "normalized RAS = {}", row.ras.normalized());
+}
+
+#[test]
+fn online_latency_rises_with_p_safe() {
+    let cfg = ScenarioConfig::default()
+        .with_size(10, 40)
+        .with_clock_std_dev(5.0)
+        .with_gap(3.0)
+        .with_seed(21);
+    let rows = psafe_sweep::run(&cfg, &OnlineSetup::default(), &[0.9, 0.9999]);
+    assert!(rows[1].mean_emission_latency >= rows[0].mean_emission_latency);
+}

@@ -1,0 +1,149 @@
+//! Property-based tests of the core fair-ordering invariants, run through
+//! the public API of the umbrella crate.
+
+use proptest::prelude::*;
+use tommy::prelude::*;
+
+fn arbitrary_messages(max_clients: u32) -> impl Strategy<Value = Vec<(u32, f64)>> {
+    // (client id, timestamp) pairs.
+    prop::collection::vec((0..max_clients, -1_000.0..1_000.0f64), 2..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every sequenced message appears in exactly one batch and ranks are
+    /// contiguous from zero.
+    #[test]
+    fn batching_partitions_the_input(raw in arbitrary_messages(8), sigma in 0.1..50.0f64) {
+        let mut sequencer = TommySequencer::new(SequencerConfig::default());
+        for c in 0..8u32 {
+            sequencer.register_client(ClientId(c), OffsetDistribution::gaussian(0.0, sigma));
+        }
+        // Deduplicate (client, timestamp) pairs into messages with unique ids.
+        let messages: Vec<Message> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, (c, t))| Message::new(MessageId(i as u64), ClientId(*c), *t))
+            .collect();
+        let order = sequencer.sequence(&messages).unwrap();
+
+        prop_assert_eq!(order.num_messages(), messages.len());
+        let mut seen = std::collections::HashSet::new();
+        for (rank, batch) in order.batches().iter().enumerate() {
+            prop_assert_eq!(batch.rank, rank);
+            prop_assert!(!batch.is_empty());
+            for id in &batch.messages {
+                prop_assert!(seen.insert(*id), "message {} in two batches", id);
+            }
+        }
+        prop_assert_eq!(seen.len(), messages.len());
+    }
+
+    /// With identical Gaussian clocks, the extracted linear order never
+    /// inverts two messages whose timestamps differ (the earlier-stamped
+    /// message never lands in a strictly later batch than a later-stamped
+    /// one).
+    #[test]
+    fn ranks_never_contradict_timestamps_for_identical_clocks(
+        raw in arbitrary_messages(6),
+        sigma in 0.5..30.0f64,
+    ) {
+        let mut sequencer = TommySequencer::new(SequencerConfig::default());
+        for c in 0..6u32 {
+            sequencer.register_client(ClientId(c), OffsetDistribution::gaussian(0.0, sigma));
+        }
+        let messages: Vec<Message> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, (c, t))| Message::new(MessageId(i as u64), ClientId(*c), *t))
+            .collect();
+        let order = sequencer.sequence(&messages).unwrap();
+        for a in &messages {
+            for b in &messages {
+                if a.timestamp < b.timestamp {
+                    let ra = order.rank_of(a.id).unwrap();
+                    let rb = order.rank_of(b.id).unwrap();
+                    prop_assert!(
+                        ra <= rb,
+                        "{} (T={}) ranked {} after {} (T={}) ranked {}",
+                        a.id, a.timestamp, ra, b.id, b.timestamp, rb
+                    );
+                }
+            }
+        }
+    }
+
+    /// The preceding probability is complementary: p(a,b) + p(b,a) = 1, and
+    /// the Gaussian closed form always lies in [0, 1].
+    #[test]
+    fn preceding_probability_is_complementary(
+        t1 in -1_000.0..1_000.0f64,
+        t2 in -1_000.0..1_000.0f64,
+        sigma1 in 0.1..100.0f64,
+        sigma2 in 0.1..100.0f64,
+        mean1 in -50.0..50.0f64,
+        mean2 in -50.0..50.0f64,
+    ) {
+        let mut registry = DistributionRegistry::new();
+        registry.register(ClientId(0), OffsetDistribution::gaussian(mean1, sigma1));
+        registry.register(ClientId(1), OffsetDistribution::gaussian(mean2, sigma2));
+        let a = Message::new(MessageId(0), ClientId(0), t1);
+        let b = Message::new(MessageId(1), ClientId(1), t2);
+        let p_ab = registry.preceding_probability(&a, &b).unwrap();
+        let p_ba = registry.preceding_probability(&b, &a).unwrap();
+        prop_assert!((0.0..=1.0).contains(&p_ab));
+        prop_assert!((p_ab + p_ba - 1.0).abs() < 1e-9);
+    }
+
+    /// Raising the threshold never increases the number of batches.
+    #[test]
+    fn higher_threshold_never_creates_more_batches(
+        raw in arbitrary_messages(6),
+        sigma in 0.5..40.0f64,
+    ) {
+        let messages: Vec<Message> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, (c, t))| Message::new(MessageId(i as u64), ClientId(*c), *t))
+            .collect();
+        let mut counts = Vec::new();
+        for threshold in [0.6, 0.75, 0.9] {
+            let mut sequencer =
+                TommySequencer::new(SequencerConfig::default().with_threshold(threshold));
+            for c in 0..6u32 {
+                sequencer.register_client(ClientId(c), OffsetDistribution::gaussian(0.0, sigma));
+            }
+            counts.push(sequencer.sequence(&messages).unwrap().num_batches());
+        }
+        prop_assert!(counts[0] >= counts[1]);
+        prop_assert!(counts[1] >= counts[2]);
+    }
+
+    /// The Rank Agreement Score of any output is bounded by the pair count in
+    /// absolute value, and a perfect (ground-truth) total order achieves the
+    /// maximum.
+    #[test]
+    fn ras_is_bounded_and_maximized_by_ground_truth(raw in arbitrary_messages(6)) {
+        // Build messages whose timestamps equal their true times (perfect
+        // clocks), with distinct true times.
+        let messages: Vec<Message> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, (c, t))| {
+                let t = t + i as f64 * 1e-6; // enforce distinctness
+                Message::with_true_time(MessageId(i as u64), ClientId(*c), t, t)
+            })
+            .collect();
+        let mut sorted = messages.clone();
+        sorted.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
+        let perfect = FairOrder::from_total_order(
+            &sorted.iter().map(|m| m.id).collect::<Vec<_>>(),
+        );
+        let ras = rank_agreement_score(&perfect, &messages);
+        let pairs = messages.len() * (messages.len() - 1) / 2;
+        prop_assert_eq!(ras.pairs(), pairs);
+        prop_assert_eq!(ras.score(), pairs as i64);
+        prop_assert!(ras.normalized() <= 1.0 && ras.normalized() >= -1.0);
+    }
+}

