@@ -1,0 +1,54 @@
+//! Incremental-precedence-engine bench: the streaming arrival path must
+//! scale near-linearly in pending-set size, where the seed implementation
+//! (full matrix + tournament rebuild per arrival) is quadratic-or-worse.
+//!
+//! Three measurements per pending-set size `n`:
+//!
+//! * `stream_incremental/n` — submit `n` watermark-blocked arrivals through
+//!   the incremental online sequencer (O(k) probability queries at arrival
+//!   `k`).
+//! * `stream_scratch/n` — the same stream through the seed path: a
+//!   from-scratch candidate recomputation per arrival (O(k²) queries at
+//!   arrival `k`). Skipped at the largest sizes, where a single iteration
+//!   takes tens of seconds.
+//! * `tick_cached/n` — a pure clock tick against `n` pending messages:
+//!   O(1), zero probability queries, regardless of `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tommy_bench::{prefilled_sequencer, run_incremental_stream, run_scratch_stream};
+
+const SIZES: [usize; 4] = [50, 200, 500, 2000];
+/// From-scratch recomputation is O(n³) for the whole stream; cap the sizes
+/// so one bench iteration stays under a few seconds.
+const SCRATCH_MAX: usize = 500;
+
+fn online_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_incremental");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    for n in SIZES {
+        group.bench_with_input(BenchmarkId::new("stream_incremental", n), &n, |b, &n| {
+            b.iter(|| run_incremental_stream(n))
+        });
+    }
+    for n in SIZES.iter().copied().filter(|&n| n <= SCRATCH_MAX) {
+        group.bench_with_input(BenchmarkId::new("stream_scratch", n), &n, |b, &n| {
+            b.iter(|| run_scratch_stream(n))
+        });
+    }
+    for n in SIZES {
+        let mut sequencer = prefilled_sequencer(n);
+        let now = n as f64 + 1.0;
+        group.bench_with_input(BenchmarkId::new("tick_cached", n), &n, |b, _| {
+            b.iter(|| sequencer.tick(now).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, online_incremental);
+criterion_main!(benches);

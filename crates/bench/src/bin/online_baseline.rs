@@ -1,0 +1,98 @@
+//! Emit `BENCH_online.json`: messages/sec of the online sequencer's
+//! streaming path at several pending-set sizes, for the incremental engine
+//! and (where it finishes in reasonable time) the seed's
+//! recompute-from-scratch path, plus the cost of a cached clock tick.
+//!
+//! Run from the repository root:
+//!
+//! ```text
+//! cargo run --release -p tommy-bench --bin online_baseline
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use tommy_bench::{prefilled_sequencer, run_incremental_stream, run_scratch_stream};
+
+const SIZES: [usize; 4] = [50, 200, 500, 2000];
+const SCRATCH_MAX: usize = 500;
+const TARGET_SECONDS: f64 = 0.4;
+
+/// Repeat `f` until `TARGET_SECONDS` of wall clock elapse (at least once);
+/// return seconds per call.
+fn time_per_call<F: FnMut()>(mut f: F) -> f64 {
+    // One untimed warm-up call.
+    f();
+    let start = Instant::now();
+    let mut calls = 0u64;
+    loop {
+        f();
+        calls += 1;
+        if start.elapsed().as_secs_f64() >= TARGET_SECONDS {
+            break;
+        }
+    }
+    start.elapsed().as_secs_f64() / calls as f64
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for n in SIZES {
+        eprintln!("measuring incremental stream at n = {n} ...");
+        let inc_secs = time_per_call(|| {
+            run_incremental_stream(n);
+        });
+        let inc_rate = n as f64 / inc_secs;
+
+        let scratch_rate = if n <= SCRATCH_MAX {
+            eprintln!("measuring scratch stream at n = {n} ...");
+            let scratch_secs = time_per_call(|| {
+                run_scratch_stream(n);
+            });
+            Some(n as f64 / scratch_secs)
+        } else {
+            None
+        };
+
+        eprintln!("measuring cached tick at n = {n} ...");
+        let mut sequencer = prefilled_sequencer(n);
+        let now = n as f64 + 1.0;
+        // Hot ticks: measure a batch of 1000 per call to keep timer overhead
+        // out of the number.
+        let tick_ns = time_per_call(|| {
+            for _ in 0..1000 {
+                std::hint::black_box(sequencer.tick(now).len());
+            }
+        }) / 1000.0
+            * 1e9;
+
+        rows.push((n, inc_rate, scratch_rate, tick_ns));
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"online_incremental\",\n");
+    json.push_str("  \"description\": \"online sequencer streaming throughput by pending-set size\",\n");
+    json.push_str("  \"unit\": \"messages_per_sec\",\n");
+    json.push_str("  \"results\": [\n");
+    for (i, (n, inc, scratch, tick_ns)) in rows.iter().enumerate() {
+        let scratch_str = match scratch {
+            Some(rate) => format!("{rate:.1}"),
+            None => "null".to_string(),
+        };
+        let speedup = match scratch {
+            Some(rate) => format!("{:.2}", inc / rate),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            json,
+            "    {{\"pending\": {n}, \"incremental_msgs_per_sec\": {inc:.1}, \
+             \"scratch_msgs_per_sec\": {scratch_str}, \"speedup\": {speedup}, \
+             \"tick_ns\": {tick_ns:.1}}}"
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_online.json", &json).expect("write BENCH_online.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_online.json");
+}

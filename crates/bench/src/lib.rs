@@ -11,7 +11,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use tommy_core::batching::FairOrder;
+use tommy_core::config::SequencerConfig;
+use tommy_core::message::{ClientId, Message, MessageId};
+use tommy_core::precedence::PrecedenceMatrix;
+use tommy_core::registry::DistributionRegistry;
+use tommy_core::sequencer::emission::batch_emission_time;
+use tommy_core::sequencer::online::OnlineSequencer;
+use tommy_core::tournament::Tournament;
 use tommy_sim::scenario::ScenarioConfig;
+use tommy_stats::distribution::OffsetDistribution;
 
 /// A scenario sized for benchmarking: large enough to be representative,
 /// small enough that a criterion iteration completes in milliseconds.
@@ -23,6 +32,134 @@ pub fn bench_scenario() -> ScenarioConfig {
         .with_seed(42)
 }
 
+/// Number of clients used by the streaming precedence benchmarks.
+pub const STREAM_CLIENTS: u32 = 8;
+
+/// A client id that is registered but never speaks: its watermark blocks
+/// every emission, so the benchmarks measure pure arrival-path cost with the
+/// pending set growing to the full stream length.
+pub const SILENT_CLIENT: u32 = 9_999;
+
+fn stream_message(i: usize) -> Message {
+    Message::new(
+        MessageId(i as u64),
+        ClientId(i as u32 % STREAM_CLIENTS),
+        i as f64,
+    )
+}
+
+/// A registry holding the streaming benchmark's Gaussian clients.
+pub fn stream_registry() -> DistributionRegistry {
+    let mut registry = DistributionRegistry::new();
+    for c in 0..STREAM_CLIENTS {
+        registry.register(ClientId(c), OffsetDistribution::gaussian(0.0, 5.0));
+    }
+    registry.register(
+        ClientId(SILENT_CLIENT),
+        OffsetDistribution::gaussian(0.0, 5.0),
+    );
+    registry
+}
+
+/// An online sequencer pre-loaded with `pending` watermark-blocked messages.
+pub fn prefilled_sequencer(pending: usize) -> OnlineSequencer {
+    let mut sequencer = OnlineSequencer::new(SequencerConfig::default());
+    for c in 0..STREAM_CLIENTS {
+        sequencer.register_client(ClientId(c), OffsetDistribution::gaussian(0.0, 5.0));
+    }
+    sequencer.register_client(
+        ClientId(SILENT_CLIENT),
+        OffsetDistribution::gaussian(0.0, 5.0),
+    );
+    for i in 0..pending {
+        let m = stream_message(i);
+        let arrival = m.timestamp;
+        sequencer.submit(m, arrival).expect("valid submission");
+    }
+    sequencer
+}
+
+/// Stream `messages` arrivals through the incremental online sequencer
+/// (each submit pays O(pending) probability queries and one candidate
+/// recomputation). Returns the number of messages left pending, which equals
+/// `messages` because the silent client blocks every watermark.
+pub fn run_incremental_stream(messages: usize) -> usize {
+    let mut sequencer = prefilled_sequencer(messages);
+    sequencer.tick(messages as f64 + 1.0);
+    sequencer.pending_len()
+}
+
+/// Stream `messages` arrivals through the pre-incremental (seed) path: every
+/// arrival rebuilds the full precedence matrix, tournament, linear order and
+/// candidate batch from scratch — O(pending²) probability queries per
+/// arrival. This is the baseline the `online_incremental` bench compares
+/// against.
+pub fn run_scratch_stream(messages: usize) -> usize {
+    let registry = stream_registry();
+    let config = SequencerConfig::default();
+    let mut pending: Vec<Message> = Vec::with_capacity(messages);
+    for i in 0..messages {
+        pending.push(stream_message(i));
+        let (batch, _safe_after) = scratch_candidate_batch(&pending, &registry, &config);
+        // The silent client's watermark would block every emission; the seed
+        // still recomputed the candidate on each arrival, which is the cost
+        // being measured.
+        std::hint::black_box(batch);
+    }
+    pending.len()
+}
+
+/// The seed implementation of the online sequencer's candidate-batch
+/// computation: from-scratch matrix + tournament + linear order + threshold
+/// batching + Appendix C closure rule.
+pub fn scratch_candidate_batch(
+    pending: &[Message],
+    registry: &DistributionRegistry,
+    config: &SequencerConfig,
+) -> (Vec<Message>, f64) {
+    let matrix = PrecedenceMatrix::compute(pending, registry).expect("registered clients");
+    let tournament = Tournament::from_matrix(&matrix);
+    let linear = tournament.linear_order(&matrix, config, None);
+    let order = FairOrder::from_linear_order(&matrix, &linear, config.threshold);
+    let first = order.batches().first().expect("non-empty pending set");
+    let mut in_batch: Vec<usize> = first
+        .messages
+        .iter()
+        .map(|id| matrix.index_of(*id).expect("id from matrix"))
+        .collect();
+    let mut member = vec![false; matrix.len()];
+    for &i in &in_batch {
+        member[i] = true;
+    }
+    loop {
+        let mut grew = false;
+        // Index-based: the loop both reads `member` and (via `in_batch`)
+        // extends the membership it is iterating against.
+        #[allow(clippy::needless_range_loop)]
+        for cand in 0..matrix.len() {
+            if member[cand] {
+                continue;
+            }
+            let inseparable = in_batch.iter().any(|&b| {
+                let p = matrix.prob(b, cand).max(matrix.prob(cand, b));
+                p <= config.threshold
+            });
+            if inseparable {
+                member[cand] = true;
+                in_batch.push(cand);
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    in_batch.sort_unstable();
+    let batch: Vec<Message> = in_batch.iter().map(|&i| matrix.message(i).clone()).collect();
+    let safe_after = batch_emission_time(registry, &batch, config.p_safe);
+    (batch, safe_after)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -32,5 +169,30 @@ mod tests {
         let s = bench_scenario();
         assert!(s.clients >= 50);
         assert!(s.messages >= 100);
+    }
+
+    #[test]
+    fn streams_keep_everything_pending() {
+        assert_eq!(run_incremental_stream(25), 25);
+        assert_eq!(run_scratch_stream(25), 25);
+    }
+
+    #[test]
+    fn scratch_candidate_matches_incremental_engine() {
+        // Same pending set → the baseline's candidate batch must be exactly
+        // the batch the incremental engine emits first, so the bench really
+        // compares two implementations of one algorithm.
+        let registry = stream_registry();
+        let config = SequencerConfig::default();
+        let pending: Vec<Message> = (0..12).map(stream_message).collect();
+        let (batch, safe_after) = scratch_candidate_batch(&pending, &registry, &config);
+        assert!(!batch.is_empty());
+        assert!(safe_after.is_finite());
+
+        let mut sequencer = prefilled_sequencer(12);
+        let first = &sequencer.flush()[0];
+        let scratch_ids: Vec<_> = batch.iter().map(|m| m.id).collect();
+        assert_eq!(first.message_ids(), scratch_ids);
+        assert_eq!(first.safe_after, safe_after);
     }
 }

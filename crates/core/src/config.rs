@@ -24,6 +24,20 @@ pub struct SequencerConfig {
     /// edge removals) instead of the deterministic greedy one, trading
     /// per-decision determinism for long-run stochastic fairness (§3.4).
     pub stochastic_cycle_breaking: bool,
+    /// When `true` (the default), the online sequencer keeps its full
+    /// emission history: the cumulative
+    /// [`FairOrder`](crate::batching::FairOrder) and the set of every message
+    /// id ever seen. Set to `false` for long-running streams so sequencer
+    /// memory stays proportional to the *pending* set: callers then drain
+    /// batches with `OnlineSequencer::take_emitted`, and duplicate detection
+    /// only covers messages not yet emitted. A duplicate of an *emitted*
+    /// message is usually still rejected by the per-client watermark
+    /// monotonicity rule, but an exact retransmission (same timestamp) can
+    /// slip back in when the batch was emitted without the client's own
+    /// watermark passing it (a retired client, or a final `flush()`) —
+    /// accept that trade-off, or deduplicate upstream, before disabling
+    /// history.
+    pub retain_history: bool,
 }
 
 impl Default for SequencerConfig {
@@ -34,6 +48,7 @@ impl Default for SequencerConfig {
             convolution: ConvolutionMethod::Auto,
             grid_points: 1024,
             stochastic_cycle_breaking: false,
+            retain_history: true,
         }
     }
 }
@@ -96,6 +111,13 @@ impl SequencerConfig {
         self.stochastic_cycle_breaking = enabled;
         self
     }
+
+    /// Enable or disable unbounded emission-history retention (see
+    /// [`SequencerConfig::retain_history`]).
+    pub fn with_retain_history(mut self, enabled: bool) -> Self {
+        self.retain_history = enabled;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +131,13 @@ mod tests {
         assert_eq!(c.p_safe, 0.999);
         assert_eq!(c.grid_points, 1024);
         assert!(!c.stochastic_cycle_breaking);
+        assert!(c.retain_history);
+    }
+
+    #[test]
+    fn retain_history_builder() {
+        let c = SequencerConfig::new().with_retain_history(false);
+        assert!(!c.retain_history);
     }
 
     #[test]

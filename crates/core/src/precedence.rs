@@ -8,7 +8,7 @@
 use crate::error::CoreError;
 use crate::message::{Message, MessageId};
 use crate::registry::DistributionRegistry;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Dense matrix of preceding probabilities for a fixed set of messages.
 ///
@@ -23,6 +23,103 @@ pub struct PrecedenceMatrix {
 }
 
 impl PrecedenceMatrix {
+    /// An empty matrix, ready for incremental [`insert`](Self::insert) calls.
+    ///
+    /// Unlike [`compute`](Self::compute), which rejects empty input (a
+    /// one-shot matrix over nothing is a caller bug), the incremental
+    /// lifecycle legitimately passes through the empty state between
+    /// arrivals.
+    pub fn empty() -> Self {
+        PrecedenceMatrix {
+            messages: Vec::new(),
+            index: HashMap::new(),
+            probs: Vec::new(),
+        }
+    }
+
+    /// Insert one message, growing the matrix by one row and one column.
+    ///
+    /// Only the `n` probabilities against the existing messages are queried
+    /// (each existing message `m_j` is queried in the `(m_j, new)`
+    /// orientation, exactly as [`compute`](Self::compute) would with the new
+    /// message appended) — O(n) probability queries instead of the O(n²) a
+    /// from-scratch rebuild costs. The dense storage is re-laid-out, which is
+    /// an O(n²) memcpy of already-computed values.
+    ///
+    /// Returns the new message's index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DuplicateMessage`] if the id is already present
+    /// and [`CoreError::UnknownClient`] if the message's client has no
+    /// registered distribution; the matrix is unchanged on error.
+    pub fn insert(
+        &mut self,
+        message: Message,
+        registry: &DistributionRegistry,
+    ) -> Result<usize, CoreError> {
+        if self.index.contains_key(&message.id) {
+            return Err(CoreError::DuplicateMessage(message.id));
+        }
+        let n = self.messages.len();
+        // Query the new column in the same orientation compute() uses for
+        // (existing j) < (new n): P(m_j precedes new).
+        let mut column = Vec::with_capacity(n);
+        for existing in &self.messages {
+            column.push(registry.preceding_probability(existing, &message)?);
+        }
+
+        let new_n = n + 1;
+        let mut probs = vec![0.5; new_n * new_n];
+        for i in 0..n {
+            probs[i * new_n..i * new_n + n].copy_from_slice(&self.probs[i * n..(i + 1) * n]);
+        }
+        for (j, &p) in column.iter().enumerate() {
+            probs[j * new_n + n] = p;
+            probs[n * new_n + j] = 1.0 - p;
+        }
+        self.probs = probs;
+        self.index.insert(message.id, n);
+        self.messages.push(message);
+        Ok(n)
+    }
+
+    /// Remove a set of messages (typically an emitted batch), shrinking the
+    /// matrix while preserving the relative order — and the already-computed
+    /// probabilities — of the survivors. Ids not present are ignored.
+    ///
+    /// No probability queries are performed: surviving pairs keep the values
+    /// (and query orientation) they had at insertion time, so the result is
+    /// element-wise identical to a from-scratch [`compute`](Self::compute)
+    /// over the surviving messages.
+    pub fn remove_batch(&mut self, ids: &[MessageId]) {
+        let remove: HashSet<MessageId> = ids.iter().copied().collect();
+        let n = self.messages.len();
+        let kept: Vec<usize> = (0..n)
+            .filter(|&i| !remove.contains(&self.messages[i].id))
+            .collect();
+        if kept.len() == n {
+            return;
+        }
+        let m = kept.len();
+        let mut probs = vec![0.5; m * m];
+        for (a, &i) in kept.iter().enumerate() {
+            for (b, &j) in kept.iter().enumerate() {
+                probs[a * m + b] = self.probs[i * n + j];
+            }
+        }
+        let mut messages = Vec::with_capacity(m);
+        let mut index = HashMap::with_capacity(m);
+        for (a, &i) in kept.iter().enumerate() {
+            let message = self.messages[i].clone();
+            index.insert(message.id, a);
+            messages.push(message);
+        }
+        self.messages = messages;
+        self.index = index;
+        self.probs = probs;
+    }
+
     /// Compute the full matrix for `messages` using the distributions in
     /// `registry`.
     ///
@@ -108,7 +205,8 @@ impl PrecedenceMatrix {
         self.messages.len()
     }
 
-    /// Whether the matrix is empty (never true for a constructed value).
+    /// Whether the matrix is empty (possible only for [`empty`](Self::empty)
+    /// matrices between incremental insertions).
     pub fn is_empty(&self) -> bool {
         self.messages.is_empty()
     }
@@ -244,6 +342,144 @@ mod tests {
         assert_eq!(m.index_of(MessageId(9)), Some(1));
         assert_eq!(m.index_of(MessageId(8)), None);
         assert!(m.prob_by_id(MessageId(7), MessageId(9)) > 0.99);
+    }
+
+    fn assert_matrices_identical(a: &PrecedenceMatrix, b: &PrecedenceMatrix) {
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.message(i).id, b.message(i).id, "index {i}");
+            for j in 0..a.len() {
+                // Element-wise *exact* equality: the incremental path must
+                // issue the same registry queries as a from-scratch compute.
+                assert_eq!(
+                    a.prob(i, j),
+                    b.prob(i, j),
+                    "prob({i},{j}) diverged: {} vs {}",
+                    a.prob(i, j),
+                    b.prob(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_insert_matches_compute() {
+        let reg = registry(5.0, 4);
+        let msgs = [msg(0, 0, 10.0),
+            msg(1, 1, 12.0),
+            msg(2, 2, 11.0),
+            msg(3, 3, 30.0)];
+        let mut inc = PrecedenceMatrix::empty();
+        assert!(inc.is_empty());
+        for (i, m) in msgs.iter().enumerate() {
+            assert_eq!(inc.insert(m.clone(), &reg).unwrap(), i);
+            let scratch = PrecedenceMatrix::compute(&msgs[..=i], &reg).unwrap();
+            assert_matrices_identical(&inc, &scratch);
+        }
+    }
+
+    #[test]
+    fn incremental_insert_rejects_duplicates_and_unknown_clients() {
+        let reg = registry(1.0, 2);
+        let mut inc = PrecedenceMatrix::empty();
+        inc.insert(msg(0, 0, 1.0), &reg).unwrap();
+        assert_eq!(
+            inc.insert(msg(0, 1, 2.0), &reg).unwrap_err(),
+            CoreError::DuplicateMessage(MessageId(0))
+        );
+        assert_eq!(
+            inc.insert(msg(1, 9, 2.0), &reg).unwrap_err(),
+            CoreError::UnknownClient(ClientId(9))
+        );
+        // The failed inserts left the matrix untouched.
+        assert_eq!(inc.len(), 1);
+        assert_eq!(inc.index_of(MessageId(0)), Some(0));
+    }
+
+    #[test]
+    fn remove_batch_matches_compute_over_survivors() {
+        let reg = registry(8.0, 3);
+        let msgs = vec![
+            msg(0, 0, 1.0),
+            msg(1, 1, 2.0),
+            msg(2, 2, 3.0),
+            msg(3, 0, 4.0),
+            msg(4, 1, 5.0),
+        ];
+        let mut inc = PrecedenceMatrix::empty();
+        for m in &msgs {
+            inc.insert(m.clone(), &reg).unwrap();
+        }
+        inc.remove_batch(&[MessageId(1), MessageId(3), MessageId(99)]);
+        let survivors = vec![msgs[0].clone(), msgs[2].clone(), msgs[4].clone()];
+        let scratch = PrecedenceMatrix::compute(&survivors, &reg).unwrap();
+        assert_matrices_identical(&inc, &scratch);
+        assert_eq!(inc.index_of(MessageId(1)), None);
+
+        // Removing everything leaves a usable empty matrix.
+        inc.remove_batch(&[MessageId(0), MessageId(2), MessageId(4)]);
+        assert!(inc.is_empty());
+        inc.insert(msg(7, 0, 9.0), &reg).unwrap();
+        assert_eq!(inc.len(), 1);
+    }
+
+    /// Seeded randomized arrival/emission sequences: after every operation
+    /// the incrementally maintained matrix must be element-wise equal to a
+    /// from-scratch `compute` over the same pending set. Exercises both the
+    /// Gaussian closed form and the numeric (discretized difference) path.
+    #[test]
+    fn random_insert_remove_sequences_match_compute() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use tommy_stats::distribution::OffsetDistribution;
+
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut reg = DistributionRegistry::new();
+            // Mix Gaussian and Laplace clients so some pairs take the
+            // numeric path.
+            for c in 0..4u32 {
+                let dist = if c % 2 == 0 {
+                    OffsetDistribution::gaussian(0.0, 1.0 + c as f64)
+                } else {
+                    OffsetDistribution::laplace(0.0, 1.0 + c as f64)
+                };
+                reg.register(ClientId(c), dist);
+            }
+
+            let mut inc = PrecedenceMatrix::empty();
+            let mut pending: Vec<Message> = Vec::new();
+            let mut next_id = 0u64;
+            for _ in 0..30 {
+                let remove = !pending.is_empty() && rng.random_range(0u32..4) == 0;
+                if remove {
+                    // Emit a random prefix-like batch: between 1 and all
+                    // pending messages, chosen at random.
+                    let count = rng.random_range(1usize..=pending.len());
+                    let mut ids: Vec<MessageId> = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let k = rng.random_range(0usize..pending.len());
+                        ids.push(pending.remove(k).id);
+                    }
+                    inc.remove_batch(&ids);
+                } else {
+                    let m = msg(
+                        next_id,
+                        rng.random_range(0u32..4),
+                        rng.random_range(-100.0..100.0f64),
+                    );
+                    next_id += 1;
+                    pending.push(m.clone());
+                    inc.insert(m, &reg).unwrap();
+                }
+                if pending.is_empty() {
+                    assert!(inc.is_empty());
+                } else {
+                    let scratch = PrecedenceMatrix::compute(&pending, &reg).unwrap();
+                    assert_matrices_identical(&inc, &scratch);
+                }
+            }
+        }
     }
 
     #[test]

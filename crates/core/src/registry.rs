@@ -26,6 +26,7 @@ use crate::error::CoreError;
 use crate::message::{ClientId, Message};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tommy_stats::clamp_probability;
 use tommy_stats::convolution::{difference_distribution, ConvolutionMethod};
@@ -40,6 +41,9 @@ pub struct DistributionRegistry {
     convolution: ConvolutionMethod,
     discretized: RwLock<HashMap<ClientId, Arc<DiscretizedPdf>>>,
     differences: RwLock<HashMap<(ClientId, ClientId), Arc<DiscretizedPdf>>>,
+    /// Number of `preceding_probability` calls served so far. The online
+    /// sequencer's O(1)-tick guarantee is asserted against this counter.
+    queries: AtomicU64,
 }
 
 impl Default for DistributionRegistry {
@@ -65,6 +69,7 @@ impl DistributionRegistry {
             convolution,
             discretized: RwLock::new(HashMap::new()),
             differences: RwLock::new(HashMap::new()),
+            queries: AtomicU64::new(0),
         }
     }
 
@@ -153,6 +158,7 @@ impl DistributionRegistry {
     /// their local timestamps (one client's offsets cancel out under the
     /// paper's per-message offset model with a shared clock); ties yield 0.5.
     pub fn preceding_probability(&self, i: &Message, j: &Message) -> Result<f64, CoreError> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
         if i.client == j.client {
             return Ok(if i.timestamp < j.timestamp {
                 1.0
@@ -187,6 +193,64 @@ impl DistributionRegistry {
     /// and benchmarks of the caching behaviour).
     pub fn cached_differences(&self) -> usize {
         self.differences.read().len()
+    }
+
+    /// Total number of [`preceding_probability`](Self::preceding_probability)
+    /// queries served so far. Exposed so callers (and tests) can verify that
+    /// hot paths — e.g. a pure clock tick of the online sequencer — perform
+    /// zero probability queries.
+    pub fn query_count(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// The largest timestamp difference `d = T_i − T_j` at which a message
+    /// from `client_i` still *violates fairness* against an already-emitted
+    /// message from `client_j`, i.e. the largest `d` with
+    /// `P(i precedes j | T_i − T_j = d) >= 1 − threshold`.
+    ///
+    /// Because the preceding probability is monotone decreasing in
+    /// `T_i − T_j`, a per-client-pair margin converts the per-arrival
+    /// violation check from a probability query into a plain timestamp
+    /// comparison: `violates ⇔ T_i − T_j <= margin`. The margin depends only
+    /// on the two clients' distributions and the threshold, so the online
+    /// sequencer caches it per pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownClient`] if either client is unregistered.
+    pub fn violation_margin(
+        &self,
+        client_i: ClientId,
+        client_j: ClientId,
+        threshold: f64,
+    ) -> Result<f64, CoreError> {
+        assert!(
+            threshold > 0.5 && threshold < 1.0,
+            "threshold must be in (0.5, 1.0), got {threshold}"
+        );
+        if client_i == client_j {
+            // Same-client comparisons are deterministic: p ∈ {0, 0.5, 1} and
+            // p >= 1 − threshold (< 0.5) exactly when T_i <= T_j.
+            self.distribution_or_err(client_i)?;
+            return Ok(0.0);
+        }
+        let d_i = self.distribution_or_err(client_i)?;
+        let d_j = self.distribution_or_err(client_j)?;
+        match (d_i.as_gaussian(), d_j.as_gaussian()) {
+            (Some(gi), Some(gj)) => {
+                // p(d) = Φ((−d + μ_i − μ_j)/s) >= 1 − θ
+                //   ⇔ d <= μ_i − μ_j − s·Φ⁻¹(1 − θ).
+                let spread = (gi.variance() + gj.variance()).sqrt();
+                Ok(gi.mean() - gj.mean()
+                    - spread * tommy_stats::erf::std_normal_inv_cdf(1.0 - threshold))
+            }
+            _ => {
+                // p(d) = tail_Δ(d) >= 1 − θ ⇔ cdf_Δ(d) <= θ ⇔ d <= Q_Δ(θ),
+                // where Δ = δ_i − δ_j.
+                let diff = self.difference_for(client_i, client_j)?;
+                Ok(diff.quantile(threshold))
+            }
+        }
     }
 }
 
@@ -293,6 +357,82 @@ mod tests {
         let p_after = reg.preceding_probability(&a, &b).unwrap();
         assert!(p_before < 0.1, "p_before = {p_before}");
         assert!(p_after > 0.9, "p_after = {p_after}");
+    }
+
+    #[test]
+    fn query_counter_tracks_probability_calls() {
+        let mut reg = DistributionRegistry::new();
+        reg.register(ClientId(0), OffsetDistribution::gaussian(0.0, 1.0));
+        reg.register(ClientId(1), OffsetDistribution::gaussian(0.0, 2.0));
+        assert_eq!(reg.query_count(), 0);
+        let a = msg(0, 0, 1.0);
+        let b = msg(1, 1, 2.0);
+        reg.preceding_probability(&a, &b).unwrap();
+        reg.preceding_probability(&b, &a).unwrap();
+        assert_eq!(reg.query_count(), 2);
+        // Same-client (deterministic) comparisons count too: the counter
+        // measures calls, not grid work.
+        let c = msg(2, 0, 3.0);
+        reg.preceding_probability(&a, &c).unwrap();
+        assert_eq!(reg.query_count(), 3);
+        // violation_margin is not a probability query.
+        reg.violation_margin(ClientId(0), ClientId(1), 0.75).unwrap();
+        assert_eq!(reg.query_count(), 3);
+    }
+
+    #[test]
+    fn violation_margin_agrees_with_direct_queries_gaussian() {
+        let mut reg = DistributionRegistry::new();
+        reg.register(ClientId(0), OffsetDistribution::gaussian(1.0, 3.0));
+        reg.register(ClientId(1), OffsetDistribution::gaussian(-2.0, 5.0));
+        let threshold = 0.75;
+        let margin = reg.violation_margin(ClientId(0), ClientId(1), threshold).unwrap();
+        // Just inside the margin: the direct query must report a violation;
+        // just outside: it must not.
+        for (delta, expect) in [(-0.01, true), (0.01, false)] {
+            let t_j = 100.0;
+            let t_i = t_j + margin + delta;
+            let i = msg(0, 0, t_i);
+            let j = msg(1, 1, t_j);
+            let p = reg.preceding_probability(&i, &j).unwrap();
+            assert_eq!(
+                p >= 1.0 - threshold,
+                expect,
+                "delta {delta}: p = {p}, margin = {margin}"
+            );
+        }
+    }
+
+    #[test]
+    fn violation_margin_agrees_with_direct_queries_numeric() {
+        let mut reg = DistributionRegistry::new();
+        reg.register(ClientId(0), OffsetDistribution::laplace(0.5, 2.0));
+        reg.register(ClientId(1), OffsetDistribution::gaussian(-0.5, 1.5));
+        let threshold = 0.8;
+        let margin = reg.violation_margin(ClientId(0), ClientId(1), threshold).unwrap();
+        // The numeric margin inverts the same discretized difference grid
+        // the direct query integrates, so agreement holds to grid accuracy.
+        for (delta, expect) in [(-0.05, true), (0.05, false)] {
+            let i = msg(0, 0, 50.0 + margin + delta);
+            let j = msg(1, 1, 50.0);
+            let p = reg.preceding_probability(&i, &j).unwrap();
+            assert_eq!(
+                p >= 1.0 - threshold,
+                expect,
+                "delta {delta}: p = {p}, margin = {margin}"
+            );
+        }
+    }
+
+    #[test]
+    fn violation_margin_same_client_and_unknown_client() {
+        let mut reg = DistributionRegistry::new();
+        reg.register(ClientId(0), OffsetDistribution::gaussian(0.0, 1.0));
+        assert_eq!(reg.violation_margin(ClientId(0), ClientId(0), 0.75).unwrap(), 0.0);
+        assert_eq!(
+            reg.violation_margin(ClientId(0), ClientId(9), 0.75),
+            Err(CoreError::UnknownClient(ClientId(9)))
+        );
     }
 
     #[test]

@@ -15,9 +15,30 @@
 //!   every client has been heard from (message or heartbeat) with a
 //!   timestamp greater than `t`.
 //!
-//! The candidate batch is recomputed from the full pending set on every
-//! arrival and every clock tick, so a late high-uncertainty message merges
-//! into the open batch exactly as in the Appendix C worked example.
+//! ## Incremental precedence engine
+//!
+//! The sequencer does work proportional to *what changed*, not to the whole
+//! pending set:
+//!
+//! * The pairwise [`PrecedenceMatrix`] is maintained incrementally: each
+//!   arrival adds one row/column (O(n) new probability queries via
+//!   [`PrecedenceMatrix::insert`]) and each emission removes the batch's
+//!   rows/columns ([`PrecedenceMatrix::remove_batch`]) — never a from-scratch
+//!   O(n²) rebuild.
+//! * The lowest-rank candidate batch (tournament → linear order → threshold
+//!   batching → Appendix C closure rule) is cached and only recomputed when
+//!   the pending set actually changes. Heartbeats and pure clock ticks reuse
+//!   the cache, so `tick()` with an unchanged pending set performs **zero**
+//!   probability queries — it only compares `now` against the cached safe
+//!   emission time and re-checks watermark completeness.
+//! * The per-arrival fairness-violation check against the last emitted batch
+//!   uses cached per-client-pair margins
+//!   ([`DistributionRegistry::violation_margin`]) instead of one probability
+//!   query per emitted message.
+//!
+//! A late high-uncertainty message still merges into the open batch exactly
+//! as in the Appendix C worked example: its arrival invalidates the cache and
+//! the next recomputation sees the full pending set.
 
 use crate::batching::FairOrder;
 use crate::config::SequencerConfig;
@@ -30,7 +51,7 @@ use crate::sequencer::watermark::WatermarkTracker;
 use crate::tournament::Tournament;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use tommy_stats::distribution::OffsetDistribution;
 
 /// One batch emitted by the online sequencer, with emission metadata.
@@ -82,10 +103,13 @@ impl OnlineStats {
     }
 }
 
+/// The cached lowest-rank candidate batch of the current pending set.
 #[derive(Debug, Clone)]
-struct PendingMessage {
-    message: Message,
-    arrived_at: f64,
+struct Candidate {
+    messages: Vec<Message>,
+    safe_after: f64,
+    /// Largest timestamp in the batch: the watermark horizon.
+    horizon: f64,
 }
 
 /// The online Tommy sequencer.
@@ -94,8 +118,20 @@ pub struct OnlineSequencer {
     config: SequencerConfig,
     registry: DistributionRegistry,
     watermarks: WatermarkTracker,
-    pending: Vec<PendingMessage>,
+    /// Incrementally maintained precedence matrix over the pending set; its
+    /// message list *is* the pending set, in arrival order.
+    matrix: PrecedenceMatrix,
+    /// Arrival time per pending message (for emission-latency accounting).
+    arrivals: HashMap<MessageId, f64>,
+    /// Cached candidate batch; `None` means the pending set changed since the
+    /// last computation (or is empty).
+    candidate: Option<Candidate>,
+    /// Cached fairness-violation margins per (arriving, emitted) client pair;
+    /// `None` records a pair whose margin could not be computed.
+    violation_margins: HashMap<(ClientId, ClientId), Option<f64>>,
     seen_ids: HashSet<MessageId>,
+    /// Output buffer: batches emitted and not yet drained via
+    /// [`take_emitted`](Self::take_emitted).
     emitted: Vec<EmittedBatch>,
     emitted_order: FairOrder,
     last_emitted: Vec<Message>,
@@ -110,7 +146,10 @@ impl OnlineSequencer {
         OnlineSequencer {
             registry: DistributionRegistry::from_config(&config),
             watermarks: WatermarkTracker::new(&[]),
-            pending: Vec::new(),
+            matrix: PrecedenceMatrix::empty(),
+            arrivals: HashMap::new(),
+            candidate: None,
+            violation_margins: HashMap::new(),
             seen_ids: HashSet::new(),
             emitted: Vec::new(),
             emitted_order: FairOrder::default(),
@@ -125,13 +164,30 @@ impl OnlineSequencer {
     /// Register a client and its offset distribution. All participating
     /// clients must be registered before they submit (known-client-set
     /// assumption of §3.5).
+    ///
+    /// Re-registering a client invalidates every cached quantity derived
+    /// from its old distribution: the violation margins, the candidate
+    /// batch, and — since pairwise probabilities involving the client may
+    /// have changed — the pending precedence matrix is re-derived.
     pub fn register_client(&mut self, client: ClientId, distribution: OffsetDistribution) {
         self.registry.register(client, distribution);
         self.watermarks.add_client(client);
+        self.violation_margins
+            .retain(|(a, b), _| *a != client && *b != client);
+        self.candidate = None;
+        // Pairwise probabilities only change if the client has pending
+        // messages; a re-derivation over an unaffected pending set would be
+        // O(n²) queries of pure waste.
+        if self.matrix.messages().iter().any(|m| m.client == client) {
+            let pending = self.matrix.messages().to_vec();
+            self.matrix = PrecedenceMatrix::compute(&pending, &self.registry)
+                .expect("pending messages come from registered clients");
+        }
     }
 
     /// Mark a client as failed: it stops constraining watermarks so the
-    /// sequencer stays live (the trade-off §3.5 discusses).
+    /// sequencer stays live (the trade-off §3.5 discusses). The candidate
+    /// batch is unaffected — only the emission condition changes.
     pub fn retire_client(&mut self, client: ClientId) {
         self.watermarks.retire(client);
     }
@@ -144,7 +200,7 @@ impl OnlineSequencer {
 
     /// Number of messages waiting to be emitted.
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.matrix.len()
     }
 
     /// Statistics so far.
@@ -152,20 +208,63 @@ impl OnlineSequencer {
         self.stats
     }
 
-    /// Every batch emitted so far.
+    /// Batches emitted and not yet drained. Callers that never call
+    /// [`take_emitted`](Self::take_emitted) see every batch of the run here,
+    /// as before the drain API existed.
     pub fn emitted(&self) -> &[EmittedBatch] {
         &self.emitted
     }
 
+    /// Drain the emitted-batch buffer, transferring ownership of every
+    /// not-yet-drained batch to the caller. Long-running callers should call
+    /// this regularly (and construct the sequencer with
+    /// [`SequencerConfig::with_retain_history`]`(false)`) so sequencer
+    /// memory stays bounded by the pending set instead of growing with the
+    /// whole stream.
+    pub fn take_emitted(&mut self) -> Vec<EmittedBatch> {
+        std::mem::take(&mut self.emitted)
+    }
+
     /// The emitted batches as a [`FairOrder`] (for metric computation).
+    /// Empty when the sequencer was configured with
+    /// [`SequencerConfig::with_retain_history`]`(false)`.
     pub fn emitted_order(&self) -> &FairOrder {
         &self.emitted_order
+    }
+
+    /// Number of message ids currently tracked for duplicate detection.
+    /// With [`SequencerConfig::retain_history`] unset this stays bounded by
+    /// the pending set; with it set (the default) it grows with the stream.
+    pub fn tracked_ids(&self) -> usize {
+        self.seen_ids.len()
+    }
+
+    /// The sequencer's distribution registry (read-only). Exposes the
+    /// probability-query counter, which tests use to assert that pure clock
+    /// ticks perform zero queries.
+    pub fn registry(&self) -> &DistributionRegistry {
+        &self.registry
     }
 
     fn advance_clock(&mut self, now: f64) {
         if now > self.now {
             self.now = now;
         }
+    }
+
+    /// Cached fairness-violation margin for an (arriving, emitted) client
+    /// pair; computed once per pair.
+    fn violation_margin(&mut self, arriving: ClientId, emitted: ClientId) -> Option<f64> {
+        let key = (arriving, emitted);
+        if let Some(&cached) = self.violation_margins.get(&key) {
+            return cached;
+        }
+        let margin = self
+            .registry
+            .violation_margin(arriving, emitted, self.config.threshold)
+            .ok();
+        self.violation_margins.insert(key, margin);
+        margin
     }
 
     /// Submit a message that arrived at sequencer-clock time `arrival_time`.
@@ -186,28 +285,37 @@ impl OnlineSequencer {
 
         // Fairness-violation detection: the message confidently precedes (or
         // cannot be separated from) something already emitted in the most
-        // recent batch.
+        // recent batch. The per-client-pair margin turns each check into a
+        // timestamp comparison instead of a probability query.
         if !self.last_emitted.is_empty() {
-            let violates = self.last_emitted.iter().any(|emitted| {
-                match self.registry.preceding_probability(&message, emitted) {
-                    Ok(p) => p >= 1.0 - self.config.threshold,
-                    Err(_) => false,
+            let mut violates = false;
+            for k in 0..self.last_emitted.len() {
+                let (emitted_client, emitted_ts) = {
+                    let e = &self.last_emitted[k];
+                    (e.client, e.timestamp)
+                };
+                if let Some(margin) = self.violation_margin(message.client, emitted_client) {
+                    if message.timestamp - emitted_ts <= margin {
+                        violates = true;
+                        break;
+                    }
                 }
-            });
+            }
             if violates {
                 self.stats.fairness_violations += 1;
             }
         }
 
-        self.pending.push(PendingMessage {
-            message,
-            arrived_at: arrival_time,
-        });
-        self.stats.max_pending = self.stats.max_pending.max(self.pending.len());
+        self.arrivals.insert(message.id, arrival_time);
+        self.matrix.insert(message, &self.registry)?;
+        self.candidate = None;
+        self.stats.max_pending = self.stats.max_pending.max(self.matrix.len());
         Ok(self.try_emit())
     }
 
     /// Record a heartbeat (a timestamp-only liveness message) from a client.
+    /// Heartbeats advance watermarks but do not change the pending set, so
+    /// the cached candidate batch stays valid.
     pub fn heartbeat(
         &mut self,
         client: ClientId,
@@ -223,7 +331,10 @@ impl OnlineSequencer {
     }
 
     /// Advance the sequencer clock to `now` without new input, emitting any
-    /// batches whose safe-emission time has passed.
+    /// batches whose safe-emission time has passed. With an unchanged
+    /// pending set this is O(1): the cached candidate's `safe_after` and the
+    /// watermark frontier are compared against the clock, with zero
+    /// probability queries.
     pub fn tick(&mut self, now: f64) -> Vec<EmittedBatch> {
         self.advance_clock(now);
         self.try_emit()
@@ -234,90 +345,58 @@ impl OnlineSequencer {
     /// because the workload has ended).
     pub fn flush(&mut self) -> Vec<EmittedBatch> {
         let mut emitted = Vec::new();
-        while !self.pending.is_empty() {
-            let (batch_msgs, safe_after) = match self.candidate_batch() {
-                Some(c) => c,
-                None => break,
-            };
-            emitted.push(self.emit_batch(batch_msgs, safe_after));
+        while let Some(candidate) = self.take_candidate() {
+            emitted.push(self.emit_batch(candidate.messages, candidate.safe_after));
         }
         emitted
     }
 
-    /// Compute the lowest-rank candidate batch of the pending set together
-    /// with its safe emission time.
-    fn candidate_batch(&mut self) -> Option<(Vec<Message>, f64)> {
-        if self.pending.is_empty() {
+    /// The candidate batch for the current pending set, recomputing it only
+    /// if an arrival or emission invalidated the cache.
+    fn ensure_candidate(&mut self) -> Option<&Candidate> {
+        if self.matrix.is_empty() {
             return None;
         }
-        let messages: Vec<Message> = self.pending.iter().map(|p| p.message.clone()).collect();
-        let matrix = PrecedenceMatrix::compute(&messages, &self.registry)
-            .expect("pending messages come from registered clients");
-        let tournament = Tournament::from_matrix(&matrix);
-        let rng: Option<&mut dyn rand::RngCore> = if self.config.stochastic_cycle_breaking {
-            Some(&mut self.rng)
-        } else {
-            None
-        };
-        let linear = tournament.linear_order(&matrix, &self.config, rng);
-        let order = FairOrder::from_linear_order(&matrix, &linear, self.config.threshold);
-        let first = order.batches().first()?;
+        if self.candidate.is_none() {
+            let rng: Option<&mut dyn rand::RngCore> = if self.config.stochastic_cycle_breaking {
+                Some(&mut self.rng)
+            } else {
+                None
+            };
+            self.candidate =
+                compute_candidate(&self.matrix, &self.registry, &self.config, rng);
+        }
+        self.candidate.as_ref()
+    }
 
-        // Appendix C closure rule: the open batch absorbs every pending
-        // message that cannot be confidently separated from some member of
-        // the batch, transitively. A single high-uncertainty message can this
-        // way pull several otherwise-orderable messages into one batch.
-        let mut in_batch: Vec<usize> = first
-            .messages
-            .iter()
-            .map(|id| matrix.index_of(*id).expect("id from matrix"))
-            .collect();
-        let mut member = vec![false; matrix.len()];
-        for &i in &in_batch {
-            member[i] = true;
-        }
-        loop {
-            let mut grew = false;
-            for cand in 0..matrix.len() {
-                if member[cand] {
-                    continue;
-                }
-                let inseparable = in_batch.iter().any(|&b| {
-                    let p = matrix.prob(b, cand).max(matrix.prob(cand, b));
-                    p <= self.config.threshold
-                });
-                if inseparable {
-                    member[cand] = true;
-                    in_batch.push(cand);
-                    grew = true;
-                }
-            }
-            if !grew {
-                break;
-            }
-        }
-        in_batch.sort_unstable();
-        let batch_msgs: Vec<Message> = in_batch.iter().map(|&i| messages[i].clone()).collect();
-        let safe_after = batch_emission_time(&self.registry, &batch_msgs, self.config.p_safe);
-        Some((batch_msgs, safe_after))
+    /// Take the current candidate out of the cache (recomputing it first if
+    /// needed), leaving the cache dirty for the next pending-set state.
+    fn take_candidate(&mut self) -> Option<Candidate> {
+        self.ensure_candidate()?;
+        self.candidate.take()
     }
 
     fn emit_batch(&mut self, batch_msgs: Vec<Message>, safe_after: f64) -> EmittedBatch {
-        let ids: HashSet<MessageId> = batch_msgs.iter().map(|m| m.id).collect();
-        // Account emission latency and drop from pending.
-        let mut remaining = Vec::with_capacity(self.pending.len() - batch_msgs.len());
-        for p in self.pending.drain(..) {
-            if ids.contains(&p.message.id) {
-                self.stats.total_emission_latency += (self.now - p.arrived_at).max(0.0);
-            } else {
-                remaining.push(p);
+        let ids: Vec<MessageId> = batch_msgs.iter().map(|m| m.id).collect();
+        // Account emission latency and drop from the pending set.
+        for id in &ids {
+            if let Some(arrived_at) = self.arrivals.remove(id) {
+                self.stats.total_emission_latency += (self.now - arrived_at).max(0.0);
             }
         }
-        self.pending = remaining;
+        self.matrix.remove_batch(&ids);
+        self.candidate = None;
 
-        let rank = self.emitted.len();
-        self.emitted_order
-            .push_batch(batch_msgs.iter().map(|m| m.id).collect());
+        let rank = self.stats.batches_emitted;
+        if self.config.retain_history {
+            self.emitted_order.push_batch(ids);
+        } else {
+            // Bounded-memory mode: stop tracking emitted ids; duplicates of
+            // old messages are rejected by watermark monotonicity instead.
+            for id in &ids {
+                self.seen_ids.remove(id);
+            }
+        }
         self.stats.batches_emitted += 1;
         self.stats.messages_emitted += batch_msgs.len();
         self.last_emitted = batch_msgs.clone();
@@ -334,27 +413,90 @@ impl OnlineSequencer {
     /// Emit every batch that currently satisfies both safety conditions.
     fn try_emit(&mut self) -> Vec<EmittedBatch> {
         let mut out = Vec::new();
-        loop {
-            let (batch_msgs, safe_after) = match self.candidate_batch() {
-                Some(c) => c,
-                None => break,
-            };
+        while let Some(c) = self.ensure_candidate() {
+            let (safe_after, horizon) = (c.safe_after, c.horizon);
             // Condition (i): the sequencer clock reached T_b.
             if self.now < safe_after {
                 break;
             }
             // Condition (ii): watermark completeness up to the batch horizon.
-            let horizon = batch_msgs
-                .iter()
-                .map(|m| m.timestamp)
-                .fold(f64::NEG_INFINITY, f64::max);
             if !self.watermarks.is_complete_up_to(horizon) {
                 break;
             }
-            out.push(self.emit_batch(batch_msgs, safe_after));
+            let candidate = self.candidate.take().expect("candidate just ensured");
+            out.push(self.emit_batch(candidate.messages, candidate.safe_after));
         }
         out
     }
+}
+
+/// Compute the lowest-rank candidate batch of the pending set together with
+/// its safe emission time and watermark horizon.
+///
+/// This runs over the already-populated incremental matrix: no probability
+/// queries are issued except the O(batch) safe-emission quantile lookups.
+fn compute_candidate(
+    matrix: &PrecedenceMatrix,
+    registry: &DistributionRegistry,
+    config: &SequencerConfig,
+    rng: Option<&mut dyn rand::RngCore>,
+) -> Option<Candidate> {
+    if matrix.is_empty() {
+        return None;
+    }
+    let tournament = Tournament::from_matrix(matrix);
+    let linear = tournament.linear_order(matrix, config, rng);
+    let order = FairOrder::from_linear_order(matrix, &linear, config.threshold);
+    let first = order.batches().first()?;
+
+    // Appendix C closure rule: the open batch absorbs every pending
+    // message that cannot be confidently separated from some member of
+    // the batch, transitively. A single high-uncertainty message can this
+    // way pull several otherwise-orderable messages into one batch.
+    let mut in_batch: Vec<usize> = first
+        .messages
+        .iter()
+        .map(|id| matrix.index_of(*id).expect("id from matrix"))
+        .collect();
+    let mut member = vec![false; matrix.len()];
+    for &i in &in_batch {
+        member[i] = true;
+    }
+    loop {
+        let mut grew = false;
+        // Index-based: the loop both reads `member` and (via `in_batch`)
+        // extends the membership it is iterating against.
+        #[allow(clippy::needless_range_loop)]
+        for cand in 0..matrix.len() {
+            if member[cand] {
+                continue;
+            }
+            let inseparable = in_batch.iter().any(|&b| {
+                let p = matrix.prob(b, cand).max(matrix.prob(cand, b));
+                p <= config.threshold
+            });
+            if inseparable {
+                member[cand] = true;
+                in_batch.push(cand);
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    in_batch.sort_unstable();
+    let batch_msgs: Vec<Message> = in_batch.iter().map(|&i| matrix.message(i).clone()).collect();
+    let safe_after = batch_emission_time(registry, &batch_msgs, config.p_safe);
+    let horizon = batch_msgs
+        .iter()
+        .map(|m| m.timestamp)
+        .fold(f64::NEG_INFINITY, f64::max);
+    Some(Candidate {
+        messages: batch_msgs,
+        safe_after,
+        horizon,
+    })
 }
 
 #[cfg(test)]
@@ -544,5 +686,119 @@ mod tests {
         let stats = seq.stats();
         assert_eq!(stats.messages_emitted, 2);
         assert_eq!(stats.batches_emitted, 2);
+    }
+
+    /// Acceptance criterion of the incremental engine: a clock tick with an
+    /// unchanged pending set performs zero precedence-probability queries.
+    #[test]
+    fn tick_with_unchanged_pending_set_queries_nothing() {
+        let mut seq = sequencer(&[(0, 10.0), (1, 10.0)]);
+        // Build up a pending set that cannot emit (client 1 stays silent, so
+        // watermarks block).
+        for i in 0..8u64 {
+            seq.submit(msg(i, 0, 100.0 + i as f64), 100.0 + i as f64).unwrap();
+        }
+        // Force the candidate to be computed (and cached) once.
+        seq.tick(101.0);
+        let baseline = seq.registry().query_count();
+        for step in 0..50 {
+            seq.tick(102.0 + step as f64);
+        }
+        assert_eq!(
+            seq.registry().query_count(),
+            baseline,
+            "pure clock ticks must not issue probability queries"
+        );
+        // Heartbeats that do not emit reuse the cache too.
+        seq.heartbeat(ClientId(0), 160.0, 160.0).unwrap();
+        assert_eq!(seq.registry().query_count(), baseline);
+    }
+
+    /// Each arrival adds exactly O(n) probability queries (one per existing
+    /// pending message), not the O(n²) a from-scratch rebuild would.
+    #[test]
+    fn arrivals_query_linearly_in_pending_size() {
+        let mut seq = sequencer(&[(0, 10.0), (1, 10.0)]);
+        let mut previous = seq.registry().query_count();
+        for i in 0..20u64 {
+            seq.submit(msg(i, 0, 100.0 + i as f64), 100.0 + i as f64).unwrap();
+            let now = seq.registry().query_count();
+            // i existing messages → exactly i new pairwise queries (the
+            // violation check is margin-based and queries nothing).
+            assert_eq!(now - previous, i, "arrival {i}");
+            previous = now;
+        }
+    }
+
+    #[test]
+    fn take_emitted_drains_the_buffer() {
+        let mut seq = sequencer(&[(0, 1.0), (1, 1.0)]);
+        seq.submit(msg(0, 0, 100.0), 100.0).unwrap();
+        seq.heartbeat(ClientId(1), 150.0, 150.0).unwrap();
+        seq.heartbeat(ClientId(0), 150.0, 151.0).unwrap();
+        seq.tick(200.0);
+        assert_eq!(seq.emitted().len(), 1);
+        let drained = seq.take_emitted();
+        assert_eq!(drained.len(), 1);
+        assert!(seq.emitted().is_empty());
+        // Stats and order are unaffected by draining.
+        assert_eq!(seq.stats().batches_emitted, 1);
+        assert_eq!(seq.emitted_order().num_messages(), 1);
+
+        // Ranks keep increasing across drains.
+        seq.submit(msg(1, 0, 300.0), 300.0).unwrap();
+        seq.heartbeat(ClientId(1), 400.0, 400.0).unwrap();
+        seq.heartbeat(ClientId(0), 400.0, 400.0).unwrap();
+        seq.tick(500.0);
+        let drained = seq.take_emitted();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].rank, 1);
+    }
+
+    #[test]
+    fn unretained_history_keeps_memory_bounded() {
+        let config = SequencerConfig::default().with_retain_history(false);
+        let mut seq = OnlineSequencer::new(config);
+        seq.register_client(ClientId(0), OffsetDistribution::gaussian(0.0, 1.0));
+        seq.register_client(ClientId(1), OffsetDistribution::gaussian(0.0, 1.0));
+        for i in 0..20u64 {
+            let ts = 100.0 * (i + 1) as f64;
+            seq.submit(msg(i, (i % 2) as u32, ts), ts).unwrap();
+            seq.heartbeat(ClientId(0), ts + 50.0, ts + 50.0).unwrap();
+            seq.heartbeat(ClientId(1), ts + 50.0, ts + 50.0).unwrap();
+            seq.tick(ts + 99.0);
+            seq.take_emitted();
+            // Everything emitted so far was dropped from every internal
+            // container: ids, order, output buffer.
+            assert!(seq.tracked_ids() <= seq.pending_len() + 1);
+            assert!(seq.emitted().is_empty());
+            assert_eq!(seq.emitted_order().num_messages(), 0);
+        }
+        assert_eq!(seq.stats().messages_emitted, 20);
+    }
+
+    /// Re-registering a client with a different distribution must be
+    /// reflected in the candidate batch even though the matrix is maintained
+    /// incrementally.
+    #[test]
+    fn reregistration_recomputes_pending_probabilities() {
+        let mut seq = sequencer(&[(0, 0.1), (1, 0.1)]);
+        // Two messages 10 apart with tight clocks: confidently separable,
+        // so the first candidate batch holds exactly one message.
+        seq.submit(msg(0, 0, 100.0), 100.0).unwrap();
+        seq.submit(msg(1, 1, 110.0), 110.0).unwrap();
+
+        // Make client 1 enormously noisy; the pair becomes inseparable and
+        // the candidate batch must merge both messages.
+        seq.register_client(ClientId(1), OffsetDistribution::gaussian(0.0, 500.0));
+        seq.heartbeat(ClientId(0), 5_000.0, 5_000.0).unwrap();
+        let emitted = seq.heartbeat(ClientId(1), 5_000.0, 5_000.0).unwrap();
+        let emitted: Vec<_> = if emitted.is_empty() {
+            seq.tick(10_000.0)
+        } else {
+            emitted
+        };
+        assert_eq!(emitted.len(), 1, "expected one merged batch");
+        assert_eq!(emitted[0].messages.len(), 2);
     }
 }

@@ -59,7 +59,7 @@ pub fn spearman_footrule(a: &[MessageId], b: &[MessageId]) -> usize {
 
 /// Count inversions in a permutation of positions via merge sort (O(n log n)).
 fn count_inversions(values: &[usize]) -> usize {
-    fn sort_count(v: &mut Vec<usize>) -> usize {
+    fn sort_count(v: &mut [usize]) -> usize {
         let n = v.len();
         if n <= 1 {
             return 0;

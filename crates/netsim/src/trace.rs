@@ -65,7 +65,7 @@ impl DeliveryTrace {
     /// sequencer would use).
     pub fn arrival_order(&self) -> Vec<u64> {
         let mut sorted: Vec<&DeliveryRecord> = self.records.iter().collect();
-        sorted.sort_by(|a, b| a.delivered_at.cmp(&b.delivered_at));
+        sorted.sort_by_key(|a| a.delivered_at);
         sorted.iter().map(|r| r.message_id).collect()
     }
 
@@ -73,7 +73,7 @@ impl DeliveryTrace {
     /// Definition 1 in the paper).
     pub fn generation_order(&self) -> Vec<u64> {
         let mut sorted: Vec<&DeliveryRecord> = self.records.iter().collect();
-        sorted.sort_by(|a, b| a.sent_at.cmp(&b.sent_at));
+        sorted.sort_by_key(|a| a.sent_at);
         sorted.iter().map(|r| r.message_id).collect()
     }
 
@@ -89,7 +89,7 @@ impl DeliveryTrace {
     /// inverted — a direct measure of how much the network reorders traffic.
     pub fn reorder_count(&self) -> usize {
         let mut sorted: Vec<&DeliveryRecord> = self.records.iter().collect();
-        sorted.sort_by(|a, b| a.delivered_at.cmp(&b.delivered_at));
+        sorted.sort_by_key(|a| a.delivered_at);
         sorted
             .windows(2)
             .filter(|w| w[1].sent_at < w[0].sent_at)

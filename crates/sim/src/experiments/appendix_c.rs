@@ -109,4 +109,39 @@ mod tests {
     fn no_fairness_violations_in_the_example() {
         assert_eq!(run(0.999).stats.fairness_violations, 0);
     }
+
+    /// Pin the exact emitted sequence of the worked example so refactors of
+    /// the online engine (e.g. the incremental precedence matrix and the
+    /// candidate-batch cache) provably reproduce the original behaviour
+    /// byte for byte: same single batch, same message order, same emission
+    /// instant, same safe-emission time.
+    #[test]
+    fn emitted_sequence_is_byte_identical_to_reference() {
+        use tommy_core::message::MessageId;
+
+        let result = run(0.999);
+        assert_eq!(result.emitted.len(), 1);
+        let batch = &result.emitted[0];
+        assert_eq!(batch.rank, 0);
+        // Message order inside the batch follows arrival order (1a, 2, 1b).
+        let ids: Vec<MessageId> = batch.message_ids();
+        assert_eq!(ids, vec![MessageId(0), MessageId(1), MessageId(2)]);
+        let (clients, timestamps): (Vec<u32>, Vec<f64>) = batch
+            .messages
+            .iter()
+            .map(|m| (m.client.0, m.timestamp))
+            .unzip();
+        assert_eq!(clients, vec![1, 2, 1]);
+        assert_eq!(timestamps, vec![100.0, 100.6, 100.3]);
+        // The batch becomes emittable at the second heartbeat's arrival
+        // (110.5): both watermarks have passed the 100.6 horizon and the
+        // clock has passed T_b.
+        assert_eq!(batch.emitted_at, 110.5);
+        // T_b = t_2 + Q_{N(0,1)}(0.999) · σ_2 = 100.6 + 3.0902…
+        assert!(
+            (batch.safe_after - 103.690_232_4).abs() < 1e-6,
+            "safe_after = {}",
+            batch.safe_after
+        );
+    }
 }

@@ -10,6 +10,7 @@
 use crate::scenario::ScenarioConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use tommy_core::batching::FairOrder;
 use tommy_core::config::SequencerConfig;
 use tommy_core::message::{ClientId, Message, MessageId};
 use tommy_core::sequencer::online::OnlineSequencer;
@@ -77,10 +78,13 @@ fn run_one(base: &ScenarioConfig, setup: &OnlineSetup, p_safe: f64) -> PsafeRow 
             .with_start(10.0);
     let events = workload.generate(&mut rng);
 
-    // Online sequencer with oracle distributions.
+    // Online sequencer with oracle distributions, run in bounded-memory
+    // mode: batches are drained with `take_emitted` as they appear and the
+    // fair order is accumulated on the caller's side.
     let config = SequencerConfig::default()
         .with_threshold(base.threshold)
-        .with_p_safe(p_safe);
+        .with_p_safe(p_safe)
+        .with_retain_history(false);
     let mut sequencer = OnlineSequencer::new(config);
     for c in 0..base.clients as u32 {
         sequencer.register_client(
@@ -151,26 +155,32 @@ fn run_one(base: &ScenarioConfig, setup: &OnlineSetup, p_safe: f64) -> PsafeRow 
     }
     arrivals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
 
+    let mut order = FairOrder::default();
     let mut emitted_before_flush = 0usize;
     for (arrival_time, msg_idx, client, timestamp) in arrivals {
         match msg_idx {
             Some(idx) => {
-                let emitted = sequencer
+                sequencer
                     .submit(messages[idx].clone(), arrival_time)
                     .expect("valid submission");
-                emitted_before_flush += emitted.iter().map(|b| b.messages.len()).sum::<usize>();
             }
             None => {
-                let emitted = sequencer
+                sequencer
                     .heartbeat(client, timestamp, arrival_time)
                     .expect("valid heartbeat");
-                emitted_before_flush += emitted.iter().map(|b| b.messages.len()).sum::<usize>();
             }
+        }
+        for batch in sequencer.take_emitted() {
+            emitted_before_flush += batch.messages.len();
+            order.push_batch(batch.message_ids());
         }
     }
     sequencer.flush();
+    for batch in sequencer.take_emitted() {
+        order.push_batch(batch.message_ids());
+    }
 
-    let ras = rank_agreement_score(sequencer.emitted_order(), &messages);
+    let ras = rank_agreement_score(&order, &messages);
     let stats = sequencer.stats();
     PsafeRow {
         p_safe,

@@ -9,17 +9,28 @@
 
 use crate::distribution::Distribution;
 use crate::integrate::trapezoid_uniform;
+use crate::quantile::first_at_least;
 
 /// A probability density sampled on a uniform grid.
 ///
 /// The density value at grid point `i` corresponds to `x = lo + i * step`.
 /// The represented distribution is the piecewise-linear interpolation of the
 /// grid values, normalized to integrate to one.
+///
+/// A cumulative prefix array is precomputed at construction, so
+/// [`cdf`](DiscretizedPdf::cdf) / [`tail`](DiscretizedPdf::tail) are O(1)
+/// and [`quantile`](DiscretizedPdf::quantile) is O(log n) — the hot
+/// operations of every non-Gaussian precedence query and safe-emission-time
+/// computation cost a lookup instead of an O(grid) re-integration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiscretizedPdf {
     lo: f64,
     step: f64,
     densities: Vec<f64>,
+    /// `cum[i]` is the trapezoid integral of the density from `lo` to
+    /// `x_at(i)`, accumulated cell-by-cell in index order (so it is exactly
+    /// the value the pre-prefix-array implementation computed per call).
+    cum: Vec<f64>,
 }
 
 impl DiscretizedPdf {
@@ -42,6 +53,7 @@ impl DiscretizedPdf {
             lo,
             step,
             densities: densities.into_iter().map(|v| v.max(0.0)).collect(),
+            cum: Vec::new(),
         };
         pdf.normalize();
         pdf
@@ -76,6 +88,24 @@ impl DiscretizedPdf {
         let inv = 1.0 / mass;
         for v in &mut self.densities {
             *v *= inv;
+        }
+        self.rebuild_cum();
+    }
+
+    /// Recompute the cumulative prefix array from the density grid.
+    ///
+    /// The accumulation order (cell by cell, left to right) matches the old
+    /// per-call integration loop exactly, so `cdf`/`quantile` results are
+    /// bit-identical to the pre-prefix-array implementation.
+    fn rebuild_cum(&mut self) {
+        let n = self.densities.len();
+        self.cum.clear();
+        self.cum.reserve(n);
+        self.cum.push(0.0);
+        let mut acc = 0.0;
+        for i in 0..n - 1 {
+            acc += 0.5 * (self.densities[i] + self.densities[i + 1]) * self.step;
+            self.cum.push(acc);
         }
     }
 
@@ -136,7 +166,8 @@ impl DiscretizedPdf {
         self.densities[i] * (1.0 - frac) + self.densities[i + 1] * frac
     }
 
-    /// `P(X <= x)` by trapezoidal integration of the grid.
+    /// `P(X <= x)` — an O(1) lookup in the precomputed cumulative prefix
+    /// array plus a partial-cell correction.
     pub fn cdf(&self, x: f64) -> f64 {
         if x <= self.lo {
             return 0.0;
@@ -146,11 +177,7 @@ impl DiscretizedPdf {
         }
         let pos = (x - self.lo) / self.step;
         let full = pos.floor() as usize;
-        // Integrate complete cells.
-        let mut acc = 0.0;
-        for i in 0..full {
-            acc += 0.5 * (self.densities[i] + self.densities[i + 1]) * self.step;
-        }
+        let mut acc = self.cum[full.min(self.cum.len() - 1)];
         // Partial last cell with interpolated endpoint.
         let frac = pos - full as f64;
         if frac > 0.0 && full + 1 < self.densities.len() {
@@ -193,11 +220,14 @@ impl DiscretizedPdf {
     pub fn negate(&self) -> DiscretizedPdf {
         let mut densities: Vec<f64> = self.densities.clone();
         densities.reverse();
-        DiscretizedPdf {
+        let mut pdf = DiscretizedPdf {
             lo: -self.hi(),
             step: self.step,
             densities,
-        }
+            cum: Vec::new(),
+        };
+        pdf.rebuild_cum();
+        pdf
     }
 
     /// Resample this PDF onto a new grid with the given spacing (used to align
@@ -213,21 +243,20 @@ impl DiscretizedPdf {
     }
 
     /// Smallest `x` on the grid with `P(X <= x) >= p` (grid-resolution
-    /// quantile). `p` must be in `(0, 1)`.
+    /// quantile). `p` must be in `(0, 1)`. An O(log n) binary search over
+    /// the cumulative prefix array.
     pub fn quantile(&self, p: f64) -> f64 {
         assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
-        let mut acc = 0.0;
-        for i in 0..self.densities.len() - 1 {
-            let cell = 0.5 * (self.densities[i] + self.densities[i + 1]) * self.step;
-            if acc + cell >= p {
-                // Linear interpolation inside the cell.
-                let need = p - acc;
-                let frac = if cell > 0.0 { need / cell } else { 0.0 };
-                return self.x_at(i) + frac * self.step;
-            }
-            acc += cell;
+        // First cell index i with cum[i + 1] >= p.
+        let i = first_at_least(&self.cum[1..], p);
+        if i >= self.densities.len() - 1 {
+            return self.hi();
         }
-        self.hi()
+        let cell = 0.5 * (self.densities[i] + self.densities[i + 1]) * self.step;
+        // Linear interpolation inside the cell.
+        let need = p - self.cum[i];
+        let frac = if cell > 0.0 { need / cell } else { 0.0 };
+        self.x_at(i) + frac * self.step
     }
 }
 
@@ -314,6 +343,57 @@ mod tests {
         assert_eq!(pdf.pdf(pdf.hi() + 1.0), 0.0);
         assert_eq!(pdf.cdf(pdf.lo() - 1.0), 0.0);
         assert_eq!(pdf.cdf(pdf.hi() + 1.0), 1.0);
+    }
+
+    #[test]
+    fn prefix_cdf_matches_direct_trapezoid_integration() {
+        // The O(1) prefix-array cdf must agree with a freshly integrated
+        // trapezoid sum at every grid point and at off-grid points.
+        let d = OffsetDistribution::laplace(1.0, 2.5);
+        let pdf = DiscretizedPdf::from_distribution(&d, 777);
+        let dens = pdf.densities();
+        let mut acc = 0.0;
+        for i in 0..pdf.len() - 1 {
+            // cdf at a grid point x_at(i) (strictly inside the support).
+            if i > 0 {
+                let direct = crate::clamp_probability(acc);
+                let fast = pdf.cdf(pdf.x_at(i));
+                assert!(
+                    (fast - direct).abs() < 1e-12,
+                    "grid point {i}: {fast} vs {direct}"
+                );
+            }
+            acc += 0.5 * (dens[i] + dens[i + 1]) * pdf.step();
+            // Off-grid midpoint of the cell.
+            let mid = pdf.x_at(i) + 0.5 * pdf.step();
+            let got = pdf.cdf(mid);
+            assert!((0.0..=1.0).contains(&got));
+        }
+    }
+
+    #[test]
+    fn quantile_binary_search_matches_linear_scan() {
+        let d = OffsetDistribution::shifted_log_normal(-1.0, 0.8, 0.6);
+        let pdf = DiscretizedPdf::from_distribution(&d, 513);
+        // Reference: the original O(n) scan.
+        let scan = |p: f64| -> f64 {
+            let dens = pdf.densities();
+            let mut acc = 0.0;
+            for i in 0..dens.len() - 1 {
+                let cell = 0.5 * (dens[i] + dens[i + 1]) * pdf.step();
+                if acc + cell >= p {
+                    let frac = if cell > 0.0 { (p - acc) / cell } else { 0.0 };
+                    return pdf.x_at(i) + frac * pdf.step();
+                }
+                acc += cell;
+            }
+            pdf.hi()
+        };
+        for p in [0.001, 0.05, 0.25, 0.5, 0.75, 0.95, 0.999] {
+            let fast = pdf.quantile(p);
+            let slow = scan(p);
+            assert_eq!(fast, slow, "p = {p}");
+        }
     }
 
     #[test]

@@ -44,6 +44,15 @@ pub fn median(samples: &[f64]) -> Option<f64> {
     quantile(samples, 0.5)
 }
 
+/// Index of the first element of a non-decreasing slice that is `>= target`
+/// (`slice.len()` when no element qualifies). O(log n) binary search — the
+/// discrete analogue of [`bisect_increasing`], used by
+/// [`crate::discretized::DiscretizedPdf`] to invert its cumulative prefix
+/// array.
+pub fn first_at_least(sorted: &[f64], target: f64) -> usize {
+    sorted.partition_point(|&v| v < target)
+}
+
 /// Find the smallest `x ∈ [lo, hi]` such that `f(x) >= target`, assuming `f`
 /// is non-decreasing, to within absolute tolerance `tol` on `x`.
 ///
@@ -134,6 +143,17 @@ mod tests {
     #[test]
     fn bisect_returns_none_when_unreachable() {
         assert_eq!(bisect_increasing(|x| x, 0.0, 1.0, 2.0, 1e-9), None);
+    }
+
+    #[test]
+    fn first_at_least_finds_boundaries() {
+        let xs = [0.0, 0.1, 0.5, 0.5, 0.9, 1.0];
+        assert_eq!(first_at_least(&xs, -1.0), 0);
+        assert_eq!(first_at_least(&xs, 0.05), 1);
+        assert_eq!(first_at_least(&xs, 0.5), 2);
+        assert_eq!(first_at_least(&xs, 0.95), 5);
+        assert_eq!(first_at_least(&xs, 2.0), 6);
+        assert_eq!(first_at_least(&[], 0.5), 0);
     }
 
     #[test]

@@ -1,90 +1,113 @@
 //! Property-based tests of the core fair-ordering invariants, run through
 //! the public API of the umbrella crate.
+//!
+//! These were originally written against `proptest`; the offline build
+//! container cannot fetch it, so each property is driven by seeded randomized
+//! cases instead (same invariants, deterministic per seed).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use tommy::prelude::*;
 
-fn arbitrary_messages(max_clients: u32) -> impl Strategy<Value = Vec<(u32, f64)>> {
-    // (client id, timestamp) pairs.
-    prop::collection::vec((0..max_clients, -1_000.0..1_000.0f64), 2..40)
+const CASES: u64 = 64;
+
+/// Random (client id, timestamp) pairs: between 2 and 39 messages.
+fn arbitrary_messages(rng: &mut StdRng, max_clients: u32) -> Vec<(u32, f64)> {
+    let n = rng.random_range(2usize..40);
+    (0..n)
+        .map(|_| {
+            (
+                rng.random_range(0..max_clients),
+                rng.random_range(-1_000.0..1_000.0f64),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn to_messages(raw: &[(u32, f64)]) -> Vec<Message> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, (c, t))| Message::new(MessageId(i as u64), ClientId(*c), *t))
+        .collect()
+}
 
-    /// Every sequenced message appears in exactly one batch and ranks are
-    /// contiguous from zero.
-    #[test]
-    fn batching_partitions_the_input(raw in arbitrary_messages(8), sigma in 0.1..50.0f64) {
+/// Every sequenced message appears in exactly one batch and ranks are
+/// contiguous from zero.
+#[test]
+fn batching_partitions_the_input() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let raw = arbitrary_messages(&mut rng, 8);
+        let sigma = rng.random_range(0.1..50.0f64);
         let mut sequencer = TommySequencer::new(SequencerConfig::default());
         for c in 0..8u32 {
             sequencer.register_client(ClientId(c), OffsetDistribution::gaussian(0.0, sigma));
         }
-        // Deduplicate (client, timestamp) pairs into messages with unique ids.
-        let messages: Vec<Message> = raw
-            .iter()
-            .enumerate()
-            .map(|(i, (c, t))| Message::new(MessageId(i as u64), ClientId(*c), *t))
-            .collect();
+        let messages = to_messages(&raw);
         let order = sequencer.sequence(&messages).unwrap();
 
-        prop_assert_eq!(order.num_messages(), messages.len());
+        assert_eq!(order.num_messages(), messages.len());
         let mut seen = std::collections::HashSet::new();
         for (rank, batch) in order.batches().iter().enumerate() {
-            prop_assert_eq!(batch.rank, rank);
-            prop_assert!(!batch.is_empty());
+            assert_eq!(batch.rank, rank);
+            assert!(!batch.is_empty());
             for id in &batch.messages {
-                prop_assert!(seen.insert(*id), "message {} in two batches", id);
+                assert!(seen.insert(*id), "message {id} in two batches (seed {seed})");
             }
         }
-        prop_assert_eq!(seen.len(), messages.len());
+        assert_eq!(seen.len(), messages.len());
     }
+}
 
-    /// With identical Gaussian clocks, the extracted linear order never
-    /// inverts two messages whose timestamps differ (the earlier-stamped
-    /// message never lands in a strictly later batch than a later-stamped
-    /// one).
-    #[test]
-    fn ranks_never_contradict_timestamps_for_identical_clocks(
-        raw in arbitrary_messages(6),
-        sigma in 0.5..30.0f64,
-    ) {
+/// With identical Gaussian clocks, the extracted linear order never inverts
+/// two messages whose timestamps differ (the earlier-stamped message never
+/// lands in a strictly later batch than a later-stamped one).
+#[test]
+fn ranks_never_contradict_timestamps_for_identical_clocks() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1_000 + seed);
+        let raw = arbitrary_messages(&mut rng, 6);
+        let sigma = rng.random_range(0.5..30.0f64);
         let mut sequencer = TommySequencer::new(SequencerConfig::default());
         for c in 0..6u32 {
             sequencer.register_client(ClientId(c), OffsetDistribution::gaussian(0.0, sigma));
         }
-        let messages: Vec<Message> = raw
-            .iter()
-            .enumerate()
-            .map(|(i, (c, t))| Message::new(MessageId(i as u64), ClientId(*c), *t))
-            .collect();
+        let messages = to_messages(&raw);
         let order = sequencer.sequence(&messages).unwrap();
         for a in &messages {
             for b in &messages {
                 if a.timestamp < b.timestamp {
                     let ra = order.rank_of(a.id).unwrap();
                     let rb = order.rank_of(b.id).unwrap();
-                    prop_assert!(
+                    assert!(
                         ra <= rb,
-                        "{} (T={}) ranked {} after {} (T={}) ranked {}",
-                        a.id, a.timestamp, ra, b.id, b.timestamp, rb
+                        "{} (T={}) ranked {} after {} (T={}) ranked {} (seed {})",
+                        a.id,
+                        a.timestamp,
+                        ra,
+                        b.id,
+                        b.timestamp,
+                        rb,
+                        seed
                     );
                 }
             }
         }
     }
+}
 
-    /// The preceding probability is complementary: p(a,b) + p(b,a) = 1, and
-    /// the Gaussian closed form always lies in [0, 1].
-    #[test]
-    fn preceding_probability_is_complementary(
-        t1 in -1_000.0..1_000.0f64,
-        t2 in -1_000.0..1_000.0f64,
-        sigma1 in 0.1..100.0f64,
-        sigma2 in 0.1..100.0f64,
-        mean1 in -50.0..50.0f64,
-        mean2 in -50.0..50.0f64,
-    ) {
+/// The preceding probability is complementary: p(a,b) + p(b,a) = 1, and the
+/// Gaussian closed form always lies in [0, 1].
+#[test]
+fn preceding_probability_is_complementary() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2_000 + seed);
+        let t1 = rng.random_range(-1_000.0..1_000.0f64);
+        let t2 = rng.random_range(-1_000.0..1_000.0f64);
+        let sigma1 = rng.random_range(0.1..100.0f64);
+        let sigma2 = rng.random_range(0.1..100.0f64);
+        let mean1 = rng.random_range(-50.0..50.0f64);
+        let mean2 = rng.random_range(-50.0..50.0f64);
         let mut registry = DistributionRegistry::new();
         registry.register(ClientId(0), OffsetDistribution::gaussian(mean1, sigma1));
         registry.register(ClientId(1), OffsetDistribution::gaussian(mean2, sigma2));
@@ -92,21 +115,19 @@ proptest! {
         let b = Message::new(MessageId(1), ClientId(1), t2);
         let p_ab = registry.preceding_probability(&a, &b).unwrap();
         let p_ba = registry.preceding_probability(&b, &a).unwrap();
-        prop_assert!((0.0..=1.0).contains(&p_ab));
-        prop_assert!((p_ab + p_ba - 1.0).abs() < 1e-9);
+        assert!((0.0..=1.0).contains(&p_ab));
+        assert!((p_ab + p_ba - 1.0).abs() < 1e-9, "seed {seed}");
     }
+}
 
-    /// Raising the threshold never increases the number of batches.
-    #[test]
-    fn higher_threshold_never_creates_more_batches(
-        raw in arbitrary_messages(6),
-        sigma in 0.5..40.0f64,
-    ) {
-        let messages: Vec<Message> = raw
-            .iter()
-            .enumerate()
-            .map(|(i, (c, t))| Message::new(MessageId(i as u64), ClientId(*c), *t))
-            .collect();
+/// Raising the threshold never increases the number of batches.
+#[test]
+fn higher_threshold_never_creates_more_batches() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(3_000 + seed);
+        let raw = arbitrary_messages(&mut rng, 6);
+        let sigma = rng.random_range(0.5..40.0f64);
+        let messages = to_messages(&raw);
         let mut counts = Vec::new();
         for threshold in [0.6, 0.75, 0.9] {
             let mut sequencer =
@@ -116,15 +137,19 @@ proptest! {
             }
             counts.push(sequencer.sequence(&messages).unwrap().num_batches());
         }
-        prop_assert!(counts[0] >= counts[1]);
-        prop_assert!(counts[1] >= counts[2]);
+        assert!(counts[0] >= counts[1], "seed {seed}: {counts:?}");
+        assert!(counts[1] >= counts[2], "seed {seed}: {counts:?}");
     }
+}
 
-    /// The Rank Agreement Score of any output is bounded by the pair count in
-    /// absolute value, and a perfect (ground-truth) total order achieves the
-    /// maximum.
-    #[test]
-    fn ras_is_bounded_and_maximized_by_ground_truth(raw in arbitrary_messages(6)) {
+/// The Rank Agreement Score of any output is bounded by the pair count in
+/// absolute value, and a perfect (ground-truth) total order achieves the
+/// maximum.
+#[test]
+fn ras_is_bounded_and_maximized_by_ground_truth() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(4_000 + seed);
+        let raw = arbitrary_messages(&mut rng, 6);
         // Build messages whose timestamps equal their true times (perfect
         // clocks), with distinct true times.
         let messages: Vec<Message> = raw
@@ -137,13 +162,12 @@ proptest! {
             .collect();
         let mut sorted = messages.clone();
         sorted.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
-        let perfect = FairOrder::from_total_order(
-            &sorted.iter().map(|m| m.id).collect::<Vec<_>>(),
-        );
+        let perfect =
+            FairOrder::from_total_order(&sorted.iter().map(|m| m.id).collect::<Vec<_>>());
         let ras = rank_agreement_score(&perfect, &messages);
         let pairs = messages.len() * (messages.len() - 1) / 2;
-        prop_assert_eq!(ras.pairs(), pairs);
-        prop_assert_eq!(ras.score(), pairs as i64);
-        prop_assert!(ras.normalized() <= 1.0 && ras.normalized() >= -1.0);
+        assert_eq!(ras.pairs(), pairs);
+        assert_eq!(ras.score(), pairs as i64);
+        assert!(ras.normalized() <= 1.0 && ras.normalized() >= -1.0);
     }
 }
