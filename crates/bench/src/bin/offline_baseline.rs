@@ -1,0 +1,175 @@
+//! Emit `BENCH_offline.json`: wall-clock cost of the offline (batch-mode)
+//! pairwise matrix build — serial vs the tiled multi-threaded build — plus
+//! end-to-end `sequence_detailed` throughput, at several message counts. The
+//! workload matches the `sequencer_scaling` bench (Gaussian population,
+//! σ = 20, unit gap).
+//!
+//! Run from the repository root:
+//!
+//! ```text
+//! cargo run --release -p tommy-bench --bin offline_baseline
+//! ```
+//!
+//! The parallel build is bit-identical to the serial one (verified on every
+//! size before timing), so `speedup` is purely a wall-clock ratio; it
+//! reflects the hardware parallelism of the machine the baseline was
+//! recorded on (the `threads` field).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+use tommy_core::config::{resolve_parallelism, SequencerConfig};
+use tommy_core::message::ClientId;
+use tommy_core::precedence::PrecedenceMatrix;
+use tommy_core::sequencer::offline::TommySequencer;
+use tommy_sim::runner::{generate_messages, oracle_registry};
+use tommy_sim::scenario::ScenarioConfig;
+use tommy_stats::distribution::OffsetDistribution;
+
+const SIZES: [usize; 4] = [200, 500, 1000, 2000];
+const TARGET_SECONDS: f64 = 0.4;
+
+/// Repeat `f` until `TARGET_SECONDS` of wall clock elapse (at least once);
+/// return seconds per call.
+fn time_per_call<F: FnMut()>(mut f: F) -> f64 {
+    // One untimed warm-up call.
+    f();
+    let start = Instant::now();
+    let mut calls = 0u64;
+    loop {
+        f();
+        calls += 1;
+        if start.elapsed().as_secs_f64() >= TARGET_SECONDS {
+            break;
+        }
+    }
+    start.elapsed().as_secs_f64() / calls as f64
+}
+
+fn scenario(messages: usize) -> ScenarioConfig {
+    ScenarioConfig::default()
+        .with_size(messages.min(100), messages)
+        .with_clock_std_dev(20.0)
+        .with_gap(1.0)
+}
+
+fn main() {
+    let threads = resolve_parallelism(0);
+    eprintln!("auto-detected parallelism: {threads} thread(s)");
+
+    let mut rows = Vec::new();
+    for n in SIZES {
+        let cfg = scenario(n);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let messages = generate_messages(&cfg, &mut rng);
+        let registry = oracle_registry(&cfg);
+
+        // Sanity: the parallel build must be bit-identical to the serial one.
+        let serial_matrix = PrecedenceMatrix::compute(&messages, &registry).unwrap();
+        let parallel_matrix =
+            PrecedenceMatrix::compute_parallel(&messages, &registry, 0).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                assert!(
+                    serial_matrix.prob(i, j) == parallel_matrix.prob(i, j),
+                    "parallel build diverged at ({i},{j})"
+                );
+            }
+        }
+
+        eprintln!("measuring serial matrix build at n = {n} ...");
+        let serial_secs = time_per_call(|| {
+            std::hint::black_box(PrecedenceMatrix::compute(&messages, &registry).unwrap());
+        });
+        eprintln!("measuring parallel matrix build at n = {n} ...");
+        let parallel_secs = time_per_call(|| {
+            std::hint::black_box(
+                PrecedenceMatrix::compute_parallel(&messages, &registry, 0).unwrap(),
+            );
+        });
+        // The tiled code path with a fixed worker count, so the tiling
+        // overhead is visible even when auto-detection resolves to 1 thread
+        // (single-core container): on such hosts this measures pure
+        // oversubscription overhead, on multi-core hosts it tracks
+        // `parallel_build_ms`.
+        eprintln!("measuring tiled (4-worker) matrix build at n = {n} ...");
+        let tiled_secs = time_per_call(|| {
+            std::hint::black_box(
+                PrecedenceMatrix::compute_parallel(&messages, &registry, 4).unwrap(),
+            );
+        });
+
+        // End-to-end offline sequencing (matrix + tournament + batching),
+        // matching the sequencer_scaling bench's pipeline.
+        let make_sequencer = |parallelism: usize| {
+            let mut seq = TommySequencer::new(
+                SequencerConfig::default()
+                    .with_threshold(cfg.threshold)
+                    .with_parallelism(parallelism),
+            );
+            for c in 0..cfg.clients as u32 {
+                seq.register_client(
+                    ClientId(c),
+                    OffsetDistribution::gaussian(0.0, cfg.clock_std_dev),
+                );
+            }
+            seq
+        };
+        eprintln!("measuring serial sequence_detailed at n = {n} ...");
+        let mut serial_seq = make_sequencer(1);
+        let sequence_serial_secs = time_per_call(|| {
+            std::hint::black_box(serial_seq.sequence_detailed(&messages).unwrap());
+        });
+        eprintln!("measuring parallel sequence_detailed at n = {n} ...");
+        let mut parallel_seq = make_sequencer(0);
+        let sequence_parallel_secs = time_per_call(|| {
+            std::hint::black_box(parallel_seq.sequence_detailed(&messages).unwrap());
+        });
+
+        rows.push((
+            n,
+            serial_secs,
+            parallel_secs,
+            tiled_secs,
+            sequence_serial_secs,
+            sequence_parallel_secs,
+        ));
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"offline_matrix_build\",\n");
+    json.push_str(
+        "  \"description\": \"offline pairwise matrix build and end-to-end sequencing, \
+         serial vs tiled parallel build\",\n",
+    );
+    json.push_str("  \"unit\": \"milliseconds\",\n");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    json.push_str(
+        "  \"note\": \"build_speedup is serial/parallel wall clock and is bounded by the \
+         recording host's core count (threads field); the tiled build is bit-identical to \
+         serial, so regenerate on multi-core hardware for the real speedup. \
+         tiled4_build_ms forces 4 workers to expose the tiling overhead itself.\",\n",
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, (n, serial, parallel, tiled, seq_serial, seq_parallel)) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"messages\": {n}, \"serial_build_ms\": {:.2}, \"parallel_build_ms\": {:.2}, \
+             \"build_speedup\": {:.2}, \"tiled4_build_ms\": {:.2}, \"sequence_serial_ms\": {:.2}, \
+             \"sequence_parallel_ms\": {:.2}}}",
+            serial * 1e3,
+            parallel * 1e3,
+            serial / parallel,
+            tiled * 1e3,
+            seq_serial * 1e3,
+            seq_parallel * 1e3,
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_offline.json", &json).expect("write BENCH_offline.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_offline.json");
+}

@@ -40,7 +40,9 @@ pub const STREAM_CLIENTS: u32 = 8;
 /// pending set growing to the full stream length.
 pub const SILENT_CLIENT: u32 = 9_999;
 
-fn stream_message(i: usize) -> Message {
+/// The `i`-th message of the streaming benchmark workload (round-robin
+/// across [`STREAM_CLIENTS`], unit timestamp spacing).
+pub fn stream_message(i: usize) -> Message {
     Message::new(
         MessageId(i as u64),
         ClientId(i as u32 % STREAM_CLIENTS),

@@ -38,6 +38,22 @@ pub struct SequencerConfig {
     /// accept that trade-off, or deduplicate upstream, before disabling
     /// history.
     pub retain_history: bool,
+    /// Worker-thread count for the offline (batch-mode) pairwise
+    /// [`PrecedenceMatrix`](crate::precedence::PrecedenceMatrix) build.
+    ///
+    /// * `1` (the default) — fully serial, exactly the historical behaviour.
+    /// * `0` — auto-detect via `std::thread::available_parallelism()`.
+    /// * any other value — that many worker threads.
+    ///
+    /// The tiled build partitions the upper triangle of the query grid into
+    /// row blocks balanced by pair count and is **bit-identical** to the
+    /// serial build: every pair is queried in the same orientation through
+    /// the same registry code path, so the resulting matrix (and therefore
+    /// every downstream tournament, linear order, and batch boundary) is
+    /// exactly the one the serial build produces. Only wall-clock time
+    /// changes. The online sequencer's incremental arrival path never builds
+    /// a full matrix and is unaffected by this knob.
+    pub parallelism: usize,
 }
 
 impl Default for SequencerConfig {
@@ -49,7 +65,21 @@ impl Default for SequencerConfig {
             grid_points: 1024,
             stochastic_cycle_breaking: false,
             retain_history: true,
+            parallelism: 1,
         }
+    }
+}
+
+/// Resolve a [`SequencerConfig::parallelism`] knob value to a concrete
+/// worker-thread count: `0` auto-detects the hardware parallelism (falling
+/// back to 1 when detection fails), anything else is used as-is.
+pub fn resolve_parallelism(parallelism: usize) -> usize {
+    if parallelism == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        parallelism
     }
 }
 
@@ -118,6 +148,19 @@ impl SequencerConfig {
         self.retain_history = enabled;
         self
     }
+
+    /// Set the offline matrix-build worker count (see
+    /// [`SequencerConfig::parallelism`]): `1` serial, `0` auto-detect.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The concrete worker-thread count this configuration resolves to
+    /// (auto-detecting when [`parallelism`](Self::parallelism) is `0`).
+    pub fn resolved_parallelism(&self) -> usize {
+        resolve_parallelism(self.parallelism)
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +175,17 @@ mod tests {
         assert_eq!(c.grid_points, 1024);
         assert!(!c.stochastic_cycle_breaking);
         assert!(c.retain_history);
+        assert_eq!(c.parallelism, 1);
+    }
+
+    #[test]
+    fn parallelism_builder_and_resolution() {
+        let c = SequencerConfig::new().with_parallelism(4);
+        assert_eq!(c.parallelism, 4);
+        assert_eq!(c.resolved_parallelism(), 4);
+        let auto = SequencerConfig::new().with_parallelism(0);
+        assert!(auto.resolved_parallelism() >= 1);
+        assert_eq!(resolve_parallelism(3), 3);
     }
 
     #[test]

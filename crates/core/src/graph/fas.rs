@@ -17,12 +17,56 @@
 use rand::Rng;
 use rand::RngCore;
 
+/// If the sub-tournament induced on `members` is already transitive
+/// (acyclic), return its unique Hamiltonian path; otherwise `None`.
+///
+/// One O(k²) pass over the pairs (edge orientations follow the tournament
+/// convention: ties go to the earlier member), using the score-sequence
+/// characterization — a tournament is transitive iff its out-degrees are a
+/// permutation of `{0, …, k−1}` — so an acyclic component costs a single
+/// pass instead of the greedy loop's repeated exhaustive scans.
+fn transitive_path(members: &[usize], prob: &dyn Fn(usize, usize) -> f64) -> Option<Vec<usize>> {
+    let k = members.len();
+    if k <= 1 {
+        return Some(members.to_vec());
+    }
+    let mut outdeg = vec![0usize; k];
+    for a in 0..k {
+        for b in (a + 1)..k {
+            if prob(members[a], members[b]) >= prob(members[b], members[a]) {
+                outdeg[a] += 1;
+            } else {
+                outdeg[b] += 1;
+            }
+        }
+    }
+    let mut seen = vec![false; k];
+    for &d in &outdeg {
+        if seen[d] {
+            return None; // repeated score: at least one 3-cycle exists
+        }
+        seen[d] = true;
+    }
+    // Transitive: the vertex beating all others first, then descending.
+    let mut by_score: Vec<usize> = (0..k).collect();
+    by_score.sort_unstable_by_key(|&a| std::cmp::Reverse(outdeg[a]));
+    Some(by_score.into_iter().map(|a| members[a]).collect())
+}
+
 /// Order the vertices `members` using the greedy heuristic.
 ///
 /// `prob(a, b)` must return the probability that `a` precedes `b` (only
 /// called for distinct members). The returned vector is a permutation of
 /// `members`.
+///
+/// When the induced sub-tournament is already acyclic the exhaustive greedy
+/// loop is skipped entirely and the unique Hamiltonian path is returned
+/// after a single O(k²) transitivity pass; on cyclic inputs the heuristic
+/// output is unchanged.
 pub fn greedy_order(members: &[usize], prob: &dyn Fn(usize, usize) -> f64) -> Vec<usize> {
+    if let Some(path) = transitive_path(members, prob) {
+        return path;
+    }
     let mut remaining: Vec<usize> = members.to_vec();
     let mut order = Vec::with_capacity(members.len());
     while !remaining.is_empty() {
@@ -208,6 +252,97 @@ mod tests {
         let prob = prob_from(&pairs);
         assert_eq!(backward_weight(&[0, 1, 2], &prob), 0.0);
         assert!(backward_weight(&[2, 1, 0], &prob) > 0.0);
+    }
+
+    /// The pre-early-exit greedy loop, kept verbatim as the regression
+    /// reference: on cyclic inputs the optimized `greedy_order` must produce
+    /// exactly this output.
+    fn reference_greedy(members: &[usize], prob: &dyn Fn(usize, usize) -> f64) -> Vec<usize> {
+        let mut remaining: Vec<usize> = members.to_vec();
+        let mut order = Vec::with_capacity(members.len());
+        while !remaining.is_empty() {
+            let mut best_idx = 0usize;
+            let mut best_score = f64::NEG_INFINITY;
+            for (idx, &v) in remaining.iter().enumerate() {
+                let mut score = 0.0;
+                for &u in &remaining {
+                    if u == v {
+                        continue;
+                    }
+                    score += prob(v, u) - prob(u, v);
+                }
+                if score > best_score + 1e-15 {
+                    best_score = score;
+                    best_idx = idx;
+                }
+            }
+            order.push(remaining.remove(best_idx));
+        }
+        order
+    }
+
+    /// Regression for the acyclic early-exit: identical output on cyclic
+    /// inputs, and the unique Hamiltonian path (skipping the exhaustive
+    /// loop) on transitive ones.
+    #[test]
+    #[allow(clippy::needless_range_loop)] // symmetric (a, b) matrix fill
+    fn early_exit_keeps_cyclic_output_identical() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut cyclic_seen = 0usize;
+        let mut transitive_seen = 0usize;
+        for _ in 0..60 {
+            let k = rng.random_range(3usize..9);
+            let mut p = vec![vec![0.5; k]; k];
+            for a in 0..k {
+                for b in (a + 1)..k {
+                    let q = rng.random_range(0.05..0.95f64);
+                    p[a][b] = q;
+                    p[b][a] = 1.0 - q;
+                }
+            }
+            let prob = |a: usize, b: usize| p[a][b];
+            let members: Vec<usize> = (0..k).collect();
+            let order = greedy_order(&members, &prob);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, members, "must be a permutation");
+            if transitive_path(&members, &prob).is_some() {
+                transitive_seen += 1;
+                // The early-exit returns the unique Hamiltonian path: every
+                // adjacent pair is ordered along a tournament edge.
+                for w in order.windows(2) {
+                    assert!(
+                        prob(w[0], w[1]) >= prob(w[1], w[0]),
+                        "path edge {w:?} points backwards"
+                    );
+                }
+            } else {
+                cyclic_seen += 1;
+                assert_eq!(
+                    order,
+                    reference_greedy(&members, &prob),
+                    "cyclic output must match the exhaustive greedy exactly"
+                );
+            }
+        }
+        assert!(cyclic_seen > 0, "random tournaments should contain cycles");
+        assert!(transitive_seen > 0, "and transitive instances");
+    }
+
+    #[test]
+    fn transitive_component_early_exit_returns_hamiltonian_path() {
+        // 3 < 1 < 0 < 2 by strength.
+        let pairs = [
+            ((0, 1), 0.9),
+            ((0, 2), 0.2),
+            ((0, 3), 0.8),
+            ((1, 2), 0.1),
+            ((1, 3), 0.7),
+            ((2, 3), 0.95),
+        ];
+        let prob = prob_from(&pairs);
+        assert_eq!(greedy_order(&[0, 1, 2, 3], &prob), vec![2, 0, 1, 3]);
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Shared helpers for dense square buffers with geometric stride growth.
+//!
+//! Both the [`PrecedenceMatrix`](crate::precedence::PrecedenceMatrix) (f64
+//! probabilities) and the
+//! [`IncrementalTournament`](crate::tournament::IncrementalTournament)
+//! (edge-orientation bools) store an `n × n` grid inside a larger
+//! `stride × stride` buffer so incremental inserts amortize to O(n), and
+//! both compact survivors in place on batch removal. The two structures must
+//! grow and compact identically to keep their indices in lockstep, so the
+//! logic lives here once.
+
+/// Grow `buf`/`stride` so the square grid can hold at least `cap` rows,
+/// doubling the stride (geometric growth: the O(n²) relocation amortizes to
+/// O(n) per insert) and relocating the live `n × n` prefix. No-op when the
+/// current stride already suffices.
+pub(crate) fn grow_square<T: Copy>(
+    buf: &mut Vec<T>,
+    stride: &mut usize,
+    n: usize,
+    cap: usize,
+    fill: T,
+) {
+    if cap <= *stride {
+        return;
+    }
+    let mut new_stride = (*stride).max(4);
+    while new_stride < cap {
+        new_stride *= 2;
+    }
+    let mut grown = vec![fill; new_stride * new_stride];
+    for i in 0..n {
+        grown[i * new_stride..i * new_stride + n]
+            .copy_from_slice(&buf[i * *stride..i * *stride + n]);
+    }
+    *buf = grown;
+    *stride = new_stride;
+}
+
+/// Compact the rows/columns `kept` (ascending pre-removal indices) of the
+/// `stride`-strided grid into its top-left corner, in place.
+///
+/// Safe without a scratch buffer: the destination `(a, b)` satisfies
+/// `a <= kept[a]` and `b <= kept[b]`, so every write lands at an index no
+/// larger than its source — and strictly smaller than every source a later
+/// iteration still reads.
+pub(crate) fn compact_square<T: Copy>(buf: &mut [T], stride: usize, kept: &[usize]) {
+    for (a, &i) in kept.iter().enumerate() {
+        for (b, &j) in kept.iter().enumerate() {
+            buf[a * stride + b] = buf[i * stride + j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grow_preserves_prefix_and_doubles() {
+        let mut buf = vec![0u8; 16];
+        let mut stride = 4usize;
+        for i in 0..3 {
+            for j in 0..3 {
+                buf[i * stride + j] = (10 * i + j) as u8;
+            }
+        }
+        grow_square(&mut buf, &mut stride, 3, 5, 255);
+        assert_eq!(stride, 8);
+        assert_eq!(buf.len(), 64);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(buf[i * stride + j], (10 * i + j) as u8);
+            }
+        }
+        assert_eq!(buf[3 * stride + 3], 255, "new cells take the fill value");
+        // Already-large strides are left alone.
+        let before = buf.clone();
+        grow_square(&mut buf, &mut stride, 3, 8, 255);
+        assert_eq!(stride, 8);
+        assert_eq!(buf, before);
+    }
+
+    #[test]
+    fn compact_moves_survivors_in_place() {
+        let stride = 4usize;
+        let mut buf: Vec<u8> = (0..16).collect();
+        // Keep rows/cols 1 and 3.
+        compact_square(&mut buf, stride, &[1, 3]);
+        assert_eq!(buf[0], 5); // (1,1)
+        assert_eq!(buf[1], 7); // (1,3)
+        assert_eq!(buf[stride], 13); // (3,1)
+        assert_eq!(buf[stride + 1], 15); // (3,3)
+    }
+}

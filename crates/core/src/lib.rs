@@ -47,6 +47,7 @@ pub mod batching;
 pub mod config;
 pub mod error;
 pub mod graph;
+pub(crate) mod grid;
 pub mod message;
 pub mod precedence;
 pub mod registry;
@@ -64,7 +65,7 @@ pub use registry::DistributionRegistry;
 pub use relation::LikelyHappenedBefore;
 pub use sequencer::offline::TommySequencer;
 pub use sequencer::online::{OnlineSequencer, OnlineStats};
-pub use tournament::Tournament;
+pub use tournament::{IncrementalTournament, Tournament};
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {

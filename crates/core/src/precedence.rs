@@ -10,6 +10,36 @@ use crate::message::{Message, MessageId};
 use crate::registry::DistributionRegistry;
 use std::collections::{HashMap, HashSet};
 
+/// Below this message count the parallel build falls back to the serial
+/// loop: thread spawn/join overhead would dominate the pairwise queries.
+const PARALLEL_BUILD_MIN_MESSAGES: usize = 64;
+
+/// One worker's output: for each owned row `i`, the upper-triangle
+/// probabilities `p(i, j)` for `j > i` — or the row-major-first error the
+/// worker hit.
+type RowBlockResult = Result<Vec<(usize, Vec<f64>)>, CoreError>;
+
+/// Partition the rows `0..n` of the upper-triangle query grid into at most
+/// `threads` contiguous blocks with approximately equal *pair* counts (row
+/// `i` owns `n - 1 - i` pairs, so equal row counts would badly skew work
+/// toward the first block).
+fn partition_rows(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let total_pairs = n * (n.saturating_sub(1)) / 2;
+    let target = total_pairs.div_ceil(threads.max(1)).max(1);
+    let mut blocks = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for i in 0..n {
+        acc += n - 1 - i;
+        if acc >= target || i + 1 == n {
+            blocks.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    blocks
+}
+
 /// Dense matrix of preceding probabilities for a fixed set of messages.
 ///
 /// `prob(i, j)` is `P(message i truly precedes message j)`; by construction
@@ -20,6 +50,10 @@ pub struct PrecedenceMatrix {
     messages: Vec<Message>,
     index: HashMap<MessageId, usize>,
     probs: Vec<f64>,
+    /// Row stride of `probs`. At least `messages.len()`; kept larger than the
+    /// live dimension (geometric growth) so incremental inserts amortize to
+    /// O(n) instead of re-laying-out the whole O(n²) buffer per arrival.
+    stride: usize,
 }
 
 impl PrecedenceMatrix {
@@ -34,7 +68,14 @@ impl PrecedenceMatrix {
             messages: Vec::new(),
             index: HashMap::new(),
             probs: Vec::new(),
+            stride: 0,
         }
+    }
+
+    /// Grow the backing buffer so it can hold at least `cap` rows/columns,
+    /// doubling the stride so growth cost amortizes to O(n) per insert.
+    fn grow_to(&mut self, cap: usize) {
+        crate::grid::grow_square(&mut self.probs, &mut self.stride, self.messages.len(), cap, 0.5);
     }
 
     /// Insert one message, growing the matrix by one row and one column.
@@ -43,8 +84,9 @@ impl PrecedenceMatrix {
     /// (each existing message `m_j` is queried in the `(m_j, new)`
     /// orientation, exactly as [`compute`](Self::compute) would with the new
     /// message appended) — O(n) probability queries instead of the O(n²) a
-    /// from-scratch rebuild costs. The dense storage is re-laid-out, which is
-    /// an O(n²) memcpy of already-computed values.
+    /// from-scratch rebuild costs. The dense storage keeps spare capacity
+    /// (geometric stride growth), so the per-insert copy cost is amortized
+    /// O(n) too: an arrival has no O(n²) component at all.
     ///
     /// Returns the new message's index.
     ///
@@ -69,16 +111,14 @@ impl PrecedenceMatrix {
             column.push(registry.preceding_probability(existing, &message)?);
         }
 
-        let new_n = n + 1;
-        let mut probs = vec![0.5; new_n * new_n];
-        for i in 0..n {
-            probs[i * new_n..i * new_n + n].copy_from_slice(&self.probs[i * n..(i + 1) * n]);
-        }
+        self.grow_to(n + 1);
+        let s = self.stride;
         for (j, &p) in column.iter().enumerate() {
-            probs[j * new_n + n] = p;
-            probs[n * new_n + j] = 1.0 - p;
+            self.probs[j * s + n] = p;
+            self.probs[n * s + j] = 1.0 - p;
         }
-        self.probs = probs;
+        // The new diagonal cell may hold a stale value from a removed row.
+        self.probs[n * s + n] = 0.5;
         self.index.insert(message.id, n);
         self.messages.push(message);
         Ok(n)
@@ -102,12 +142,7 @@ impl PrecedenceMatrix {
             return;
         }
         let m = kept.len();
-        let mut probs = vec![0.5; m * m];
-        for (a, &i) in kept.iter().enumerate() {
-            for (b, &j) in kept.iter().enumerate() {
-                probs[a * m + b] = self.probs[i * n + j];
-            }
-        }
+        crate::grid::compact_square(&mut self.probs, self.stride, &kept);
         let mut messages = Vec::with_capacity(m);
         let mut index = HashMap::with_capacity(m);
         for (a, &i) in kept.iter().enumerate() {
@@ -117,11 +152,11 @@ impl PrecedenceMatrix {
         }
         self.messages = messages;
         self.index = index;
-        self.probs = probs;
     }
 
     /// Compute the full matrix for `messages` using the distributions in
-    /// `registry`.
+    /// `registry`, serially. Equivalent to
+    /// [`compute_parallel`](Self::compute_parallel) with a parallelism of 1.
     ///
     /// # Errors
     ///
@@ -132,6 +167,36 @@ impl PrecedenceMatrix {
     pub fn compute(
         messages: &[Message],
         registry: &DistributionRegistry,
+    ) -> Result<Self, CoreError> {
+        PrecedenceMatrix::compute_parallel(messages, registry, 1)
+    }
+
+    /// Compute the full matrix for `messages` with a tiled, multi-threaded
+    /// build of the pairwise query grid.
+    ///
+    /// `parallelism` follows the
+    /// [`SequencerConfig::parallelism`](crate::config::SequencerConfig::parallelism)
+    /// convention: `1` is fully serial, `0` auto-detects the available
+    /// hardware parallelism, any other value is the worker-thread count. The
+    /// upper triangle of the query grid is partitioned into contiguous row
+    /// blocks balanced by pair count; each worker fills its rows
+    /// independently and a serial assembly pass mirrors the complements.
+    ///
+    /// The result is **bit-identical** to the serial build: every pair
+    /// `(i, j)` with `i < j` is queried in exactly the same orientation
+    /// through the same [`DistributionRegistry`] code path, so the stored
+    /// floats — and, on success, the registry query count — are exactly the
+    /// ones the serial build produces.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`compute`](Self::compute); when several pairs fail,
+    /// the error for the row-major-first failing pair is returned, exactly as
+    /// the serial scan would.
+    pub fn compute_parallel(
+        messages: &[Message],
+        registry: &DistributionRegistry,
+        parallelism: usize,
     ) -> Result<Self, CoreError> {
         if messages.is_empty() {
             return Err(CoreError::EmptyInput);
@@ -144,18 +209,64 @@ impl PrecedenceMatrix {
             }
         }
 
+        let threads = crate::config::resolve_parallelism(parallelism).min(n);
         let mut probs = vec![0.5; n * n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let p = registry.preceding_probability(&messages[i], &messages[j])?;
-                probs[i * n + j] = p;
-                probs[j * n + i] = 1.0 - p;
+        if threads <= 1 || n < PARALLEL_BUILD_MIN_MESSAGES {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let p = registry.preceding_probability(&messages[i], &messages[j])?;
+                    probs[i * n + j] = p;
+                    probs[j * n + i] = 1.0 - p;
+                }
+            }
+        } else {
+            let blocks = partition_rows(n, threads);
+            // Each worker owns a contiguous block of rows and produces, for
+            // every row i, the upper-triangle values p(i, j) for j > i. A
+            // worker stops at its first error, so the per-block error is its
+            // row-major-first one; scanning blocks in ascending row order
+            // below therefore surfaces the same error a serial scan would.
+            let results: Vec<RowBlockResult> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = blocks
+                        .iter()
+                        .map(|block| {
+                            let block = block.clone();
+                            scope.spawn(move || {
+                                let mut rows = Vec::with_capacity(block.len());
+                                for i in block {
+                                    let mut row = Vec::with_capacity(n - i - 1);
+                                    for j in (i + 1)..n {
+                                        row.push(
+                                            registry
+                                                .preceding_probability(&messages[i], &messages[j])?,
+                                        );
+                                    }
+                                    rows.push((i, row));
+                                }
+                                Ok(rows)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("matrix build worker panicked"))
+                        .collect()
+                });
+            for block_rows in results {
+                for (i, row) in block_rows? {
+                    for (offset, p) in row.into_iter().enumerate() {
+                        let j = i + 1 + offset;
+                        probs[i * n + j] = p;
+                        probs[j * n + i] = 1.0 - p;
+                    }
+                }
             }
         }
         Ok(PrecedenceMatrix {
             messages: messages.to_vec(),
             index,
             probs,
+            stride: n,
         })
     }
 
@@ -197,6 +308,7 @@ impl PrecedenceMatrix {
             messages: messages.to_vec(),
             index,
             probs,
+            stride: n,
         }
     }
 
@@ -228,7 +340,8 @@ impl PrecedenceMatrix {
 
     /// `P(message at index i precedes message at index j)`.
     pub fn prob(&self, i: usize, j: usize) -> f64 {
-        self.probs[i * self.messages.len() + j]
+        debug_assert!(i < self.messages.len() && j < self.messages.len());
+        self.probs[i * self.stride + j]
     }
 
     /// `P(a precedes b)` by message id.
@@ -479,6 +592,68 @@ mod tests {
                     assert_matrices_identical(&inc, &scratch);
                 }
             }
+        }
+    }
+
+    /// The tiled multi-threaded build must be bit-identical to the serial
+    /// one — same floats in every cell, for any thread count, across both
+    /// the Gaussian closed form and the numeric (discretized) path.
+    #[test]
+    fn parallel_compute_is_bit_identical_to_serial() {
+        let mut reg = DistributionRegistry::new();
+        for c in 0..5u32 {
+            let dist = if c % 2 == 0 {
+                OffsetDistribution::gaussian(0.0, 1.0 + c as f64)
+            } else {
+                OffsetDistribution::laplace(0.5, 1.0 + c as f64)
+            };
+            reg.register(ClientId(c), dist);
+        }
+        let msgs: Vec<Message> = (0..150)
+            .map(|i| msg(i, (i % 5) as u32, (i % 23) as f64 * 1.5))
+            .collect();
+        let serial = PrecedenceMatrix::compute(&msgs, &reg).unwrap();
+        for threads in [0usize, 2, 3, 8, 150] {
+            let parallel = PrecedenceMatrix::compute_parallel(&msgs, &reg, threads).unwrap();
+            assert_matrices_identical(&parallel, &serial);
+        }
+    }
+
+    /// On failure the parallel build surfaces the error the serial row-major
+    /// scan would have hit first.
+    #[test]
+    fn parallel_compute_reports_first_error_in_row_order() {
+        let reg = registry(1.0, 3);
+        let mut msgs: Vec<Message> = (0..100)
+            .map(|i| msg(i, (i % 3) as u32, i as f64))
+            .collect();
+        // Two unregistered clients; the one at the smaller row index is the
+        // error a serial scan reports first.
+        msgs[10] = msg(10, 7, 10.0);
+        msgs[80] = msg(80, 9, 80.0);
+        let serial_err = PrecedenceMatrix::compute(&msgs, &reg).unwrap_err();
+        assert_eq!(serial_err, CoreError::UnknownClient(ClientId(7)));
+        for threads in [2usize, 4, 16] {
+            assert_eq!(
+                PrecedenceMatrix::compute_parallel(&msgs, &reg, threads).unwrap_err(),
+                serial_err,
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_rows_covers_every_row_exactly_once() {
+        for (n, threads) in [(5usize, 2usize), (64, 4), (101, 8), (200, 3), (16, 32)] {
+            let blocks = super::partition_rows(n, threads);
+            let mut next = 0usize;
+            for block in &blocks {
+                assert_eq!(block.start, next, "blocks must be contiguous");
+                assert!(block.end > block.start, "blocks must be non-empty");
+                next = block.end;
+            }
+            assert_eq!(next, n, "blocks must cover all rows");
+            assert!(blocks.len() <= threads.max(1) + 1);
         }
     }
 

@@ -88,11 +88,18 @@ impl TommySequencer {
     }
 
     /// Sequence a set of messages, returning diagnostics alongside the order.
+    ///
+    /// The pairwise matrix is built with
+    /// [`PrecedenceMatrix::compute_parallel`] using
+    /// [`SequencerConfig::parallelism`] worker threads — bit-identical to the
+    /// serial build, so the configured parallelism changes wall-clock time
+    /// only, never the output.
     pub fn sequence_detailed(
         &mut self,
         messages: &[Message],
     ) -> Result<SequencingOutcome, CoreError> {
-        let matrix = PrecedenceMatrix::compute(messages, &self.registry)?;
+        let matrix =
+            PrecedenceMatrix::compute_parallel(messages, &self.registry, self.config.parallelism)?;
         Ok(self.sequence_matrix(&matrix))
     }
 
@@ -234,6 +241,49 @@ mod tests {
         assert_eq!(batches[0].messages, vec![MessageId(0)]);
         assert_eq!(batches[1].messages, vec![MessageId(1), MessageId(2)]);
         assert_eq!(batches[2].messages, vec![MessageId(3)]);
+    }
+
+    /// The parallel matrix build behind `SequencerConfig::parallelism` is
+    /// bit-identical to the serial one: identical batches, ranks and
+    /// diagnostics for any thread count.
+    #[test]
+    fn parallel_sequencing_is_bit_identical_to_serial() {
+        let msgs: Vec<Message> = (0..120)
+            .map(|i| msg(i, (i % 6) as u32, (i % 17) as f64 * 2.5))
+            .collect();
+        let mut serial = TommySequencer::new(SequencerConfig::default().with_parallelism(1));
+        for c in 0..6u32 {
+            serial.register_client(ClientId(c), OffsetDistribution::gaussian(0.0, 10.0));
+        }
+        let serial_outcome = serial.sequence_detailed(&msgs).unwrap();
+
+        for threads in [0usize, 2, 4, 7] {
+            let mut parallel =
+                TommySequencer::new(SequencerConfig::default().with_parallelism(threads));
+            for c in 0..6u32 {
+                parallel.register_client(ClientId(c), OffsetDistribution::gaussian(0.0, 10.0));
+            }
+            let outcome = parallel.sequence_detailed(&msgs).unwrap();
+            assert_eq!(outcome.transitive, serial_outcome.transitive);
+            assert_eq!(outcome.cyclic_components, serial_outcome.cyclic_components);
+            assert_eq!(
+                outcome.confident_pair_fraction,
+                serial_outcome.confident_pair_fraction,
+                "threads {threads}"
+            );
+            assert_eq!(
+                outcome.order.batches().len(),
+                serial_outcome.order.batches().len()
+            );
+            for (a, b) in outcome
+                .order
+                .batches()
+                .iter()
+                .zip(serial_outcome.order.batches())
+            {
+                assert_eq!(a.messages, b.messages, "threads {threads}");
+            }
+        }
     }
 
     #[test]

@@ -25,12 +25,19 @@
 //!   [`PrecedenceMatrix::insert`]) and each emission removes the batch's
 //!   rows/columns ([`PrecedenceMatrix::remove_batch`]) — never a from-scratch
 //!   O(n²) rebuild.
-//! * The lowest-rank candidate batch (tournament → linear order → threshold
-//!   batching → Appendix C closure rule) is cached and only recomputed when
-//!   the pending set actually changes. Heartbeats and pure clock ticks reuse
-//!   the cache, so `tick()` with an unchanged pending set performs **zero**
-//!   probability queries — it only compares `now` against the cached safe
-//!   emission time and re-checks watermark completeness.
+//! * The tournament and its linear order are maintained *incrementally* too
+//!   ([`IncrementalTournament`]): an arrival orients its n new edges and is
+//!   binary-inserted into the maintained Hamiltonian path; an emission drops
+//!   the batch's rows in place. A full tournament/order recompute happens
+//!   only when an intransitivity cycle appears — never for Gaussian offsets
+//!   (Appendix A) — so the whole arrival path is O(n): n probability
+//!   queries, n edge orientations, zero `Tournament::from_matrix` rebuilds.
+//! * The lowest-rank candidate batch (linear order → threshold batching →
+//!   Appendix C closure rule) is cached and only recomputed when the pending
+//!   set actually changes. Heartbeats and pure clock ticks reuse the cache,
+//!   so `tick()` with an unchanged pending set performs **zero** probability
+//!   queries — it only compares `now` against the cached safe emission time
+//!   and re-checks watermark completeness.
 //! * The per-arrival fairness-violation check against the last emitted batch
 //!   uses cached per-client-pair margins
 //!   ([`DistributionRegistry::violation_margin`]) instead of one probability
@@ -48,7 +55,7 @@ use crate::precedence::PrecedenceMatrix;
 use crate::registry::DistributionRegistry;
 use crate::sequencer::emission::batch_emission_time;
 use crate::sequencer::watermark::WatermarkTracker;
-use crate::tournament::Tournament;
+use crate::tournament::IncrementalTournament;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, HashSet};
@@ -121,6 +128,9 @@ pub struct OnlineSequencer {
     /// Incrementally maintained precedence matrix over the pending set; its
     /// message list *is* the pending set, in arrival order.
     matrix: PrecedenceMatrix,
+    /// Incrementally maintained tournament + linear order over `matrix`
+    /// (updated in lockstep with every matrix insert/removal).
+    tournament: IncrementalTournament,
     /// Arrival time per pending message (for emission-latency accounting).
     arrivals: HashMap<MessageId, f64>,
     /// Cached candidate batch; `None` means the pending set changed since the
@@ -147,6 +157,7 @@ impl OnlineSequencer {
             registry: DistributionRegistry::from_config(&config),
             watermarks: WatermarkTracker::new(&[]),
             matrix: PrecedenceMatrix::empty(),
+            tournament: IncrementalTournament::new(),
             arrivals: HashMap::new(),
             candidate: None,
             violation_margins: HashMap::new(),
@@ -180,8 +191,10 @@ impl OnlineSequencer {
         // O(n²) queries of pure waste.
         if self.matrix.messages().iter().any(|m| m.client == client) {
             let pending = self.matrix.messages().to_vec();
-            self.matrix = PrecedenceMatrix::compute(&pending, &self.registry)
-                .expect("pending messages come from registered clients");
+            self.matrix =
+                PrecedenceMatrix::compute_parallel(&pending, &self.registry, self.config.parallelism)
+                    .expect("pending messages come from registered clients");
+            self.tournament.rebuild(&self.matrix);
         }
     }
 
@@ -246,6 +259,14 @@ impl OnlineSequencer {
         &self.registry
     }
 
+    /// The incrementally maintained tournament (read-only). Exposes the
+    /// edge-comparison and full-rebuild counters, which tests use to assert
+    /// that the arrival path stays O(n) and never rebuilds on acyclic
+    /// (Gaussian) workloads.
+    pub fn tournament(&self) -> &IncrementalTournament {
+        &self.tournament
+    }
+
     fn advance_clock(&mut self, now: f64) {
         if now > self.now {
             self.now = now;
@@ -308,6 +329,7 @@ impl OnlineSequencer {
 
         self.arrivals.insert(message.id, arrival_time);
         self.matrix.insert(message, &self.registry)?;
+        self.tournament.insert_last(&self.matrix);
         self.candidate = None;
         self.stats.max_pending = self.stats.max_pending.max(self.matrix.len());
         Ok(self.try_emit())
@@ -363,8 +385,13 @@ impl OnlineSequencer {
             } else {
                 None
             };
-            self.candidate =
-                compute_candidate(&self.matrix, &self.registry, &self.config, rng);
+            self.candidate = compute_candidate(
+                &self.matrix,
+                &mut self.tournament,
+                &self.registry,
+                &self.config,
+                rng,
+            );
         }
         self.candidate.as_ref()
     }
@@ -384,7 +411,10 @@ impl OnlineSequencer {
                 self.stats.total_emission_latency += (self.now - arrived_at).max(0.0);
             }
         }
+        let removed_indices: Vec<usize> =
+            ids.iter().filter_map(|id| self.matrix.index_of(*id)).collect();
         self.matrix.remove_batch(&ids);
+        self.tournament.remove_indices(&removed_indices);
         self.candidate = None;
 
         let rank = self.stats.batches_emitted;
@@ -433,10 +463,13 @@ impl OnlineSequencer {
 /// Compute the lowest-rank candidate batch of the pending set together with
 /// its safe emission time and watermark horizon.
 ///
-/// This runs over the already-populated incremental matrix: no probability
-/// queries are issued except the O(batch) safe-emission quantile lookups.
+/// This runs over the already-populated incremental matrix and tournament:
+/// no probability queries are issued except the O(batch) safe-emission
+/// quantile lookups, and no `Tournament::from_matrix` rebuild happens unless
+/// the incremental tournament hit an intransitivity cycle.
 fn compute_candidate(
     matrix: &PrecedenceMatrix,
+    tournament: &mut IncrementalTournament,
     registry: &DistributionRegistry,
     config: &SequencerConfig,
     rng: Option<&mut dyn rand::RngCore>,
@@ -444,7 +477,6 @@ fn compute_candidate(
     if matrix.is_empty() {
         return None;
     }
-    let tournament = Tournament::from_matrix(matrix);
     let linear = tournament.linear_order(matrix, config, rng);
     let order = FairOrder::from_linear_order(matrix, &linear, config.threshold);
     let first = order.batches().first()?;
@@ -728,6 +760,47 @@ mod tests {
             assert_eq!(now - previous, i, "arrival {i}");
             previous = now;
         }
+    }
+
+    /// Acceptance criterion of the incremental ordering pipeline: on a
+    /// Gaussian (hence transitive, Appendix A) workload the arrival path
+    /// performs **zero** full tournament/linear-order rebuilds — arrivals are
+    /// binary-inserted into the maintained order and emissions restrict it —
+    /// no matter how many submits, heartbeats, ticks and emissions happen.
+    #[test]
+    fn gaussian_arrival_path_never_rebuilds_tournament() {
+        let mut seq = sequencer(&[(0, 2.0), (1, 2.0), (2, 2.0)]);
+        for i in 0..40u64 {
+            let ts = 10.0 * (i + 1) as f64;
+            seq.submit(msg(i, (i % 3) as u32, ts), ts).unwrap();
+            for c in 0..3u32 {
+                seq.heartbeat(ClientId(c), ts + 5.0, ts + 5.0).unwrap();
+            }
+            seq.tick(ts + 9.0);
+        }
+        seq.flush();
+        assert!(seq.stats().messages_emitted > 0, "workload must emit");
+        assert_eq!(
+            seq.tournament().full_rebuilds(),
+            0,
+            "acyclic workloads must never recompute the tournament order"
+        );
+    }
+
+    /// Each arrival decides exactly O(n) tournament edges (one per existing
+    /// pending message) — together with `arrivals_query_linearly_in_pending_size`
+    /// this pins the arrival path to zero O(n²) components.
+    #[test]
+    fn arrivals_compare_linearly_in_pending_size() {
+        let mut seq = sequencer(&[(0, 10.0), (1, 10.0)]);
+        let mut previous = seq.tournament().comparisons();
+        for i in 0..20u64 {
+            seq.submit(msg(i, 0, 100.0 + i as f64), 100.0 + i as f64).unwrap();
+            let now = seq.tournament().comparisons();
+            assert_eq!(now - previous, i, "arrival {i}");
+            previous = now;
+        }
+        assert_eq!(seq.tournament().full_rebuilds(), 0);
     }
 
     #[test]

@@ -8,6 +8,18 @@
 //! offsets, Appendix A), the tournament is a transitive tournament with a
 //! unique Hamiltonian path; otherwise it contains cycles which are broken by
 //! the heuristics in [`crate::graph::fas`].
+//!
+//! Two representations are provided:
+//!
+//! * [`Tournament`] — built in one shot from a full [`PrecedenceMatrix`]
+//!   (the offline §3 pipeline).
+//! * [`IncrementalTournament`] — maintained edge-by-edge alongside an
+//!   incrementally updated matrix ([`PrecedenceMatrix::insert`] /
+//!   [`PrecedenceMatrix::remove_batch`]), with the linear order repaired in
+//!   place: a new arrival is binary-inserted into the existing Hamiltonian
+//!   path, and a full recompute happens only when an intransitivity cycle
+//!   appears — never for Gaussian offsets (Appendix A). This is what makes
+//!   the online arrival path O(n) instead of O(n²).
 
 use crate::config::SequencerConfig;
 use crate::graph::fas::{greedy_order, stochastic_order};
@@ -131,6 +143,291 @@ impl Tournament {
             order.extend(ordered);
         }
         order
+    }
+}
+
+/// A tournament (and its linear order) maintained *incrementally* alongside
+/// an incrementally updated [`PrecedenceMatrix`].
+///
+/// Instead of rebuilding [`Tournament::from_matrix`] + `linear_order` on
+/// every change — O(n²) comparisons per arrival — this structure:
+///
+/// * orients only the `n` new edges when a message is inserted
+///   ([`insert_last`](Self::insert_last)), and binary-inserts the arrival
+///   into the maintained Hamiltonian path (O(log n) edge probes plus an O(n)
+///   transitivity verification);
+/// * drops rows/columns in place when a batch is emitted
+///   ([`remove_indices`](Self::remove_indices)) — the induced sub-tournament
+///   of a transitive tournament is transitive and its unique path is exactly
+///   the surviving subsequence, so no recomputation is needed;
+/// * falls back to a full recompute (counted by
+///   [`full_rebuilds`](Self::full_rebuilds)) **only** when an
+///   intransitivity cycle appears, which Appendix A proves impossible for
+///   Gaussian offsets.
+///
+/// The maintained state is always element-wise identical to what
+/// `Tournament::from_matrix(matrix)` would build over the same matrix, and
+/// [`linear_order`](Self::linear_order) returns exactly the order the
+/// one-shot pipeline would (the cyclic fallback reconstructs the identical
+/// adjacency structure and runs the same heuristics).
+#[derive(Debug, Clone)]
+pub struct IncrementalTournament {
+    n: usize,
+    /// Row stride of `forward` (grown geometrically, like the matrix).
+    stride: usize,
+    /// `forward[i * stride + j]` is `true` iff the kept edge points `i -> j`
+    /// (valid for `i != j`, both `< n`).
+    forward: Vec<bool>,
+    /// The maintained linear order (valid when `!order_dirty`).
+    order: Vec<usize>,
+    /// Whether the tournament was transitive at the last point it was known
+    /// (kept exactly up to date while maintenance stays incremental).
+    transitive: bool,
+    /// Set when the order can no longer be repaired incrementally (a cycle
+    /// appeared, or a removal/rebuild happened in a cyclic state); cleared by
+    /// the next [`linear_order`](Self::linear_order) recompute.
+    order_dirty: bool,
+    comparisons: u64,
+    full_rebuilds: u64,
+}
+
+impl Default for IncrementalTournament {
+    fn default() -> Self {
+        IncrementalTournament::new()
+    }
+}
+
+impl IncrementalTournament {
+    /// An empty tournament, ready to track an empty matrix.
+    pub fn new() -> Self {
+        IncrementalTournament {
+            n: 0,
+            stride: 0,
+            forward: Vec::new(),
+            order: Vec::new(),
+            transitive: true,
+            order_dirty: false,
+            comparisons: 0,
+            full_rebuilds: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the tournament has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Whether the kept edge between `i` and `j` points `i -> j`.
+    pub fn has_edge(&self, i: usize, j: usize) -> bool {
+        debug_assert!(i != j && i < self.n && j < self.n);
+        self.forward[i * self.stride + j]
+    }
+
+    /// Total pairwise probability comparisons performed so far (edge
+    /// orientations decided). The online arrival path's O(n) guarantee is
+    /// asserted against this counter: one arrival into a pending set of size
+    /// `n` decides exactly `n` orientations.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Number of full order recomputations performed. Stays **zero** on
+    /// acyclic (e.g. Gaussian, Appendix A) workloads, no matter how many
+    /// inserts and removals happen.
+    pub fn full_rebuilds(&self) -> u64 {
+        self.full_rebuilds
+    }
+
+    /// Whether the tournament is currently known to be transitive. Exact
+    /// while maintenance stays incremental; after a mutation in a cyclic
+    /// state it reflects the last recompute (call
+    /// [`linear_order`](Self::linear_order) to refresh).
+    pub fn is_transitive(&self) -> bool {
+        self.transitive
+    }
+
+    fn grow_to(&mut self, cap: usize) {
+        crate::grid::grow_square(&mut self.forward, &mut self.stride, self.n, cap, false);
+    }
+
+    fn set_edge(&mut self, i: usize, j: usize, towards_j: bool) {
+        self.forward[i * self.stride + j] = towards_j;
+        self.forward[j * self.stride + i] = !towards_j;
+    }
+
+    /// Incorporate the message that `matrix` just gained via
+    /// [`PrecedenceMatrix::insert`] (it is the matrix's last index).
+    ///
+    /// Orients the `n` new edges with the same rule as
+    /// [`Tournament::from_matrix`] (ties towards the smaller index), then
+    /// binary-inserts the arrival into the maintained Hamiltonian path. If
+    /// the arrival's predecessor set is not a prefix of the path the
+    /// extended tournament is intransitive, and the order is recomputed
+    /// lazily by the next [`linear_order`](Self::linear_order) call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix.len() != self.len() + 1` — the tournament must be
+    /// updated in lockstep with the matrix.
+    pub fn insert_last(&mut self, matrix: &PrecedenceMatrix) {
+        let k = self.n;
+        assert_eq!(
+            matrix.len(),
+            k + 1,
+            "insert_last must follow PrecedenceMatrix::insert"
+        );
+        self.grow_to(k + 1);
+        self.n = k + 1;
+        for j in 0..k {
+            // Pair (j, k) with j < k: j -> k iff prob(j, k) >= prob(k, j),
+            // exactly the from_matrix orientation rule.
+            let towards_new = matrix.prob(j, k) >= matrix.prob(k, j);
+            self.set_edge(j, k, towards_new);
+        }
+        self.comparisons += k as u64;
+
+        if self.order_dirty {
+            return; // already awaiting a recompute
+        }
+        if !self.transitive {
+            // A maintained cyclic order cannot absorb an arrival in place:
+            // the FAS heuristics are not prefix-stable.
+            self.order_dirty = true;
+            return;
+        }
+        // Binary-insert: in a transitive extension the predecessors of the
+        // new node form a prefix of the path, so the insertion point is the
+        // first position the new node beats.
+        let position = self
+            .order
+            .partition_point(|&existing| self.forward[existing * self.stride + k]);
+        let monotone = self.order[..position]
+            .iter()
+            .all(|&existing| self.forward[existing * self.stride + k])
+            && self.order[position..]
+                .iter()
+                .all(|&existing| self.forward[k * self.stride + existing]);
+        if monotone {
+            self.order.insert(position, k);
+        } else {
+            self.transitive = false;
+            self.order_dirty = true;
+        }
+    }
+
+    /// Drop the nodes at (pre-removal) indices `removed`, compacting the
+    /// survivors exactly like [`PrecedenceMatrix::remove_batch`] does (the
+    /// relative order of survivors is preserved, so edge orientations carry
+    /// over unchanged). Call with the indices the matrix reported *before*
+    /// its own removal.
+    pub fn remove_indices(&mut self, removed: &[usize]) {
+        if removed.is_empty() {
+            return;
+        }
+        let n = self.n;
+        let mut keep = vec![true; n];
+        for &i in removed {
+            assert!(i < n, "removed index {i} out of range for {n} nodes");
+            keep[i] = false;
+        }
+        let kept: Vec<usize> = (0..n).filter(|&i| keep[i]).collect();
+        if kept.len() == n {
+            return;
+        }
+        let mut new_index = vec![usize::MAX; n];
+        for (a, &i) in kept.iter().enumerate() {
+            new_index[i] = a;
+        }
+        crate::grid::compact_square(&mut self.forward, self.stride, &kept);
+        self.n = kept.len();
+        if self.order_dirty {
+            return;
+        }
+        if self.transitive {
+            // The induced sub-tournament of a transitive tournament is
+            // transitive and its unique Hamiltonian path is the surviving
+            // subsequence.
+            self.order.retain(|&v| keep[v]);
+            for v in &mut self.order {
+                *v = new_index[*v];
+            }
+        } else {
+            // A FAS-repaired order is not restriction-stable: recompute.
+            self.order_dirty = true;
+        }
+    }
+
+    /// Re-derive every edge from `matrix` (used when a client
+    /// re-registration changes pairwise probabilities wholesale). The linear
+    /// order is recomputed lazily by the next
+    /// [`linear_order`](Self::linear_order) call.
+    pub fn rebuild(&mut self, matrix: &PrecedenceMatrix) {
+        let n = matrix.len();
+        self.n = n;
+        self.grow_to(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let towards_j = matrix.prob(i, j) >= matrix.prob(j, i);
+                self.set_edge(i, j, towards_j);
+            }
+        }
+        self.comparisons += (n * n.saturating_sub(1) / 2) as u64;
+        self.order.clear();
+        self.order_dirty = n > 0;
+        if n == 0 {
+            self.transitive = true;
+            self.order_dirty = false;
+        }
+    }
+
+    /// Materialize the one-shot [`Tournament`] this incremental state
+    /// represents, with the exact adjacency-list construction order of
+    /// [`Tournament::from_matrix`] (so Tarjan component enumeration — and
+    /// therefore the cyclic linear order — is bit-identical).
+    fn as_tournament(&self) -> Tournament {
+        let n = self.n;
+        let mut adj = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.forward[i * self.stride + j] {
+                    adj[i].push(j);
+                } else {
+                    adj[j].push(i);
+                }
+            }
+        }
+        Tournament { n, adj }
+    }
+
+    /// The complete linear order of the tracked messages (§3.4), identical
+    /// to `Tournament::from_matrix(matrix).linear_order(..)` over the same
+    /// matrix.
+    ///
+    /// While the tournament stays transitive this returns the incrementally
+    /// maintained Hamiltonian path with **zero** additional comparisons. A
+    /// recompute (tournament adjacency + SCC condensation + FAS heuristics,
+    /// counted by [`full_rebuilds`](Self::full_rebuilds)) happens only when
+    /// a cycle invalidated the maintained order.
+    pub fn linear_order(
+        &mut self,
+        matrix: &PrecedenceMatrix,
+        config: &SequencerConfig,
+        rng: Option<&mut dyn RngCore>,
+    ) -> Vec<usize> {
+        debug_assert_eq!(matrix.len(), self.n, "tournament out of sync with matrix");
+        if self.order_dirty {
+            let tournament = self.as_tournament();
+            self.transitive = tournament.is_transitive();
+            self.order = tournament.linear_order(matrix, config, rng);
+            self.order_dirty = false;
+            self.full_rebuilds += 1;
+        }
+        self.order.clone()
     }
 }
 
@@ -269,5 +566,256 @@ mod tests {
         let t = Tournament::from_matrix(&m);
         let config = SequencerConfig::default().with_stochastic_cycle_breaking(true);
         t.linear_order(&m, &config, None);
+    }
+
+    // ---- IncrementalTournament ----
+
+    use crate::registry::DistributionRegistry;
+    use tommy_stats::distribution::OffsetDistribution;
+
+    /// The incremental state must equal the one-shot pipeline: element-wise
+    /// edges and the identical linear order.
+    fn assert_tournaments_identical(inc: &mut IncrementalTournament, matrix: &PrecedenceMatrix) {
+        let scratch = Tournament::from_matrix(matrix);
+        assert_eq!(inc.len(), scratch.len());
+        for i in 0..matrix.len() {
+            for j in 0..matrix.len() {
+                if i == j {
+                    continue;
+                }
+                assert_eq!(
+                    inc.has_edge(i, j),
+                    scratch.has_edge(i, j),
+                    "edge ({i},{j}) diverged"
+                );
+            }
+        }
+        let config = SequencerConfig::default();
+        assert_eq!(
+            inc.linear_order(matrix, &config, None),
+            scratch.linear_order(matrix, &config, None),
+            "linear order diverged"
+        );
+    }
+
+    #[test]
+    fn incremental_insert_builds_appendix_b_path() {
+        let full = appendix_b_matrix();
+        let reference = full.messages().to_vec();
+        let pairwise: Vec<Vec<f64>> = (0..4)
+            .map(|i| (0..4).map(|j| full.prob(i, j)).collect())
+            .collect();
+        let mut inc = IncrementalTournament::new();
+        for k in 1..=4usize {
+            let prefix: Vec<Vec<f64>> = (0..k)
+                .map(|i| (0..k).map(|j| pairwise[i][j]).collect())
+                .collect();
+            let matrix = PrecedenceMatrix::from_probabilities(&reference[..k], &prefix);
+            inc.insert_last(&matrix);
+            assert_tournaments_identical(&mut inc, &matrix);
+        }
+        assert!(inc.is_transitive());
+        assert_eq!(inc.full_rebuilds(), 0, "transitive stream must never rebuild");
+        assert_eq!(inc.comparisons(), 6); // 0 + 1 + 2 + 3 new edges
+    }
+
+    #[test]
+    fn incremental_cycle_forces_rebuilds() {
+        let full = cyclic_matrix();
+        let reference = full.messages().to_vec();
+        let pairwise: Vec<Vec<f64>> = (0..4)
+            .map(|i| (0..4).map(|j| full.prob(i, j)).collect())
+            .collect();
+        let mut inc = IncrementalTournament::new();
+        for k in 1..=4usize {
+            let prefix: Vec<Vec<f64>> = (0..k)
+                .map(|i| (0..k).map(|j| pairwise[i][j]).collect())
+                .collect();
+            let matrix = PrecedenceMatrix::from_probabilities(&reference[..k], &prefix);
+            inc.insert_last(&matrix);
+            assert_tournaments_identical(&mut inc, &matrix);
+        }
+        assert!(!inc.is_transitive());
+        // The 0-1-2 cycle closes at the third insert; the fourth insert (a
+        // universal loser) dirties the already-cyclic order again.
+        assert_eq!(inc.full_rebuilds(), 2);
+    }
+
+    #[test]
+    fn incremental_removal_from_transitive_state_is_free() {
+        let reg = {
+            let mut reg = DistributionRegistry::new();
+            for c in 0..4u32 {
+                reg.register(ClientId(c), OffsetDistribution::gaussian(0.0, 5.0));
+            }
+            reg
+        };
+        let mut matrix = PrecedenceMatrix::empty();
+        let mut inc = IncrementalTournament::new();
+        for i in 0..8u64 {
+            matrix
+                .insert(
+                    Message::new(MessageId(i), ClientId((i % 4) as u32), i as f64 * 3.0),
+                    &reg,
+                )
+                .unwrap();
+            inc.insert_last(&matrix);
+        }
+        // Remove an interior batch.
+        let removed_ids = [MessageId(2), MessageId(3), MessageId(5)];
+        let removed_indices: Vec<usize> = removed_ids
+            .iter()
+            .map(|id| matrix.index_of(*id).unwrap())
+            .collect();
+        matrix.remove_batch(&removed_ids);
+        inc.remove_indices(&removed_indices);
+        assert_tournaments_identical(&mut inc, &matrix);
+        assert_eq!(inc.full_rebuilds(), 0);
+    }
+
+    /// Satellite: seeded randomized property test — after *any* insert/remove
+    /// sequence the incremental tournament equals `Tournament::from_matrix`
+    /// on the same matrix (element-wise edges + identical `linear_order`),
+    /// mirroring the `PrecedenceMatrix` equality test. Gaussian + Laplace
+    /// clients exercise both the closed-form and numeric probability paths.
+    #[test]
+    fn random_insert_remove_sequences_match_from_matrix() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut reg = DistributionRegistry::new();
+            for c in 0..4u32 {
+                let dist = if c % 2 == 0 {
+                    OffsetDistribution::gaussian(0.0, 1.0 + c as f64)
+                } else {
+                    OffsetDistribution::laplace(0.0, 1.0 + c as f64)
+                };
+                reg.register(ClientId(c), dist);
+            }
+            let mut matrix = PrecedenceMatrix::empty();
+            let mut inc = IncrementalTournament::new();
+            let mut next_id = 0u64;
+            for _ in 0..30 {
+                let remove = !matrix.is_empty() && rng.random_range(0u32..4) == 0;
+                if remove {
+                    let count = rng.random_range(1usize..=matrix.len());
+                    let mut indices: Vec<usize> = (0..matrix.len()).collect();
+                    for _ in 0..(matrix.len() - count) {
+                        let k = rng.random_range(0usize..indices.len());
+                        indices.remove(k);
+                    }
+                    let ids: Vec<MessageId> =
+                        indices.iter().map(|&i| matrix.message(i).id).collect();
+                    matrix.remove_batch(&ids);
+                    inc.remove_indices(&indices);
+                } else {
+                    let m = Message::new(
+                        MessageId(next_id),
+                        ClientId(rng.random_range(0u32..4)),
+                        rng.random_range(-100.0..100.0f64),
+                    );
+                    next_id += 1;
+                    matrix.insert(m, &reg).unwrap();
+                    inc.insert_last(&matrix);
+                }
+                if matrix.is_empty() {
+                    assert!(inc.is_empty());
+                } else {
+                    assert_tournaments_identical(&mut inc, &matrix);
+                }
+            }
+        }
+    }
+
+    /// Same property over *explicit* random probability matrices, which —
+    /// unlike Gaussian offsets — produce intransitive triples, exercising
+    /// the cyclic fallback and removal-from-cyclic-state paths.
+    #[test]
+    #[allow(clippy::needless_range_loop)] // symmetric (i, j) matrix fill
+    fn random_probability_matrices_match_from_matrix_including_cycles() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        const POOL: usize = 24;
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(1_000 + seed);
+            // A fixed random probability relation over a pool of messages.
+            let mut pairwise = vec![vec![0.5; POOL]; POOL];
+            for i in 0..POOL {
+                for j in (i + 1)..POOL {
+                    let p = rng.random_range(0.05..0.95f64);
+                    pairwise[i][j] = p;
+                    pairwise[j][i] = 1.0 - p;
+                }
+            }
+            let pool_msgs = msgs(POOL);
+
+            let rebuild_matrix = |pending: &[usize]| -> PrecedenceMatrix {
+                let messages: Vec<Message> =
+                    pending.iter().map(|&g| pool_msgs[g].clone()).collect();
+                let probs: Vec<Vec<f64>> = pending
+                    .iter()
+                    .map(|&gi| pending.iter().map(|&gj| pairwise[gi][gj]).collect())
+                    .collect();
+                PrecedenceMatrix::from_probabilities(&messages, &probs)
+            };
+
+            let mut pending: Vec<usize> = Vec::new();
+            let mut inc = IncrementalTournament::new();
+            let mut next = 0usize;
+            let mut saw_cycle = false;
+            for _ in 0..40 {
+                let remove = !pending.is_empty() && rng.random_range(0u32..3) == 0;
+                if remove {
+                    let count = rng.random_range(1usize..=pending.len());
+                    let mut positions: Vec<usize> = (0..pending.len()).collect();
+                    for _ in 0..(pending.len() - count) {
+                        let k = rng.random_range(0usize..positions.len());
+                        positions.remove(k);
+                    }
+                    for &p in positions.iter().rev() {
+                        pending.remove(p);
+                    }
+                    inc.remove_indices(&positions);
+                } else if next < POOL {
+                    pending.push(next);
+                    next += 1;
+                    inc.insert_last(&rebuild_matrix(&pending));
+                } else {
+                    continue;
+                }
+                if pending.is_empty() {
+                    assert!(inc.is_empty());
+                } else {
+                    let matrix = rebuild_matrix(&pending);
+                    assert_tournaments_identical(&mut inc, &matrix);
+                    saw_cycle |= !inc.is_transitive();
+                }
+            }
+            assert!(saw_cycle, "seed {seed}: random relation never cycled");
+        }
+    }
+
+    #[test]
+    fn comparisons_grow_linearly_per_insert() {
+        let reg = {
+            let mut reg = DistributionRegistry::new();
+            reg.register(ClientId(0), OffsetDistribution::gaussian(0.0, 5.0));
+            reg
+        };
+        let mut matrix = PrecedenceMatrix::empty();
+        let mut inc = IncrementalTournament::new();
+        let mut previous = 0u64;
+        for i in 0..20u64 {
+            matrix
+                .insert(Message::new(MessageId(i), ClientId(0), i as f64), &reg)
+                .unwrap();
+            inc.insert_last(&matrix);
+            let now = inc.comparisons();
+            assert_eq!(now - previous, i, "insert {i} must decide exactly i edges");
+            previous = now;
+        }
     }
 }

@@ -19,6 +19,11 @@ pub struct ScenarioConfig {
     pub threshold: f64,
     /// RNG seed; every scenario is fully deterministic given its seed.
     pub seed: u64,
+    /// Worker threads for the offline pairwise-matrix build (`1` serial,
+    /// `0` auto-detect; see `SequencerConfig::parallelism` in `tommy-core`).
+    /// Bit-identical output for every value — only wall-clock time changes,
+    /// so scenario results stay fully determined by the seed.
+    pub parallelism: usize,
 }
 
 impl Default for ScenarioConfig {
@@ -30,6 +35,7 @@ impl Default for ScenarioConfig {
             inter_message_gap: 1.0,
             threshold: 0.75,
             seed: 42,
+            parallelism: 1,
         }
     }
 }
@@ -72,6 +78,13 @@ impl ScenarioConfig {
     /// Builder: set the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder: set the offline matrix-build worker count (`1` serial, `0`
+    /// auto-detect).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
         self
     }
 }

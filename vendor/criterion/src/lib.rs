@@ -143,6 +143,19 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// How many inputs `iter_batched` should prepare per measured batch.
+/// Accepted for API compatibility; this harness always times one call at a
+/// time with setup excluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
 /// Times a closure over repeated iterations.
 pub struct Bencher {
     test_mode: bool,
@@ -178,6 +191,44 @@ impl Bencher {
         }
         let elapsed = start.elapsed().as_secs_f64();
         self.mean_ns = Some(elapsed / iters as f64 * 1e9);
+    }
+
+    /// Measure `routine` over inputs produced by `setup`, excluding the
+    /// setup cost from the timing (the real criterion's `iter_batched`).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        // Warm-up: run until the warm-up budget elapses (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine(setup()));
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        // Size the measurement loop by *wall* time per iteration (setup
+        // included) so the batch stays within the measurement budget even
+        // when setup dominates the routine; only the routine time is
+        // reported.
+        let per_iter_wall = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let target = self.measurement_time.as_secs_f64();
+        let iters = ((target / per_iter_wall.max(1e-9)).ceil() as u64).clamp(1, 10_000_000);
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.mean_ns = Some(elapsed.as_secs_f64() / iters as f64 * 1e9);
     }
 
     /// The measured mean nanoseconds per iteration (`None` in test mode or
@@ -233,6 +284,23 @@ mod tests {
             mean_ns: None,
         };
         b.iter(|| (0..100u64).sum::<u64>());
+        let mean = b.mean_ns().unwrap();
+        assert!(mean > 0.0 && mean < 1e9, "mean {mean}");
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            test_mode: false,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+            mean_ns: None,
+        };
+        b.iter_batched(
+            || vec![1u64; 64],
+            |v| v.into_iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
         let mean = b.mean_ns().unwrap();
         assert!(mean > 0.0 && mean < 1e9, "mean {mean}");
     }
