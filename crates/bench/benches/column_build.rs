@@ -1,0 +1,88 @@
+//! Pair-kernel column fill vs the seed per-call loop.
+//!
+//! One online *arrival* at pending-set size `n` must compute the `n`
+//! preceding probabilities of its new matrix column. The seed path paid the
+//! full registry overhead per query (atomic bump, two `HashMap` lookups,
+//! Gaussian-vs-discretized re-dispatch); the pair-kernel engine resolves
+//! ≤ C kernels (C = distinct pending clients) and fills the column with
+//! tight per-kernel loops over contiguous timestamps — bit-identical values
+//! (pinned by tests in `tommy-core` and the bench lib), fraction of the
+//! cost. Both strategies are timed on the same pending set, for a Gaussian
+//! registry and for a mixed Gaussian/Laplace one (the discretized kernel
+//! path).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::time::Duration;
+use tommy_bench::{legacy_column, stream_message, stream_registry};
+use tommy_core::message::ClientId;
+use tommy_core::precedence::PrecedenceMatrix;
+use tommy_core::registry::DistributionRegistry;
+use tommy_stats::distribution::OffsetDistribution;
+
+/// A registry where half the stream clients are Laplace, forcing the
+/// discretized difference-grid kernel path for mixed pairs.
+fn mixed_registry() -> DistributionRegistry {
+    let mut registry = DistributionRegistry::new();
+    for c in 0..tommy_bench::STREAM_CLIENTS {
+        let dist = if c % 2 == 0 {
+            OffsetDistribution::gaussian(0.0, 5.0)
+        } else {
+            OffsetDistribution::laplace(0.0, 5.0)
+        };
+        registry.register(ClientId(c), dist);
+    }
+    registry
+}
+
+fn column_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("column_build");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    for (name, registry) in [
+        ("gaussian", stream_registry()),
+        ("mixed", mixed_registry()),
+    ] {
+        for n in [200usize, 1000] {
+            let pending: Vec<_> = (0..n).map(stream_message).collect();
+            let arrival = stream_message(n);
+            // Warm the registry's difference-grid cache so both strategies
+            // measure steady-state query cost, not one-time convolutions.
+            legacy_column(&pending, &arrival, &registry);
+
+            let mut matrix = PrecedenceMatrix::empty();
+            for m in &pending {
+                matrix.insert(m.clone(), &registry).unwrap();
+            }
+
+            group.bench_with_input(
+                BenchmarkId::new(format!("kernel_{name}"), n),
+                &n,
+                |b, _| {
+                    b.iter_batched(
+                        || matrix.clone(),
+                        |mut m| {
+                            std::hint::black_box(
+                                m.insert(arrival.clone(), &registry).unwrap(),
+                            )
+                        },
+                        BatchSize::SmallInput,
+                    )
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("legacy_{name}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| std::hint::black_box(legacy_column(&pending, &arrival, &registry)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, column_bench);
+criterion_main!(benches);

@@ -111,6 +111,28 @@ pub fn run_scratch_stream(messages: usize) -> usize {
     pending.len()
 }
 
+/// The seed implementation of an arrival's probability column: one
+/// [`DistributionRegistry::preceding_probability`] call per pending message,
+/// each paying the full per-query overhead (atomic counter bump, two
+/// distribution lookups, Gaussian-vs-discretized re-dispatch). This is the
+/// baseline the `column_build` bench compares the pair-kernel column fill
+/// against; the kernel fill produces bit-identical values (asserted in this
+/// crate's tests and in `tommy-core`'s).
+pub fn legacy_column(
+    pending: &[Message],
+    arrival: &Message,
+    registry: &DistributionRegistry,
+) -> Vec<f64> {
+    pending
+        .iter()
+        .map(|existing| {
+            registry
+                .preceding_probability(existing, arrival)
+                .expect("registered clients")
+        })
+        .collect()
+}
+
 /// The seed implementation of the online sequencer's candidate-batch
 /// computation: from-scratch matrix + tournament + linear order + threshold
 /// batching + Appendix C closure rule.
@@ -177,6 +199,27 @@ mod tests {
     fn streams_keep_everything_pending() {
         assert_eq!(run_incremental_stream(25), 25);
         assert_eq!(run_scratch_stream(25), 25);
+    }
+
+    #[test]
+    fn legacy_column_matches_kernel_insert_bitwise() {
+        let registry = stream_registry();
+        let pending: Vec<Message> = (0..40).map(stream_message).collect();
+        let arrival = stream_message(40);
+        let legacy = legacy_column(&pending, &arrival, &registry);
+
+        let mut matrix = PrecedenceMatrix::empty();
+        for m in &pending {
+            matrix.insert(m.clone(), &registry).unwrap();
+        }
+        let idx = matrix.insert(arrival.clone(), &registry).unwrap();
+        for (j, &p) in legacy.iter().enumerate() {
+            assert_eq!(
+                matrix.prob(j, idx).to_bits(),
+                p.to_bits(),
+                "column element {j}"
+            );
+        }
     }
 
     #[test]

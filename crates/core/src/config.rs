@@ -47,11 +47,20 @@ pub struct SequencerConfig {
     ///
     /// The tiled build partitions the upper triangle of the query grid into
     /// row blocks balanced by pair count and is **bit-identical** to the
-    /// serial build: every pair is queried in the same orientation through
-    /// the same registry code path, so the resulting matrix (and therefore
-    /// every downstream tournament, linear order, and batch boundary) is
-    /// exactly the one the serial build produces. Only wall-clock time
-    /// changes. The online sequencer's incremental arrival path never builds
+    /// serial build: every pair is evaluated in the same orientation through
+    /// the same [`PairKernel`](crate::registry::PairKernel) formulas, so the
+    /// resulting matrix (and therefore every downstream tournament, linear
+    /// order, and batch boundary) is exactly the one the serial build
+    /// produces. Only wall-clock time changes. Each worker resolves its own
+    /// kernel cache — O(C²) registry lock touches per tile (C = distinct
+    /// clients) instead of O(pairs) — and then runs lock-free, so worker
+    /// scaling is not capped by shared-lock traffic.
+    ///
+    /// The registry's query counter keeps its per-evaluation semantics under
+    /// both builds: kernel-based fills record their evaluations in bulk
+    /// (one atomic add per column/build rather than per query), so on
+    /// success the count equals what per-call querying would have produced.
+    /// The online sequencer's incremental arrival path never builds
     /// a full matrix and is unaffected by this knob.
     pub parallelism: usize,
 }

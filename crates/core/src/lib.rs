@@ -24,7 +24,9 @@
 //! * [`message`] — message, client and timestamp types.
 //! * [`config`] — sequencer configuration (threshold, `p_safe`, …).
 //! * [`registry`] — per-client offset distributions with cached
-//!   discretizations and pairwise difference distributions.
+//!   discretizations, pairwise difference distributions, and the
+//!   [`PairKernel`](registry::PairKernel) probability engine (a client pair
+//!   resolved once into a lock-free, `dt`-only evaluator).
 //! * [`relation`] — the preceding probability and the
 //!   [`LikelyHappenedBefore`](relation::LikelyHappenedBefore) relation.
 //! * [`precedence`] — the pairwise probability matrix for a set of messages.
@@ -61,7 +63,7 @@ pub use config::SequencerConfig;
 pub use error::CoreError;
 pub use message::{ClientId, Message, MessageId};
 pub use precedence::PrecedenceMatrix;
-pub use registry::DistributionRegistry;
+pub use registry::{DistributionRegistry, PairKernel};
 pub use relation::LikelyHappenedBefore;
 pub use sequencer::offline::TommySequencer;
 pub use sequencer::online::{OnlineSequencer, OnlineStats};

@@ -4,20 +4,40 @@
 //! edges carry preceding probabilities. [`PrecedenceMatrix`] is the dense
 //! representation of those probabilities for one set of messages, built from
 //! the per-client distributions in a [`DistributionRegistry`].
+//!
+//! ## Kernel-based builds
+//!
+//! Every probability the matrix stores depends on its pair of messages only
+//! through the client pair and the timestamp delta (see
+//! [`PairKernel`]), so both the incremental [`insert`](PrecedenceMatrix::insert)
+//! and the one-shot [`compute_parallel`](PrecedenceMatrix::compute_parallel)
+//! group the messages by client — ascending row indices plus a contiguous
+//! timestamp array per client — resolve one kernel per client pair, and fill
+//! whole columns/rows with tight per-kernel loops over contiguous `f64`s.
+//! An arrival touches the registry ≤ C times (C = distinct pending clients)
+//! for its n queries; an offline build tile touches it O(C²) times instead
+//! of O(pairs). The stored floats are bit-identical to the per-call path by
+//! construction (same formulas, same clamping — see [`PairKernel`]); the
+//! rare error cases (unknown client, NaN probability) fall back to the
+//! per-call loop so error values, ordering, and query accounting match the
+//! pre-kernel implementation exactly.
 
 use crate::error::CoreError;
-use crate::message::{Message, MessageId};
-use crate::registry::DistributionRegistry;
+use crate::message::{ClientId, Message, MessageId};
+use crate::registry::{DistributionRegistry, PairKernel};
 use std::collections::{HashMap, HashSet};
 
 /// Below this message count the parallel build falls back to the serial
 /// loop: thread spawn/join overhead would dominate the pairwise queries.
 const PARALLEL_BUILD_MIN_MESSAGES: usize = 64;
 
-/// One worker's output: for each owned row `i`, the upper-triangle
-/// probabilities `p(i, j)` for `j > i` — or the row-major-first error the
+/// One worker's rows: for each owned row `i`, the upper-triangle
+/// probabilities `p(i, j)` for `j > i`.
+type RowBlock = Vec<(usize, Vec<f64>)>;
+
+/// One worker's output: its [`RowBlock`] — or the row-major-first error the
 /// worker hit.
-type RowBlockResult = Result<Vec<(usize, Vec<f64>)>, CoreError>;
+type RowBlockResult = Result<RowBlock, CoreError>;
 
 /// Partition the rows `0..n` of the upper-triangle query grid into at most
 /// `threads` contiguous blocks with approximately equal *pair* counts (row
@@ -40,6 +60,36 @@ fn partition_rows(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
     blocks
 }
 
+/// One client's rows: ascending row indices plus, in lockstep, their
+/// timestamps as a contiguous array — the slice the pair-kernel loops
+/// stream over.
+#[derive(Debug, Clone)]
+struct ClientRows {
+    client: ClientId,
+    rows: Vec<usize>,
+    timestamps: Vec<f64>,
+}
+
+/// Group `messages` by client, preserving row order within each client and
+/// first-appearance order across clients.
+fn build_groups(messages: &[Message]) -> (Vec<ClientRows>, HashMap<ClientId, usize>) {
+    let mut groups: Vec<ClientRows> = Vec::new();
+    let mut group_of: HashMap<ClientId, usize> = HashMap::new();
+    for (row, m) in messages.iter().enumerate() {
+        let gi = *group_of.entry(m.client).or_insert_with(|| {
+            groups.push(ClientRows {
+                client: m.client,
+                rows: Vec::new(),
+                timestamps: Vec::new(),
+            });
+            groups.len() - 1
+        });
+        groups[gi].rows.push(row);
+        groups[gi].timestamps.push(m.timestamp);
+    }
+    (groups, group_of)
+}
+
 /// Dense matrix of preceding probabilities for a fixed set of messages.
 ///
 /// `prob(i, j)` is `P(message i truly precedes message j)`; by construction
@@ -54,6 +104,11 @@ pub struct PrecedenceMatrix {
     /// live dimension (geometric growth) so incremental inserts amortize to
     /// O(n) instead of re-laying-out the whole O(n²) buffer per arrival.
     stride: usize,
+    /// Per-client row grouping (see [`ClientRows`]), maintained alongside
+    /// the dense storage so kernel column fills stream over contiguous
+    /// timestamps.
+    groups: Vec<ClientRows>,
+    group_of: HashMap<ClientId, usize>,
 }
 
 impl PrecedenceMatrix {
@@ -69,6 +124,8 @@ impl PrecedenceMatrix {
             index: HashMap::new(),
             probs: Vec::new(),
             stride: 0,
+            groups: Vec::new(),
+            group_of: HashMap::new(),
         }
     }
 
@@ -78,15 +135,58 @@ impl PrecedenceMatrix {
         crate::grid::grow_square(&mut self.probs, &mut self.stride, self.messages.len(), cap, 0.5);
     }
 
+    /// The new-arrival column, filled per client group through
+    /// [`PairKernel`]s: ≤ C kernel resolutions (C = distinct pending
+    /// clients), then one tight loop per kernel over that client's
+    /// contiguous timestamps. `column[j] = P(m_j precedes new)` —
+    /// bit-identical to querying each pair through
+    /// [`DistributionRegistry::preceding_probability`].
+    fn kernel_column(
+        &self,
+        message: &Message,
+        registry: &DistributionRegistry,
+    ) -> Result<Vec<f64>, CoreError> {
+        let n = self.messages.len();
+        let mut column = vec![0.0; n];
+        let mut dts: Vec<f64> = Vec::new();
+        let mut probs: Vec<f64> = Vec::new();
+        for group in &self.groups {
+            let kernel = registry.pair_kernel(group.client, message.client)?;
+            dts.clear();
+            dts.extend(group.timestamps.iter().map(|&t| t - message.timestamp));
+            probs.clear();
+            probs.resize(dts.len(), 0.0);
+            kernel.preceding_many(&dts, &mut probs);
+            for (k, &row) in group.rows.iter().enumerate() {
+                column[row] = probs[k];
+            }
+        }
+        // NaN marks the per-call path's InvalidProbability case; scan in
+        // column order so the reported pair is the one the per-call loop
+        // would have failed on first.
+        for (j, &p) in column.iter().enumerate() {
+            if p.is_nan() {
+                return Err(CoreError::InvalidProbability {
+                    left: self.messages[j].id,
+                    right: message.id,
+                });
+            }
+        }
+        registry.record_queries(n as u64);
+        Ok(column)
+    }
+
     /// Insert one message, growing the matrix by one row and one column.
     ///
-    /// Only the `n` probabilities against the existing messages are queried
-    /// (each existing message `m_j` is queried in the `(m_j, new)`
-    /// orientation, exactly as [`compute`](Self::compute) would with the new
-    /// message appended) — O(n) probability queries instead of the O(n²) a
-    /// from-scratch rebuild costs. The dense storage keeps spare capacity
-    /// (geometric stride growth), so the per-insert copy cost is amortized
-    /// O(n) too: an arrival has no O(n²) component at all.
+    /// Only the `n` probabilities against the existing messages are computed
+    /// (each existing message `m_j` in the `(m_j, new)` orientation, exactly
+    /// as [`compute`](Self::compute) would with the new message appended) —
+    /// O(n) probability queries instead of the O(n²) a from-scratch rebuild
+    /// costs, and the column is filled through per-client-pair
+    /// [`PairKernel`]s, so the registry is consulted once per distinct
+    /// pending client rather than once per query. The dense storage keeps
+    /// spare capacity (geometric stride growth), so the per-insert copy cost
+    /// is amortized O(n) too: an arrival has no O(n²) component at all.
     ///
     /// Returns the new message's index.
     ///
@@ -104,12 +204,19 @@ impl PrecedenceMatrix {
             return Err(CoreError::DuplicateMessage(message.id));
         }
         let n = self.messages.len();
-        // Query the new column in the same orientation compute() uses for
-        // (existing j) < (new n): P(m_j precedes new).
-        let mut column = Vec::with_capacity(n);
-        for existing in &self.messages {
-            column.push(registry.preceding_probability(existing, &message)?);
-        }
+        let column = match self.kernel_column(&message, registry) {
+            Ok(column) => column,
+            Err(_) => {
+                // Error path: re-run the per-call loop so the reported error
+                // (value, pair ordering) and the query accounting match the
+                // pre-kernel implementation exactly.
+                let mut column = Vec::with_capacity(n);
+                for existing in &self.messages {
+                    column.push(registry.preceding_probability(existing, &message)?);
+                }
+                column
+            }
+        };
 
         self.grow_to(n + 1);
         let s = self.stride;
@@ -120,6 +227,16 @@ impl PrecedenceMatrix {
         // The new diagonal cell may hold a stale value from a removed row.
         self.probs[n * s + n] = 0.5;
         self.index.insert(message.id, n);
+        let gi = *self.group_of.entry(message.client).or_insert_with(|| {
+            self.groups.push(ClientRows {
+                client: message.client,
+                rows: Vec::new(),
+                timestamps: Vec::new(),
+            });
+            self.groups.len() - 1
+        });
+        self.groups[gi].rows.push(n);
+        self.groups[gi].timestamps.push(message.timestamp);
         self.messages.push(message);
         Ok(n)
     }
@@ -152,6 +269,9 @@ impl PrecedenceMatrix {
         }
         self.messages = messages;
         self.index = index;
+        let (groups, group_of) = build_groups(&self.messages);
+        self.groups = groups;
+        self.group_of = group_of;
     }
 
     /// Compute the full matrix for `messages` using the distributions in
@@ -183,16 +303,17 @@ impl PrecedenceMatrix {
     /// independently and a serial assembly pass mirrors the complements.
     ///
     /// The result is **bit-identical** to the serial build: every pair
-    /// `(i, j)` with `i < j` is queried in exactly the same orientation
-    /// through the same [`DistributionRegistry`] code path, so the stored
+    /// `(i, j)` with `i < j` is evaluated in exactly the same orientation
+    /// through the same formulas (see [`PairKernel`]), so the stored
     /// floats — and, on success, the registry query count — are exactly the
-    /// ones the serial build produces.
+    /// ones the serial per-call build produces.
     ///
     /// # Errors
     ///
     /// Same contract as [`compute`](Self::compute); when several pairs fail,
     /// the error for the row-major-first failing pair is returned, exactly as
-    /// the serial scan would.
+    /// the serial scan would (the error path re-runs the per-call build to
+    /// guarantee this).
     pub fn compute_parallel(
         messages: &[Message],
         registry: &DistributionRegistry,
@@ -201,6 +322,137 @@ impl PrecedenceMatrix {
         if messages.is_empty() {
             return Err(CoreError::EmptyInput);
         }
+        let n = messages.len();
+        let mut index = HashMap::with_capacity(n);
+        for (i, m) in messages.iter().enumerate() {
+            if index.insert(m.id, i).is_some() {
+                return Err(CoreError::DuplicateMessage(m.id));
+            }
+        }
+
+        let (groups, group_of) = build_groups(messages);
+        let threads = crate::config::resolve_parallelism(parallelism).min(n);
+        let blocks_result: Result<Vec<RowBlock>, CoreError> =
+            if threads <= 1 || n < PARALLEL_BUILD_MIN_MESSAGES {
+                Self::kernel_rows(messages, &groups, registry, 0..n).map(|rows| vec![rows])
+            } else {
+                let blocks = partition_rows(n, threads);
+                // Workers share the read-only group structure; each resolves
+                // its own kernel cache (≤ C² registry touches per worker) and
+                // then runs lock-free. A worker stops at its first row-major
+                // error; collecting in ascending block order surfaces the
+                // earliest one.
+                let results: Vec<RowBlockResult> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = blocks
+                        .iter()
+                        .map(|block| {
+                            let block = block.clone();
+                            let groups = &groups;
+                            scope.spawn(move || {
+                                Self::kernel_rows(messages, groups, registry, block)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("matrix build worker panicked"))
+                        .collect()
+                });
+                results.into_iter().collect()
+            };
+        let row_blocks = match blocks_result {
+            Ok(row_blocks) => row_blocks,
+            // Error path: re-run the per-call build, which reports exactly
+            // the error (and error ordering) the pre-kernel implementation
+            // did.
+            Err(_) => return Self::compute_parallel_percall(messages, registry, parallelism),
+        };
+
+        let mut probs = vec![0.5; n * n];
+        for block_rows in row_blocks {
+            for (i, row) in block_rows {
+                for (offset, p) in row.into_iter().enumerate() {
+                    let j = i + 1 + offset;
+                    probs[i * n + j] = p;
+                    probs[j * n + i] = 1.0 - p;
+                }
+            }
+        }
+        registry.record_queries((n * (n - 1) / 2) as u64);
+        Ok(PrecedenceMatrix {
+            messages: messages.to_vec(),
+            index,
+            probs,
+            stride: n,
+            groups,
+            group_of,
+        })
+    }
+
+    /// Fill the upper-triangle rows `block` of the query grid through pair
+    /// kernels: for each row `i`, every client group's columns `> i` are
+    /// evaluated with one kernel in one contiguous pass. Returns `(i, row)`
+    /// pairs where `row[k] = p(i, i + 1 + k)`.
+    fn kernel_rows(
+        messages: &[Message],
+        groups: &[ClientRows],
+        registry: &DistributionRegistry,
+        block: std::ops::Range<usize>,
+    ) -> RowBlockResult {
+        let n = messages.len();
+        let mut kernels: HashMap<(ClientId, ClientId), PairKernel> = HashMap::new();
+        let mut rows = Vec::with_capacity(block.len());
+        let mut dts: Vec<f64> = Vec::new();
+        let mut probs: Vec<f64> = Vec::new();
+        for i in block {
+            let mi = &messages[i];
+            let mut row = vec![0.0; n - i - 1];
+            for group in groups {
+                // This client's columns strictly beyond the diagonal.
+                let start = group.rows.partition_point(|&r| r <= i);
+                if start == group.rows.len() {
+                    continue;
+                }
+                let kernel = match kernels.entry((mi.client, group.client)) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(registry.pair_kernel(mi.client, group.client)?)
+                    }
+                };
+                let ts = &group.timestamps[start..];
+                dts.clear();
+                dts.extend(ts.iter().map(|&t| mi.timestamp - t));
+                probs.clear();
+                probs.resize(dts.len(), 0.0);
+                kernel.preceding_many(&dts, &mut probs);
+                for (k, &j) in group.rows[start..].iter().enumerate() {
+                    row[j - i - 1] = probs[k];
+                }
+            }
+            // NaN marks the per-call path's InvalidProbability case; scan in
+            // column order so the reported pair is the row-major-first one.
+            for (k, &p) in row.iter().enumerate() {
+                if p.is_nan() {
+                    return Err(CoreError::InvalidProbability {
+                        left: mi.id,
+                        right: messages[i + 1 + k].id,
+                    });
+                }
+            }
+            rows.push((i, row));
+        }
+        Ok(rows)
+    }
+
+    /// The pre-kernel per-call build, kept as the error-path fallback: every
+    /// pair goes through [`DistributionRegistry::preceding_probability`]
+    /// individually, so error values, error ordering, and per-call query
+    /// accounting are exactly the historical ones.
+    fn compute_parallel_percall(
+        messages: &[Message],
+        registry: &DistributionRegistry,
+        parallelism: usize,
+    ) -> Result<Self, CoreError> {
         let n = messages.len();
         let mut index = HashMap::with_capacity(n);
         for (i, m) in messages.iter().enumerate() {
@@ -262,11 +514,14 @@ impl PrecedenceMatrix {
                 }
             }
         }
+        let (groups, group_of) = build_groups(messages);
         Ok(PrecedenceMatrix {
             messages: messages.to_vec(),
             index,
             probs,
             stride: n,
+            groups,
+            group_of,
         })
     }
 
@@ -304,11 +559,14 @@ impl PrecedenceMatrix {
                 probs[i * n + j] = p;
             }
         }
+        let (groups, group_of) = build_groups(messages);
         PrecedenceMatrix {
             messages: messages.to_vec(),
             index,
             probs,
             stride: n,
+            groups,
+            group_of,
         }
     }
 
@@ -591,6 +849,54 @@ mod tests {
                     let scratch = PrecedenceMatrix::compute(&pending, &reg).unwrap();
                     assert_matrices_identical(&inc, &scratch);
                 }
+            }
+        }
+    }
+
+    /// Both kernel-based builds — the incremental insert and the one-shot
+    /// compute — must be bit-identical to a per-call reference that queries
+    /// every pair individually through `preceding_probability`, across the
+    /// Gaussian closed form and the numeric (discretized) path.
+    #[test]
+    fn kernel_builds_match_per_call_reference_bitwise() {
+        let mut reg = DistributionRegistry::new();
+        for c in 0..5u32 {
+            let dist = match c % 3 {
+                0 => OffsetDistribution::gaussian(0.5 * c as f64, 1.0 + c as f64),
+                1 => OffsetDistribution::laplace(-0.3 * c as f64, 1.5),
+                _ => OffsetDistribution::uniform(-3.0 - c as f64, 4.0),
+            };
+            reg.register(ClientId(c), dist);
+        }
+        let msgs: Vec<Message> = (0..80)
+            .map(|i| msg(i, (i % 5) as u32, (i % 13) as f64 * 1.7))
+            .collect();
+        let computed = PrecedenceMatrix::compute(&msgs, &reg).unwrap();
+        let mut inserted = PrecedenceMatrix::empty();
+        for m in &msgs {
+            inserted.insert(m.clone(), &reg).unwrap();
+        }
+        for i in 0..msgs.len() {
+            for j in 0..msgs.len() {
+                let expect = match i.cmp(&j) {
+                    std::cmp::Ordering::Equal => 0.5,
+                    std::cmp::Ordering::Less => {
+                        reg.preceding_probability(&msgs[i], &msgs[j]).unwrap()
+                    }
+                    std::cmp::Ordering::Greater => {
+                        1.0 - reg.preceding_probability(&msgs[j], &msgs[i]).unwrap()
+                    }
+                };
+                assert_eq!(
+                    computed.prob(i, j).to_bits(),
+                    expect.to_bits(),
+                    "compute ({i},{j})"
+                );
+                assert_eq!(
+                    inserted.prob(i, j).to_bits(),
+                    expect.to_bits(),
+                    "insert ({i},{j})"
+                );
             }
         }
     }

@@ -20,6 +20,31 @@
 //!
 //! which for Gaussian offsets reduces to the paper's closed form
 //! `Φ((T_j − T_i + μ_i − μ_j)/√(σ_i² + σ_j²))`.
+//!
+//! ## Pair kernels: dt-only dependence and lock amortization
+//!
+//! Both formulas above depend on the two *timestamps* only through their
+//! difference `dt = T_i − T_j`; everything else — the means, the combined
+//! spread, the difference grid — is a property of the client *pair*. A
+//! [`PairKernel`] is that pair-level residue, resolved once by
+//! [`DistributionRegistry::pair_kernel`]: a self-contained, lock-free value
+//! (same-client rule, Gaussian closed-form constants, or an `Arc` to the
+//! shared difference grid) whose [`preceding`](PairKernel::preceding) /
+//! [`preceding_many`](PairKernel::preceding_many) evaluations touch no
+//! registry state at all.
+//!
+//! The payoff is on the O(n)-query hot paths. A per-call
+//! [`preceding_probability`](DistributionRegistry::preceding_probability)
+//! pays an atomic counter bump, two distribution `HashMap` lookups, a
+//! Gaussian-vs-discretized re-dispatch and — for non-Gaussian pairs — an
+//! `RwLock` read plus `Arc` clone on the difference cache, *per query*. A
+//! kernel-based column fill pays all of that once per *distinct client* and
+//! then runs a tight per-kernel loop over a contiguous `f64` slice: an
+//! online arrival resolves ≤ C kernels (C = distinct pending clients) for
+//! its n queries, and an offline build tile touches the registry's locks
+//! O(C²) times instead of O(pairs). The query counter is maintained in bulk
+//! ([`record_queries`](DistributionRegistry::record_queries)) so its
+//! semantics — one count per pairwise probability evaluated — are unchanged.
 
 use crate::config::SequencerConfig;
 use crate::error::CoreError;
@@ -31,7 +56,111 @@ use std::sync::Arc;
 use tommy_stats::clamp_probability;
 use tommy_stats::convolution::{difference_distribution, ConvolutionMethod};
 use tommy_stats::discretized::DiscretizedPdf;
-use tommy_stats::distribution::OffsetDistribution;
+use tommy_stats::distribution::{Distribution, OffsetDistribution};
+use tommy_stats::gaussian::Gaussian;
+
+/// A client pair's preceding-probability rule, resolved once into a
+/// self-contained, lock-free value.
+///
+/// The preceding probability `P(T*_i < T*_j | T_i, T_j)` depends on the two
+/// timestamps only through `dt = T_i − T_j` (§3.2–§3.3 of the paper); the
+/// kernel captures everything else — the pair's distribution parameters or
+/// shared difference grid — so [`preceding`](Self::preceding) and
+/// [`preceding_many`](Self::preceding_many) are pure functions of `dt` that
+/// touch no registry state. See the module docs for the lock-amortization
+/// argument.
+///
+/// Evaluation is **bit-identical** to
+/// [`DistributionRegistry::preceding_probability`] by construction: each
+/// variant runs the same formula, in the same operation order, with the
+/// same clamping, as the corresponding per-call branch. The only difference
+/// is error signalling — a NaN result (the per-call path's
+/// `InvalidProbability` case) is returned as NaN for the caller to check,
+/// since a kernel has no message ids to put in an error.
+#[derive(Debug, Clone)]
+pub enum PairKernel {
+    /// Both messages come from the same client: the comparison is
+    /// deterministic in the timestamps (the shared offset cancels), yielding
+    /// 1, 0, or ½ by the sign of `dt`.
+    SameClient,
+    /// Both offsets are Gaussian: the closed form of §3.2,
+    /// `Φ(((−dt) + μ_i − μ_j)/√(σ_i² + σ_j²))`. The Gaussians are stored
+    /// (rather than pre-divided constants) so each evaluation performs
+    /// exactly the scalar arithmetic of
+    /// [`Gaussian::preceding_probability`] — bit-identity would not survive
+    /// a reciprocal-multiply rewrite.
+    Gaussian {
+        /// Offset distribution of the client that produced `T_i`.
+        i: Gaussian,
+        /// Offset distribution of the client that produced `T_j`.
+        j: Gaussian,
+    },
+    /// At least one non-Gaussian offset: the shared, cached difference grid
+    /// of `δ_i − δ_j` (§3.3), whose tail at `dt` is the probability.
+    Discretized(Arc<DiscretizedPdf>),
+}
+
+impl PairKernel {
+    /// The preceding probability at timestamp delta `dt = T_i − T_j`.
+    ///
+    /// Returns the same value `preceding_probability` would for messages
+    /// with these clients and timestamps; NaN (never produced for finite
+    /// inputs) marks the per-call path's `InvalidProbability` error case.
+    #[inline]
+    pub fn preceding(&self, dt: f64) -> f64 {
+        let p = match self {
+            PairKernel::SameClient => {
+                if dt < 0.0 {
+                    1.0
+                } else if dt > 0.0 {
+                    0.0
+                } else {
+                    0.5
+                }
+            }
+            PairKernel::Gaussian { i, j } => i.preceding_probability_dt(j, dt),
+            PairKernel::Discretized(diff) => diff.tail(dt),
+        };
+        // NaN-preserving clamp: equals `clamp_probability` for every non-NaN
+        // input (the values the per-call path can return), but keeps NaN
+        // visible so callers can surface `InvalidProbability`.
+        p.clamp(0.0, 1.0)
+    }
+
+    /// Batched [`preceding`](Self::preceding): `out[k] = preceding(dts[k])`.
+    ///
+    /// One dispatch for the whole slice; the Gaussian and discretized arms
+    /// run the slice kernels in `tommy-stats`
+    /// ([`Gaussian::preceding_probability_dt_many`],
+    /// [`DiscretizedPdf::tail_many`]) over contiguous memory. Bit-identical
+    /// per element to the scalar form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn preceding_many(&self, dts: &[f64], out: &mut [f64]) {
+        assert_eq!(dts.len(), out.len(), "input/output length mismatch");
+        match self {
+            PairKernel::SameClient => {
+                for (o, &dt) in out.iter_mut().zip(dts) {
+                    *o = if dt < 0.0 {
+                        1.0
+                    } else if dt > 0.0 {
+                        0.0
+                    } else {
+                        0.5
+                    };
+                }
+                return;
+            }
+            PairKernel::Gaussian { i, j } => i.preceding_probability_dt_many(j, dts, out),
+            PairKernel::Discretized(diff) => diff.tail_many(dts, out),
+        }
+        for o in out.iter_mut() {
+            *o = o.clamp(0.0, 1.0);
+        }
+    }
+}
 
 /// Registry of per-client clock-offset distributions with derived caches.
 #[derive(Debug)]
@@ -41,8 +170,16 @@ pub struct DistributionRegistry {
     convolution: ConvolutionMethod,
     discretized: RwLock<HashMap<ClientId, Arc<DiscretizedPdf>>>,
     differences: RwLock<HashMap<(ClientId, ClientId), Arc<DiscretizedPdf>>>,
-    /// Number of `preceding_probability` calls served so far. The online
-    /// sequencer's O(1)-tick guarantee is asserted against this counter.
+    /// Cached safe-emission margins `Q_{δ}(1 − p_safe)` per
+    /// `(client, p_safe)` — the client-level constant of the safe-emission
+    /// time `T^F = T − Q(1 − p_safe)`, keyed by the exact bits of `p_safe`.
+    safe_margins: RwLock<HashMap<(ClientId, u64), f64>>,
+    /// Number of pairwise preceding-probability evaluations served so far —
+    /// one per [`preceding_probability`](Self::preceding_probability) call
+    /// plus every element of a kernel-based column fill (recorded in bulk
+    /// via [`record_queries`](Self::record_queries)). The online sequencer's
+    /// O(1)-tick and O(n)-arrival guarantees are asserted against this
+    /// counter.
     queries: AtomicU64,
 }
 
@@ -69,6 +206,7 @@ impl DistributionRegistry {
             convolution,
             discretized: RwLock::new(HashMap::new()),
             differences: RwLock::new(HashMap::new()),
+            safe_margins: RwLock::new(HashMap::new()),
             queries: AtomicU64::new(0),
         }
     }
@@ -86,6 +224,7 @@ impl DistributionRegistry {
         self.differences
             .write()
             .retain(|(a, b), _| *a != client && *b != client);
+        self.safe_margins.write().retain(|(c, _), _| *c != client);
     }
 
     /// The distribution registered for `client`, if any.
@@ -187,6 +326,81 @@ impl DistributionRegistry {
             });
         }
         Ok(clamp_probability(p))
+    }
+
+    /// Resolve the client pair `(client_i, client_j)` into a self-contained
+    /// [`PairKernel`] — the one-time counterpart of
+    /// [`preceding_probability`](Self::preceding_probability): all registry
+    /// lookups, dispatch and (for non-Gaussian pairs) difference-cache lock
+    /// traffic happen here, once, after which the kernel evaluates any
+    /// number of timestamp deltas lock-free.
+    ///
+    /// `kernel.preceding(i.timestamp - j.timestamp)` equals
+    /// `preceding_probability(i, j)` bit-for-bit for messages `i`, `j` from
+    /// these clients (see [`PairKernel`]); kernel resolution itself does
+    /// not advance the query counter — callers account their evaluations
+    /// with [`record_queries`](Self::record_queries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownClient`] if either client of a
+    /// *distinct* pair is unregistered. Same-client pairs resolve without a
+    /// registration check, exactly as the per-call path short-circuits
+    /// before looking up distributions.
+    pub fn pair_kernel(
+        &self,
+        client_i: ClientId,
+        client_j: ClientId,
+    ) -> Result<PairKernel, CoreError> {
+        if client_i == client_j {
+            return Ok(PairKernel::SameClient);
+        }
+        let d_i = self.distribution_or_err(client_i)?;
+        let d_j = self.distribution_or_err(client_j)?;
+        match (d_i.as_gaussian(), d_j.as_gaussian()) {
+            (Some(gi), Some(gj)) => Ok(PairKernel::Gaussian { i: *gi, j: *gj }),
+            _ => Ok(PairKernel::Discretized(
+                self.difference_for(client_i, client_j)?,
+            )),
+        }
+    }
+
+    /// Account `n` pairwise probability evaluations performed through
+    /// [`PairKernel`]s. Kernel-based column fills call this once per column
+    /// (one atomic add) instead of once per element, keeping the counter's
+    /// meaning — total pairwise evaluations — identical to the per-call
+    /// path at a fraction of its bookkeeping cost.
+    pub fn record_queries(&self, n: u64) {
+        self.queries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The cached safe-emission margin `Q_{δ}(1 − p_safe)` for a client: the
+    /// client-level constant in the safe-emission time of §3.5,
+    /// `T^F = T − Q_{δ}(1 − p_safe)`. Like the pair kernels, the margin
+    /// depends only on `(client, p_safe)`, so the online sequencer's
+    /// per-candidate `T_b = max_k T^F_k` sweep reduces to one subtraction
+    /// per member instead of a quantile inversion per member.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownClient`] if the client is unregistered.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.5 < p_safe < 1.0`, matching
+    /// [`safe_emission_time`](crate::sequencer::emission::safe_emission_time).
+    pub fn safe_margin(&self, client: ClientId, p_safe: f64) -> Result<f64, CoreError> {
+        assert!(
+            p_safe > 0.5 && p_safe < 1.0,
+            "p_safe must be in (0.5, 1.0), got {p_safe}"
+        );
+        let key = (client, p_safe.to_bits());
+        if let Some(&margin) = self.safe_margins.read().get(&key) {
+            return Ok(margin);
+        }
+        let margin = self.distribution_or_err(client)?.quantile(1.0 - p_safe);
+        self.safe_margins.write().insert(key, margin);
+        Ok(margin)
     }
 
     /// Number of cached pairwise difference distributions (exposed for tests
@@ -432,6 +646,90 @@ mod tests {
         assert_eq!(
             reg.violation_margin(ClientId(0), ClientId(9), 0.75),
             Err(CoreError::UnknownClient(ClientId(9)))
+        );
+    }
+
+    #[test]
+    fn pair_kernel_is_bit_identical_to_per_call_path() {
+        let mut reg = DistributionRegistry::new();
+        reg.register(ClientId(0), OffsetDistribution::gaussian(1.0, 3.0));
+        reg.register(ClientId(1), OffsetDistribution::gaussian(-2.0, 5.0));
+        reg.register(ClientId(2), OffsetDistribution::laplace(0.5, 2.0));
+
+        for (a, b) in [(0u32, 1u32), (1, 0), (0, 2), (2, 1), (1, 1)] {
+            let kernel = reg.pair_kernel(ClientId(a), ClientId(b)).unwrap();
+            let t_j = 100.0;
+            let pairs: Vec<(Message, Message)> = (-40..=40)
+                .map(|k| (msg(0, a, t_j + k as f64 * 0.37), msg(1, b, t_j)))
+                .collect();
+            // The deltas as a column fill would compute them, from the
+            // messages' actual timestamps.
+            let dts: Vec<f64> = pairs.iter().map(|(i, j)| i.timestamp - j.timestamp).collect();
+            let mut batch = vec![0.0; dts.len()];
+            kernel.preceding_many(&dts, &mut batch);
+            for (k, (i, j)) in pairs.iter().enumerate() {
+                let per_call = reg.preceding_probability(i, j).unwrap();
+                let scalar = kernel.preceding(dts[k]);
+                assert_eq!(scalar.to_bits(), per_call.to_bits(), "({a},{b}) k={k}");
+                assert_eq!(batch[k].to_bits(), per_call.to_bits(), "({a},{b}) k={k} batched");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_kernel_unknown_client_and_same_client_semantics() {
+        let mut reg = DistributionRegistry::new();
+        reg.register(ClientId(0), OffsetDistribution::gaussian(0.0, 1.0));
+        assert_eq!(
+            reg.pair_kernel(ClientId(0), ClientId(9)).unwrap_err(),
+            CoreError::UnknownClient(ClientId(9))
+        );
+        assert_eq!(
+            reg.pair_kernel(ClientId(9), ClientId(0)).unwrap_err(),
+            CoreError::UnknownClient(ClientId(9))
+        );
+        // Same-client pairs resolve without a registration check, exactly as
+        // preceding_probability short-circuits before any lookup.
+        let kernel = reg.pair_kernel(ClientId(9), ClientId(9)).unwrap();
+        assert!(matches!(kernel, PairKernel::SameClient));
+        assert_eq!(kernel.preceding(-1.0), 1.0);
+        assert_eq!(kernel.preceding(1.0), 0.0);
+        assert_eq!(kernel.preceding(0.0), 0.5);
+    }
+
+    #[test]
+    fn pair_kernel_resolution_counts_no_queries() {
+        let mut reg = DistributionRegistry::new();
+        reg.register(ClientId(0), OffsetDistribution::gaussian(0.0, 1.0));
+        reg.register(ClientId(1), OffsetDistribution::laplace(0.0, 2.0));
+        let kernel = reg.pair_kernel(ClientId(0), ClientId(1)).unwrap();
+        let mut out = [0.0; 4];
+        kernel.preceding_many(&[0.0, 1.0, 2.0, 3.0], &mut out);
+        assert_eq!(reg.query_count(), 0);
+        // Kernel callers account their evaluations in bulk.
+        reg.record_queries(4);
+        assert_eq!(reg.query_count(), 4);
+    }
+
+    #[test]
+    fn safe_margin_matches_direct_quantile_and_invalidates() {
+        use tommy_stats::distribution::Distribution as _;
+        let mut reg = DistributionRegistry::new();
+        let dist = OffsetDistribution::laplace(1.0, 4.0);
+        reg.register(ClientId(0), dist.clone());
+        let p_safe = 0.999;
+        let margin = reg.safe_margin(ClientId(0), p_safe).unwrap();
+        assert_eq!(margin.to_bits(), dist.quantile(1.0 - p_safe).to_bits());
+        // Cached value is reused; re-registration invalidates it.
+        assert_eq!(reg.safe_margin(ClientId(0), p_safe).unwrap(), margin);
+        let flipped = OffsetDistribution::laplace(-1.0, 4.0);
+        reg.register(ClientId(0), flipped.clone());
+        let after = reg.safe_margin(ClientId(0), p_safe).unwrap();
+        assert_eq!(after.to_bits(), flipped.quantile(1.0 - p_safe).to_bits());
+        assert_ne!(after.to_bits(), margin.to_bits());
+        assert_eq!(
+            reg.safe_margin(ClientId(7), p_safe),
+            Err(CoreError::UnknownClient(ClientId(7)))
         );
     }
 

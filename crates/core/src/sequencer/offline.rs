@@ -4,7 +4,12 @@
 //! before it starts sequencing" (the assumption §3.5 later lifts — see
 //! [`crate::sequencer::online`]). The pipeline is:
 //!
-//! 1. compute the pairwise preceding probabilities ([`PrecedenceMatrix`]),
+//! 1. compute the pairwise preceding probabilities ([`PrecedenceMatrix`]) —
+//!    filled through per-client-pair
+//!    [`PairKernel`](crate::registry::PairKernel)s, so the registry's
+//!    lookups and locks are amortized over whole rows (O(C²) touches per
+//!    build tile, C = distinct clients, instead of O(pairs)) and the
+//!    per-pair arithmetic runs as tight loops over contiguous timestamps,
 //! 2. build the tournament and extract a linear order
 //!    ([`crate::tournament::Tournament`]),
 //! 3. batch adjacent messages whose ordering confidence is below the

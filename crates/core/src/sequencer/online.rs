@@ -24,7 +24,11 @@
 //!   arrival adds one row/column (O(n) new probability queries via
 //!   [`PrecedenceMatrix::insert`]) and each emission removes the batch's
 //!   rows/columns ([`PrecedenceMatrix::remove_batch`]) — never a from-scratch
-//!   O(n²) rebuild.
+//!   O(n²) rebuild. The arrival column itself is filled through per-client
+//!   [`PairKernel`](crate::registry::PairKernel)s: the registry (locks,
+//!   hash lookups, dispatch) is consulted once per *distinct pending
+//!   client*, and each kernel then evaluates that client's contiguous
+//!   timestamp slice in one tight loop.
 //! * The tournament and its linear order are maintained *incrementally* too
 //!   ([`IncrementalTournament`]): an arrival orients its n new edges and is
 //!   binary-inserted into the maintained Hamiltonian path; an emission drops
@@ -41,7 +45,13 @@
 //! * The per-arrival fairness-violation check against the last emitted batch
 //!   uses cached per-client-pair margins
 //!   ([`DistributionRegistry::violation_margin`]) instead of one probability
-//!   query per emitted message.
+//!   query per emitted message, and the candidate batch's safe emission time
+//!   uses cached per-client margins ([`DistributionRegistry::safe_margin`])
+//!   instead of one quantile inversion per batch member.
+//! * The Appendix C closure rule runs as a worklist: each candidate
+//!   recomputation compares outsiders only against batch members added since
+//!   they were last checked — O(n × batch) comparisons total, not
+//!   O(rounds × n × batch).
 //!
 //! A late high-uncertainty message still merges into the open batch exactly
 //! as in the Appendix C worked example: its arrival invalidates the cache and
@@ -144,7 +154,10 @@ pub struct OnlineSequencer {
     /// [`take_emitted`](Self::take_emitted).
     emitted: Vec<EmittedBatch>,
     emitted_order: FairOrder,
-    last_emitted: Vec<Message>,
+    /// `(client, timestamp)` of each message in the most recently emitted
+    /// batch — all the margin-based violation check needs, so emission does
+    /// not clone the batch's message vector for it.
+    last_emitted: Vec<(ClientId, f64)>,
     stats: OnlineStats,
     rng: StdRng,
     now: f64,
@@ -311,10 +324,7 @@ impl OnlineSequencer {
         if !self.last_emitted.is_empty() {
             let mut violates = false;
             for k in 0..self.last_emitted.len() {
-                let (emitted_client, emitted_ts) = {
-                    let e = &self.last_emitted[k];
-                    (e.client, e.timestamp)
-                };
+                let (emitted_client, emitted_ts) = self.last_emitted[k];
                 if let Some(margin) = self.violation_margin(message.client, emitted_client) {
                     if message.timestamp - emitted_ts <= margin {
                         violates = true;
@@ -429,7 +439,10 @@ impl OnlineSequencer {
         }
         self.stats.batches_emitted += 1;
         self.stats.messages_emitted += batch_msgs.len();
-        self.last_emitted = batch_msgs.clone();
+        // The violation check only needs (client, timestamp) pairs; the one
+        // remaining clone of the message vector is the copy handed to the
+        // output buffer, whose original the caller receives.
+        self.last_emitted = batch_msgs.iter().map(|m| (m.client, m.timestamp)).collect();
         let emitted = EmittedBatch {
             rank,
             messages: batch_msgs,
@@ -464,9 +477,9 @@ impl OnlineSequencer {
 /// its safe emission time and watermark horizon.
 ///
 /// This runs over the already-populated incremental matrix and tournament:
-/// no probability queries are issued except the O(batch) safe-emission
-/// quantile lookups, and no `Tournament::from_matrix` rebuild happens unless
-/// the incremental tournament hit an intransitivity cycle.
+/// no probability queries are issued at all (the safe-emission sweep reads
+/// cached per-client margins), and no `Tournament::from_matrix` rebuild
+/// happens unless the incremental tournament hit an intransitivity cycle.
 fn compute_candidate(
     matrix: &PrecedenceMatrix,
     tournament: &mut IncrementalTournament,
@@ -485,37 +498,39 @@ fn compute_candidate(
     // message that cannot be confidently separated from some member of
     // the batch, transitively. A single high-uncertainty message can this
     // way pull several otherwise-orderable messages into one batch.
+    //
+    // Worklist form: a message already checked against a batch member never
+    // needs re-checking against it, so each round compares the remaining
+    // outsiders only against the members added *last* round — O(n × batch)
+    // comparisons total instead of O(rounds × n × batch). The fixpoint (and
+    // hence the sorted batch) is identical to re-scanning every round.
     let mut in_batch: Vec<usize> = first
         .messages
         .iter()
         .map(|id| matrix.index_of(*id).expect("id from matrix"))
         .collect();
-    let mut member = vec![false; matrix.len()];
-    for &i in &in_batch {
-        member[i] = true;
-    }
-    loop {
-        let mut grew = false;
-        // Index-based: the loop both reads `member` and (via `in_batch`)
-        // extends the membership it is iterating against.
-        #[allow(clippy::needless_range_loop)]
-        for cand in 0..matrix.len() {
-            if member[cand] {
-                continue;
-            }
-            let inseparable = in_batch.iter().any(|&b| {
+    let mut outside: Vec<usize> = {
+        let mut member = vec![false; matrix.len()];
+        for &i in &in_batch {
+            member[i] = true;
+        }
+        (0..matrix.len()).filter(|&i| !member[i]).collect()
+    };
+    let mut frontier: Vec<usize> = in_batch.clone();
+    while !frontier.is_empty() && !outside.is_empty() {
+        let mut absorbed: Vec<usize> = Vec::new();
+        outside.retain(|&cand| {
+            let inseparable = frontier.iter().any(|&b| {
                 let p = matrix.prob(b, cand).max(matrix.prob(cand, b));
                 p <= config.threshold
             });
             if inseparable {
-                member[cand] = true;
-                in_batch.push(cand);
-                grew = true;
+                absorbed.push(cand);
             }
-        }
-        if !grew {
-            break;
-        }
+            !inseparable
+        });
+        in_batch.extend_from_slice(&absorbed);
+        frontier = absorbed;
     }
     in_batch.sort_unstable();
     let batch_msgs: Vec<Message> = in_batch.iter().map(|&i| matrix.message(i).clone()).collect();

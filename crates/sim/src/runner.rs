@@ -147,6 +147,12 @@ pub struct OnlineStreamResult {
     /// With history retention off this is bounded by the pending set, not by
     /// the stream length.
     pub max_tracked_ids: usize,
+    /// Total pairwise preceding-probability evaluations the run performed
+    /// (the registry's query counter). With the incremental, kernel-filled
+    /// precedence engine this is exactly Σ over arrivals of the pending-set
+    /// size — heartbeats and clock ticks evaluate nothing — so the field
+    /// tracks the engine's dominant cost across scenario sweeps.
+    pub probability_queries: u64,
 }
 
 /// Run the online sequencer over a scenario's message stream, draining
@@ -250,6 +256,7 @@ pub fn run_online_stream(config: &ScenarioConfig, p_safe: f64) -> OnlineStreamRe
         batches: order.num_batches(),
         max_undrained,
         max_tracked_ids: max_tracked,
+        probability_queries: sequencer.registry().query_count(),
     }
 }
 
@@ -342,6 +349,16 @@ mod tests {
         assert_eq!(result.stats.messages_emitted, cfg.messages);
         assert_eq!(result.ras.pairs(), cfg.messages * (cfg.messages - 1) / 2);
         assert!(result.batches >= 1);
+        // Arrivals pay O(pending) evaluations each and nothing else does, so
+        // the run's total is bounded by max_pending per message.
+        assert!(result.probability_queries > 0);
+        assert!(
+            result.probability_queries
+                <= (cfg.messages * result.stats.max_pending) as u64,
+            "queries {} vs bound {}",
+            result.probability_queries,
+            cfg.messages * result.stats.max_pending
+        );
     }
 
     #[test]

@@ -59,13 +59,22 @@ pub trait Distribution: std::fmt::Debug + Send + Sync {
     }
 
     /// Quantile at probability `p ∈ (0, 1)`; the default implementation
-    /// bisects the CDF over the effective support.
+    /// bisects the CDF over the effective support
+    /// ([`bisect_cdf_quantile`]).
     fn quantile(&self, p: f64) -> f64 {
         assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
-        let (lo, hi) = self.support();
-        let span = (hi - lo).max(1e-12);
-        bisect_increasing(|x| self.cdf(x), lo, hi, p, span * 1e-10).unwrap_or(hi)
+        bisect_cdf_quantile(self, p)
     }
+}
+
+/// Generic quantile by bisecting a distribution's CDF over its effective
+/// support — the shared fallback for families without a closed-form
+/// inverse (the [`Distribution`] trait default and the mixture/empirical
+/// arms of [`OffsetDistribution::quantile`]).
+pub fn bisect_cdf_quantile<D: Distribution + ?Sized>(d: &D, p: f64) -> f64 {
+    let (lo, hi) = d.support();
+    let span = (hi - lo).max(1e-12);
+    bisect_increasing(|x| d.cdf(x), lo, hi, p, span * 1e-10).unwrap_or(hi)
 }
 
 impl Distribution for Gaussian {
@@ -389,6 +398,38 @@ impl Distribution for OffsetDistribution {
         }
     }
 
+    /// Closed-form quantiles for every family that has one; only mixtures
+    /// and empirical (KDE) distributions fall back to the trait's generic
+    /// CDF bisection. The closed forms invert the exact CDFs above, so the
+    /// results agree with the bisection to its tolerance while costing a
+    /// few floating-point operations instead of ~40 CDF evaluations — this
+    /// is the hot path of every safe-emission-time computation
+    /// (`T^F = T − Q(1 − p_safe)`), which the online sequencer performs for
+    /// each candidate-batch member on every pending-set change.
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+        match self {
+            OffsetDistribution::Gaussian(g) => g.quantile(p),
+            OffsetDistribution::Uniform { lo, hi } => lo + p * (hi - lo),
+            OffsetDistribution::Laplace { location, scale } => {
+                if p < 0.5 {
+                    location + scale * (2.0 * p).ln()
+                } else {
+                    location - scale * (2.0 * (1.0 - p)).ln()
+                }
+            }
+            OffsetDistribution::ShiftedExponential { location, rate } => {
+                location - (1.0 - p).ln() / rate
+            }
+            OffsetDistribution::ShiftedLogNormal { shift, mu, sigma } => {
+                shift + (mu + sigma * crate::erf::std_normal_inv_cdf(p)).exp()
+            }
+            OffsetDistribution::Mixture(_) | OffsetDistribution::Empirical(_) => {
+                bisect_cdf_quantile(self, p)
+            }
+        }
+    }
+
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
         match self {
             OffsetDistribution::Gaussian(g) => g.sample(rng),
@@ -524,6 +565,23 @@ mod tests {
                     (d.cdf(x) - p).abs() < 1e-4,
                     "{d:?}: quantile({p}) = {x}, cdf back = {}",
                     d.cdf(x)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_quantiles_match_generic_bisection() {
+        // Reference: the generic CDF bisection — what every family went
+        // through before the closed forms landed.
+        for d in all_families() {
+            for p in [0.001, 0.05, 0.25, 0.5, 0.75, 0.95, 0.999] {
+                let fast = d.quantile(p);
+                let slow = bisect_cdf_quantile(&d, p);
+                let tol = 1e-6 * d.std_dev().max(1.0);
+                assert!(
+                    (fast - slow).abs() < tol,
+                    "{d:?} p={p}: closed form {fast} vs bisection {slow}"
                 );
             }
         }
