@@ -18,6 +18,7 @@ use tommy_core::precedence::PrecedenceMatrix;
 use tommy_core::registry::DistributionRegistry;
 use tommy_core::sequencer::emission::batch_emission_time;
 use tommy_core::sequencer::online::OnlineSequencer;
+use tommy_core::sequencer::{SequencingCore, SequencingOutcome};
 use tommy_core::tournament::Tournament;
 use tommy_sim::scenario::ScenarioConfig;
 use tommy_stats::distribution::OffsetDistribution;
@@ -133,9 +134,22 @@ pub fn legacy_column(
         .collect()
 }
 
+/// Run the one-shot §3.4 pipeline tail (linear order → fair order +
+/// diagnostics) over a prebuilt matrix through the same [`SequencingCore`]
+/// both production sequencers use — the benchmark entry point for the
+/// shared pipeline, and the reference the `batch_boundary` bench contrasts
+/// the incremental engine against.
+pub fn run_pipeline(matrix: &PrecedenceMatrix, config: &SequencerConfig) -> SequencingOutcome {
+    let mut core = SequencingCore::new(*config);
+    core.load(matrix);
+    core.outcome(matrix, None)
+}
+
 /// The seed implementation of the online sequencer's candidate-batch
 /// computation: from-scratch matrix + tournament + linear order + threshold
-/// batching + Appendix C closure rule.
+/// batching + Appendix C closure rule. Kept verbatim (not routed through
+/// [`SequencingCore`]) because it *is* the measured baseline of the
+/// `online_incremental` bench.
 pub fn scratch_candidate_batch(
     pending: &[Message],
     registry: &DistributionRegistry,
@@ -220,6 +234,29 @@ mod tests {
                 "column element {j}"
             );
         }
+    }
+
+    #[test]
+    fn run_pipeline_matches_offline_sequencer() {
+        use tommy_core::sequencer::offline::TommySequencer;
+        let registry = stream_registry();
+        let pending: Vec<Message> = (0..30).map(stream_message).collect();
+        let config = SequencerConfig::default();
+        let matrix = PrecedenceMatrix::compute(&pending, &registry).unwrap();
+        let via_core = run_pipeline(&matrix, &config);
+
+        let mut offline = TommySequencer::new(config);
+        for c in 0..STREAM_CLIENTS {
+            offline.register_client(ClientId(c), OffsetDistribution::gaussian(0.0, 5.0));
+        }
+        let via_sequencer = offline.sequence_detailed(&pending).unwrap();
+        assert_eq!(via_core.order, via_sequencer.order);
+        assert_eq!(via_core.transitive, via_sequencer.transitive);
+        assert_eq!(via_core.cyclic_components, via_sequencer.cyclic_components);
+        assert_eq!(
+            via_core.confident_pair_fraction,
+            via_sequencer.confident_pair_fraction
+        );
     }
 
     #[test]

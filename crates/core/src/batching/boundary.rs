@@ -1,0 +1,161 @@
+//! Batch-boundary storage: a batch-start bitset aligned with a linear order.
+//!
+//! Position `p` of the tracked linear order *starts a batch* when the
+//! adjacent-pair probability `p(order[p-1] → order[p])` exceeds the
+//! threshold (position 0 always starts one). [`BoundarySet`] stores exactly
+//! those bits, keeps the batch count eagerly, and derives per-position ranks
+//! from a lazily rebuilt prefix count over the bits: a Fenwick tree would
+//! give `O(log n)` point updates but cannot absorb the position *shifts* an
+//! insertion causes, while the lazy prefix array costs nothing on the
+//! arrival path (the online sequencer never queries ranks there — only the
+//! equivalence tests and the offline materialization do) and answers every
+//! rank query in `O(1)` once rebuilt.
+
+/// The batch-start bits of a linear order, with an eager batch count and a
+/// lazily rebuilt prefix-rank array.
+#[derive(Debug, Clone, Default)]
+pub struct BoundarySet {
+    /// `starts[p]` — position `p` begins a batch. `starts[0]` is always set
+    /// while the order is non-empty.
+    starts: Vec<bool>,
+    /// Number of set bits (equals the number of batches).
+    set_bits: usize,
+    /// `prefix[p]` = rank of the batch containing position `p`; rebuilt on
+    /// demand after structural edits.
+    prefix: Vec<usize>,
+    prefix_valid: bool,
+}
+
+impl BoundarySet {
+    /// An empty set tracking an empty order.
+    pub fn new() -> Self {
+        BoundarySet::default()
+    }
+
+    /// Build from explicit batch-start bits (`bits[0]` must be set when
+    /// non-empty).
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        debug_assert!(bits.is_empty() || bits[0], "position 0 must start a batch");
+        let set_bits = bits.iter().filter(|&&b| b).count();
+        BoundarySet {
+            starts: bits,
+            set_bits,
+            prefix: Vec::new(),
+            prefix_valid: false,
+        }
+    }
+
+    /// Number of tracked positions.
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Whether no positions are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+
+    /// Number of batches (the set-bit count).
+    pub fn num_batches(&self) -> usize {
+        self.set_bits
+    }
+
+    /// Whether position `p` starts a batch.
+    pub fn get(&self, p: usize) -> bool {
+        self.starts[p]
+    }
+
+    /// Shift positions `>= p` up by one and set the new bit at `p`.
+    pub fn insert(&mut self, p: usize, start: bool) {
+        self.starts.insert(p, start);
+        self.set_bits += usize::from(start);
+        self.prefix_valid = false;
+    }
+
+    /// Overwrite the bit at `p`.
+    pub fn set(&mut self, p: usize, start: bool) {
+        let old = self.starts[p];
+        self.starts[p] = start;
+        self.set_bits = self.set_bits + usize::from(start) - usize::from(old);
+        self.prefix_valid = false;
+    }
+
+    /// The first boundary position (`p >= 1` with the bit set), i.e. the
+    /// position one past the end of batch 0. `None` when everything shares
+    /// one batch.
+    pub fn first_boundary(&self) -> Option<usize> {
+        self.starts.iter().skip(1).position(|&b| b).map(|i| i + 1)
+    }
+
+    /// All boundary positions (`p >= 1` with the bit set), ascending. The
+    /// batch at rank `r` spans positions `[positions[r-1], positions[r])`
+    /// (with sentinels 0 and `len`).
+    pub fn positions(&self) -> Vec<usize> {
+        self.starts
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter_map(|(p, &b)| b.then_some(p))
+            .collect()
+    }
+
+    /// Rank of the batch containing position `p` (0-based), from the prefix
+    /// count over the start bits. Rebuilds the prefix array if a structural
+    /// edit invalidated it; `O(1)` afterwards.
+    pub fn rank_of_position(&mut self, p: usize) -> usize {
+        if !self.prefix_valid {
+            self.prefix.clear();
+            self.prefix.reserve(self.starts.len());
+            let mut rank = 0usize;
+            for (q, &start) in self.starts.iter().enumerate() {
+                if start && q > 0 {
+                    rank += 1;
+                }
+                self.prefix.push(rank);
+            }
+            self.prefix_valid = true;
+        }
+        self.prefix[p]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_bits_counts_batches() {
+        let b = BoundarySet::from_bits(vec![true, false, true, true, false]);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.num_batches(), 3);
+        assert_eq!(b.first_boundary(), Some(2));
+        assert_eq!(b.positions(), vec![2, 3]);
+    }
+
+    #[test]
+    fn insert_and_set_maintain_counts() {
+        let mut b = BoundarySet::new();
+        assert!(b.is_empty());
+        b.insert(0, true);
+        b.insert(1, false);
+        b.insert(1, true); // split: [x][y z] -> positions shift
+        assert_eq!(b.num_batches(), 2);
+        assert_eq!(b.positions(), vec![1]);
+        b.set(1, false); // merge back
+        assert_eq!(b.num_batches(), 1);
+        assert_eq!(b.first_boundary(), None);
+    }
+
+    #[test]
+    fn ranks_follow_prefix_counts_across_edits() {
+        let mut b = BoundarySet::from_bits(vec![true, false, true, false]);
+        assert_eq!(b.rank_of_position(0), 0);
+        assert_eq!(b.rank_of_position(1), 0);
+        assert_eq!(b.rank_of_position(3), 1);
+        // Edit invalidates the cached prefix; the next query rebuilds it.
+        b.insert(2, true);
+        assert_eq!(b.rank_of_position(2), 1);
+        assert_eq!(b.rank_of_position(4), 2);
+        assert_eq!(b.num_batches(), 3);
+    }
+}

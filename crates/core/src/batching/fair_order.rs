@@ -1,11 +1,11 @@
-//! Threshold batching and the fair (partial) order it produces.
+//! The static fair-order types: [`Batch`] and [`FairOrder`].
 //!
-//! §3.4 of the paper: after a linear order is extracted from the tournament,
-//! adjacent messages are batched — a batch boundary is placed between `i` and
-//! `j` (adjacent in the linear order) only when `p(i → j) > threshold`, so
-//! messages the sequencer cannot confidently separate share a batch. The
-//! batches themselves are totally ordered; the messages are only partially
-//! ordered. "Ideally, each batch should be of size 1."
+//! [`FairOrder::from_linear_order`] is the one-shot §3.4 constructor — walk
+//! the linear order, split wherever the adjacent-pair probability exceeds the
+//! threshold. The offline sequencer materializes its output through it; the
+//! online sequencer maintains the same boundary set incrementally
+//! ([`crate::batching::incremental::IncrementalFairOrder`]) and only builds a
+//! `FairOrder` for emitted history.
 
 use crate::message::MessageId;
 use crate::precedence::PrecedenceMatrix;
@@ -70,14 +70,25 @@ impl FairOrder {
 
     /// Build a fair order from explicit groups of message ids (each group is
     /// one batch, in the given order).
+    ///
+    /// Every id must appear in at most one group; the duplicate check
+    /// re-hashes each message and is only performed in debug builds (the
+    /// sequencers construct groups from a matrix that already rejects
+    /// duplicates).
     pub fn from_groups(groups: Vec<Vec<MessageId>>) -> Self {
+        let total: usize = groups.iter().map(Vec::len).sum();
         let mut batches = Vec::with_capacity(groups.len());
-        let mut rank_index = HashMap::new();
+        let mut rank_index = HashMap::with_capacity(total);
         for (rank, messages) in groups.into_iter().enumerate() {
             assert!(!messages.is_empty(), "batches must be non-empty");
             for &id in &messages {
-                let previous = rank_index.insert(id, rank);
-                assert!(previous.is_none(), "message {id} appears in two batches");
+                #[cfg(debug_assertions)]
+                {
+                    let previous = rank_index.insert(id, rank);
+                    assert!(previous.is_none(), "message {id} appears in two batches");
+                }
+                #[cfg(not(debug_assertions))]
+                rank_index.insert(id, rank);
             }
             batches.push(Batch { rank, messages });
         }
@@ -127,6 +138,23 @@ impl FairOrder {
     /// Sizes of all batches, in rank order.
     pub fn batch_sizes(&self) -> Vec<usize> {
         self.batches.iter().map(|b| b.len()).collect()
+    }
+
+    /// The batch-boundary positions in flattened order: the cumulative batch
+    /// lengths, excluding the total (a boundary sits *before* each batch of
+    /// rank ≥ 1). Matches
+    /// [`IncrementalFairOrder::boundary_positions`](crate::batching::IncrementalFairOrder::boundary_positions)
+    /// when both describe the same order.
+    pub fn boundary_positions(&self) -> Vec<usize> {
+        let mut positions = Vec::with_capacity(self.batches.len().saturating_sub(1));
+        let mut cut = 0usize;
+        for batch in &self.batches {
+            if cut > 0 {
+                positions.push(cut);
+            }
+            cut += batch.len();
+        }
+        positions
     }
 
     /// The size of the largest batch (0 if empty).
@@ -276,6 +304,9 @@ mod tests {
         assert_eq!(fo.batch_sizes(), vec![1, 2]);
     }
 
+    /// The duplicate check is debug-only: release builds trust the caller
+    /// (the matrix already rejects duplicate ids) and skip the re-hash.
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "two batches")]
     fn duplicate_message_across_batches_rejected() {

@@ -16,6 +16,24 @@
 
 use rand::Rng;
 use rand::RngCore;
+use std::cell::Cell;
+
+thread_local! {
+    /// Exhaustive greedy passes run on this thread (see
+    /// [`exhaustive_passes`]).
+    static EXHAUSTIVE_PASSES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of times [`greedy_order`] fell through to its exhaustive
+/// superlinear loop on the current thread — which must happen only for
+/// *cyclic* components (acyclic ones take the single-pass transitivity
+/// early-exit). Thread-local so concurrent tests cannot race each other's
+/// deltas; mirrors the `full_rebuilds` counter pattern of
+/// [`IncrementalTournament`](crate::tournament::IncrementalTournament), and
+/// gives the remaining ROADMAP FAS item a measurable baseline.
+pub fn exhaustive_passes() -> u64 {
+    EXHAUSTIVE_PASSES.with(Cell::get)
+}
 
 /// If the sub-tournament induced on `members` is already transitive
 /// (acyclic), return its unique Hamiltonian path; otherwise `None`.
@@ -67,6 +85,7 @@ pub fn greedy_order(members: &[usize], prob: &dyn Fn(usize, usize) -> f64) -> Ve
     if let Some(path) = transitive_path(members, prob) {
         return path;
     }
+    EXHAUSTIVE_PASSES.with(|c| c.set(c.get() + 1));
     let mut remaining: Vec<usize> = members.to_vec();
     let mut order = Vec::with_capacity(members.len());
     while !remaining.is_empty() {
@@ -343,6 +362,46 @@ mod tests {
         ];
         let prob = prob_from(&pairs);
         assert_eq!(greedy_order(&[0, 1, 2, 3], &prob), vec![2, 0, 1, 3]);
+    }
+
+    /// Regression pin for the remaining ROADMAP FAS item: the exhaustive
+    /// superlinear greedy pass runs **only** for cyclic components — a
+    /// transitive component of any size costs zero passes (the early-exit
+    /// path), while a cyclic one costs exactly one per `greedy_order` call.
+    #[test]
+    fn exhaustive_pass_runs_only_for_cyclic_components() {
+        // Transitive chain 0 < 1 < 2 < 3: no exhaustive pass.
+        let chain = [
+            ((0, 1), 0.9),
+            ((0, 2), 0.8),
+            ((0, 3), 0.85),
+            ((1, 2), 0.7),
+            ((1, 3), 0.9),
+            ((2, 3), 0.6),
+        ];
+        let prob = prob_from(&chain);
+        let before = exhaustive_passes();
+        for _ in 0..5 {
+            greedy_order(&[0, 1, 2, 3], &prob);
+        }
+        assert_eq!(
+            exhaustive_passes(),
+            before,
+            "acyclic components must take the early exit"
+        );
+
+        // Rock–paper–scissors cycle: exactly one pass per call.
+        let cycle = [((0, 1), 0.8), ((1, 2), 0.8), ((2, 0), 0.8)];
+        let prob = prob_from(&cycle);
+        let before = exhaustive_passes();
+        for _ in 0..3 {
+            greedy_order(&[0, 1, 2], &prob);
+        }
+        assert_eq!(
+            exhaustive_passes(),
+            before + 3,
+            "every cyclic component costs one exhaustive pass"
+        );
     }
 
     #[test]

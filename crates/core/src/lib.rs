@@ -33,9 +33,12 @@
 //! * [`tournament`] — the directed tournament induced by the matrix,
 //!   transitivity checks and cycle handling.
 //! * [`graph`] — topological sort, Tarjan SCC, feedback-arc-set heuristics.
-//! * [`batching`] — threshold batching of a linear order into ranked batches.
-//! * [`sequencer`] — the offline sequencer (§3.4) and the online sequencer
-//!   with safe emission and watermarks (§3.5).
+//! * [`batching`] — threshold batching of a linear order into ranked
+//!   batches: the static [`FairOrder`] types plus the incremental
+//!   batch-boundary engine the online sequencer maintains across arrivals.
+//! * [`sequencer`] — the shared sequencing core (linear order → fair order,
+//!   one code path for both modes), the offline sequencer (§3.4) and the
+//!   online sequencer with safe emission and watermarks (§3.5).
 //! * [`baselines`] — FIFO, WaitsForOne and TrueTime-style sequencers used in
 //!   the paper's evaluation (§2, §4).
 //! * [`tiebreak`] — randomized tie-breaking to extend the fair partial order
@@ -58,7 +61,7 @@ pub mod sequencer;
 pub mod tiebreak;
 pub mod tournament;
 
-pub use batching::{Batch, FairOrder};
+pub use batching::{Batch, FairOrder, FairOrderCounters, IncrementalFairOrder};
 pub use config::SequencerConfig;
 pub use error::CoreError;
 pub use message::{ClientId, Message, MessageId};
@@ -67,6 +70,7 @@ pub use registry::{DistributionRegistry, PairKernel};
 pub use relation::LikelyHappenedBefore;
 pub use sequencer::offline::TommySequencer;
 pub use sequencer::online::{OnlineSequencer, OnlineStats};
+pub use sequencer::{SequencingCore, SequencingOutcome};
 pub use tournament::{IncrementalTournament, Tournament};
 
 /// Commonly used items, re-exported for convenience.

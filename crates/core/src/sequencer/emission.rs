@@ -21,7 +21,6 @@
 
 use crate::message::{ClientId, Message};
 use crate::registry::DistributionRegistry;
-use std::collections::HashMap;
 use tommy_stats::distribution::{Distribution, OffsetDistribution};
 use tommy_stats::quantile::bisect_increasing;
 
@@ -61,12 +60,9 @@ pub fn safe_emission_time_bisect(
 /// Per member this is `T_k − Q_{δ_k}(1 − p_safe)`; the quantile depends
 /// only on the member's *client* (and `p_safe`), so the registry's cached
 /// per-client margin ([`DistributionRegistry::safe_margin`]) is fetched
-/// once per distinct client into a local map and the sweep itself costs one
-/// local lookup and subtraction per member — the online sequencer runs this
-/// for every candidate-batch member on every pending-set change, where a
-/// per-member quantile inversion used to dominate the arrival path. The
-/// result is bit-identical to folding [`safe_emission_time`] over the
-/// batch.
+/// once per distinct client and the sweep itself costs one local lookup and
+/// subtraction per member. The result is bit-identical to folding
+/// [`safe_emission_time`] over the batch.
 ///
 /// # Panics
 ///
@@ -78,18 +74,46 @@ pub fn batch_emission_time(
     p_safe: f64,
 ) -> f64 {
     assert!(!batch.is_empty(), "cannot compute emission time of an empty batch");
-    let mut margins: HashMap<ClientId, f64> = HashMap::new();
-    batch
-        .iter()
-        .map(|m| {
-            let margin = *margins.entry(m.client).or_insert_with(|| {
-                registry
-                    .safe_margin(m.client, p_safe)
-                    .unwrap_or_else(|_| panic!("no distribution for {}", m.client))
-            });
-            m.timestamp - margin
-        })
-        .fold(f64::NEG_INFINITY, f64::max)
+    batch_emission_time_over(registry, batch.iter().map(|m| (m.client, m.timestamp)), p_safe)
+}
+
+/// [`batch_emission_time`] over `(client, timestamp)` pairs — the form the
+/// online sequencer feeds straight from its precedence matrix, so a
+/// candidate recomputation never clones the batch's messages just to price
+/// it.
+///
+/// The per-client margin cache is a linear-scanned vector rather than a
+/// hash map: the distinct-client count is small, and the online sequencer
+/// runs this sweep for every candidate-batch member on every pending-set
+/// change — per-member hashing was the last hash cost on that path.
+///
+/// # Panics
+///
+/// Same contract as [`batch_emission_time`].
+pub fn batch_emission_time_over(
+    registry: &DistributionRegistry,
+    members: impl Iterator<Item = (ClientId, f64)>,
+    p_safe: f64,
+) -> f64 {
+    let mut margins: Vec<(ClientId, f64)> = Vec::new();
+    let mut latest = f64::NEG_INFINITY;
+    let mut any = false;
+    for (client, timestamp) in members {
+        any = true;
+        let margin = match margins.iter().find(|&&(c, _)| c == client) {
+            Some(&(_, m)) => m,
+            None => {
+                let m = registry
+                    .safe_margin(client, p_safe)
+                    .unwrap_or_else(|_| panic!("no distribution for {client}"));
+                margins.push((client, m));
+                m
+            }
+        };
+        latest = latest.max(timestamp - margin);
+    }
+    assert!(any, "cannot compute emission time of an empty batch");
+    latest
 }
 
 #[cfg(test)]

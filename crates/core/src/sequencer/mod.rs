@@ -1,5 +1,13 @@
 //! The Tommy sequencers.
 //!
+//! * [`core`] — [`SequencingCore`], the pipeline tail both sequencers share:
+//!   linear order ([`crate::tournament::IncrementalTournament`]) → fair
+//!   order (threshold batching, maintained incrementally by
+//!   [`crate::batching::IncrementalFairOrder`]) → the candidate/outcome
+//!   accessors the emission schedule is derived from. The online sequencer
+//!   maintains one core incrementally across arrivals and emissions; the
+//!   offline sequencer loads a prebuilt matrix into the same core one-shot,
+//!   so both produce their fair order through one code path.
 //! * [`offline`] — the batch-mode sequencer of §3.4: all messages are present
 //!   before sequencing begins (this is the mode the paper evaluates in §4).
 //! * [`online`] — the streaming sequencer of §3.5: messages arrive over time,
@@ -10,12 +18,14 @@
 //! * [`watermark`] — per-client completeness tracking via messages and
 //!   heartbeats over ordered channels.
 
+pub mod core;
 pub mod emission;
 pub mod offline;
 pub mod online;
 pub mod watermark;
 
-pub use emission::{batch_emission_time, safe_emission_time};
-pub use offline::{SequencingOutcome, TommySequencer};
+pub use self::core::{SequencingCore, SequencingOutcome};
+pub use emission::{batch_emission_time, batch_emission_time_over, safe_emission_time};
+pub use offline::TommySequencer;
 pub use online::{EmittedBatch, OnlineSequencer, OnlineStats};
 pub use watermark::WatermarkTracker;

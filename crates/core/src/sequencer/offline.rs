@@ -10,10 +10,11 @@
 //!    lookups and locks are amortized over whole rows (O(C²) touches per
 //!    build tile, C = distinct clients, instead of O(pairs)) and the
 //!    per-pair arithmetic runs as tight loops over contiguous timestamps,
-//! 2. build the tournament and extract a linear order
-//!    ([`crate::tournament::Tournament`]),
-//! 3. batch adjacent messages whose ordering confidence is below the
-//!    threshold ([`FairOrder::from_linear_order`]).
+//! 2. build the tournament, extract a linear order, and batch adjacent
+//!    messages whose ordering confidence is below the threshold — the
+//!    pipeline tail shared with the online sequencer through
+//!    [`SequencingCore`] (the offline path drives it one-shot via
+//!    [`SequencingCore::load`]).
 
 use crate::batching::FairOrder;
 use crate::config::SequencerConfig;
@@ -21,31 +22,17 @@ use crate::error::CoreError;
 use crate::message::{ClientId, Message};
 use crate::precedence::PrecedenceMatrix;
 use crate::registry::DistributionRegistry;
-use crate::tournament::Tournament;
+use crate::sequencer::core::SequencingCore;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tommy_stats::distribution::OffsetDistribution;
 
-/// Detailed output of one sequencing run.
-#[derive(Debug, Clone)]
-pub struct SequencingOutcome {
-    /// The fair partial order (totally ordered batches).
-    pub order: FairOrder,
-    /// Whether the tournament was transitive (always true for Gaussian
-    /// offsets, Appendix A of the paper).
-    pub transitive: bool,
-    /// Number of strongly connected components with more than one message —
-    /// i.e. the number of intransitivity cycles that had to be broken.
-    pub cyclic_components: usize,
-    /// Fraction of message pairs the sequencer could order with confidence
-    /// above the threshold.
-    pub confident_pair_fraction: f64,
-}
+pub use crate::sequencer::core::SequencingOutcome;
 
 /// The offline Tommy sequencer.
 #[derive(Debug)]
 pub struct TommySequencer {
-    config: SequencerConfig,
+    core: SequencingCore,
     registry: DistributionRegistry,
     rng: StdRng,
 }
@@ -62,14 +49,14 @@ impl TommySequencer {
     pub fn with_seed(config: SequencerConfig, seed: u64) -> Self {
         TommySequencer {
             registry: DistributionRegistry::from_config(&config),
-            config,
+            core: SequencingCore::new(config),
             rng: StdRng::seed_from_u64(seed),
         }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &SequencerConfig {
-        &self.config
+        self.core.config()
     }
 
     /// Register a client's (learned or seeded) offset distribution.
@@ -103,36 +90,28 @@ impl TommySequencer {
         &mut self,
         messages: &[Message],
     ) -> Result<SequencingOutcome, CoreError> {
-        let matrix =
-            PrecedenceMatrix::compute_parallel(messages, &self.registry, self.config.parallelism)?;
+        let matrix = PrecedenceMatrix::compute_parallel(
+            messages,
+            &self.registry,
+            self.core.config().parallelism,
+        )?;
         Ok(self.sequence_matrix(&matrix))
     }
 
     /// Sequence an already-computed precedence matrix (used by the Appendix B
-    /// worked example, where the paper supplies the matrix directly, and by
-    /// the online sequencer which reuses this pipeline on its pending set).
+    /// worked example, where the paper supplies the matrix directly). Loads
+    /// the matrix into the shared [`SequencingCore`] and materializes the
+    /// one-shot outcome through the same pipeline tail the online sequencer
+    /// maintains incrementally.
     pub fn sequence_matrix(&mut self, matrix: &PrecedenceMatrix) -> SequencingOutcome {
-        let tournament = Tournament::from_matrix(matrix);
-        let transitive = tournament.is_transitive();
-        let cyclic_components = tournament
-            .components_in_order()
-            .iter()
-            .filter(|c| c.len() > 1)
-            .count();
-        let rng: Option<&mut dyn rand::RngCore> = if self.config.stochastic_cycle_breaking {
+        self.core.load(matrix);
+        let rng: Option<&mut dyn rand::RngCore> = if self.core.config().stochastic_cycle_breaking
+        {
             Some(&mut self.rng)
         } else {
             None
         };
-        let linear = tournament.linear_order(matrix, &self.config, rng);
-        let order = FairOrder::from_linear_order(matrix, &linear, self.config.threshold);
-        let confident_pair_fraction = matrix.confident_pair_fraction(self.config.threshold);
-        SequencingOutcome {
-            order,
-            transitive,
-            cyclic_components,
-            confident_pair_fraction,
-        }
+        self.core.outcome(matrix, rng)
     }
 }
 

@@ -36,9 +36,16 @@
 //!   only when an intransitivity cycle appears — never for Gaussian offsets
 //!   (Appendix A) — so the whole arrival path is O(n): n probability
 //!   queries, n edge orientations, zero `Tournament::from_matrix` rebuilds.
-//! * The lowest-rank candidate batch (linear order → threshold batching →
-//!   Appendix C closure rule) is cached and only recomputed when the pending
-//!   set actually changes. Heartbeats and pure clock ticks reuse the cache,
+//! * The §3.4 batch boundaries are maintained *incrementally* as well
+//!   ([`IncrementalFairOrder`](crate::batching::IncrementalFairOrder), via
+//!   the shared [`SequencingCore`]): an arrival re-evaluates only the two
+//!   adjacencies at its insertion point and an emission one seam per removed
+//!   run, so a candidate recomputation reads the lowest-rank batch straight
+//!   off the maintained boundary set — no per-arrival
+//!   `FairOrder::from_linear_order` walk and no rank-index hashing.
+//! * The lowest-rank candidate batch (maintained boundaries → Appendix C
+//!   closure rule) is cached and only recomputed when the pending set
+//!   actually changes. Heartbeats and pure clock ticks reuse the cache,
 //!   so `tick()` with an unchanged pending set performs **zero** probability
 //!   queries — it only compares `now` against the cached safe emission time
 //!   and re-checks watermark completeness.
@@ -57,13 +64,14 @@
 //! as in the Appendix C worked example: its arrival invalidates the cache and
 //! the next recomputation sees the full pending set.
 
-use crate::batching::FairOrder;
+use crate::batching::{FairOrder, FairOrderCounters};
 use crate::config::SequencerConfig;
 use crate::error::CoreError;
 use crate::message::{ClientId, Message, MessageId};
 use crate::precedence::PrecedenceMatrix;
 use crate::registry::DistributionRegistry;
-use crate::sequencer::emission::batch_emission_time;
+use crate::sequencer::core::SequencingCore;
+use crate::sequencer::emission::batch_emission_time_over;
 use crate::sequencer::watermark::WatermarkTracker;
 use crate::tournament::IncrementalTournament;
 use rand::rngs::StdRng;
@@ -121,9 +129,14 @@ impl OnlineStats {
 }
 
 /// The cached lowest-rank candidate batch of the current pending set.
+///
+/// Holds matrix indices, not cloned messages: the candidate is recomputed
+/// on every pending-set change but only *emitted* once, so the message
+/// clone is deferred to emission time.
 #[derive(Debug, Clone)]
 struct Candidate {
-    messages: Vec<Message>,
+    /// Matrix indices of the batch members, ascending.
+    indices: Vec<usize>,
     safe_after: f64,
     /// Largest timestamp in the batch: the watermark horizon.
     horizon: f64,
@@ -132,15 +145,15 @@ struct Candidate {
 /// The online Tommy sequencer.
 #[derive(Debug)]
 pub struct OnlineSequencer {
-    config: SequencerConfig,
     registry: DistributionRegistry,
     watermarks: WatermarkTracker,
     /// Incrementally maintained precedence matrix over the pending set; its
     /// message list *is* the pending set, in arrival order.
     matrix: PrecedenceMatrix,
-    /// Incrementally maintained tournament + linear order over `matrix`
-    /// (updated in lockstep with every matrix insert/removal).
-    tournament: IncrementalTournament,
+    /// The shared pipeline tail — incrementally maintained tournament,
+    /// linear order, and batch boundaries over `matrix` (updated in
+    /// lockstep with every matrix insert/removal).
+    core: SequencingCore,
     /// Arrival time per pending message (for emission-latency accounting).
     arrivals: HashMap<MessageId, f64>,
     /// Cached candidate batch; `None` means the pending set changed since the
@@ -170,7 +183,7 @@ impl OnlineSequencer {
             registry: DistributionRegistry::from_config(&config),
             watermarks: WatermarkTracker::new(&[]),
             matrix: PrecedenceMatrix::empty(),
-            tournament: IncrementalTournament::new(),
+            core: SequencingCore::new(config),
             arrivals: HashMap::new(),
             candidate: None,
             violation_margins: HashMap::new(),
@@ -180,9 +193,13 @@ impl OnlineSequencer {
             last_emitted: Vec::new(),
             stats: OnlineStats::default(),
             rng: StdRng::seed_from_u64(0),
-            config,
             now: f64::NEG_INFINITY,
         }
+    }
+
+    /// The configuration in use (owned by the shared [`SequencingCore`]).
+    pub fn config(&self) -> &SequencerConfig {
+        self.core.config()
     }
 
     /// Register a client and its offset distribution. All participating
@@ -205,9 +222,9 @@ impl OnlineSequencer {
         if self.matrix.messages().iter().any(|m| m.client == client) {
             let pending = self.matrix.messages().to_vec();
             self.matrix =
-                PrecedenceMatrix::compute_parallel(&pending, &self.registry, self.config.parallelism)
+                PrecedenceMatrix::compute_parallel(&pending, &self.registry, self.core.config().parallelism)
                     .expect("pending messages come from registered clients");
-            self.tournament.rebuild(&self.matrix);
+            self.core.load(&self.matrix);
         }
     }
 
@@ -277,7 +294,15 @@ impl OnlineSequencer {
     /// that the arrival path stays O(n) and never rebuilds on acyclic
     /// (Gaussian) workloads.
     pub fn tournament(&self) -> &IncrementalTournament {
-        &self.tournament
+        self.core.tournament()
+    }
+
+    /// Counters of the incremental batch-boundary engine: adjacent-pair
+    /// re-evaluations (at most two per arrival, one per removed run on
+    /// emission), the local batch splits/merges they caused, and the
+    /// cycle-induced full rebuilds (zero on Gaussian workloads).
+    pub fn fair_order_counters(&self) -> FairOrderCounters {
+        self.core.fair().counters()
     }
 
     fn advance_clock(&mut self, now: f64) {
@@ -295,7 +320,7 @@ impl OnlineSequencer {
         }
         let margin = self
             .registry
-            .violation_margin(arriving, emitted, self.config.threshold)
+            .violation_margin(arriving, emitted, self.core.config().threshold)
             .ok();
         self.violation_margins.insert(key, margin);
         margin
@@ -339,7 +364,7 @@ impl OnlineSequencer {
 
         self.arrivals.insert(message.id, arrival_time);
         self.matrix.insert(message, &self.registry)?;
-        self.tournament.insert_last(&self.matrix);
+        self.core.insert_last(&self.matrix);
         self.candidate = None;
         self.stats.max_pending = self.stats.max_pending.max(self.matrix.len());
         Ok(self.try_emit())
@@ -378,7 +403,8 @@ impl OnlineSequencer {
     pub fn flush(&mut self) -> Vec<EmittedBatch> {
         let mut emitted = Vec::new();
         while let Some(candidate) = self.take_candidate() {
-            emitted.push(self.emit_batch(candidate.messages, candidate.safe_after));
+            let batch_msgs = self.candidate_messages(&candidate);
+            emitted.push(self.emit_batch(batch_msgs, candidate.safe_after));
         }
         emitted
     }
@@ -390,18 +416,13 @@ impl OnlineSequencer {
             return None;
         }
         if self.candidate.is_none() {
-            let rng: Option<&mut dyn rand::RngCore> = if self.config.stochastic_cycle_breaking {
+            let rng: Option<&mut dyn rand::RngCore> = if self.core.config().stochastic_cycle_breaking {
                 Some(&mut self.rng)
             } else {
                 None
             };
-            self.candidate = compute_candidate(
-                &self.matrix,
-                &mut self.tournament,
-                &self.registry,
-                &self.config,
-                rng,
-            );
+            self.candidate =
+                compute_candidate(&self.matrix, &mut self.core, &self.registry, rng);
         }
         self.candidate.as_ref()
     }
@@ -411,6 +432,16 @@ impl OnlineSequencer {
     fn take_candidate(&mut self) -> Option<Candidate> {
         self.ensure_candidate()?;
         self.candidate.take()
+    }
+
+    /// Clone the candidate's messages out of the matrix (the one clone per
+    /// batch, paid at emission rather than per recomputation).
+    fn candidate_messages(&self, candidate: &Candidate) -> Vec<Message> {
+        candidate
+            .indices
+            .iter()
+            .map(|&i| self.matrix.message(i).clone())
+            .collect()
     }
 
     fn emit_batch(&mut self, batch_msgs: Vec<Message>, safe_after: f64) -> EmittedBatch {
@@ -424,11 +455,11 @@ impl OnlineSequencer {
         let removed_indices: Vec<usize> =
             ids.iter().filter_map(|id| self.matrix.index_of(*id)).collect();
         self.matrix.remove_batch(&ids);
-        self.tournament.remove_indices(&removed_indices);
+        self.core.remove_indices(&removed_indices, &self.matrix);
         self.candidate = None;
 
         let rank = self.stats.batches_emitted;
-        if self.config.retain_history {
+        if self.core.config().retain_history {
             self.emitted_order.push_batch(ids);
         } else {
             // Bounded-memory mode: stop tracking emitted ids; duplicates of
@@ -467,7 +498,8 @@ impl OnlineSequencer {
                 break;
             }
             let candidate = self.candidate.take().expect("candidate just ensured");
-            out.push(self.emit_batch(candidate.messages, candidate.safe_after));
+            let batch_msgs = self.candidate_messages(&candidate);
+            out.push(self.emit_batch(batch_msgs, candidate.safe_after));
         }
         out
     }
@@ -476,71 +508,33 @@ impl OnlineSequencer {
 /// Compute the lowest-rank candidate batch of the pending set together with
 /// its safe emission time and watermark horizon.
 ///
-/// This runs over the already-populated incremental matrix and tournament:
-/// no probability queries are issued at all (the safe-emission sweep reads
-/// cached per-client margins), and no `Tournament::from_matrix` rebuild
-/// happens unless the incremental tournament hit an intransitivity cycle.
+/// This reads the incrementally maintained [`SequencingCore`] state: the
+/// batch of lowest rank (closed under the Appendix C rule) comes straight
+/// off the maintained boundary set — no linear-order clone, no `FairOrder`
+/// construction, no rank hashing, and no probability queries at all (the
+/// safe-emission sweep reads cached per-client margins). A full recompute
+/// happens only when the incremental tournament hit an intransitivity cycle.
 fn compute_candidate(
     matrix: &PrecedenceMatrix,
-    tournament: &mut IncrementalTournament,
+    core: &mut SequencingCore,
     registry: &DistributionRegistry,
-    config: &SequencerConfig,
     rng: Option<&mut dyn rand::RngCore>,
 ) -> Option<Candidate> {
-    if matrix.is_empty() {
-        return None;
-    }
-    let linear = tournament.linear_order(matrix, config, rng);
-    let order = FairOrder::from_linear_order(matrix, &linear, config.threshold);
-    let first = order.batches().first()?;
-
-    // Appendix C closure rule: the open batch absorbs every pending
-    // message that cannot be confidently separated from some member of
-    // the batch, transitively. A single high-uncertainty message can this
-    // way pull several otherwise-orderable messages into one batch.
-    //
-    // Worklist form: a message already checked against a batch member never
-    // needs re-checking against it, so each round compares the remaining
-    // outsiders only against the members added *last* round — O(n × batch)
-    // comparisons total instead of O(rounds × n × batch). The fixpoint (and
-    // hence the sorted batch) is identical to re-scanning every round.
-    let mut in_batch: Vec<usize> = first
-        .messages
+    let indices = core.candidate_indices(matrix, rng)?;
+    let safe_after = batch_emission_time_over(
+        registry,
+        indices.iter().map(|&i| {
+            let m = matrix.message(i);
+            (m.client, m.timestamp)
+        }),
+        core.config().p_safe,
+    );
+    let horizon = indices
         .iter()
-        .map(|id| matrix.index_of(*id).expect("id from matrix"))
-        .collect();
-    let mut outside: Vec<usize> = {
-        let mut member = vec![false; matrix.len()];
-        for &i in &in_batch {
-            member[i] = true;
-        }
-        (0..matrix.len()).filter(|&i| !member[i]).collect()
-    };
-    let mut frontier: Vec<usize> = in_batch.clone();
-    while !frontier.is_empty() && !outside.is_empty() {
-        let mut absorbed: Vec<usize> = Vec::new();
-        outside.retain(|&cand| {
-            let inseparable = frontier.iter().any(|&b| {
-                let p = matrix.prob(b, cand).max(matrix.prob(cand, b));
-                p <= config.threshold
-            });
-            if inseparable {
-                absorbed.push(cand);
-            }
-            !inseparable
-        });
-        in_batch.extend_from_slice(&absorbed);
-        frontier = absorbed;
-    }
-    in_batch.sort_unstable();
-    let batch_msgs: Vec<Message> = in_batch.iter().map(|&i| matrix.message(i).clone()).collect();
-    let safe_after = batch_emission_time(registry, &batch_msgs, config.p_safe);
-    let horizon = batch_msgs
-        .iter()
-        .map(|m| m.timestamp)
+        .map(|&i| matrix.message(i).timestamp)
         .fold(f64::NEG_INFINITY, f64::max);
     Some(Candidate {
-        messages: batch_msgs,
+        indices,
         safe_after,
         horizon,
     })

@@ -265,16 +265,20 @@ impl IncrementalTournament {
     ///
     /// Orients the `n` new edges with the same rule as
     /// [`Tournament::from_matrix`] (ties towards the smaller index), then
-    /// binary-inserts the arrival into the maintained Hamiltonian path. If
-    /// the arrival's predecessor set is not a prefix of the path the
-    /// extended tournament is intransitive, and the order is recomputed
+    /// binary-inserts the arrival into the maintained Hamiltonian path and
+    /// returns the insertion position — the hook the incremental
+    /// batch-boundary engine
+    /// ([`IncrementalFairOrder`](crate::batching::IncrementalFairOrder))
+    /// uses to stay aligned with the maintained order. If the arrival's
+    /// predecessor set is not a prefix of the path the extended tournament
+    /// is intransitive: `None` is returned and the order is recomputed
     /// lazily by the next [`linear_order`](Self::linear_order) call.
     ///
     /// # Panics
     ///
     /// Panics if `matrix.len() != self.len() + 1` — the tournament must be
     /// updated in lockstep with the matrix.
-    pub fn insert_last(&mut self, matrix: &PrecedenceMatrix) {
+    pub fn insert_last(&mut self, matrix: &PrecedenceMatrix) -> Option<usize> {
         let k = self.n;
         assert_eq!(
             matrix.len(),
@@ -292,13 +296,13 @@ impl IncrementalTournament {
         self.comparisons += k as u64;
 
         if self.order_dirty {
-            return; // already awaiting a recompute
+            return None; // already awaiting a recompute
         }
         if !self.transitive {
             // A maintained cyclic order cannot absorb an arrival in place:
             // the FAS heuristics are not prefix-stable.
             self.order_dirty = true;
-            return;
+            return None;
         }
         // Binary-insert: in a transitive extension the predecessors of the
         // new node form a prefix of the path, so the insertion point is the
@@ -314,9 +318,11 @@ impl IncrementalTournament {
                 .all(|&existing| self.forward[k * self.stride + existing]);
         if monotone {
             self.order.insert(position, k);
+            Some(position)
         } else {
             self.transitive = false;
             self.order_dirty = true;
+            None
         }
     }
 
@@ -325,9 +331,14 @@ impl IncrementalTournament {
     /// relative order of survivors is preserved, so edge orientations carry
     /// over unchanged). Call with the indices the matrix reported *before*
     /// its own removal.
-    pub fn remove_indices(&mut self, removed: &[usize]) {
+    ///
+    /// Returns `true` when the maintained linear order survived the removal
+    /// in place (the transitive restriction path) and `false` when it was
+    /// invalidated (a cyclic state, or a pending recompute) — the signal the
+    /// incremental batch-boundary engine follows in lockstep.
+    pub fn remove_indices(&mut self, removed: &[usize]) -> bool {
         if removed.is_empty() {
-            return;
+            return !self.order_dirty;
         }
         let n = self.n;
         let mut keep = vec![true; n];
@@ -337,7 +348,7 @@ impl IncrementalTournament {
         }
         let kept: Vec<usize> = (0..n).filter(|&i| keep[i]).collect();
         if kept.len() == n {
-            return;
+            return !self.order_dirty;
         }
         let mut new_index = vec![usize::MAX; n];
         for (a, &i) in kept.iter().enumerate() {
@@ -346,7 +357,7 @@ impl IncrementalTournament {
         crate::grid::compact_square(&mut self.forward, self.stride, &kept);
         self.n = kept.len();
         if self.order_dirty {
-            return;
+            return false;
         }
         if self.transitive {
             // The induced sub-tournament of a transitive tournament is
@@ -356,9 +367,11 @@ impl IncrementalTournament {
             for v in &mut self.order {
                 *v = new_index[*v];
             }
+            true
         } else {
             // A FAS-repaired order is not restriction-stable: recompute.
             self.order_dirty = true;
+            false
         }
     }
 
@@ -368,8 +381,12 @@ impl IncrementalTournament {
     /// [`linear_order`](Self::linear_order) call.
     pub fn rebuild(&mut self, matrix: &PrecedenceMatrix) {
         let n = matrix.len();
-        self.n = n;
+        // Grow before adopting the new dimension: grow_square relocates the
+        // live `self.n × self.n` prefix, which must still describe the *old*
+        // state (rebuilding a small tournament into a larger matrix would
+        // otherwise copy out of bounds).
         self.grow_to(n);
+        self.n = n;
         for i in 0..n {
             for j in (i + 1)..n {
                 let towards_j = matrix.prob(i, j) >= matrix.prob(j, i);
@@ -404,21 +421,17 @@ impl IncrementalTournament {
         Tournament { n, adj }
     }
 
-    /// The complete linear order of the tracked messages (§3.4), identical
-    /// to `Tournament::from_matrix(matrix).linear_order(..)` over the same
-    /// matrix.
-    ///
-    /// While the tournament stays transitive this returns the incrementally
-    /// maintained Hamiltonian path with **zero** additional comparisons. A
-    /// recompute (tournament adjacency + SCC condensation + FAS heuristics,
-    /// counted by [`full_rebuilds`](Self::full_rebuilds)) happens only when
-    /// a cycle invalidated the maintained order.
-    pub fn linear_order(
+    /// Make the maintained linear order valid, recomputing it only if a
+    /// cycle (or a wholesale [`rebuild`](Self::rebuild)) invalidated it.
+    /// The recompute — tournament adjacency + SCC condensation + FAS
+    /// heuristics, counted by [`full_rebuilds`](Self::full_rebuilds) — never
+    /// happens on acyclic (Gaussian) workloads.
+    pub fn ensure_order(
         &mut self,
         matrix: &PrecedenceMatrix,
         config: &SequencerConfig,
         rng: Option<&mut dyn RngCore>,
-    ) -> Vec<usize> {
+    ) {
         debug_assert_eq!(matrix.len(), self.n, "tournament out of sync with matrix");
         if self.order_dirty {
             let tournament = self.as_tournament();
@@ -427,7 +440,44 @@ impl IncrementalTournament {
             self.order_dirty = false;
             self.full_rebuilds += 1;
         }
+    }
+
+    /// The maintained linear order, by reference (no clone). Only valid
+    /// after [`ensure_order`](Self::ensure_order) — callers on the hot path
+    /// ([`SequencingCore`](crate::sequencer::core::SequencingCore)) read it
+    /// this way so a candidate recomputation copies nothing.
+    pub fn order(&self) -> &[usize] {
+        debug_assert!(!self.order_dirty, "order read while awaiting a recompute");
+        &self.order
+    }
+
+    /// The complete linear order of the tracked messages (§3.4), identical
+    /// to `Tournament::from_matrix(matrix).linear_order(..)` over the same
+    /// matrix.
+    ///
+    /// While the tournament stays transitive this returns the incrementally
+    /// maintained Hamiltonian path with **zero** additional comparisons; see
+    /// [`ensure_order`](Self::ensure_order) for the recompute fallback.
+    pub fn linear_order(
+        &mut self,
+        matrix: &PrecedenceMatrix,
+        config: &SequencerConfig,
+        rng: Option<&mut dyn RngCore>,
+    ) -> Vec<usize> {
+        self.ensure_order(matrix, config, rng);
         self.order.clone()
+    }
+
+    /// Number of strongly connected components with more than one node —
+    /// the intransitivity cycles the §3 diagnostics report. Materializes the
+    /// one-shot adjacency (`O(n²)`); meant for the offline outcome path, not
+    /// the arrival path.
+    pub fn cyclic_component_count(&self) -> usize {
+        self.as_tournament()
+            .components_in_order()
+            .iter()
+            .filter(|c| c.len() > 1)
+            .count()
     }
 }
 

@@ -153,6 +153,17 @@ pub struct OnlineStreamResult {
     /// size — heartbeats and clock ticks evaluate nothing — so the field
     /// tracks the engine's dominant cost across scenario sweeps.
     pub probability_queries: u64,
+    /// Adjacent-pair boundary re-evaluations the incremental batch-boundary
+    /// engine performed: at most two per arrival and one per removed run on
+    /// emission, versus the `pending − 1` a from-scratch
+    /// `FairOrder::from_linear_order` would redo per arrival.
+    pub boundary_evals: u64,
+    /// Local boundary edits that split a batch in two (an arrival confidently
+    /// separated from both neighbours landing inside a batch).
+    pub batch_splits: u64,
+    /// Local boundary edits that merged two batches (a high-uncertainty
+    /// arrival bridging its neighbours, the Appendix C situation).
+    pub batch_merges: u64,
 }
 
 /// Run the online sequencer over a scenario's message stream, draining
@@ -250,6 +261,7 @@ pub fn run_online_stream(config: &ScenarioConfig, p_safe: f64) -> OnlineStreamRe
     drain(&mut sequencer, &mut order);
 
     let ras = rank_agreement_score(&order, &messages);
+    let fair_counters = sequencer.fair_order_counters();
     OnlineStreamResult {
         ras,
         stats: sequencer.stats(),
@@ -257,6 +269,9 @@ pub fn run_online_stream(config: &ScenarioConfig, p_safe: f64) -> OnlineStreamRe
         max_undrained,
         max_tracked_ids: max_tracked,
         probability_queries: sequencer.registry().query_count(),
+        boundary_evals: fair_counters.boundary_evals,
+        batch_splits: fair_counters.batch_splits,
+        batch_merges: fair_counters.batch_merges,
     }
 }
 
@@ -358,6 +373,16 @@ mod tests {
             "queries {} vs bound {}",
             result.probability_queries,
             cfg.messages * result.stats.max_pending
+        );
+        // The batch-boundary engine re-evaluates at most two adjacencies per
+        // arrival plus one seam per removed run on emission (each removed
+        // message opens at most one run).
+        assert!(result.boundary_evals > 0);
+        assert!(
+            result.boundary_evals <= (3 * cfg.messages) as u64,
+            "boundary evals {} vs bound {}",
+            result.boundary_evals,
+            3 * cfg.messages
         );
     }
 

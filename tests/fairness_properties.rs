@@ -142,6 +142,75 @@ fn higher_threshold_never_creates_more_batches() {
     }
 }
 
+/// Batch boundaries are monotone in the threshold: a boundary is placed only
+/// when the adjacent-pair probability *exceeds* the threshold, so raising it
+/// can only remove boundaries — every boundary set at a higher threshold is
+/// contained in (and each lower threshold's set is a superset of) the sets
+/// below it. Pinned for both the one-shot constructor and the incremental
+/// engine across the sweep 0.5 / 0.75 / 0.9, with the two engines
+/// bit-identical at every threshold.
+#[test]
+fn batch_boundaries_are_monotone_in_threshold() {
+    use tommy::core::batching::IncrementalFairOrder;
+    use tommy::core::precedence::PrecedenceMatrix;
+    use tommy::core::tournament::IncrementalTournament;
+
+    const THRESHOLDS: [f64; 3] = [0.5, 0.75, 0.9];
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(6_000 + seed);
+        let raw = arbitrary_messages(&mut rng, 6);
+        let sigma = rng.random_range(0.5..40.0f64);
+        let mut registry = DistributionRegistry::new();
+        for c in 0..6u32 {
+            registry.register(ClientId(c), OffsetDistribution::gaussian(0.0, sigma));
+        }
+        let messages = to_messages(&raw);
+
+        // Drive one shared matrix + tournament and one incremental engine
+        // per threshold, message by message (Gaussian offsets are always
+        // transitive, so every arrival binary-inserts).
+        let mut matrix = PrecedenceMatrix::empty();
+        let mut tournament = IncrementalTournament::new();
+        let mut engines: Vec<IncrementalFairOrder> =
+            THRESHOLDS.iter().map(|&t| IncrementalFairOrder::new(t)).collect();
+        for m in &messages {
+            matrix.insert(m.clone(), &registry).unwrap();
+            let pos = tournament
+                .insert_last(&matrix)
+                .expect("Gaussian offsets stay transitive");
+            for engine in &mut engines {
+                engine.insert_at(pos, &matrix);
+            }
+        }
+        let order = tournament.linear_order(&matrix, &SequencerConfig::default(), None);
+
+        let mut boundary_sets: Vec<Vec<usize>> = Vec::new();
+        for (engine, &threshold) in engines.iter().zip(&THRESHOLDS) {
+            // One-shot and incremental agree on the boundary set.
+            let one_shot = FairOrder::from_linear_order(&matrix, &order, threshold);
+            let one_shot_bounds = one_shot.boundary_positions();
+            assert_eq!(
+                engine.boundary_positions(),
+                one_shot_bounds,
+                "seed {seed}: engines diverged at threshold {threshold}"
+            );
+            boundary_sets.push(one_shot_bounds);
+        }
+        // Nesting: every boundary surviving a higher threshold also exists
+        // at every lower one.
+        for pair in boundary_sets.windows(2) {
+            let (lower, higher) = (&pair[0], &pair[1]);
+            for b in higher {
+                assert!(
+                    lower.contains(b),
+                    "seed {seed}: boundary {b} present at the higher threshold \
+                     but missing at the lower one"
+                );
+            }
+        }
+    }
+}
+
 /// The Rank Agreement Score of any output is bounded by the pair count in
 /// absolute value, and a perfect (ground-truth) total order achieves the
 /// maximum.
