@@ -1,0 +1,74 @@
+//! FAS-stress bench: the incremental FAS engine versus the exhaustive
+//! full-recompute fallback on cycle-forcing (Condorcet-burst) workloads.
+//!
+//! The measured event is one complete Condorcet burst arriving on a core
+//! that already tracks `n` pending messages (of which `cyclic_fraction` are
+//! earlier bursts): three near-tied dice messages are inserted — two clean
+//! singleton insertions plus the merge that closes the 3-cycle — with a
+//! candidate recomputation after each (the online sequencer's per-arrival
+//! behaviour), then removed again to restore the steady state.
+//!
+//! * `incremental/f{frac}/n` — the incremental engine: the merge re-solves
+//!   only the 3-member SCC it created; every other component's cached order
+//!   is untouched. O(n) per arrival.
+//! * `fallback/f{frac}/n` — the historical behaviour
+//!   ([`SequencerConfig::with_incremental_fas`]`(false)`): each cyclic
+//!   insert invalidates the whole maintained order and the next candidate
+//!   recomputation rebuilds it one-shot — O(n²) adjacency + SCC pass plus
+//!   one exhaustive greedy pass per cyclic component, per arrival.
+//!
+//! Both paths produce bit-identical orders and batches (property-tested in
+//! `tommy-core` and `tests/fas_incremental.rs`); only the work differs.
+//! `cargo run --release -p tommy-bench --bin fas_baseline` records the
+//! whole-stream throughput comparison in `BENCH_fas.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tommy_bench::{fas_burst_after, fas_core_state, fas_registry, fas_stream, fas_workload};
+use tommy_core::message::MessageId;
+
+const SIZES: [usize; 2] = [500, 2000];
+const FRACTIONS: [f64; 2] = [0.2, 0.5];
+
+fn fas_stress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fas_stress");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    for fraction in FRACTIONS {
+        for n in SIZES {
+            let workload = fas_workload(n, fraction);
+            let stream = fas_stream(&workload);
+            let registry = fas_registry(&workload);
+            let burst = fas_burst_after(&stream);
+            let burst_ids: Vec<MessageId> = burst.iter().map(|m| m.id).collect();
+
+            for (label, incremental) in [("incremental", true), ("fallback", false)] {
+                let (mut matrix, mut core) = fas_core_state(&stream, &registry, incremental);
+                let id = BenchmarkId::new(label, format!("f{:.0}%/{n}", fraction * 100.0));
+                group.bench_function(id, |b| {
+                    b.iter(|| {
+                        for m in &burst {
+                            matrix.insert(m.clone(), &registry).expect("registered");
+                            core.insert_last(&matrix);
+                            std::hint::black_box(core.candidate_indices(&matrix, None));
+                        }
+                        let removed: Vec<usize> = burst_ids
+                            .iter()
+                            .filter_map(|id| matrix.index_of(*id))
+                            .collect();
+                        matrix.remove_batch(&burst_ids);
+                        core.remove_indices(&removed, &matrix);
+                        std::hint::black_box(core.candidate_indices(&matrix, None));
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fas_stress);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Emit `BENCH_fas.json`: whole-stream throughput of the online sequencer
+//! on cycle-forcing (Condorcet-burst) workloads, with the incremental FAS
+//! engine versus the exhaustive full-recompute fallback, across a
+//! cyclic-fraction sweep at 500/2000 pending.
+//!
+//! Every message stays pending behind a silent client's watermark (as in
+//! `online_baseline`), so the numbers are pure arrival-path cost. The two
+//! modes emit bit-identical batches (property-tested); the JSON also records
+//! the counters that explain the gap: full rebuilds (fallback) versus
+//! SCC-scoped local repairs (incremental), and the exhaustive greedy passes
+//! each mode paid.
+//!
+//! Run from the repository root:
+//!
+//! ```text
+//! cargo run --release -p tommy-bench --bin fas_baseline
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use tommy_bench::{fas_stream, fas_workload, run_fas_stream, FasStreamReport};
+
+const SIZES: [usize; 2] = [500, 2000];
+const FRACTIONS: [f64; 3] = [0.0, 0.2, 0.5];
+const TARGET_SECONDS: f64 = 0.4;
+
+/// Repeat `f` until `TARGET_SECONDS` of wall clock elapse (at least once);
+/// return seconds per call alongside the last report.
+fn time_per_call<F: FnMut() -> FasStreamReport>(mut f: F) -> (f64, FasStreamReport) {
+    f(); // one untimed warm-up call
+    let start = Instant::now();
+    let mut calls = 0u64;
+    let report;
+    loop {
+        let r = f();
+        calls += 1;
+        if start.elapsed().as_secs_f64() >= TARGET_SECONDS {
+            report = r;
+            break;
+        }
+    }
+    (start.elapsed().as_secs_f64() / calls as f64, report)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for fraction in FRACTIONS {
+        for n in SIZES {
+            let workload = fas_workload(n, fraction);
+            let stream = fas_stream(&workload);
+
+            eprintln!("measuring incremental FAS stream at n = {n}, cyclic = {fraction} ...");
+            let (inc_secs, inc_report) =
+                time_per_call(|| run_fas_stream(&stream, &workload, true));
+            let inc_rate = n as f64 / inc_secs;
+
+            eprintln!("measuring fallback FAS stream at n = {n}, cyclic = {fraction} ...");
+            let (fb_secs, fb_report) =
+                time_per_call(|| run_fas_stream(&stream, &workload, false));
+            let fb_rate = n as f64 / fb_secs;
+
+            assert_eq!(inc_report.pending, n, "silent client must block emission");
+            rows.push((fraction, n, inc_rate, fb_rate, inc_report, fb_report));
+        }
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"fas_stress\",\n");
+    json.push_str(
+        "  \"description\": \"online streaming throughput on Condorcet-burst workloads: \
+         incremental FAS engine vs exhaustive full-recompute fallback\",\n",
+    );
+    json.push_str("  \"unit\": \"messages_per_sec\",\n");
+    json.push_str("  \"results\": [\n");
+    for (i, (fraction, n, inc, fb, inc_report, fb_report)) in rows.iter().enumerate() {
+        let FasStreamReport {
+            local_repairs,
+            exhaustive_passes: inc_passes,
+            ..
+        } = inc_report;
+        let FasStreamReport {
+            full_rebuilds,
+            exhaustive_passes: fb_passes,
+            ..
+        } = fb_report;
+        let _ = write!(
+            json,
+            "    {{\"cyclic_fraction\": {fraction}, \"pending\": {n}, \
+             \"incremental_msgs_per_sec\": {inc:.1}, \"fallback_msgs_per_sec\": {fb:.1}, \
+             \"speedup\": {:.2}, \"incremental_local_repairs\": {local_repairs}, \
+             \"incremental_exhaustive_passes\": {inc_passes}, \
+             \"fallback_full_rebuilds\": {full_rebuilds}, \
+             \"fallback_exhaustive_passes\": {fb_passes}}}",
+            inc / fb
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_fas.json", &json).expect("write BENCH_fas.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_fas.json");
+}

@@ -22,6 +22,7 @@ use tommy_core::sequencer::{SequencingCore, SequencingOutcome};
 use tommy_core::tournament::Tournament;
 use tommy_sim::scenario::ScenarioConfig;
 use tommy_stats::distribution::OffsetDistribution;
+use tommy_workload::intransitive::IntransitiveWorkload;
 
 /// A scenario sized for benchmarking: large enough to be representative,
 /// small enough that a criterion iteration completes in milliseconds.
@@ -145,6 +146,129 @@ pub fn run_pipeline(matrix: &PrecedenceMatrix, config: &SequencerConfig) -> Sequ
     core.outcome(matrix, None)
 }
 
+/// Honest (Gaussian) client count of the FAS-stress workload.
+pub const FAS_HONEST_CLIENTS: usize = 8;
+
+/// Dice scale of the FAS-stress workload's Condorcet clients.
+pub const FAS_SCALE: f64 = 10.0;
+
+/// The FAS-stress workload: `messages` messages, `cyclic_fraction` of them
+/// Condorcet collusion bursts, over [`FAS_HONEST_CLIENTS`] honest Gaussian
+/// clients (see `tommy_workload::intransitive`).
+pub fn fas_workload(messages: usize, cyclic_fraction: f64) -> IntransitiveWorkload {
+    IntransitiveWorkload::new(FAS_HONEST_CLIENTS, messages, cyclic_fraction)
+        .with_scale(FAS_SCALE)
+        .with_honest_std_dev(2.0)
+        .with_spacing(1.0)
+}
+
+/// The FAS-stress message stream (deterministic: seed 42).
+pub fn fas_stream(workload: &IntransitiveWorkload) -> Vec<Message> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    workload.generate(&mut rng)
+}
+
+/// A registry holding the FAS-stress workload's clients (dice + honest).
+pub fn fas_registry(workload: &IntransitiveWorkload) -> DistributionRegistry {
+    let mut registry = DistributionRegistry::new();
+    for (client, dist) in workload.offsets() {
+        registry.register(client, dist);
+    }
+    registry
+}
+
+/// A precedence matrix + sequencing core prefilled with `stream` and
+/// refreshed (valid maintained order), with the incremental FAS engine on or
+/// off — the steady state the `fas_stress` bench measures arrivals against.
+pub fn fas_core_state(
+    stream: &[Message],
+    registry: &DistributionRegistry,
+    incremental: bool,
+) -> (PrecedenceMatrix, SequencingCore) {
+    let config = SequencerConfig::default().with_incremental_fas(incremental);
+    let mut matrix = PrecedenceMatrix::empty();
+    let mut core = SequencingCore::new(config);
+    for m in stream {
+        matrix.insert(m.clone(), registry).expect("registered clients");
+        core.insert_last(&matrix);
+    }
+    // Settle any pending recompute so every measured iteration starts from a
+    // valid maintained order.
+    core.candidate_indices(&matrix, None);
+    (matrix, core)
+}
+
+/// One Condorcet burst placed after `stream` (ids and timestamps follow on
+/// from it) — the cycle-forcing arrival event the `fas_stress` bench replays
+/// against a prefilled core. The third message of the trio closes the
+/// 3-cycle.
+pub fn fas_burst_after(stream: &[Message]) -> [Message; 3] {
+    let next_id = stream.iter().map(|m| m.id.0 + 1).max().unwrap_or(0);
+    let t = stream
+        .iter()
+        .map(|m| m.timestamp)
+        .fold(0.0f64, f64::max)
+        + 10.0 * FAS_SCALE;
+    let tie = 1e-3 * FAS_SCALE;
+    [0u64, 1, 2].map(|k| {
+        Message::new(
+            MessageId(next_id + k),
+            ClientId(k as u32),
+            t + k as f64 * tie,
+        )
+    })
+}
+
+/// Counters of one [`run_fas_stream`] run, alongside its wall-clock cost.
+#[derive(Debug, Clone, Copy)]
+pub struct FasStreamReport {
+    /// Messages left pending (equals the stream length: the silent client
+    /// blocks every emission).
+    pub pending: usize,
+    /// Full tournament/linear-order recomputations (the fallback's cost
+    /// driver; zero with the incremental engine).
+    pub full_rebuilds: u64,
+    /// SCC-scoped local repairs (the incremental engine's cost driver; zero
+    /// on the fallback path).
+    pub local_repairs: u64,
+    /// Exhaustive greedy FAS passes over the run
+    /// (`graph::fas::exhaustive_passes` delta).
+    pub exhaustive_passes: u64,
+}
+
+/// Stream a pre-generated FAS-stress workload through the online sequencer
+/// with the incremental FAS engine on or off — the whole-stream measurement
+/// behind `BENCH_fas.json`. A watermark-blocked silent client keeps every
+/// message pending (like [`run_incremental_stream`]), so the run measures
+/// pure arrival-path cost with the pending set growing to the stream length.
+pub fn run_fas_stream(
+    stream: &[Message],
+    workload: &IntransitiveWorkload,
+    incremental: bool,
+) -> FasStreamReport {
+    let exhaustive_before = tommy_core::graph::fas::exhaustive_passes();
+    let config = SequencerConfig::default().with_incremental_fas(incremental);
+    let mut sequencer = OnlineSequencer::new(config);
+    for (client, dist) in workload.offsets() {
+        sequencer.register_client(client, dist);
+    }
+    sequencer.register_client(
+        ClientId(SILENT_CLIENT),
+        OffsetDistribution::gaussian(0.0, 5.0),
+    );
+    for m in stream {
+        let arrival = m.true_time.unwrap_or(m.timestamp);
+        sequencer.submit(m.clone(), arrival).expect("valid submission");
+    }
+    FasStreamReport {
+        pending: sequencer.pending_len(),
+        full_rebuilds: sequencer.tournament().full_rebuilds(),
+        local_repairs: sequencer.tournament().local_repairs(),
+        exhaustive_passes: tommy_core::graph::fas::exhaustive_passes() - exhaustive_before,
+    }
+}
+
 /// The seed implementation of the online sequencer's candidate-batch
 /// computation: from-scratch matrix + tournament + linear order + threshold
 /// batching + Appendix C closure rule. Kept verbatim (not routed through
@@ -233,6 +357,41 @@ mod tests {
                 p.to_bits(),
                 "column element {j}"
             );
+        }
+    }
+
+    /// The FAS-stress harness really exercises both paths: on a cyclic
+    /// stream the incremental engine repairs locally (zero full rebuilds)
+    /// while the fallback rebuilds wholesale (zero local repairs) — and a
+    /// cycle-free stream performs no FAS work on either path.
+    #[test]
+    fn fas_stream_modes_split_the_counters() {
+        let workload = fas_workload(60, 0.3);
+        let stream = fas_stream(&workload);
+        assert_eq!(stream.len(), 60);
+
+        let incremental = run_fas_stream(&stream, &workload, true);
+        assert_eq!(incremental.pending, 60);
+        assert_eq!(incremental.full_rebuilds, 0, "{incremental:?}");
+        assert!(incremental.local_repairs > 0, "{incremental:?}");
+        assert!(incremental.exhaustive_passes > 0, "{incremental:?}");
+
+        let fallback = run_fas_stream(&stream, &workload, false);
+        assert_eq!(fallback.pending, 60);
+        assert!(fallback.full_rebuilds > 0, "{fallback:?}");
+        assert_eq!(fallback.local_repairs, 0, "{fallback:?}");
+        assert!(
+            fallback.exhaustive_passes >= incremental.exhaustive_passes,
+            "the fallback re-runs the exhaustive pass per event: {fallback:?} vs {incremental:?}"
+        );
+
+        let honest = fas_workload(40, 0.0);
+        let stream = fas_stream(&honest);
+        for incremental in [true, false] {
+            let report = run_fas_stream(&stream, &honest, incremental);
+            assert_eq!(report.full_rebuilds, 0);
+            assert_eq!(report.local_repairs, 0);
+            assert_eq!(report.exhaustive_passes, 0);
         }
     }
 

@@ -2,7 +2,7 @@
 //!
 //! §3.3 of the paper contrasts two designs: shipping every raw probe to the
 //! sequencer (communication-heavy) versus clients learning their own
-//! distribution and "merely send[ing] their respective learned distributions
+//! distribution and "merely send\[ing\] their respective learned distributions
 //! to the sequencer". [`SharedDistribution`] is that compact wire-friendly
 //! summary; `tommy-wire` serializes it and the sequencer converts it back
 //! into an [`OffsetDistribution`] for preceding-probability computation.

@@ -5,8 +5,8 @@
 //! [`FairOrder::from_linear_order`] per arrival. A batch boundary between two
 //! adjacent messages depends only on that pair's probability, so:
 //!
-//! * an arrival binary-inserted at position `k` of the maintained linear
-//!   order re-evaluates exactly the two adjacencies `k−1/k` and `k/k+1`
+//! * an arrival inserted at position `k` of the maintained linear order
+//!   re-evaluates exactly the two adjacencies `k−1/k` and `k/k+1`
 //!   (and drops the old `k−1/k+1` one), splitting or merging batches
 //!   locally;
 //! * an emitted batch's removal keeps every surviving adjacency's bit and
@@ -53,7 +53,7 @@ pub struct FairOrderCounters {
 pub struct IncrementalFairOrder {
     threshold: f64,
     /// The maintained linear order: position → matrix slot. Kept in lockstep
-    /// with `IncrementalTournament`'s maintained Hamiltonian path by
+    /// with `IncrementalTournament`'s maintained order by
     /// [`SequencingCore`](crate::sequencer::core::SequencingCore).
     order: Vec<usize>,
     /// Batch-start bits aligned with `order`.
@@ -204,7 +204,7 @@ impl IncrementalFairOrder {
 
     /// Incorporate the message `matrix` just gained (its last slot), inserted
     /// at position `pos` of the maintained linear order — the position the
-    /// tournament's binary insert chose. Exactly the two new adjacencies are
+    /// tournament's block scan chose. Exactly the two new adjacencies are
     /// evaluated; the old `pos−1/pos` adjacency bit is replaced.
     ///
     /// # Panics

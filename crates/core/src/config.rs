@@ -24,6 +24,21 @@ pub struct SequencerConfig {
     /// edge removals) instead of the deterministic greedy one, trading
     /// per-decision determinism for long-run stochastic fairness (§3.4).
     pub stochastic_cycle_breaking: bool,
+    /// When `true` (the default), intransitivity cycles are handled by the
+    /// *incremental FAS engine*: the maintained linear order tracks the
+    /// tournament's condensation as a sequence of per-SCC blocks, a cyclic
+    /// arrival re-solves only the one component it strongly connects
+    /// (`graph::fas::repair_component`), and an emission re-solves only the
+    /// components it partially removed — so a cyclic arrival is no longer an
+    /// automatic full rebuild. Set to `false` to force the historical
+    /// fallback (every intransitivity event invalidates the whole maintained
+    /// order, recomputed one-shot on the next read): the two paths produce
+    /// bit-identical orders and emitted batches (property-tested), so the
+    /// flag exists for baseline measurement (`fas_stress` bench) and as a
+    /// correctness anchor, not because outputs differ. Ignored (treated as
+    /// `false`) when [`stochastic_cycle_breaking`](Self::stochastic_cycle_breaking)
+    /// is set, since stochastic repairs are not cacheable per component.
+    pub incremental_fas: bool,
     /// When `true` (the default), the online sequencer keeps its full
     /// emission history: the cumulative
     /// [`FairOrder`](crate::batching::FairOrder) and the set of every message
@@ -73,6 +88,7 @@ impl Default for SequencerConfig {
             convolution: ConvolutionMethod::Auto,
             grid_points: 1024,
             stochastic_cycle_breaking: false,
+            incremental_fas: true,
             retain_history: true,
             parallelism: 1,
         }
@@ -151,6 +167,14 @@ impl SequencerConfig {
         self
     }
 
+    /// Enable or disable the incremental FAS engine (see
+    /// [`SequencerConfig::incremental_fas`]); disabling forces the
+    /// historical full-recompute fallback on every intransitivity event.
+    pub fn with_incremental_fas(mut self, enabled: bool) -> Self {
+        self.incremental_fas = enabled;
+        self
+    }
+
     /// Enable or disable unbounded emission-history retention (see
     /// [`SequencerConfig::retain_history`]).
     pub fn with_retain_history(mut self, enabled: bool) -> Self {
@@ -183,6 +207,7 @@ mod tests {
         assert_eq!(c.p_safe, 0.999);
         assert_eq!(c.grid_points, 1024);
         assert!(!c.stochastic_cycle_breaking);
+        assert!(c.incremental_fas);
         assert!(c.retain_history);
         assert_eq!(c.parallelism, 1);
     }
@@ -210,12 +235,14 @@ mod tests {
             .with_p_safe(0.99)
             .with_grid_points(256)
             .with_convolution(ConvolutionMethod::Fft)
-            .with_stochastic_cycle_breaking(true);
+            .with_stochastic_cycle_breaking(true)
+            .with_incremental_fas(false);
         assert_eq!(c.threshold, 0.9);
         assert_eq!(c.p_safe, 0.99);
         assert_eq!(c.grid_points, 256);
         assert_eq!(c.convolution, ConvolutionMethod::Fft);
         assert!(c.stochastic_cycle_breaking);
+        assert!(!c.incremental_fas);
     }
 
     #[test]

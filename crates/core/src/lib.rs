@@ -25,14 +25,18 @@
 //! * [`config`] — sequencer configuration (threshold, `p_safe`, …).
 //! * [`registry`] — per-client offset distributions with cached
 //!   discretizations, pairwise difference distributions, and the
-//!   [`PairKernel`](registry::PairKernel) probability engine (a client pair
+//!   [`PairKernel`] probability engine (a client pair
 //!   resolved once into a lock-free, `dt`-only evaluator).
 //! * [`relation`] — the preceding probability and the
-//!   [`LikelyHappenedBefore`](relation::LikelyHappenedBefore) relation.
+//!   [`LikelyHappenedBefore`] relation.
 //! * [`precedence`] — the pairwise probability matrix for a set of messages.
-//! * [`tournament`] — the directed tournament induced by the matrix,
-//!   transitivity checks and cycle handling.
-//! * [`graph`] — topological sort, Tarjan SCC, feedback-arc-set heuristics.
+//! * [`tournament`] — the directed tournament induced by the matrix:
+//!   transitivity checks, and the incremental FAS engine that maintains the
+//!   linear order across arrivals as per-SCC condensation blocks (a cyclic
+//!   arrival re-solves only the component it touches).
+//! * [`graph`] — topological sort, Tarjan SCC, feedback-arc-set heuristics
+//!   (the exhaustive greedy pass plus the SCC-scoped local-repair entry
+//!   point, both counter-instrumented).
 //! * [`batching`] — threshold batching of a linear order into ranked
 //!   batches: the static [`FairOrder`] types plus the incremental
 //!   batch-boundary engine the online sequencer maintains across arrivals.
@@ -43,6 +47,12 @@
 //!   the paper's evaluation (§2, §4).
 //! * [`tiebreak`] — randomized tie-breaking to extend the fair partial order
 //!   to a fair total order (§5 "Extension to Fair Total Order").
+//!
+//! The repository-level `ARCHITECTURE.md` documents how these pieces
+//! compose into the full arrival → emission pipeline (PairKernel column
+//! fill → incremental tournament → incremental batch boundaries →
+//! sequencing core), the incremental-vs-rebuild invariants each counter
+//! guards, and the ten-crate workspace map.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -347,6 +347,27 @@ impl DistributionRegistry {
     /// *distinct* pair is unregistered. Same-client pairs resolve without a
     /// registration check, exactly as the per-call path short-circuits
     /// before looking up distributions.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tommy_core::prelude::*;
+    ///
+    /// let mut registry = DistributionRegistry::new();
+    /// registry.register(ClientId(0), OffsetDistribution::gaussian(0.0, 5.0));
+    /// registry.register(ClientId(1), OffsetDistribution::gaussian(0.0, 5.0));
+    ///
+    /// let kernel = registry.pair_kernel(ClientId(0), ClientId(1)).unwrap();
+    /// // Equal timestamps between symmetric clients: a coin flip (up to
+    /// // the erf approximation's ~1e-8 accuracy).
+    /// assert!((kernel.preceding(0.0) - 0.5).abs() < 1e-6);
+    /// // A much earlier timestamp almost surely precedes.
+    /// assert!(kernel.preceding(-50.0) > 0.999);
+    /// // The batched form is bit-identical to the scalar one.
+    /// let mut out = [0.0; 3];
+    /// kernel.preceding_many(&[-50.0, 0.0, 50.0], &mut out);
+    /// assert_eq!(out[1].to_bits(), kernel.preceding(0.0).to_bits());
+    /// ```
     pub fn pair_kernel(
         &self,
         client_i: ClientId,

@@ -7,11 +7,13 @@
 //! used to carry:
 //!
 //! * the **online** path maintains the core incrementally —
-//!   [`insert_last`](SequencingCore::insert_last) per arrival (binary insert
-//!   into the maintained Hamiltonian path + two local batch-boundary
-//!   re-evaluations), [`remove_indices`](SequencingCore::remove_indices) per
-//!   emission (in-place restriction + one boundary seam per removed run) —
-//!   so a candidate recomputation builds nothing from scratch;
+//!   [`insert_last`](SequencingCore::insert_last) per arrival (one scan
+//!   over the maintained condensation blocks places the arrival, or
+//!   repairs only the SCC it strongly connects, plus two local
+//!   batch-boundary re-evaluations),
+//!   [`remove_indices`](SequencingCore::remove_indices) per emission
+//!   (in-place restriction + one boundary seam per removed run) — so a
+//!   candidate recomputation builds nothing from scratch;
 //! * the **offline** path [`load`](SequencingCore::load)s a prebuilt matrix
 //!   (a wholesale rebuild) and materializes the one-shot
 //!   [`SequencingOutcome`] through the identical
@@ -64,10 +66,16 @@ pub struct SequencingCore {
 }
 
 impl SequencingCore {
-    /// An empty core for the given configuration.
+    /// An empty core for the given configuration. The tournament's
+    /// incremental FAS engine follows [`SequencerConfig::incremental_fas`],
+    /// except under stochastic cycle breaking (whose randomized
+    /// per-component orders cannot be cached), where the full-recompute
+    /// fallback is always used.
     pub fn new(config: SequencerConfig) -> Self {
+        let mut tournament = IncrementalTournament::new();
+        tournament.set_incremental_fas(config.incremental_fas && !config.stochastic_cycle_breaking);
         SequencingCore {
-            tournament: IncrementalTournament::new(),
+            tournament,
             fair: IncrementalFairOrder::new(config.threshold),
             config,
         }
@@ -91,10 +99,13 @@ impl SequencingCore {
     }
 
     /// Incorporate the message `matrix` just gained (its last index): the
-    /// tournament orients the new edges and binary-inserts the arrival; the
+    /// tournament orients the new edges and places the arrival in its
+    /// maintained order (a singleton insertion, or an SCC-scoped local
+    /// repair when the arrival closes a cycle); on a clean insertion the
     /// batch-boundary engine re-evaluates only the two new adjacencies at
-    /// the insertion point. Falls back to lazy full recomputes when a cycle
-    /// appears.
+    /// the insertion point, and on a repair (or a fallback-mode cycle
+    /// event) the boundary set is rebuilt from the new order at the next
+    /// read.
     pub fn insert_last(&mut self, matrix: &PrecedenceMatrix) {
         match self.tournament.insert_last(matrix) {
             Some(position) if !self.fair.is_dirty() => self.fair.insert_at(position, matrix),
@@ -107,7 +118,7 @@ impl SequencingCore {
     /// Surviving batch boundaries keep their bits; only one seam per removed
     /// run is re-evaluated.
     pub fn remove_indices(&mut self, removed: &[usize], matrix: &PrecedenceMatrix) {
-        if self.tournament.remove_indices(removed) && !self.fair.is_dirty() {
+        if self.tournament.remove_indices(removed, matrix) && !self.fair.is_dirty() {
             self.fair.remove_slots(removed, matrix);
         } else {
             self.fair.mark_dirty();

@@ -30,12 +30,14 @@
 //!   client*, and each kernel then evaluates that client's contiguous
 //!   timestamp slice in one tight loop.
 //! * The tournament and its linear order are maintained *incrementally* too
-//!   ([`IncrementalTournament`]): an arrival orients its n new edges and is
-//!   binary-inserted into the maintained Hamiltonian path; an emission drops
-//!   the batch's rows in place. A full tournament/order recompute happens
-//!   only when an intransitivity cycle appears — never for Gaussian offsets
-//!   (Appendix A) — so the whole arrival path is O(n): n probability
-//!   queries, n edge orientations, zero `Tournament::from_matrix` rebuilds.
+//!   ([`IncrementalTournament`]): an arrival orients its n new edges and one
+//!   scan over the maintained condensation blocks places it in the order;
+//!   an emission drops the batch's rows in place. Intransitivity cycles —
+//!   never produced by Gaussian offsets (Appendix A) — are absorbed by the
+//!   incremental FAS engine: only the one SCC the arrival strongly connects
+//!   is re-solved, so the whole arrival path is O(n) plus repairs bounded
+//!   by the touched component: n probability queries, n edge orientations,
+//!   zero `Tournament::from_matrix` rebuilds.
 //! * The §3.4 batch boundaries are maintained *incrementally* as well
 //!   ([`IncrementalFairOrder`](crate::batching::IncrementalFairOrder), via
 //!   the shared [`SequencingCore`]): an arrival re-evaluates only the two
@@ -143,6 +145,33 @@ struct Candidate {
 }
 
 /// The online Tommy sequencer.
+///
+/// # Example
+///
+/// A submitted message is held until *both* emission conditions of §3.5
+/// hold — the sequencer's clock has passed the batch's safe-emission time,
+/// and every registered client has been heard from past the batch horizon:
+///
+/// ```
+/// use tommy_core::prelude::*;
+///
+/// let mut sequencer = OnlineSequencer::new(SequencerConfig::default());
+/// sequencer.register_client(ClientId(0), OffsetDistribution::gaussian(0.0, 1.0));
+/// sequencer.register_client(ClientId(1), OffsetDistribution::gaussian(0.0, 1.0));
+///
+/// // Client 0 submits at local time 100.0 (arrival 100.5): nothing can
+/// // emit yet — client 1 has not been heard from.
+/// let message = Message::new(MessageId(0), ClientId(0), 100.0);
+/// assert!(sequencer.submit(message, 100.5).unwrap().is_empty());
+///
+/// // Once both clients heartbeat past the horizon and the clock passes the
+/// // safe-emission time, the batch comes out.
+/// sequencer.heartbeat(ClientId(0), 150.0, 150.0).unwrap();
+/// let batches = sequencer.heartbeat(ClientId(1), 150.0, 150.0).unwrap();
+/// assert_eq!(batches.len(), 1);
+/// assert_eq!(batches[0].messages[0].id, MessageId(0));
+/// assert!(batches[0].safe_after > 100.0);
+/// ```
 #[derive(Debug)]
 pub struct OnlineSequencer {
     registry: DistributionRegistry,
@@ -774,7 +803,7 @@ mod tests {
     /// Acceptance criterion of the incremental ordering pipeline: on a
     /// Gaussian (hence transitive, Appendix A) workload the arrival path
     /// performs **zero** full tournament/linear-order rebuilds — arrivals are
-    /// binary-inserted into the maintained order and emissions restrict it —
+    /// slotted into the maintained order and emissions restrict it —
     /// no matter how many submits, heartbeats, ticks and emissions happen.
     #[test]
     fn gaussian_arrival_path_never_rebuilds_tournament() {

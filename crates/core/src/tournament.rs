@@ -16,10 +16,11 @@
 //! * [`IncrementalTournament`] — maintained edge-by-edge alongside an
 //!   incrementally updated matrix ([`PrecedenceMatrix::insert`] /
 //!   [`PrecedenceMatrix::remove_batch`]), with the linear order repaired in
-//!   place: a new arrival is binary-inserted into the existing Hamiltonian
-//!   path, and a full recompute happens only when an intransitivity cycle
-//!   appears — never for Gaussian offsets (Appendix A). This is what makes
-//!   the online arrival path O(n) instead of O(n²).
+//!   place: a new arrival is slotted into the maintained condensation (one
+//!   scan over its per-SCC blocks), and an intransitivity cycle — never
+//!   produced by Gaussian offsets (Appendix A) — re-solves only the one
+//!   component the arrival strongly connects (the incremental FAS engine).
+//!   This is what makes the online arrival path O(n) instead of O(n²).
 
 use crate::config::SequencerConfig;
 use crate::graph::fas::{greedy_order, stochastic_order};
@@ -108,30 +109,38 @@ impl Tournament {
         comps
     }
 
-    /// Extract a complete linear order of all messages (§3.4).
+    /// The per-component linear orders of the tournament, earliest component
+    /// first (the condensation of a tournament is a total order of its SCCs).
     ///
-    /// * Transitive tournament → the unique Hamiltonian path.
-    /// * Cyclic tournament → the condensation is ordered topologically and
-    ///   each cyclic component is ordered by the greedy feedback-arc-set
+    /// Each component's members are canonicalized ascending before the cycle
+    /// heuristic runs, so a component's order is a pure function of its
+    /// member *set* and the pairwise probabilities — the property that lets
+    /// the incremental engine ([`IncrementalTournament`]) cache per-component
+    /// orders across arrivals and stay bit-identical to this one-shot path.
+    ///
+    /// * Transitive tournament → one singleton component per node, in
+    ///   Hamiltonian-path order.
+    /// * Cyclic component → ordered by the greedy feedback-arc-set
     ///   heuristic, or by the stochastic heuristic when
     ///   [`SequencerConfig::stochastic_cycle_breaking`] is set (in which case
     ///   `rng` must be provided).
-    pub fn linear_order(
+    pub fn ordered_components(
         &self,
         matrix: &PrecedenceMatrix,
         config: &SequencerConfig,
         mut rng: Option<&mut dyn RngCore>,
-    ) -> Vec<usize> {
+    ) -> Vec<Vec<usize>> {
         if let Some(path) = self.hamiltonian_path() {
-            return path;
+            return path.into_iter().map(|v| vec![v]).collect();
         }
         let prob = |a: usize, b: usize| matrix.prob(a, b);
-        let mut order = Vec::with_capacity(self.n);
-        for component in self.components_in_order() {
+        let mut components = Vec::new();
+        for mut component in self.components_in_order() {
             if component.len() == 1 {
-                order.push(component[0]);
+                components.push(component);
                 continue;
             }
+            component.sort_unstable();
             let ordered = if config.stochastic_cycle_breaking {
                 let rng = rng
                     .as_deref_mut()
@@ -140,7 +149,22 @@ impl Tournament {
             } else {
                 greedy_order(&component, &prob)
             };
-            order.extend(ordered);
+            components.push(ordered);
+        }
+        components
+    }
+
+    /// Extract a complete linear order of all messages (§3.4): the
+    /// concatenation of [`ordered_components`](Self::ordered_components).
+    pub fn linear_order(
+        &self,
+        matrix: &PrecedenceMatrix,
+        config: &SequencerConfig,
+        rng: Option<&mut dyn RngCore>,
+    ) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.n);
+        for component in self.ordered_components(matrix, config, rng) {
+            order.extend(component);
         }
         order
     }
@@ -153,23 +177,34 @@ impl Tournament {
 /// every change — O(n²) comparisons per arrival — this structure:
 ///
 /// * orients only the `n` new edges when a message is inserted
-///   ([`insert_last`](Self::insert_last)), and binary-inserts the arrival
-///   into the maintained Hamiltonian path (O(log n) edge probes plus an O(n)
-///   transitivity verification);
+///   ([`insert_last`](Self::insert_last)), locating the arrival's place in
+///   the maintained order with one O(n) scan over the condensation blocks;
 /// * drops rows/columns in place when a batch is emitted
-///   ([`remove_indices`](Self::remove_indices)) — the induced sub-tournament
-///   of a transitive tournament is transitive and its unique path is exactly
-///   the surviving subsequence, so no recomputation is needed;
+///   ([`remove_indices`](Self::remove_indices)) — untouched components keep
+///   their cached order (the induced sub-tournament of each surviving SCC is
+///   unchanged), so only partially-removed cyclic components are re-solved;
+/// * handles intransitivity cycles with the **incremental FAS engine**: the
+///   maintained order is segmented into per-SCC `blocks` (the condensation
+///   of a tournament is always a total order of its SCCs), and an arrival
+///   that closes a cycle strongly connects exactly one contiguous span of
+///   blocks — that merged component alone is re-solved by the bounded
+///   local-repair pass ([`crate::graph::fas::repair_component`]), while
+///   every other block's cached order carries over. A cyclic arrival is
+///   therefore no longer an automatic full rebuild;
 /// * falls back to a full recompute (counted by
-///   [`full_rebuilds`](Self::full_rebuilds)) **only** when an
-///   intransitivity cycle appears, which Appendix A proves impossible for
-///   Gaussian offsets.
+///   [`full_rebuilds`](Self::full_rebuilds)) only on wholesale invalidation
+///   ([`rebuild`](Self::rebuild), e.g. a client re-registration) or when
+///   the incremental FAS engine is disabled
+///   ([`set_incremental_fas`](Self::set_incremental_fas), the measured
+///   baseline of the `fas_stress` bench).
 ///
 /// The maintained state is always element-wise identical to what
 /// `Tournament::from_matrix(matrix)` would build over the same matrix, and
 /// [`linear_order`](Self::linear_order) returns exactly the order the
-/// one-shot pipeline would (the cyclic fallback reconstructs the identical
-/// adjacency structure and runs the same heuristics).
+/// one-shot pipeline would: both paths order each SCC's canonically-sorted
+/// member set with the same deterministic heuristic, so cached per-component
+/// orders and recomputed ones are bit-identical (property-tested below and
+/// in `crate::sequencer::core`).
 #[derive(Debug, Clone)]
 pub struct IncrementalTournament {
     n: usize,
@@ -180,15 +215,27 @@ pub struct IncrementalTournament {
     forward: Vec<bool>,
     /// The maintained linear order (valid when `!order_dirty`).
     order: Vec<usize>,
+    /// Lengths of the consecutive condensation blocks of `order` (valid when
+    /// `!order_dirty`): `order` is the concatenation of per-SCC orders,
+    /// earliest component first, and `blocks` records where each SCC starts
+    /// and ends. All-singleton blocks ⇔ transitive.
+    blocks: Vec<usize>,
+    /// Number of blocks with more than one member (intransitivity cycles).
+    cyclic_blocks: usize,
     /// Whether the tournament was transitive at the last point it was known
     /// (kept exactly up to date while maintenance stays incremental).
     transitive: bool,
-    /// Set when the order can no longer be repaired incrementally (a cycle
-    /// appeared, or a removal/rebuild happened in a cyclic state); cleared by
-    /// the next [`linear_order`](Self::linear_order) recompute.
+    /// Set when the order can no longer be repaired incrementally (a
+    /// wholesale rebuild, or a cycle event with the incremental FAS engine
+    /// disabled); cleared by the next [`linear_order`](Self::linear_order)
+    /// recompute.
     order_dirty: bool,
+    /// Whether cycle events are handled by SCC-scoped local repairs (the
+    /// default) or by invalidating the whole order (the fallback baseline).
+    incremental_fas: bool,
     comparisons: u64,
     full_rebuilds: u64,
+    local_repairs: u64,
 }
 
 impl Default for IncrementalTournament {
@@ -198,18 +245,37 @@ impl Default for IncrementalTournament {
 }
 
 impl IncrementalTournament {
-    /// An empty tournament, ready to track an empty matrix.
+    /// An empty tournament, ready to track an empty matrix, with the
+    /// incremental FAS engine enabled.
     pub fn new() -> Self {
         IncrementalTournament {
             n: 0,
             stride: 0,
             forward: Vec::new(),
             order: Vec::new(),
+            blocks: Vec::new(),
+            cyclic_blocks: 0,
             transitive: true,
             order_dirty: false,
+            incremental_fas: true,
             comparisons: 0,
             full_rebuilds: 0,
+            local_repairs: 0,
         }
+    }
+
+    /// Enable or disable the incremental FAS engine. When disabled, every
+    /// cycle event (a cyclic arrival, or any mutation while the maintained
+    /// order is cyclic) invalidates the whole order, recomputed one-shot by
+    /// the next [`linear_order`](Self::linear_order) — the historical
+    /// behaviour, kept as the correctness fallback and measured baseline.
+    ///
+    /// Callers using [`SequencerConfig::stochastic_cycle_breaking`] must
+    /// disable the engine (stochastic per-component orders are not
+    /// cacheable); [`SequencingCore`](crate::sequencer::core::SequencingCore)
+    /// does this automatically.
+    pub fn set_incremental_fas(&mut self, enabled: bool) {
+        self.incremental_fas = enabled;
     }
 
     /// Number of nodes.
@@ -238,15 +304,26 @@ impl IncrementalTournament {
 
     /// Number of full order recomputations performed. Stays **zero** on
     /// acyclic (e.g. Gaussian, Appendix A) workloads, no matter how many
-    /// inserts and removals happen.
+    /// inserts and removals happen — and, with the incremental FAS engine
+    /// enabled (the default), on *cyclic* workloads too: cycle events are
+    /// absorbed by SCC-scoped [`local_repairs`](Self::local_repairs)
+    /// instead.
     pub fn full_rebuilds(&self) -> u64 {
         self.full_rebuilds
     }
 
+    /// Number of SCC-scoped local repairs the incremental FAS engine
+    /// performed: one per component merged by a cyclic arrival, one per
+    /// cyclic component re-solved after a partial removal. Stays **zero** on
+    /// acyclic (Gaussian) workloads and on the fallback path.
+    pub fn local_repairs(&self) -> u64 {
+        self.local_repairs
+    }
+
     /// Whether the tournament is currently known to be transitive. Exact
-    /// while maintenance stays incremental; after a mutation in a cyclic
-    /// state it reflects the last recompute (call
-    /// [`linear_order`](Self::linear_order) to refresh).
+    /// while maintenance stays incremental (the block structure tracks every
+    /// merge and split); after a wholesale invalidation it reflects the last
+    /// recompute (call [`linear_order`](Self::linear_order) to refresh).
     pub fn is_transitive(&self) -> bool {
         self.transitive
     }
@@ -265,14 +342,26 @@ impl IncrementalTournament {
     ///
     /// Orients the `n` new edges with the same rule as
     /// [`Tournament::from_matrix`] (ties towards the smaller index), then
-    /// binary-inserts the arrival into the maintained Hamiltonian path and
-    /// returns the insertion position — the hook the incremental
-    /// batch-boundary engine
-    /// ([`IncrementalFairOrder`](crate::batching::IncrementalFairOrder))
-    /// uses to stay aligned with the maintained order. If the arrival's
-    /// predecessor set is not a prefix of the path the extended tournament
-    /// is intransitive: `None` is returned and the order is recomputed
-    /// lazily by the next [`linear_order`](Self::linear_order) call.
+    /// scans the maintained condensation blocks once to locate the span the
+    /// arrival touches:
+    ///
+    /// * If the arrival slots cleanly *between* two blocks (its predecessors
+    ///   are a prefix of the block sequence), it becomes a new singleton
+    ///   block and the insertion position is returned — the hook the
+    ///   incremental batch-boundary engine
+    ///   ([`IncrementalFairOrder`](crate::batching::IncrementalFairOrder))
+    ///   uses to stay aligned with the maintained order. This is the only
+    ///   path a transitive (Gaussian) stream ever takes, and in a cyclic
+    ///   state it is also how arrivals that don't touch a cycle are
+    ///   absorbed — without any FAS work.
+    /// * Otherwise the arrival strongly connects a contiguous span of blocks
+    ///   (exact for tournaments: everything between the first block it
+    ///   beats into and the last block that beats it joins one SCC). With
+    ///   the incremental FAS engine enabled that merged component alone is
+    ///   re-solved in place and `None` is returned (the order changed beyond
+    ///   a point insertion); with it disabled the whole order is invalidated
+    ///   and recomputed lazily by the next
+    ///   [`linear_order`](Self::linear_order) call.
     ///
     /// # Panics
     ///
@@ -298,45 +387,104 @@ impl IncrementalTournament {
         if self.order_dirty {
             return None; // already awaiting a recompute
         }
-        if !self.transitive {
-            // A maintained cyclic order cannot absorb an arrival in place:
-            // the FAS heuristics are not prefix-stable.
+        if !self.transitive && !self.incremental_fas {
+            // Fallback baseline: a maintained cyclic order cannot absorb an
+            // arrival in place (the FAS heuristics are not prefix-stable).
             self.order_dirty = true;
             return None;
         }
-        // Binary-insert: in a transitive extension the predecessors of the
-        // new node form a prefix of the path, so the insertion point is the
-        // first position the new node beats.
-        let position = self
-            .order
-            .partition_point(|&existing| self.forward[existing * self.stride + k]);
-        let monotone = self.order[..position]
-            .iter()
-            .all(|&existing| self.forward[existing * self.stride + k])
-            && self.order[position..]
-                .iter()
-                .all(|&existing| self.forward[k * self.stride + existing]);
-        if monotone {
-            self.order.insert(position, k);
-            Some(position)
-        } else {
-            self.transitive = false;
-            self.order_dirty = true;
-            None
+        // One scan over the blocks: `first` is the first block containing a
+        // member the arrival beats (everything before it beats the arrival),
+        // `last` the last block containing a member that beats the arrival
+        // (everything after it loses to the arrival).
+        let mut first_block = self.blocks.len();
+        let mut first_pos = self.order.len();
+        let mut last_block = None;
+        let mut last_end = 0usize;
+        let mut pos = 0usize;
+        for (b, &len) in self.blocks.iter().enumerate() {
+            let members = &self.order[pos..pos + len];
+            if first_block == self.blocks.len()
+                && members.iter().any(|&m| self.forward[k * self.stride + m])
+            {
+                first_block = b;
+                first_pos = pos;
+            }
+            if members.iter().any(|&m| self.forward[m * self.stride + k]) {
+                last_block = Some(b);
+                last_end = pos + len;
+            }
+            pos += len;
         }
+        match last_block {
+            Some(lb) if lb >= first_block => {
+                // The arrival closes a cycle through blocks first..=lb.
+                if !self.incremental_fas {
+                    self.transitive = false;
+                    self.order_dirty = true;
+                    return None;
+                }
+                self.merge_span(first_block, lb, first_pos, last_end, matrix);
+                None
+            }
+            _ => {
+                // Clean insertion: the arrival is its own singleton SCC
+                // between blocks. No FAS work, cyclic state or not.
+                self.blocks.insert(first_block, 1);
+                self.order.insert(first_pos, k);
+                Some(first_pos)
+            }
+        }
+    }
+
+    /// Merge blocks `first_block..=last_block` (spanning order positions
+    /// `first_pos..last_end`) with the just-inserted node into one SCC and
+    /// re-solve that component alone (the bounded local-repair pass).
+    fn merge_span(
+        &mut self,
+        first_block: usize,
+        last_block: usize,
+        first_pos: usize,
+        last_end: usize,
+        matrix: &PrecedenceMatrix,
+    ) {
+        let k = self.n - 1;
+        let mut members: Vec<usize> = self.order[first_pos..last_end].to_vec();
+        members.push(k);
+        members.sort_unstable();
+        let prob = |a: usize, b: usize| matrix.prob(a, b);
+        let repaired = crate::graph::fas::repair_component(&members, &prob);
+        let merged_cyclic = self.blocks[first_block..=last_block]
+            .iter()
+            .filter(|&&len| len > 1)
+            .count();
+        self.order.splice(first_pos..last_end, repaired);
+        self.blocks
+            .splice(first_block..=last_block, std::iter::once(members.len()));
+        self.cyclic_blocks = self.cyclic_blocks - merged_cyclic + 1;
+        self.transitive = false;
+        self.local_repairs += 1;
     }
 
     /// Drop the nodes at (pre-removal) indices `removed`, compacting the
     /// survivors exactly like [`PrecedenceMatrix::remove_batch`] does (the
     /// relative order of survivors is preserved, so edge orientations carry
     /// over unchanged). Call with the indices the matrix reported *before*
-    /// its own removal.
+    /// its own removal; `matrix` is the *post-removal* matrix (only read
+    /// when a partially-removed cyclic component must be re-solved).
+    ///
+    /// Removal can only *split* SCCs, never merge them, and each surviving
+    /// component stays in its condensation slot — so untouched blocks keep
+    /// their cached order, fully-removed blocks vanish, and only a cyclic
+    /// block that lost some (but not all) members is re-solved: its
+    /// survivors' sub-condensation is recomputed locally and each cyclic
+    /// sub-component repaired in place.
     ///
     /// Returns `true` when the maintained linear order survived the removal
-    /// in place (the transitive restriction path) and `false` when it was
-    /// invalidated (a cyclic state, or a pending recompute) — the signal the
+    /// as a pure subsequence restriction (no block needed re-solving) and
+    /// `false` when it was reordered or invalidated — the signal the
     /// incremental batch-boundary engine follows in lockstep.
-    pub fn remove_indices(&mut self, removed: &[usize]) -> bool {
+    pub fn remove_indices(&mut self, removed: &[usize], matrix: &PrecedenceMatrix) -> bool {
         if removed.is_empty() {
             return !self.order_dirty;
         }
@@ -367,12 +515,86 @@ impl IncrementalTournament {
             for v in &mut self.order {
                 *v = new_index[*v];
             }
-            true
-        } else {
-            // A FAS-repaired order is not restriction-stable: recompute.
-            self.order_dirty = true;
-            false
+            self.blocks = vec![1; self.n];
+            return true;
         }
+        if !self.incremental_fas {
+            // Fallback baseline: a FAS-repaired order is not
+            // restriction-stable; recompute wholesale.
+            self.order_dirty = true;
+            return false;
+        }
+        debug_assert_eq!(matrix.len(), self.n, "matrix must already be compacted");
+        let old_order = std::mem::take(&mut self.order);
+        let old_blocks = std::mem::take(&mut self.blocks);
+        let mut new_order = Vec::with_capacity(self.n);
+        let mut new_blocks = Vec::with_capacity(old_blocks.len());
+        let mut cyclic = 0usize;
+        let mut restriction = true;
+        let mut pos = 0usize;
+        for &len in &old_blocks {
+            let members = &old_order[pos..pos + len];
+            pos += len;
+            let surviving: Vec<usize> = members.iter().copied().filter(|&m| keep[m]).collect();
+            if surviving.is_empty() {
+                continue;
+            }
+            if surviving.len() == len || surviving.len() == 1 {
+                // Untouched component (cached order carries over), or a lone
+                // survivor (trivially its own SCC): a pure restriction.
+                if surviving.len() > 1 {
+                    cyclic += 1;
+                }
+                new_blocks.push(surviving.len());
+                new_order.extend(surviving.iter().map(|&m| new_index[m]));
+                continue;
+            }
+            // A cyclic component lost some members: its survivors may have
+            // split into several SCCs. Re-derive the sub-condensation and
+            // repair each cyclic sub-component locally.
+            restriction = false;
+            let local: Vec<usize> = surviving.iter().map(|&m| new_index[m]).collect();
+            for mut component in self.sub_components(&local) {
+                if component.len() > 1 {
+                    component.sort_unstable();
+                    let prob = |a: usize, b: usize| matrix.prob(a, b);
+                    component = crate::graph::fas::repair_component(&component, &prob);
+                    self.local_repairs += 1;
+                    cyclic += 1;
+                }
+                new_blocks.push(component.len());
+                new_order.extend(component);
+            }
+        }
+        self.order = new_order;
+        self.blocks = new_blocks;
+        self.cyclic_blocks = cyclic;
+        self.transitive = cyclic == 0;
+        restriction
+    }
+
+    /// The strongly connected components of the sub-tournament induced on
+    /// `members` (current node indices), in topological order of its
+    /// condensation — the local counterpart of
+    /// [`Tournament::components_in_order`].
+    fn sub_components(&self, members: &[usize]) -> Vec<Vec<usize>> {
+        let s = members.len();
+        let mut adj = vec![Vec::new(); s];
+        for a in 0..s {
+            for b in (a + 1)..s {
+                if self.forward[members[a] * self.stride + members[b]] {
+                    adj[a].push(b);
+                } else {
+                    adj[b].push(a);
+                }
+            }
+        }
+        let mut comps = strongly_connected_components(&adj);
+        comps.reverse(); // Tarjan returns reverse topological order.
+        comps
+            .into_iter()
+            .map(|c| c.into_iter().map(|p| members[p]).collect())
+            .collect()
     }
 
     /// Re-derive every edge from `matrix` (used when a client
@@ -395,6 +617,8 @@ impl IncrementalTournament {
         }
         self.comparisons += (n * n.saturating_sub(1) / 2) as u64;
         self.order.clear();
+        self.blocks.clear();
+        self.cyclic_blocks = 0;
         self.order_dirty = n > 0;
         if n == 0 {
             self.transitive = true;
@@ -422,10 +646,12 @@ impl IncrementalTournament {
     }
 
     /// Make the maintained linear order valid, recomputing it only if a
-    /// cycle (or a wholesale [`rebuild`](Self::rebuild)) invalidated it.
-    /// The recompute — tournament adjacency + SCC condensation + FAS
-    /// heuristics, counted by [`full_rebuilds`](Self::full_rebuilds) — never
-    /// happens on acyclic (Gaussian) workloads.
+    /// wholesale [`rebuild`](Self::rebuild) (or, on the fallback path, a
+    /// cycle event) invalidated it. The recompute — tournament adjacency +
+    /// SCC condensation + FAS heuristics, counted by
+    /// [`full_rebuilds`](Self::full_rebuilds) — never happens on acyclic
+    /// (Gaussian) workloads, and with the incremental FAS engine enabled
+    /// never happens on cyclic arrivals or emissions either.
     pub fn ensure_order(
         &mut self,
         matrix: &PrecedenceMatrix,
@@ -436,7 +662,16 @@ impl IncrementalTournament {
         if self.order_dirty {
             let tournament = self.as_tournament();
             self.transitive = tournament.is_transitive();
-            self.order = tournament.linear_order(matrix, config, rng);
+            self.order.clear();
+            self.blocks.clear();
+            self.cyclic_blocks = 0;
+            for component in tournament.ordered_components(matrix, config, rng) {
+                if component.len() > 1 {
+                    self.cyclic_blocks += 1;
+                }
+                self.blocks.push(component.len());
+                self.order.extend(component);
+            }
             self.order_dirty = false;
             self.full_rebuilds += 1;
         }
@@ -455,9 +690,10 @@ impl IncrementalTournament {
     /// to `Tournament::from_matrix(matrix).linear_order(..)` over the same
     /// matrix.
     ///
-    /// While the tournament stays transitive this returns the incrementally
-    /// maintained Hamiltonian path with **zero** additional comparisons; see
-    /// [`ensure_order`](Self::ensure_order) for the recompute fallback.
+    /// While maintenance stays incremental (always, with the incremental
+    /// FAS engine) this returns the maintained order with **zero**
+    /// additional comparisons; see [`ensure_order`](Self::ensure_order) for
+    /// the recompute fallback.
     pub fn linear_order(
         &mut self,
         matrix: &PrecedenceMatrix,
@@ -469,10 +705,14 @@ impl IncrementalTournament {
     }
 
     /// Number of strongly connected components with more than one node —
-    /// the intransitivity cycles the §3 diagnostics report. Materializes the
-    /// one-shot adjacency (`O(n²)`); meant for the offline outcome path, not
-    /// the arrival path.
+    /// the intransitivity cycles the §3 diagnostics report. Read off the
+    /// maintained block structure in O(1) while the order is valid; only a
+    /// dirty state (awaiting a recompute) materializes the one-shot
+    /// adjacency (`O(n²)`).
     pub fn cyclic_component_count(&self) -> usize {
+        if !self.order_dirty {
+            return self.cyclic_blocks;
+        }
         self.as_tournament()
             .components_in_order()
             .iter()
@@ -670,7 +910,7 @@ mod tests {
     }
 
     #[test]
-    fn incremental_cycle_forces_rebuilds() {
+    fn incremental_cycle_repairs_locally_without_rebuilds() {
         let full = cyclic_matrix();
         let reference = full.messages().to_vec();
         let pairwise: Vec<Vec<f64>> = (0..4)
@@ -686,9 +926,39 @@ mod tests {
             assert_tournaments_identical(&mut inc, &matrix);
         }
         assert!(!inc.is_transitive());
-        // The 0-1-2 cycle closes at the third insert; the fourth insert (a
-        // universal loser) dirties the already-cyclic order again.
+        assert_eq!(inc.cyclic_component_count(), 1);
+        // The 0-1-2 cycle closes at the third insert — one SCC-scoped local
+        // repair; the fourth insert (a universal loser) slots in cleanly
+        // after the cyclic block. No full rebuild anywhere.
+        assert_eq!(inc.full_rebuilds(), 0);
+        assert_eq!(inc.local_repairs(), 1);
+    }
+
+    /// The fallback baseline (incremental FAS disabled) keeps the historical
+    /// behaviour: every mutation in (or into) a cyclic state invalidates the
+    /// whole order — while producing exactly the same orders.
+    #[test]
+    fn fallback_mode_rebuilds_on_cycles_with_identical_output() {
+        let full = cyclic_matrix();
+        let reference = full.messages().to_vec();
+        let pairwise: Vec<Vec<f64>> = (0..4)
+            .map(|i| (0..4).map(|j| full.prob(i, j)).collect())
+            .collect();
+        let mut inc = IncrementalTournament::new();
+        inc.set_incremental_fas(false);
+        for k in 1..=4usize {
+            let prefix: Vec<Vec<f64>> = (0..k)
+                .map(|i| (0..k).map(|j| pairwise[i][j]).collect())
+                .collect();
+            let matrix = PrecedenceMatrix::from_probabilities(&reference[..k], &prefix);
+            inc.insert_last(&matrix);
+            assert_tournaments_identical(&mut inc, &matrix);
+        }
+        assert!(!inc.is_transitive());
+        // The cycle closes at the third insert; the fourth insert dirties
+        // the already-cyclic order again. Two full recomputes, zero repairs.
         assert_eq!(inc.full_rebuilds(), 2);
+        assert_eq!(inc.local_repairs(), 0);
     }
 
     #[test]
@@ -718,7 +988,7 @@ mod tests {
             .map(|id| matrix.index_of(*id).unwrap())
             .collect();
         matrix.remove_batch(&removed_ids);
-        inc.remove_indices(&removed_indices);
+        inc.remove_indices(&removed_indices, &matrix);
         assert_tournaments_identical(&mut inc, &matrix);
         assert_eq!(inc.full_rebuilds(), 0);
     }
@@ -759,7 +1029,7 @@ mod tests {
                     let ids: Vec<MessageId> =
                         indices.iter().map(|&i| matrix.message(i).id).collect();
                     matrix.remove_batch(&ids);
-                    inc.remove_indices(&indices);
+                    inc.remove_indices(&indices, &matrix);
                 } else {
                     let m = Message::new(
                         MessageId(next_id),
@@ -828,7 +1098,11 @@ mod tests {
                     for &p in positions.iter().rev() {
                         pending.remove(p);
                     }
-                    inc.remove_indices(&positions);
+                    if pending.is_empty() {
+                        inc.remove_indices(&positions, &PrecedenceMatrix::empty());
+                    } else {
+                        inc.remove_indices(&positions, &rebuild_matrix(&pending));
+                    }
                 } else if next < POOL {
                     pending.push(next);
                     next += 1;

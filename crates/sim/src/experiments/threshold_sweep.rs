@@ -7,16 +7,14 @@
 //! and ordering coverage go up as the threshold falls, while per-ordered-pair
 //! accuracy goes up as it rises.
 
-use crate::runner::{generate_messages, oracle_registry};
+use crate::runner::{generate_messages, scenario_offsets};
 use crate::scenario::ScenarioConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tommy_core::config::SequencerConfig;
-use tommy_core::message::ClientId;
 use tommy_core::sequencer::offline::TommySequencer;
 use tommy_metrics::batchstats::BatchStats;
 use tommy_metrics::pairwise::PairwiseReport;
-use tommy_stats::distribution::OffsetDistribution;
 
 /// One row of the threshold sweep.
 #[derive(Debug, Clone, Copy)]
@@ -39,19 +37,15 @@ pub struct ThresholdRow {
 pub fn run(base: &ScenarioConfig, thresholds: &[f64]) -> Vec<ThresholdRow> {
     let mut rng = StdRng::seed_from_u64(base.seed);
     let messages = generate_messages(base, &mut rng);
-    let registry = oracle_registry(base);
-    let _ = &registry; // registry is rebuilt inside each sequencer below
+    let offsets = scenario_offsets(base);
 
     thresholds
         .iter()
         .map(|&threshold| {
             let mut sequencer =
                 TommySequencer::new(SequencerConfig::default().with_threshold(threshold));
-            for c in 0..base.clients as u32 {
-                sequencer.register_client(
-                    ClientId(c),
-                    OffsetDistribution::gaussian(0.0, base.clock_std_dev),
-                );
+            for (client, dist) in &offsets {
+                sequencer.register_client(*client, dist.clone());
             }
             let order = sequencer.sequence(&messages).expect("registered clients");
             let report = PairwiseReport::evaluate(&order, &messages);
@@ -109,6 +103,19 @@ mod tests {
         let rows = run(&base(), &default_thresholds());
         for w in rows.windows(2) {
             assert!(w[0].resolution >= w[1].resolution - 1e-12);
+        }
+    }
+
+    /// Regression: the sweep must register the scenario's actual client
+    /// population (dice + honest, via `scenario_offsets`), so cyclic
+    /// scenarios run instead of panicking on unregistered clients.
+    #[test]
+    fn cyclic_scenarios_sweep_without_panicking() {
+        let rows = run(&base().with_cyclic_fraction(0.3), &[0.6, 0.9]);
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            assert!(row.batches >= 1);
+            assert!(row.coverage >= 0.0 && row.coverage <= 1.0);
         }
     }
 }

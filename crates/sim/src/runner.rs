@@ -20,6 +20,7 @@ use tommy_core::sequencer::online::{OnlineSequencer, OnlineStats};
 use tommy_metrics::batchstats::BatchStats;
 use tommy_metrics::ras::{rank_agreement_score, RasScore};
 use tommy_stats::distribution::OffsetDistribution;
+use tommy_workload::intransitive::IntransitiveWorkload;
 use tommy_workload::population::ClockPopulation;
 use tommy_workload::tagging::tag_messages;
 use tommy_workload::uniform::UniformWorkload;
@@ -42,6 +43,40 @@ pub struct ComparisonResult {
     pub transitive: bool,
 }
 
+/// The intransitive workload a scenario resolves to, when its
+/// [`ScenarioConfig::cyclic_fraction`] is non-zero: the scenario's honest
+/// population (same client count, σ, and spacing) plus the three Condorcet
+/// clients whose bursts make up `cyclic_fraction` of the stream. The dice
+/// scale tracks the clock error so cycle margins stay well resolved.
+pub fn scenario_workload(config: &ScenarioConfig) -> Option<IntransitiveWorkload> {
+    if config.cyclic_fraction <= 0.0 {
+        return None;
+    }
+    Some(
+        IntransitiveWorkload::new(config.clients, config.messages, config.cyclic_fraction)
+            .with_scale(10.0 * config.clock_std_dev.max(1.0))
+            .with_honest_std_dev(config.clock_std_dev.max(1e-3))
+            .with_spacing(config.inter_message_gap.max(1e-3)),
+    )
+}
+
+/// The per-client offset distributions of a scenario — the seeds every
+/// sequencer registers (§4's oracle assumption). All-Gaussian for the
+/// default transitive setting; dice + honest for cyclic scenarios.
+pub fn scenario_offsets(config: &ScenarioConfig) -> Vec<(ClientId, OffsetDistribution)> {
+    match scenario_workload(config) {
+        Some(workload) => workload.offsets(),
+        None => (0..config.clients as u32)
+            .map(|c| {
+                (
+                    ClientId(c),
+                    OffsetDistribution::gaussian(0.0, config.clock_std_dev),
+                )
+            })
+            .collect(),
+    }
+}
+
 /// Generate the messages of a scenario (shared by the offline comparison and
 /// the online experiments).
 ///
@@ -49,7 +84,12 @@ pub struct ComparisonResult {
 /// `inter_message_gap` (a Poisson-like auction burst), so adjacent gaps span
 /// a range of values instead of being all identical — the same spread the
 /// paper's workload exhibits and what gives Figure 5 its smooth shape.
+/// Scenarios with a non-zero [`ScenarioConfig::cyclic_fraction`] delegate to
+/// the Condorcet-burst generator ([`scenario_workload`]) instead.
 pub fn generate_messages(config: &ScenarioConfig, rng: &mut StdRng) -> Vec<Message> {
+    if let Some(workload) = scenario_workload(config) {
+        return workload.generate(rng);
+    }
     let population = ClockPopulation::gaussian(config.clock_std_dev);
     let clocks = population.build(config.clients, rng);
     let events = if config.inter_message_gap > 0.0 {
@@ -73,16 +113,13 @@ pub fn generate_messages(config: &ScenarioConfig, rng: &mut StdRng) -> Vec<Messa
     tag_messages(&events, &clocks, 0, rng)
 }
 
-/// Build a registry seeded with the oracle distributions of a homogeneous
-/// Gaussian population (the §4 setting: "we seed the clients with clock
-/// offsets distributions, instead of clients learning such distributions").
+/// Build a registry seeded with the oracle distributions of the scenario's
+/// population (the §4 setting: "we seed the clients with clock offsets
+/// distributions, instead of clients learning such distributions").
 pub fn oracle_registry(config: &ScenarioConfig) -> DistributionRegistry {
     let mut registry = DistributionRegistry::new();
-    for c in 0..config.clients as u32 {
-        registry.register(
-            ClientId(c),
-            OffsetDistribution::gaussian(0.0, config.clock_std_dev),
-        );
+    for (client, dist) in scenario_offsets(config) {
+        registry.register(client, dist);
     }
     registry
 }
@@ -97,11 +134,9 @@ pub fn run_offline_comparison(config: &ScenarioConfig) -> ComparisonResult {
         .with_threshold(config.threshold)
         .with_parallelism(config.parallelism);
     let mut tommy = TommySequencer::new(seq_config);
-    for c in 0..config.clients as u32 {
-        tommy.register_client(
-            ClientId(c),
-            OffsetDistribution::gaussian(0.0, config.clock_std_dev),
-        );
+    let offsets = scenario_offsets(config);
+    for (client, dist) in &offsets {
+        tommy.register_client(*client, dist.clone());
     }
     let outcome = tommy
         .sequence_detailed(&messages)
@@ -115,7 +150,7 @@ pub fn run_offline_comparison(config: &ScenarioConfig) -> ComparisonResult {
 
     // WFO baseline (assumes negligible clock error; here it just sorts by
     // the noisy timestamps).
-    let clients: Vec<ClientId> = (0..config.clients as u32).map(ClientId).collect();
+    let clients: Vec<ClientId> = offsets.iter().map(|(c, _)| *c).collect();
     let wfo_order =
         WfoSequencer::sequence_offline(&clients, &messages).expect("all clients registered");
 
@@ -164,6 +199,21 @@ pub struct OnlineStreamResult {
     /// Local boundary edits that merged two batches (a high-uncertainty
     /// arrival bridging its neighbours, the Appendix C situation).
     pub batch_merges: u64,
+    /// Full tournament/linear-order recomputations. Zero on Gaussian
+    /// workloads (Appendix A) — and, with the incremental FAS engine (the
+    /// default), on cyclic workloads too: cycle events become SCC-scoped
+    /// local repairs instead.
+    pub full_rebuilds: u64,
+    /// SCC-scoped local repairs the incremental FAS engine performed (one
+    /// per component merged by a cyclic arrival or re-solved after a partial
+    /// emission). Zero on Gaussian workloads.
+    pub fas_local_repairs: u64,
+    /// Exhaustive superlinear greedy passes (`graph::fas::exhaustive_passes`
+    /// delta over the run): the per-cyclic-component cost both FAS paths
+    /// share — the incremental engine pays it only for *touched* components,
+    /// the fallback for every cyclic component per intransitivity event.
+    /// Zero on Gaussian workloads.
+    pub fas_exhaustive_passes: u64,
 }
 
 /// Run the online sequencer over a scenario's message stream, draining
@@ -177,6 +227,7 @@ pub struct OnlineStreamResult {
 pub fn run_online_stream(config: &ScenarioConfig, p_safe: f64) -> OnlineStreamResult {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let raw = generate_messages(config, &mut rng);
+    let exhaustive_before = tommy_core::graph::fas::exhaustive_passes();
 
     // Deliver in true-time order.
     let mut deliveries: Vec<Message> = raw;
@@ -191,12 +242,13 @@ pub fn run_online_stream(config: &ScenarioConfig, p_safe: f64) -> OnlineStreamRe
         .with_p_safe(p_safe)
         .with_retain_history(false);
     let mut sequencer = OnlineSequencer::new(seq_config);
-    for c in 0..config.clients as u32 {
-        sequencer.register_client(
-            ClientId(c),
-            OffsetDistribution::gaussian(0.0, config.clock_std_dev),
-        );
-    }
+    let client_ids: Vec<ClientId> = scenario_offsets(config)
+        .into_iter()
+        .map(|(client, dist)| {
+            sequencer.register_client(client, dist);
+            client
+        })
+        .collect();
 
     const NETWORK_DELAY: f64 = 1.0;
     let mut order = FairOrder::default();
@@ -218,8 +270,7 @@ pub fn run_online_stream(config: &ScenarioConfig, p_safe: f64) -> OnlineStreamRe
         let arrival = true_time + NETWORK_DELAY;
         // Every other client heartbeats at this instant with its (monotone)
         // local reading of the current true time.
-        for c in 0..config.clients as u32 {
-            let client = ClientId(c);
+        for &client in &client_ids {
             if client == delivery.client {
                 continue;
             }
@@ -250,8 +301,7 @@ pub fn run_online_stream(config: &ScenarioConfig, p_safe: f64) -> OnlineStreamRe
         .map(|m| m.timestamp)
         .fold(0.0f64, f64::max)
         + 1_000.0 * config.clock_std_dev.max(1.0);
-    for c in 0..config.clients as u32 {
-        let client = ClientId(c);
+    for &client in &client_ids {
         sequencer
             .heartbeat(client, horizon, horizon)
             .expect("registered client heartbeat");
@@ -272,6 +322,9 @@ pub fn run_online_stream(config: &ScenarioConfig, p_safe: f64) -> OnlineStreamRe
         boundary_evals: fair_counters.boundary_evals,
         batch_splits: fair_counters.batch_splits,
         batch_merges: fair_counters.batch_merges,
+        full_rebuilds: sequencer.tournament().full_rebuilds(),
+        fas_local_repairs: sequencer.tournament().local_repairs(),
+        fas_exhaustive_passes: tommy_core::graph::fas::exhaustive_passes() - exhaustive_before,
     }
 }
 
@@ -405,6 +458,48 @@ mod tests {
             result.stats.max_pending
         );
         assert!(result.stats.max_pending < cfg.messages);
+    }
+
+    /// Satellite regression: a pure-Gaussian stream performs **zero** FAS
+    /// work of any kind — no local repairs, no exhaustive passes, no full
+    /// rebuilds (Appendix A: Gaussian offsets are always transitive).
+    #[test]
+    fn gaussian_stream_performs_zero_fas_work() {
+        let result = run_online_stream(&small(20.0, 1.0), 0.99);
+        assert!(result.stats.messages_emitted > 0);
+        assert_eq!(result.fas_local_repairs, 0, "no SCC repairs on Gaussian streams");
+        assert_eq!(result.fas_exhaustive_passes, 0, "no exhaustive passes on Gaussian streams");
+        assert_eq!(result.full_rebuilds, 0, "no rebuilds on Gaussian streams");
+    }
+
+    /// The tentpole behaviour: Condorcet bursts force tournament cycles,
+    /// which the incremental FAS engine absorbs with SCC-scoped local
+    /// repairs — never a full rebuild — while still emitting every message.
+    #[test]
+    fn cyclic_scenario_repairs_locally_without_full_rebuilds() {
+        let cfg = small(2.0, 1.0).with_cyclic_fraction(0.3);
+        let result = run_online_stream(&cfg, 0.99);
+        assert_eq!(result.stats.messages_emitted, cfg.messages);
+        assert!(
+            result.fas_local_repairs > 0,
+            "bursts must trigger local repairs: {result:?}"
+        );
+        assert!(result.fas_exhaustive_passes > 0);
+        assert_eq!(
+            result.full_rebuilds, 0,
+            "a cyclic arrival must no longer be an automatic full rebuild"
+        );
+    }
+
+    /// Cyclic scenarios flow through the offline pipeline too, and are
+    /// reported as intransitive.
+    #[test]
+    fn cyclic_offline_comparison_reports_intransitivity() {
+        let cfg = small(5.0, 1.0).with_cyclic_fraction(0.4);
+        let result = run_offline_comparison(&cfg);
+        assert!(!result.transitive, "bursts must make the tournament cyclic");
+        // The all-Gaussian control stays transitive on the same seed.
+        assert!(run_offline_comparison(&small(5.0, 1.0)).transitive);
     }
 
     #[test]

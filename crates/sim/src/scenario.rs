@@ -24,6 +24,12 @@ pub struct ScenarioConfig {
     /// Bit-identical output for every value — only wall-clock time changes,
     /// so scenario results stay fully determined by the seed.
     pub parallelism: usize,
+    /// Fraction of the stream emitted as Condorcet (intransitive-dice)
+    /// collusion bursts — `0.0` (the default) is the paper's all-Gaussian,
+    /// always-transitive setting; anything larger adds three colluding
+    /// clients whose near-tied bursts force tournament cycles, exercising
+    /// the feedback-arc-set path (see `tommy_workload::intransitive`).
+    pub cyclic_fraction: f64,
 }
 
 impl Default for ScenarioConfig {
@@ -36,6 +42,7 @@ impl Default for ScenarioConfig {
             threshold: 0.75,
             seed: 42,
             parallelism: 1,
+            cyclic_fraction: 0.0,
         }
     }
 }
@@ -87,6 +94,17 @@ impl ScenarioConfig {
         self.parallelism = parallelism;
         self
     }
+
+    /// Builder: set the Condorcet-burst share of the stream (see
+    /// [`ScenarioConfig::cyclic_fraction`]).
+    pub fn with_cyclic_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "cyclic fraction must be in [0, 1], got {fraction}"
+        );
+        self.cyclic_fraction = fraction;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -107,13 +125,21 @@ mod tests {
             .with_gap(0.5)
             .with_size(50, 100)
             .with_threshold(0.9)
-            .with_seed(7);
+            .with_seed(7)
+            .with_cyclic_fraction(0.25);
         assert_eq!(cfg.clock_std_dev, 80.0);
         assert_eq!(cfg.inter_message_gap, 0.5);
         assert_eq!(cfg.clients, 50);
         assert_eq!(cfg.messages, 100);
         assert_eq!(cfg.threshold, 0.9);
         assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.cyclic_fraction, 0.25);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_cyclic_fraction_rejected() {
+        ScenarioConfig::default().with_cyclic_fraction(1.5);
     }
 
     #[test]

@@ -8,14 +8,14 @@
 //! [`Distribution`] trait plus the concrete families used throughout the
 //! repository:
 //!
-//! * [`Gaussian`](crate::gaussian::Gaussian) — the baseline of §3.2 with the
+//! * [`Gaussian`] — the baseline of §3.2 with the
 //!   closed-form preceding probability;
 //! * [`OffsetDistribution::Uniform`] — bounded offsets;
 //! * [`OffsetDistribution::Laplace`] — sharper peak, heavier tails;
 //! * [`OffsetDistribution::ShiftedExponential`] — one-sided asymmetric path
 //!   delays;
 //! * [`OffsetDistribution::ShiftedLogNormal`] — the "Gaussian-like but with a
-//!   long tail and skewed behaviour" shape reported by [27] in the paper;
+//!   long tail and skewed behaviour" shape reported by \[27\] in the paper;
 //! * [`OffsetDistribution::Mixture`] — e.g. a bimodal mixture modelling a
 //!   client that flips between two synchronization regimes (temperature
 //!   excursions, path changes);

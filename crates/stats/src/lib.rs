@@ -20,7 +20,7 @@
 //!   standard-normal CDF.
 //! * [`gaussian`] — the Gaussian distribution with closed-form preceding
 //!   probability helpers.
-//! * [`distribution`] — the [`Distribution`](distribution::Distribution) trait
+//! * [`distribution`] — the [`Distribution`] trait
 //!   and the concrete clock-offset distribution families used throughout the
 //!   repository (uniform, Laplace, shifted log-normal, Student-t, mixtures,
 //!   empirical).

@@ -53,6 +53,53 @@ pub fn apply_attack(
         .collect()
 }
 
+/// Apply a *collusion* attack: every message a colluding client generates
+/// within `window` of a message from another colluder is snapped to a
+/// near-tie with it (the earliest colluder timestamp in the cluster, plus a
+/// tiny per-client spread to keep per-client monotonicity well-defined).
+///
+/// Forcing ties is rational for Byzantine clients whose offset
+/// distributions are *intransitive* (see
+/// [`intransitive::condorcet_offsets`](crate::intransitive::condorcet_offsets)):
+/// tied timestamps push the sequencer into the cyclic regime where ordering
+/// is decided by cycle-breaking heuristics rather than by timestamp
+/// evidence — each colluder gets a shot at rank none of them could claim
+/// honestly. Ground-truth times are untouched, like
+/// [`apply_attack`].
+pub fn apply_collusion(messages: &[Message], colluders: &[ClientId], window: f64) -> Vec<Message> {
+    assert!(window >= 0.0 && window.is_finite(), "window must be non-negative");
+    let spread = window * 1e-3;
+    let mut out: Vec<Message> = messages.to_vec();
+    // Cluster colluder messages by timestamp proximity, walking in
+    // timestamp order.
+    let mut colluding: Vec<usize> = (0..out.len())
+        .filter(|&i| colluders.contains(&out[i].client))
+        .collect();
+    colluding.sort_by(|&a, &b| {
+        out[a]
+            .timestamp
+            .partial_cmp(&out[b].timestamp)
+            .expect("finite timestamps")
+    });
+    let mut cluster_start = f64::NEG_INFINITY;
+    let mut cluster_rank = 0usize;
+    for &i in &colluding {
+        let ts = out[i].timestamp;
+        if ts - cluster_start > window {
+            cluster_start = ts;
+            cluster_rank = 0;
+        }
+        // Messages tie to the cluster head plus a tiny cluster-local spread:
+        // deterministic, and later messages (walked in timestamp order) get
+        // larger offsets, so each client's stream stays monotone. Capped at
+        // the window so a pathologically large cluster cannot overrun the
+        // next cluster's head.
+        out[i].timestamp = cluster_start + (cluster_rank as f64 * spread).min(window);
+        cluster_rank += 1;
+    }
+    out
+}
+
 /// The attacker's mean rank improvement: how many positions earlier (in a
 /// rank ordering) the attacker's messages land under the forged timestamps
 /// compared to the honest ones, according to a plain sort by timestamp.
@@ -149,6 +196,68 @@ mod tests {
             assert_eq!(h.timestamp, f.timestamp);
         }
         assert_eq!(naive_rank_gain(&honest, &forged, ClientId(1)), 0.0);
+    }
+
+    #[test]
+    fn collusion_ties_nearby_colluder_messages() {
+        // Clients 0, 1, 2 collude; their messages at 10, 11, 12 fall in one
+        // 3-unit window and snap to near-ties at the cluster head (10.0),
+        // while the next cluster (15, 16, 17) stays separate.
+        let honest = msgs();
+        let colluders = [ClientId(0), ClientId(1), ClientId(2)];
+        let forged = apply_collusion(&honest, &colluders, 3.0);
+        let tied: Vec<f64> = forged
+            .iter()
+            .filter(|m| colluders.contains(&m.client) && m.timestamp < 14.0)
+            .map(|m| m.timestamp)
+            .collect();
+        assert_eq!(tied.len(), 3);
+        for ts in &tied {
+            assert!((ts - 10.0).abs() <= 3.0 * 1e-3 * 3.0, "ts = {ts}");
+        }
+        // Non-colluders and every ground-truth time are untouched.
+        for (h, f) in honest.iter().zip(forged.iter()) {
+            assert_eq!(h.true_time, f.true_time);
+            if !colluders.contains(&h.client) {
+                assert_eq!(h.timestamp, f.timestamp);
+            }
+        }
+    }
+
+    /// Regression: a colluder with *two* messages inside one window cluster
+    /// must keep its own timestamps monotone (the spread is cluster-local
+    /// and increases along the walk, not keyed on a global rank).
+    #[test]
+    fn collusion_keeps_each_client_monotone_within_a_cluster() {
+        let honest = vec![
+            Message::with_true_time(MessageId(0), ClientId(0), 10.0, 10.0),
+            Message::with_true_time(MessageId(1), ClientId(1), 10.1, 10.1),
+            Message::with_true_time(MessageId(2), ClientId(2), 10.2, 10.2),
+            Message::with_true_time(MessageId(3), ClientId(2), 10.3, 10.3),
+        ];
+        let colluders = [ClientId(0), ClientId(1), ClientId(2)];
+        let forged = apply_collusion(&honest, &colluders, 3.0);
+        for c in colluders {
+            let ts: Vec<f64> = forged
+                .iter()
+                .filter(|m| m.client == c)
+                .map(|m| m.timestamp)
+                .collect();
+            for w in ts.windows(2) {
+                assert!(w[1] >= w[0], "client {c:?} went backwards: {ts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn collusion_with_distant_messages_leaves_them_apart() {
+        let honest = msgs();
+        // Window smaller than the 5-unit gap between a colluder's own
+        // messages: each message is its own cluster, timestamps unchanged.
+        let forged = apply_collusion(&honest, &[ClientId(0), ClientId(1)], 0.1);
+        for (h, f) in honest.iter().zip(forged.iter()) {
+            assert!((h.timestamp - f.timestamp).abs() < 0.1 * 1e-3 * 2.0 + 1e-12);
+        }
     }
 
     #[test]

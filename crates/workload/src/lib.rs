@@ -21,7 +21,11 @@
 //!   [`Message`](tommy_core::message::Message)s by reading each client's
 //!   simulated clock;
 //! * [`adversarial`] — Byzantine timestamp manipulation (§5 "Byzantine
-//!   Clients").
+//!   Clients"), including the tie-forcing collusion attack;
+//! * [`intransitive`] — cycle-forcing workloads: Condorcet (intransitive
+//!   dice) offset mixes and heavy-tailed populations whose preceding
+//!   probabilities are *not* transitive, exercising the feedback-arc-set
+//!   machinery that Gaussian workloads (Appendix A) never reach.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +33,7 @@
 pub mod adversarial;
 pub mod burst;
 pub mod events;
+pub mod intransitive;
 pub mod poisson;
 pub mod population;
 pub mod tagging;
@@ -36,6 +41,7 @@ pub mod uniform;
 
 pub use burst::BurstWorkload;
 pub use events::GenerationEvent;
+pub use intransitive::{condorcet_offsets, IntransitiveWorkload};
 pub use poisson::PoissonWorkload;
 pub use population::ClockPopulation;
 pub use tagging::tag_messages;

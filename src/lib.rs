@@ -38,8 +38,10 @@
 //! assert_eq!(order.num_messages(), 3);
 //! ```
 //!
-//! See the `examples/` directory for runnable end-to-end scenarios and the
-//! `tommy-sim` binaries for the paper's experiments.
+//! See the `examples/` directory for runnable end-to-end scenarios, the
+//! `tommy-sim` binaries for the paper's experiments, and the repository's
+//! `ARCHITECTURE.md` for the pipeline walk-through (incremental engines,
+//! the invariants their counters guard, and the crate map).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

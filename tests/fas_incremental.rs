@@ -1,0 +1,270 @@
+//! Incremental-FAS equivalence properties (PR 5).
+//!
+//! The incremental FAS engine (SCC-scoped local repairs over a maintained
+//! block condensation) must be indistinguishable — output-wise — from the
+//! exhaustive full-recompute fallback it replaces. Seeded property tests pin
+//! that from three angles:
+//!
+//! 1. **Feedback-arc cost**: over random cyclic tournaments driven through
+//!    arbitrary insert/remove sequences, the maintained order's backward
+//!    (discarded-evidence) weight equals the exhaustive one-shot pass's —
+//!    in fact the orders themselves are identical.
+//! 2. **Emitted batches**: a full online sequencing run over Condorcet
+//!    collusion streams emits a bit-identical batch sequence (ids, ranks,
+//!    safe-emission times) whether the incremental engine or the fallback
+//!    is active — while the two runs' counters prove they took different
+//!    paths (local repairs vs full rebuilds).
+//! 3. **Gaussian regression**: a pure-Gaussian stream performs zero local
+//!    repairs and zero exhaustive passes (Appendix A: no cycles to repair).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tommy::core::graph::fas;
+use tommy::core::precedence::PrecedenceMatrix;
+use tommy::core::tournament::{IncrementalTournament, Tournament};
+use tommy::core::sequencer::online::EmittedBatch;
+use tommy::prelude::*;
+use tommy::workload::intransitive::IntransitiveWorkload;
+
+/// Property 1: incremental FAS output equals the exhaustive pass's
+/// feedback-arc cost on random cyclic tournaments, across random
+/// insert/remove sequences (the maintained state is never rebuilt wholesale
+/// — `full_rebuilds` stays zero — yet its cost matches the one-shot order).
+#[test]
+#[allow(clippy::needless_range_loop)] // symmetric (i, j) matrix fill
+fn incremental_fas_matches_exhaustive_feedback_arc_cost() {
+    const POOL: usize = 22;
+    for seed in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(9_000 + seed);
+        let mut pairwise = vec![vec![0.5; POOL]; POOL];
+        for i in 0..POOL {
+            for j in (i + 1)..POOL {
+                let p = rng.random_range(0.05..0.95f64);
+                pairwise[i][j] = p;
+                pairwise[j][i] = 1.0 - p;
+            }
+        }
+        let pool_msgs: Vec<Message> = (0..POOL)
+            .map(|i| Message::new(MessageId(i as u64), ClientId(i as u32), 0.0))
+            .collect();
+        let rebuild_matrix = |pending: &[usize]| -> PrecedenceMatrix {
+            let messages: Vec<Message> = pending.iter().map(|&g| pool_msgs[g].clone()).collect();
+            let probs: Vec<Vec<f64>> = pending
+                .iter()
+                .map(|&gi| pending.iter().map(|&gj| pairwise[gi][gj]).collect())
+                .collect();
+            PrecedenceMatrix::from_probabilities(&messages, &probs)
+        };
+
+        let config = SequencerConfig::default();
+        let mut pending: Vec<usize> = Vec::new();
+        let mut inc = IncrementalTournament::new();
+        let mut next = 0usize;
+        let mut saw_cycle = false;
+        for _ in 0..40 {
+            let remove = !pending.is_empty() && rng.random_range(0u32..3) == 0;
+            if remove {
+                let count = rng.random_range(1usize..=pending.len());
+                let mut positions: Vec<usize> = (0..pending.len()).collect();
+                for _ in 0..(pending.len() - count) {
+                    let k = rng.random_range(0usize..positions.len());
+                    positions.remove(k);
+                }
+                for &p in positions.iter().rev() {
+                    pending.remove(p);
+                }
+                if pending.is_empty() {
+                    inc.remove_indices(&positions, &PrecedenceMatrix::empty());
+                } else {
+                    inc.remove_indices(&positions, &rebuild_matrix(&pending));
+                }
+            } else if next < POOL {
+                pending.push(next);
+                next += 1;
+                inc.insert_last(&rebuild_matrix(&pending));
+            } else {
+                continue;
+            }
+            if pending.is_empty() {
+                continue;
+            }
+            let matrix = rebuild_matrix(&pending);
+            let maintained = inc.linear_order(&matrix, &config, None);
+            let one_shot =
+                Tournament::from_matrix(&matrix).linear_order(&matrix, &config, None);
+            let prob = |a: usize, b: usize| matrix.prob(a, b);
+            let inc_cost = fas::backward_weight(&maintained, &prob);
+            let ref_cost = fas::backward_weight(&one_shot, &prob);
+            assert!(
+                (inc_cost - ref_cost).abs() < 1e-12,
+                "seed {seed}: feedback-arc cost diverged ({inc_cost} vs {ref_cost})"
+            );
+            assert_eq!(maintained, one_shot, "seed {seed}: orders diverged");
+            saw_cycle |= !inc.is_transitive();
+        }
+        assert!(saw_cycle, "seed {seed}: random relation never cycled");
+        assert_eq!(
+            inc.full_rebuilds(),
+            0,
+            "seed {seed}: the incremental engine must never rebuild wholesale"
+        );
+    }
+}
+
+/// One sequencer input, pre-resolved so both runs consume the identical
+/// event list.
+enum Event {
+    Heartbeat(ClientId, f64, f64),
+    Submit(Message, f64),
+}
+
+/// Resolve a generated stream into deliveries plus surrounding heartbeats,
+/// with per-client monotone clamping (the sim runner's scheme: a client's
+/// merged stream of message timestamps and heartbeat readings never goes
+/// backwards).
+fn build_events(workload: &IntransitiveWorkload, stream: &[Message]) -> Vec<Event> {
+    use std::collections::HashMap;
+    let offsets = workload.offsets();
+    let mut last_ts: HashMap<ClientId, f64> = HashMap::new();
+    let mut events = Vec::new();
+    for delivery in stream {
+        let true_time = delivery.true_time.expect("generated streams carry true times");
+        let arrival = true_time + 1.0;
+        for (client, _) in &offsets {
+            if *client == delivery.client {
+                continue;
+            }
+            let floor = last_ts.get(client).copied().unwrap_or(f64::NEG_INFINITY);
+            let ts = true_time.max(floor);
+            last_ts.insert(*client, ts);
+            events.push(Event::Heartbeat(*client, ts, arrival));
+        }
+        let floor = last_ts
+            .get(&delivery.client)
+            .copied()
+            .unwrap_or(f64::NEG_INFINITY);
+        let ts = delivery.timestamp.max(floor);
+        last_ts.insert(delivery.client, ts);
+        events.push(Event::Submit(
+            Message::with_true_time(delivery.id, delivery.client, ts, true_time),
+            arrival,
+        ));
+    }
+    let horizon = last_ts.values().copied().fold(0.0f64, f64::max) + 1e6;
+    for (client, _) in &offsets {
+        events.push(Event::Heartbeat(*client, horizon, horizon));
+    }
+    events
+}
+
+/// Drive one online sequencer over a pre-resolved event list, flushing at
+/// the end — returns every emitted batch plus the tournament counters.
+fn run_sequencer(
+    workload: &IntransitiveWorkload,
+    events: &[Event],
+    incremental: bool,
+) -> (Vec<EmittedBatch>, u64, u64) {
+    let config = SequencerConfig::default().with_incremental_fas(incremental);
+    let mut sequencer = OnlineSequencer::new(config);
+    for (client, dist) in workload.offsets() {
+        sequencer.register_client(client, dist);
+    }
+    let mut emitted = Vec::new();
+    for event in events {
+        match event {
+            Event::Heartbeat(client, ts, arrival) => emitted.extend(
+                sequencer
+                    .heartbeat(*client, *ts, *arrival)
+                    .expect("registered client"),
+            ),
+            Event::Submit(message, arrival) => emitted.extend(
+                sequencer
+                    .submit(message.clone(), *arrival)
+                    .expect("valid submission"),
+            ),
+        }
+    }
+    emitted.extend(sequencer.flush());
+    (
+        emitted,
+        sequencer.tournament().full_rebuilds(),
+        sequencer.tournament().local_repairs(),
+    )
+}
+
+/// Property 2: bit-identical emitted batches — the incremental engine and
+/// the exhaustive fallback produce the same batch sequence (ids, ranks,
+/// safe-emission times) on Condorcet collusion streams, while their
+/// counters prove the paths differed.
+#[test]
+fn emitted_batches_bit_identical_to_fallback_on_cyclic_streams() {
+    let mut saw_repairs = false;
+    for seed in 0..6u64 {
+        let workload = IntransitiveWorkload::new(4, 60, 0.4)
+            .with_scale(10.0)
+            .with_honest_std_dev(1.5)
+            .with_spacing(2.0);
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let stream = workload.generate(&mut rng);
+        let events = build_events(&workload, &stream);
+
+        let (incremental, inc_rebuilds, inc_repairs) =
+            run_sequencer(&workload, &events, true);
+        let (fallback, fb_rebuilds, fb_repairs) = run_sequencer(&workload, &events, false);
+
+        assert_eq!(
+            incremental.len(),
+            fallback.len(),
+            "seed {seed}: batch counts diverged"
+        );
+        for (a, b) in incremental.iter().zip(fallback.iter()) {
+            assert_eq!(a.rank, b.rank, "seed {seed}");
+            assert_eq!(a.message_ids(), b.message_ids(), "seed {seed}");
+            assert_eq!(
+                a.safe_after.to_bits(),
+                b.safe_after.to_bits(),
+                "seed {seed}: safe-emission times must be bit-identical"
+            );
+        }
+        let total: usize = incremental.iter().map(|b| b.messages.len()).sum();
+        assert_eq!(total, stream.len(), "seed {seed}: every message must emit");
+
+        assert_eq!(inc_rebuilds, 0, "seed {seed}: incremental must not rebuild");
+        assert_eq!(fb_repairs, 0, "seed {seed}: fallback must not repair");
+        saw_repairs |= inc_repairs > 0;
+        if inc_repairs > 0 {
+            assert!(
+                fb_rebuilds > 0,
+                "seed {seed}: cycles must force fallback rebuilds"
+            );
+        }
+    }
+    assert!(saw_repairs, "the streams must exercise the repair path");
+}
+
+/// Property 3 (satellite regression): a pure-Gaussian stream performs zero
+/// FAS local repairs and zero exhaustive passes, end to end.
+#[test]
+fn gaussian_streams_perform_zero_fas_work() {
+    let workload = IntransitiveWorkload::new(6, 80, 0.0).with_honest_std_dev(3.0);
+    let mut rng = StdRng::seed_from_u64(7);
+    let stream = workload.generate(&mut rng);
+    let events = build_events(&workload, &stream);
+    let passes_before = fas::exhaustive_passes();
+    let repairs_before = fas::local_repairs();
+    let (emitted, rebuilds, repairs) = run_sequencer(&workload, &events, true);
+    let total: usize = emitted.iter().map(|b| b.messages.len()).sum();
+    assert_eq!(total, stream.len());
+    assert_eq!(rebuilds, 0);
+    assert_eq!(repairs, 0);
+    assert_eq!(
+        fas::exhaustive_passes(),
+        passes_before,
+        "Gaussian streams must never run the exhaustive pass"
+    );
+    assert_eq!(
+        fas::local_repairs(),
+        repairs_before,
+        "Gaussian streams must never run a local repair"
+    );
+}
