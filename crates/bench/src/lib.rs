@@ -20,9 +20,11 @@ use tommy_core::sequencer::emission::batch_emission_time;
 use tommy_core::sequencer::online::OnlineSequencer;
 use tommy_core::sequencer::{SequencingCore, SequencingOutcome};
 use tommy_core::tournament::Tournament;
+use tommy_sim::runner::{run_online_stream, OnlineStreamResult};
 use tommy_sim::scenario::ScenarioConfig;
 use tommy_stats::distribution::OffsetDistribution;
 use tommy_workload::intransitive::IntransitiveWorkload;
+use tommy_workload::{AttackFamily, AttackPlan};
 
 /// A scenario sized for benchmarking: large enough to be representative,
 /// small enough that a criterion iteration completes in milliseconds.
@@ -32,6 +34,47 @@ pub fn bench_scenario() -> ScenarioConfig {
         .with_clock_std_dev(20.0)
         .with_gap(1.0)
         .with_seed(42)
+}
+
+/// Safe-emission quantile used by the adversarial sweep (the sim runner
+/// convention).
+pub const ADVERSARIAL_P_SAFE: f64 = 0.99;
+
+/// The adversarial-sweep scenario regime: 6 clients, 240 messages, σ = 3
+/// clocks at gap 8 — wide enough gaps that the honest stream is nearly
+/// perfectly orderable, so any RAS loss in the sweep is attributable to the
+/// attack (and any RAS recovered to the defense). `intensity == 0.0` is the
+/// honest control: no attack plan is attached at all.
+pub fn adversarial_scenario(
+    family: AttackFamily,
+    intensity: f64,
+    defended: bool,
+) -> ScenarioConfig {
+    let cfg = ScenarioConfig::default()
+        .with_size(6, 240)
+        .with_clock_std_dev(3.0)
+        .with_gap(4.0)
+        .with_seed(21)
+        .with_defended(defended);
+    if intensity == 0.0 {
+        cfg
+    } else {
+        cfg.with_adversarial(AttackPlan::new(family, intensity).with_scale(cfg.clock_std_dev))
+    }
+}
+
+/// One adversarial-sweep cell: stream the scenario through the online
+/// sequencer at [`ADVERSARIAL_P_SAFE`] — the measurement behind
+/// `BENCH_adversarial.json`.
+pub fn run_adversarial_stream(
+    family: AttackFamily,
+    intensity: f64,
+    defended: bool,
+) -> OnlineStreamResult {
+    run_online_stream(
+        &adversarial_scenario(family, intensity, defended),
+        ADVERSARIAL_P_SAFE,
+    )
 }
 
 /// Number of clients used by the streaming precedence benchmarks.
@@ -393,6 +436,28 @@ mod tests {
             assert_eq!(report.local_repairs, 0);
             assert_eq!(report.exhaustive_passes, 0);
         }
+    }
+
+    /// The adversarial sweep harness really exercises the defense: the
+    /// honest control raises no alarms (defended or not), a strong misreport
+    /// attack gets quarantined, and every cell is deterministic.
+    #[test]
+    fn adversarial_harness_engages_the_defense() {
+        let honest = run_adversarial_stream(AttackFamily::Misreport, 0.0, true);
+        assert_eq!(honest.quarantines, 0, "honest control must raise no alarms");
+        assert_eq!(honest.reestimations, 0);
+        assert_eq!(honest.margin_fallbacks, 0);
+
+        let undefended = run_adversarial_stream(AttackFamily::Misreport, 0.6, false);
+        assert_eq!(undefended.quarantines, 0, "defense off must stay silent");
+
+        let defended = run_adversarial_stream(AttackFamily::Misreport, 0.6, true);
+        assert!(defended.quarantines >= 1, "{:?}", defended.stats);
+        assert!(defended.margin_fallbacks > 0, "{:?}", defended.stats);
+
+        let again = run_adversarial_stream(AttackFamily::Misreport, 0.6, true);
+        assert_eq!(defended.ras.score(), again.ras.score(), "cells must be deterministic");
+        assert_eq!(defended.stats.fairness_violations, again.stats.fairness_violations);
     }
 
     #[test]

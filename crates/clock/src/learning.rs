@@ -291,4 +291,71 @@ mod tests {
         let mut learner = DistributionLearner::new(LearnedModel::GaussianFit);
         learner.record(f64::NAN);
     }
+
+    /// Drift re-estimation contract (the defense layer's §3.3 loop): after a
+    /// step change in the offset regime, a windowed learner converges to the
+    /// new regime within exactly one window of samples — the bound the
+    /// sequencer-side re-estimation relies on.
+    #[test]
+    fn windowed_learner_converges_within_one_window_of_drift() {
+        const W: usize = 64;
+        let mut learner = DistributionLearner::with_window(LearnedModel::GaussianFit, W);
+        let mut rng = StdRng::seed_from_u64(11);
+        let pre = Gaussian::new(0.0, 2.0);
+        let post = Gaussian::new(8.0, 2.0); // a 4σ drift step
+        for _ in 0..200 {
+            learner.record(pre.sample(&mut rng));
+        }
+        let before = learner.mean();
+        assert!(before.abs() < 1.0, "pre-drift mean {before}");
+
+        // Half a window in: the estimate is mid-transition, pulled off the
+        // old regime but not yet settled on the new one.
+        for _ in 0..W / 2 {
+            learner.record(post.sample(&mut rng));
+        }
+        let mid = learner.mean();
+        assert!(mid > before + 2.0 && mid < 7.0, "mid-drift mean {mid}");
+
+        // One full window after the step, every retained sample comes from
+        // the new regime: the fit matches it to sampling noise.
+        for _ in 0..W / 2 {
+            learner.record(post.sample(&mut rng));
+        }
+        assert_eq!(learner.len(), W);
+        let learned = learner.learned().unwrap();
+        assert!((learned.mean() - 8.0).abs() < 1.0, "mean {}", learned.mean());
+        assert!((learned.std_dev() - 2.0).abs() < 1.0, "sd {}", learned.std_dev());
+    }
+
+    /// `record_sample` (probe path) and `record_all` (residual-batch path,
+    /// used by the sequencer-side defense) feed the identical pipeline: the
+    /// same offsets produce bit-identical fits through either entry point.
+    #[test]
+    fn record_sample_and_record_all_agree_bitwise() {
+        let offsets: Vec<f64> = (0..40).map(|i| (i as f64 * 0.73).sin() * 5.0 + 1.5).collect();
+        let samples: Vec<OffsetSample> = offsets
+            .iter()
+            .enumerate()
+            .map(|(i, &offset)| OffsetSample {
+                offset,
+                rtt: 10.0 + i as f64,
+                completed_at: i as f64,
+            })
+            .collect();
+
+        let mut via_samples = DistributionLearner::with_window(LearnedModel::GaussianFit, 32);
+        for s in &samples {
+            via_samples.record_sample(s);
+        }
+        let mut via_batch = DistributionLearner::with_window(LearnedModel::GaussianFit, 32);
+        via_batch.record_all(&offsets);
+
+        assert_eq!(via_samples.len(), via_batch.len());
+        assert_eq!(via_samples.mean().to_bits(), via_batch.mean().to_bits());
+        assert_eq!(via_samples.std_dev().to_bits(), via_batch.std_dev().to_bits());
+        let (a, b) = (via_samples.learned().unwrap(), via_batch.learned().unwrap());
+        assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+        assert_eq!(a.std_dev().to_bits(), b.std_dev().to_bits());
+    }
 }

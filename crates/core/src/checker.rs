@@ -1,0 +1,662 @@
+//! Small-model exhaustive checking of the online sequencer's ordering
+//! invariants.
+//!
+//! Sampled simulations (the `tommy-sim` runner) show the sequencer behaves
+//! well *on the schedules the simulator happens to draw*. This module makes
+//! the complementary TLA-style argument on tiny models: enumerate **every**
+//! admissible delivery schedule of a small workload — bounded reordering
+//! over per-client FIFO channels — replay each one through a real
+//! [`OnlineSequencer`], and assert four invariants on every trace:
+//!
+//! 1. **Per-client emission monotonicity** — flattening emitted batches in
+//!    emission order, each client's timestamps never decrease (the ordered
+//!    per-channel guarantee of §3.5 survives sequencing);
+//! 2. **No loss, no duplication** — the emitted multiset of message ids
+//!    equals the submitted multiset (emission drops nothing and repeats
+//!    nothing);
+//! 3. **Boundary consistency** — every emitted batch equals the candidate
+//!    batch a *from-scratch* sequencing of the pre-emission pending set
+//!    produces (the incrementally maintained matrix/tournament/boundary
+//!    state never diverges from the one-shot Appendix C closure);
+//! 4. **Bounded fairness-violation rate** — the fraction of submissions
+//!    flagged as fairness violations stays within the model's bound.
+//!
+//! The schedule space is what a bounded-reordering network can produce: at
+//! each step any of the oldest [`ModelSpec::max_in_flight`] undelivered
+//! messages (per-client FIFO respected) may be delivered next. Clients
+//! heartbeat whenever doing so cannot overtake one of their own undelivered
+//! messages, mirroring the ordered-channel semantics of the sim runner.
+//!
+//! Invariants 1, 2 and 4 are pure trace predicates, exposed through
+//! [`check_trace`] so tests can also prove the checker *can* fail (corrupt
+//! a trace, watch it fire); invariant 3 is checked during replay, where the
+//! pre-emission pending set is still known. See `ARCHITECTURE.md`, "Threat
+//! model & degradation", for the row-per-invariant table.
+
+use std::collections::HashMap;
+
+use tommy_stats::distribution::{Distribution, OffsetDistribution};
+
+use crate::config::SequencerConfig;
+use crate::error::CoreError;
+use crate::message::{ClientId, Message, MessageId};
+use crate::precedence::PrecedenceMatrix;
+use crate::sequencer::online::{EmittedBatch, OnlineSequencer, OnlineStats};
+use crate::sequencer::SequencingCore;
+
+/// A small model: a fixed client population, a fixed message set, and the
+/// network/bound parameters defining the schedule space.
+#[derive(Debug, Clone)]
+pub struct ModelSpec {
+    /// Per-client offset distributions *as registered with the sequencer*
+    /// (under a misreport attack these are the claims, not the truth).
+    pub offsets: Vec<(ClientId, OffsetDistribution)>,
+    /// The workload, with ground-truth times attached
+    /// ([`Message::with_true_time`]); per-client timestamps must be
+    /// monotone in true-time order (the tagging/attack pipelines guarantee
+    /// this, and replay clamps defensively).
+    pub messages: Vec<Message>,
+    /// Sequencer configuration under test. Must be deterministic
+    /// ([`SequencerConfig::stochastic_cycle_breaking`] off): the
+    /// boundary-consistency invariant compares against an independent
+    /// from-scratch solve, which under stochastic repairs would
+    /// legitimately differ.
+    pub config: SequencerConfig,
+    /// Fixed network delay added to a message's true time to form its
+    /// earliest arrival; the sequencer clock never runs backwards, so a
+    /// reordered delivery arrives at `max(clock so far, truth + delay)`.
+    pub network_delay: f64,
+    /// Reordering bound: at each step, any of the oldest `max_in_flight`
+    /// undelivered messages may be delivered next. `1` is FIFO delivery;
+    /// the schedule count grows combinatorially with the bound.
+    pub max_in_flight: usize,
+    /// Invariant 4's bound on `fairness_violations / messages` per trace.
+    pub max_violation_rate: f64,
+    /// Hard cap on enumerated schedules (a runaway-model guard, reported
+    /// as [`CheckReport::truncated`] when hit).
+    pub max_schedules: usize,
+}
+
+/// One invariant failure on one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvariantViolation {
+    /// Invariant 1: a client's emitted timestamps went backwards.
+    NonMonotoneEmission {
+        /// The offending client.
+        client: ClientId,
+        /// The timestamp emitted earlier.
+        earlier: f64,
+        /// The smaller timestamp emitted later.
+        later: f64,
+    },
+    /// Invariant 2: a submitted message never surfaced in any batch.
+    MessageLost {
+        /// The lost message.
+        id: MessageId,
+    },
+    /// Invariant 2: a message appeared in more emitted slots than it was
+    /// submitted.
+    MessageDuplicated {
+        /// The duplicated message.
+        id: MessageId,
+    },
+    /// Invariant 3: an emitted batch differs from the from-scratch
+    /// candidate over the same pending set.
+    BoundaryMismatch {
+        /// The batch the from-scratch solve produces (sorted ids).
+        expected: Vec<MessageId>,
+        /// The batch actually emitted (sorted ids).
+        emitted: Vec<MessageId>,
+    },
+    /// Invariant 4: the trace's fairness-violation rate exceeds the bound.
+    ViolationRateExceeded {
+        /// Fairness violations counted by the sequencer.
+        violations: usize,
+        /// Messages submitted in the trace.
+        messages: usize,
+        /// The configured bound on `violations / messages`.
+        bound: f64,
+    },
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvariantViolation::NonMonotoneEmission {
+                client,
+                earlier,
+                later,
+            } => write!(
+                f,
+                "{client} emitted {later} after {earlier} (non-monotone emission)"
+            ),
+            InvariantViolation::MessageLost { id } => write!(f, "{id} was never emitted"),
+            InvariantViolation::MessageDuplicated { id } => {
+                write!(f, "{id} was emitted more than once")
+            }
+            InvariantViolation::BoundaryMismatch { expected, emitted } => write!(
+                f,
+                "emitted batch {emitted:?} differs from the from-scratch candidate {expected:?}"
+            ),
+            InvariantViolation::ViolationRateExceeded {
+                violations,
+                messages,
+                bound,
+            } => write!(
+                f,
+                "{violations}/{messages} fairness violations exceeds the {bound} rate bound"
+            ),
+        }
+    }
+}
+
+/// What one replayed schedule produced — the trace the pure invariants are
+/// evaluated on. Exposed (with [`check_trace`]) so tests can corrupt a
+/// trace and prove the invariants actually fire.
+#[derive(Debug, Clone)]
+pub struct RunTrace {
+    /// The messages as submitted (after per-client floor clamping), in
+    /// delivery order.
+    pub submitted: Vec<Message>,
+    /// Every batch emitted, in emission order.
+    pub emitted: Vec<EmittedBatch>,
+    /// The sequencer's final counters.
+    pub stats: OnlineStats,
+}
+
+/// An invariant failure tagged with the schedule that produced it.
+#[derive(Debug, Clone)]
+pub struct ScheduleViolation {
+    /// Indices into [`ModelSpec::messages`], in delivery order.
+    pub schedule: Vec<usize>,
+    /// The failed invariant.
+    pub violation: InvariantViolation,
+}
+
+/// Result of an exhaustive check.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Schedules enumerated and replayed.
+    pub schedules: usize,
+    /// Whether enumeration stopped at [`ModelSpec::max_schedules`].
+    pub truncated: bool,
+    /// Every invariant failure found, tagged with its schedule.
+    pub violations: Vec<ScheduleViolation>,
+}
+
+impl CheckReport {
+    /// Whether every enumerated schedule satisfied every invariant.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Evaluate the pure trace invariants (1, 2 and 4 — monotonicity, no
+/// loss/duplication, bounded violation rate) on a finished trace.
+pub fn check_trace(trace: &RunTrace, max_violation_rate: f64) -> Vec<InvariantViolation> {
+    let mut found = Vec::new();
+
+    // Invariant 1: per-client monotone emission.
+    let mut last_ts: HashMap<ClientId, f64> = HashMap::new();
+    for batch in &trace.emitted {
+        for m in &batch.messages {
+            if let Some(&prev) = last_ts.get(&m.client) {
+                if m.timestamp < prev {
+                    found.push(InvariantViolation::NonMonotoneEmission {
+                        client: m.client,
+                        earlier: prev,
+                        later: m.timestamp,
+                    });
+                }
+            }
+            last_ts.insert(m.client, m.timestamp);
+        }
+    }
+
+    // Invariant 2: emitted multiset == submitted multiset.
+    let mut emitted_count: HashMap<MessageId, usize> = HashMap::new();
+    for batch in &trace.emitted {
+        for m in &batch.messages {
+            *emitted_count.entry(m.id).or_insert(0) += 1;
+        }
+    }
+    for m in &trace.submitted {
+        match emitted_count.get_mut(&m.id) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => found.push(InvariantViolation::MessageLost { id: m.id }),
+        }
+    }
+    let mut extras: Vec<(MessageId, usize)> =
+        emitted_count.into_iter().filter(|&(_, n)| n > 0).collect();
+    extras.sort();
+    for (id, n) in extras {
+        for _ in 0..n {
+            found.push(InvariantViolation::MessageDuplicated { id });
+        }
+    }
+
+    // Invariant 4: bounded fairness-violation rate.
+    if !trace.submitted.is_empty() {
+        let rate = trace.stats.fairness_violations as f64 / trace.submitted.len() as f64;
+        if rate > max_violation_rate {
+            found.push(InvariantViolation::ViolationRateExceeded {
+                violations: trace.stats.fairness_violations,
+                messages: trace.submitted.len(),
+                bound: max_violation_rate,
+            });
+        }
+    }
+
+    found
+}
+
+fn truth_of(m: &Message) -> f64 {
+    m.true_time.unwrap_or(m.timestamp)
+}
+
+impl ModelSpec {
+    /// A model with default bounds: unit network delay, a reordering window
+    /// of 3, no violation-rate bound (1.0 — every submission may violate),
+    /// and a 20 000-schedule cap.
+    pub fn new(offsets: Vec<(ClientId, OffsetDistribution)>, messages: Vec<Message>) -> Self {
+        ModelSpec {
+            offsets,
+            messages,
+            config: SequencerConfig::default(),
+            network_delay: 1.0,
+            max_in_flight: 3,
+            max_violation_rate: 1.0,
+            max_schedules: 20_000,
+        }
+    }
+
+    /// Set the sequencer configuration under test.
+    pub fn with_config(mut self, config: SequencerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set the reordering bound (`1` = FIFO delivery only).
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        assert!(max_in_flight >= 1, "need at least one deliverable message");
+        self.max_in_flight = max_in_flight;
+        self
+    }
+
+    /// Set invariant 4's bound on the per-trace fairness-violation rate.
+    pub fn with_max_violation_rate(mut self, max_violation_rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&max_violation_rate),
+            "rate bound must be in [0, 1]"
+        );
+        self.max_violation_rate = max_violation_rate;
+        self
+    }
+
+    /// Set the fixed network delay.
+    pub fn with_network_delay(mut self, network_delay: f64) -> Self {
+        assert!(
+            network_delay >= 0.0 && network_delay.is_finite(),
+            "delay must be finite and non-negative"
+        );
+        self.network_delay = network_delay;
+        self
+    }
+
+    /// Set the schedule-enumeration cap.
+    pub fn with_max_schedules(mut self, max_schedules: usize) -> Self {
+        assert!(max_schedules >= 1, "need at least one schedule");
+        self.max_schedules = max_schedules;
+        self
+    }
+
+    /// Enumerate every admissible delivery schedule, replay each through a
+    /// real [`OnlineSequencer`], and evaluate all four invariants.
+    ///
+    /// # Errors
+    ///
+    /// Errors propagate from replay (unknown client, duplicate id, …) —
+    /// they indicate a malformed model, not an invariant violation.
+    pub fn check(&self) -> Result<CheckReport, CoreError> {
+        assert!(
+            !self.config.stochastic_cycle_breaking,
+            "the boundary-consistency invariant requires a deterministic config"
+        );
+        // Deliveries are chosen among messages ordered by ground truth.
+        let mut by_truth: Vec<usize> = (0..self.messages.len()).collect();
+        by_truth.sort_by(|&a, &b| {
+            truth_of(&self.messages[a])
+                .partial_cmp(&truth_of(&self.messages[b]))
+                .expect("finite true times")
+        });
+
+        let mut report = CheckReport {
+            schedules: 0,
+            truncated: false,
+            violations: Vec::new(),
+        };
+        let mut delivered = vec![false; self.messages.len()];
+        let mut schedule: Vec<usize> = Vec::with_capacity(self.messages.len());
+        self.explore(&by_truth, &mut delivered, &mut schedule, &mut report)?;
+        Ok(report)
+    }
+
+    /// DFS over the schedule space (see [`check`](Self::check)).
+    fn explore(
+        &self,
+        by_truth: &[usize],
+        delivered: &mut Vec<bool>,
+        schedule: &mut Vec<usize>,
+        report: &mut CheckReport,
+    ) -> Result<(), CoreError> {
+        if report.truncated {
+            return Ok(());
+        }
+        if schedule.len() == self.messages.len() {
+            report.schedules += 1;
+            let (trace, mut violations) = self.replay(schedule)?;
+            violations.extend(check_trace(&trace, self.max_violation_rate));
+            for violation in violations {
+                report.violations.push(ScheduleViolation {
+                    schedule: schedule.clone(),
+                    violation,
+                });
+            }
+            if report.schedules >= self.max_schedules {
+                report.truncated = true;
+            }
+            return Ok(());
+        }
+        // The choice set: among the oldest `max_in_flight` undelivered
+        // messages (by ground truth), each client's earliest one — per-client
+        // channels deliver in FIFO order.
+        let mut choices: Vec<usize> = Vec::new();
+        let mut frontier = 0usize;
+        let mut seen_clients: Vec<ClientId> = Vec::new();
+        for &idx in by_truth.iter().filter(|&&i| !delivered[i]) {
+            let client = self.messages[idx].client;
+            if !seen_clients.contains(&client) {
+                seen_clients.push(client);
+                choices.push(idx);
+            }
+            frontier += 1;
+            if frontier == self.max_in_flight {
+                break;
+            }
+        }
+        for idx in choices {
+            delivered[idx] = true;
+            schedule.push(idx);
+            self.explore(by_truth, delivered, schedule, report)?;
+            schedule.pop();
+            delivered[idx] = false;
+        }
+        Ok(())
+    }
+
+    /// Replay one delivery schedule (indices into [`ModelSpec::messages`])
+    /// through a fresh sequencer, checking boundary consistency
+    /// (invariant 3) at every emission. Returns the trace and any boundary
+    /// violations found.
+    ///
+    /// Replay mirrors the sim runner's semantics: arrivals happen at
+    /// `max(clock so far, truth + network_delay)`; per-client timestamps are
+    /// clamped to the client's floor (an earlier heartbeat may have advanced
+    /// past a reordered timestamp); after each delivery, every client whose
+    /// undelivered messages all lie in the future heartbeats at the round's
+    /// true time; the stream closes with past-every-horizon heartbeats, a
+    /// final tick and a flush.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sequencer rejections (unknown client, duplicate id) —
+    /// a malformed model, not an invariant violation.
+    pub fn replay(
+        &self,
+        schedule: &[usize],
+    ) -> Result<(RunTrace, Vec<InvariantViolation>), CoreError> {
+        let mut seq = OnlineSequencer::new(self.config);
+        for (client, dist) in &self.offsets {
+            seq.register_client(*client, dist.clone());
+        }
+        let mut undelivered: HashMap<ClientId, Vec<f64>> = HashMap::new();
+        for m in &self.messages {
+            undelivered.entry(m.client).or_default().push(truth_of(m));
+        }
+
+        let mut clock = 0.0_f64;
+        let mut floors: HashMap<ClientId, f64> = HashMap::new();
+        let mut submitted: Vec<Message> = Vec::new();
+        let mut pending: Vec<Message> = Vec::new();
+        let mut violations: Vec<InvariantViolation> = Vec::new();
+
+        for &idx in schedule {
+            let m = &self.messages[idx];
+            let t = truth_of(m);
+            clock = clock.max(t + self.network_delay);
+
+            let floor = floors.get(&m.client).copied().unwrap_or(f64::NEG_INFINITY);
+            let ts = m.timestamp.max(floor);
+            floors.insert(m.client, ts);
+            let msg = Message {
+                id: m.id,
+                client: m.client,
+                timestamp: ts,
+                true_time: m.true_time,
+            };
+            if let Some(v) = undelivered.get_mut(&m.client) {
+                if let Some(pos) = v.iter().position(|&u| u == t) {
+                    v.remove(pos);
+                }
+            }
+            submitted.push(msg.clone());
+            pending.push(msg.clone());
+            let batches = seq.submit(msg, clock)?;
+            self.account(&seq, &batches, &mut pending, &mut violations)?;
+
+            // Ordered channels: a client may heartbeat at this round's true
+            // time only if none of its own undelivered messages would be
+            // overtaken.
+            for (client, _) in &self.offsets {
+                if *client == m.client {
+                    continue;
+                }
+                let blocked = undelivered
+                    .get(client)
+                    .is_some_and(|v| v.iter().any(|&u| u <= t));
+                if blocked {
+                    continue;
+                }
+                let floor = floors.get(client).copied().unwrap_or(f64::NEG_INFINITY);
+                let hb = t.max(floor);
+                floors.insert(*client, hb);
+                let batches = seq.heartbeat(*client, hb, clock)?;
+                self.account(&seq, &batches, &mut pending, &mut violations)?;
+            }
+        }
+
+        // Close the stream: every client heartbeats past every horizon, the
+        // clock passes every safe-emission time, and a flush drains any
+        // leftovers — the sim runner's shutdown sequence.
+        let max_ts = floors.values().fold(0.0_f64, |a, &b| a.max(b));
+        let max_sd = self
+            .offsets
+            .iter()
+            .map(|(_, d)| d.std_dev())
+            .fold(0.0_f64, f64::max);
+        let horizon = max_ts + 1000.0 * max_sd.max(1.0);
+        for (client, _) in &self.offsets {
+            let batches = seq.heartbeat(*client, horizon, clock)?;
+            self.account(&seq, &batches, &mut pending, &mut violations)?;
+        }
+        let batches = seq.tick(horizon + self.network_delay);
+        self.account(&seq, &batches, &mut pending, &mut violations)?;
+        let batches = seq.flush();
+        self.account(&seq, &batches, &mut pending, &mut violations)?;
+
+        let stats = seq.stats();
+        Ok((
+            RunTrace {
+                submitted,
+                emitted: seq.take_emitted(),
+                stats,
+            },
+            violations,
+        ))
+    }
+
+    /// Check invariant 3 for each batch just emitted: the batch must equal
+    /// the candidate a from-scratch sequencing of the pre-emission pending
+    /// set produces. Consumes the batches from the shadow pending list.
+    fn account(
+        &self,
+        seq: &OnlineSequencer,
+        batches: &[EmittedBatch],
+        pending: &mut Vec<Message>,
+        violations: &mut Vec<InvariantViolation>,
+    ) -> Result<(), CoreError> {
+        for batch in batches {
+            let matrix = PrecedenceMatrix::compute_parallel(pending, seq.registry(), 1)?;
+            let mut core = SequencingCore::new(self.config);
+            core.load(&matrix);
+            let mut expected: Vec<MessageId> = core
+                .candidate_indices(&matrix, None)
+                .unwrap_or_default()
+                .into_iter()
+                .map(|i| pending[i].id)
+                .collect();
+            expected.sort();
+            let mut got = batch.message_ids();
+            got.sort();
+            if expected != got {
+                violations.push(InvariantViolation::BoundaryMismatch {
+                    expected,
+                    emitted: got.clone(),
+                });
+            }
+            pending.retain(|m| !got.contains(&m.id));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_offsets() -> Vec<(ClientId, OffsetDistribution)> {
+        (0..3)
+            .map(|c| (ClientId(c), OffsetDistribution::gaussian(0.0, 2.0)))
+            .collect()
+    }
+
+    fn tiny_messages() -> Vec<Message> {
+        // Two messages per client, spread enough to emit in several batches.
+        let mut v = Vec::new();
+        let mut id = 0;
+        for round in 0..2 {
+            for c in 0..3u32 {
+                let t = 10.0 + round as f64 * 40.0 + c as f64 * 2.0;
+                v.push(Message::with_true_time(MessageId(id), ClientId(c), t, t));
+                id += 1;
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn fifo_model_has_one_schedule_and_passes() {
+        let spec = ModelSpec::new(tiny_offsets(), tiny_messages()).with_max_in_flight(1);
+        let report = spec.check().unwrap();
+        assert_eq!(report.schedules, 1);
+        assert!(!report.truncated);
+        assert!(report.ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn reordered_model_enumerates_many_schedules_and_passes() {
+        let spec = ModelSpec::new(tiny_offsets(), tiny_messages()).with_max_in_flight(3);
+        let report = spec.check().unwrap();
+        assert!(report.schedules > 50, "only {} schedules", report.schedules);
+        assert!(!report.truncated);
+        assert!(report.ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn schedule_cap_truncates() {
+        let spec = ModelSpec::new(tiny_offsets(), tiny_messages())
+            .with_max_in_flight(3)
+            .with_max_schedules(5);
+        let report = spec.check().unwrap();
+        assert!(report.truncated);
+        assert_eq!(report.schedules, 5);
+    }
+
+    #[test]
+    fn corrupted_trace_loss_and_duplication_fire() {
+        let spec = ModelSpec::new(tiny_offsets(), tiny_messages()).with_max_in_flight(1);
+        let schedule: Vec<usize> = (0..spec.messages.len()).collect();
+        let (mut trace, boundary) = spec.replay(&schedule).unwrap();
+        assert!(boundary.is_empty(), "{boundary:?}");
+        assert!(check_trace(&trace, 1.0).is_empty());
+
+        // Corrupt the trace: drop one emitted message (loss) and double
+        // another (duplication).
+        let dropped = trace.emitted[0].messages.remove(0);
+        let last = trace.emitted.last_mut().unwrap();
+        let dup = last.messages[0].clone();
+        last.messages.push(dup.clone());
+
+        let found = check_trace(&trace, 1.0);
+        assert!(found.contains(&InvariantViolation::MessageLost { id: dropped.id }));
+        assert!(found.contains(&InvariantViolation::MessageDuplicated { id: dup.id }));
+    }
+
+    #[test]
+    fn corrupted_trace_non_monotone_emission_fires() {
+        let spec = ModelSpec::new(tiny_offsets(), tiny_messages()).with_max_in_flight(1);
+        let schedule: Vec<usize> = (0..spec.messages.len()).collect();
+        let (mut trace, _) = spec.replay(&schedule).unwrap();
+        // Rewind one client's last emission behind its earlier one.
+        let client = trace.emitted[0].messages[0].client;
+        let m = trace
+            .emitted
+            .iter_mut()
+            .rev()
+            .flat_map(|b| b.messages.iter_mut())
+            .find(|m| m.client == client)
+            .unwrap();
+        m.timestamp = -1e9;
+        let found = check_trace(&trace, 1.0);
+        assert!(found
+            .iter()
+            .any(|v| matches!(v, InvariantViolation::NonMonotoneEmission { .. })));
+    }
+
+    #[test]
+    fn violation_rate_bound_fires_on_inflated_stats() {
+        let spec = ModelSpec::new(tiny_offsets(), tiny_messages()).with_max_in_flight(1);
+        let schedule: Vec<usize> = (0..spec.messages.len()).collect();
+        let (mut trace, _) = spec.replay(&schedule).unwrap();
+        trace.stats.fairness_violations = trace.submitted.len();
+        let found = check_trace(&trace, 0.5);
+        assert!(found
+            .iter()
+            .any(|v| matches!(v, InvariantViolation::ViolationRateExceeded { .. })));
+    }
+
+    #[test]
+    fn violation_display_is_readable() {
+        let v = InvariantViolation::ViolationRateExceeded {
+            violations: 2,
+            messages: 10,
+            bound: 0.1,
+        };
+        assert_eq!(
+            v.to_string(),
+            "2/10 fairness violations exceeds the 0.1 rate bound"
+        );
+        let v = InvariantViolation::MessageLost { id: MessageId(7) };
+        assert_eq!(v.to_string(), "msg7 was never emitted");
+    }
+}

@@ -2,6 +2,39 @@
 
 use tommy_stats::convolution::ConvolutionMethod;
 
+use crate::defense::DefenseConfig;
+
+/// Why the incremental FAS engine is not in effect for a configuration,
+/// even though outputs are unchanged either way (the incremental and
+/// full-recompute paths are property-tested bit-identical).
+///
+/// Historically [`SequencerConfig::incremental_fas`] was silently treated
+/// as `false` under stochastic cycle breaking; the reason is now explicit
+/// so results can report *why* a run took the full-recompute path. Query it
+/// with [`SequencerConfig::fas_fallback_reason`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FasFallbackReason {
+    /// The caller set [`SequencerConfig::incremental_fas`] to `false`
+    /// (baseline measurement, correctness anchoring).
+    DisabledByConfig,
+    /// [`SequencerConfig::stochastic_cycle_breaking`] is on: stochastic
+    /// repairs resample edge removals per solve, so per-component results
+    /// cannot be cached and the incremental engine would change the
+    /// sampling stream. The engine is therefore bypassed.
+    StochasticCycleBreaking,
+}
+
+impl std::fmt::Display for FasFallbackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FasFallbackReason::DisabledByConfig => write!(f, "disabled by config"),
+            FasFallbackReason::StochasticCycleBreaking => {
+                write!(f, "stochastic cycle breaking is incompatible")
+            }
+        }
+    }
+}
+
 /// Configuration shared by the offline and online Tommy sequencers.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SequencerConfig {
@@ -37,7 +70,11 @@ pub struct SequencerConfig {
     /// flag exists for baseline measurement (`fas_stress` bench) and as a
     /// correctness anchor, not because outputs differ. Ignored (treated as
     /// `false`) when [`stochastic_cycle_breaking`](Self::stochastic_cycle_breaking)
-    /// is set, since stochastic repairs are not cacheable per component.
+    /// is set, since stochastic repairs are not cacheable per component —
+    /// that override is surfaced (not silent) as
+    /// [`FasFallbackReason::StochasticCycleBreaking`] by
+    /// [`fas_fallback_reason`](Self::fas_fallback_reason) and echoed on
+    /// [`SequencingOutcome`](crate::sequencer::SequencingOutcome).
     pub incremental_fas: bool,
     /// When `true` (the default), the online sequencer keeps its full
     /// emission history: the cumulative
@@ -78,6 +115,13 @@ pub struct SequencerConfig {
     /// The online sequencer's incremental arrival path never builds
     /// a full matrix and is unaffected by this knob.
     pub parallelism: usize,
+    /// The untrusted-distribution defense ([`crate::defense`]): when
+    /// enabled, the online sequencer cross-checks each client's observed
+    /// residuals against its claimed distribution, quarantines misreporters
+    /// onto conservative fallback margins, and re-estimates drifted clients
+    /// online. Disabled by default — the pipeline is then bit-for-bit the
+    /// historical one.
+    pub defense: DefenseConfig,
 }
 
 impl Default for SequencerConfig {
@@ -91,6 +135,7 @@ impl Default for SequencerConfig {
             incremental_fas: true,
             retain_history: true,
             parallelism: 1,
+            defense: DefenseConfig::disabled(),
         }
     }
 }
@@ -194,6 +239,28 @@ impl SequencerConfig {
     pub fn resolved_parallelism(&self) -> usize {
         resolve_parallelism(self.parallelism)
     }
+
+    /// Set the untrusted-distribution defense configuration (see
+    /// [`SequencerConfig::defense`]).
+    pub fn with_defense(mut self, defense: DefenseConfig) -> Self {
+        self.defense = defense;
+        self
+    }
+
+    /// Why the incremental FAS engine will *not* run for this
+    /// configuration, or `None` when it will. This is the single source of
+    /// truth consulted by [`SequencingCore`](crate::sequencer::SequencingCore)
+    /// — the historical silent `incremental_fas && !stochastic` flag flip,
+    /// made explicit.
+    pub fn fas_fallback_reason(&self) -> Option<FasFallbackReason> {
+        if !self.incremental_fas {
+            Some(FasFallbackReason::DisabledByConfig)
+        } else if self.stochastic_cycle_breaking {
+            Some(FasFallbackReason::StochasticCycleBreaking)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +293,42 @@ mod tests {
     fn retain_history_builder() {
         let c = SequencerConfig::new().with_retain_history(false);
         assert!(!c.retain_history);
+    }
+
+    #[test]
+    fn fas_fallback_reason_is_explicit() {
+        assert_eq!(SequencerConfig::new().fas_fallback_reason(), None);
+        assert_eq!(
+            SequencerConfig::new()
+                .with_incremental_fas(false)
+                .fas_fallback_reason(),
+            Some(FasFallbackReason::DisabledByConfig)
+        );
+        assert_eq!(
+            SequencerConfig::new()
+                .with_stochastic_cycle_breaking(true)
+                .fas_fallback_reason(),
+            Some(FasFallbackReason::StochasticCycleBreaking)
+        );
+        // Explicit disable wins over the stochastic override in the report.
+        assert_eq!(
+            SequencerConfig::new()
+                .with_incremental_fas(false)
+                .with_stochastic_cycle_breaking(true)
+                .fas_fallback_reason(),
+            Some(FasFallbackReason::DisabledByConfig)
+        );
+        assert_eq!(
+            FasFallbackReason::StochasticCycleBreaking.to_string(),
+            "stochastic cycle breaking is incompatible"
+        );
+    }
+
+    #[test]
+    fn defense_defaults_off_and_builder_attaches() {
+        assert!(!SequencerConfig::default().defense.enabled);
+        let c = SequencerConfig::new().with_defense(DefenseConfig::enabled());
+        assert!(c.defense.enabled);
     }
 
     #[test]

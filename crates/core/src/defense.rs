@@ -1,0 +1,496 @@
+//! Untrusted-distribution hardening: trust tracking, quarantine, and
+//! drift-aware re-estimation triggers.
+//!
+//! §3.3 of the paper has every client *self-report* its offset distribution
+//! — an honesty assumption the §5 threat model breaks first. This module is
+//! the sequencer-side cross-check: for each client the registry keeps a
+//! [`TrustState`] that accumulates observed timestamp residuals (what the
+//! client's clock error *looks like* from the sequencer's chair) and
+//! periodically compares their empirical distribution against the claimed
+//! one with a Kolmogorov–Smirnov discrepancy plus a mean z-score.
+//!
+//! Two failure modes are distinguished by *when* the check first fails:
+//!
+//! * a client whose **first** full-window check already disagrees with its
+//!   claim most likely misreported — it is quarantined
+//!   ([`TrustLevel::Quarantined`]), and the caller re-registers it on a
+//!   conservative fallback distribution (empirical mean, inflated σ) so the
+//!   sequencer stops trusting the lie without ejecting the client;
+//! * a client that **passed** the check before and fails later was honest at
+//!   registration time but its clock has since moved (drift, NTP step) —
+//!   the caller re-estimates its distribution online through
+//!   [`tommy_clock::DistributionLearner`] and resets the window.
+//!
+//! The degradation counters (`quarantines`, `reestimations`,
+//! `margin_fallbacks`) surface through
+//! [`OnlineStats`](crate::sequencer::online::OnlineStats) next to the
+//! existing rebuild/repair counters; the defenses themselves are wired in
+//! [`OnlineSequencer::submit`](crate::sequencer::online::OnlineSequencer::submit).
+//! See `ARCHITECTURE.md`, "Threat model & degradation", for the full
+//! attack-families × defenses matrix.
+
+use std::collections::VecDeque;
+
+use tommy_stats::distribution::{Distribution, OffsetDistribution};
+
+/// Tuning knobs for the residual cross-check.
+///
+/// Defaults are conservative: the defense is **off** unless explicitly
+/// enabled ([`DefenseConfig::enabled`]), so existing pipelines are
+/// bit-for-bit unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DefenseConfig {
+    /// Master switch; `false` makes every observation a no-op.
+    pub enabled: bool,
+    /// How many recent residuals each client's window retains.
+    pub window: usize,
+    /// Minimum residuals before the first check can run.
+    pub min_samples: usize,
+    /// Run the check every `check_interval` new residuals (once warm).
+    pub check_interval: usize,
+    /// KS discrepancy above which the claim is rejected. The effective
+    /// limit is `max(ks_threshold, 1.63/√n)` — the classical α=0.01
+    /// critical value floors the small-window checks (where D is noisy
+    /// under H0) while this flat cap governs once the window fills.
+    pub ks_threshold: f64,
+    /// Reject when the empirical mean sits more than this many standard
+    /// errors from the claimed mean (catches pure mean shifts that a small
+    /// window's KS may miss).
+    pub drift_zscore: f64,
+    /// Fallback σ multiplier applied when quarantining: the client is
+    /// re-registered with `max(claimed σ, empirical σ) × sigma_inflation`,
+    /// buying conservative (wide) margins instead of the lied-about ones.
+    pub sigma_inflation: f64,
+    /// Expected network delay subtracted from `arrival − timestamp` when the
+    /// caller forms residuals; lets the residual center on the clock offset
+    /// rather than on transport latency.
+    pub expected_delay: f64,
+}
+
+impl DefenseConfig {
+    /// The defense switched off (the default): no state, no overhead.
+    pub fn disabled() -> Self {
+        DefenseConfig {
+            enabled: false,
+            window: 64,
+            min_samples: 16,
+            check_interval: 8,
+            ks_threshold: 0.3,
+            drift_zscore: 5.0,
+            sigma_inflation: 3.0,
+            expected_delay: 0.0,
+        }
+    }
+
+    /// The defense switched on with default thresholds.
+    pub fn enabled() -> Self {
+        DefenseConfig {
+            enabled: true,
+            ..DefenseConfig::disabled()
+        }
+    }
+
+    /// Set the residual window size (must hold at least `min_samples`).
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window >= 2, "window must hold at least two residuals");
+        self.window = window;
+        self
+    }
+
+    /// Set the warm-up sample count before the first check.
+    pub fn with_min_samples(mut self, min_samples: usize) -> Self {
+        assert!(min_samples >= 2, "need at least two samples to test");
+        self.min_samples = min_samples;
+        self
+    }
+
+    /// Set the cadence (in residuals) of the cross-check once warm.
+    pub fn with_check_interval(mut self, check_interval: usize) -> Self {
+        assert!(check_interval >= 1, "check interval must be positive");
+        self.check_interval = check_interval;
+        self
+    }
+
+    /// Set the KS rejection threshold.
+    pub fn with_ks_threshold(mut self, ks_threshold: f64) -> Self {
+        assert!(
+            ks_threshold > 0.0 && ks_threshold < 1.0,
+            "KS threshold must be in (0, 1)"
+        );
+        self.ks_threshold = ks_threshold;
+        self
+    }
+
+    /// Set the mean-shift z-score threshold.
+    pub fn with_drift_zscore(mut self, drift_zscore: f64) -> Self {
+        assert!(drift_zscore > 0.0, "z-score threshold must be positive");
+        self.drift_zscore = drift_zscore;
+        self
+    }
+
+    /// Set the quarantine σ inflation factor.
+    pub fn with_sigma_inflation(mut self, sigma_inflation: f64) -> Self {
+        assert!(sigma_inflation >= 1.0, "σ inflation must be ≥ 1");
+        self.sigma_inflation = sigma_inflation;
+        self
+    }
+
+    /// Set the expected network delay used when forming residuals.
+    pub fn with_expected_delay(mut self, expected_delay: f64) -> Self {
+        assert!(expected_delay.is_finite(), "expected delay must be finite");
+        self.expected_delay = expected_delay;
+        self
+    }
+}
+
+impl Default for DefenseConfig {
+    fn default() -> Self {
+        DefenseConfig::disabled()
+    }
+}
+
+/// How much the sequencer currently trusts a client's claimed distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrustLevel {
+    /// Residuals are (so far) consistent with the claim.
+    Trusted,
+    /// The claim was rejected on its first full check: the client is treated
+    /// as a misreporter and pinned to conservative fallback margins.
+    /// Quarantine is sticky — a misreporter does not earn trust back by
+    /// matching the *fallback* distribution it was forced onto.
+    Quarantined,
+}
+
+/// Outcome of feeding one residual into [`TrustState::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrustEvent {
+    /// Nothing to act on (check not due, or check passed).
+    Ok,
+    /// The client passed earlier checks but now disagrees with its claim:
+    /// its clock has likely drifted. The caller should re-estimate from
+    /// [`TrustState::residuals`] and call
+    /// [`TrustState::acknowledge_reestimate`].
+    DriftSuspected,
+    /// The client's first full check already disagrees with its claim: it is
+    /// now [`TrustLevel::Quarantined`] and should be pinned to a fallback
+    /// distribution.
+    Quarantined,
+}
+
+/// Per-client residual window and verdict state.
+#[derive(Debug, Clone)]
+pub struct TrustState {
+    residuals: VecDeque<f64>,
+    level: TrustLevel,
+    /// Whether the claim has ever passed a full check — the discriminator
+    /// between "misreported from the start" and "honest then drifted".
+    validated: bool,
+    since_check: usize,
+    checks: u64,
+    last_discrepancy: f64,
+    last_drift_score: f64,
+}
+
+impl Default for TrustState {
+    fn default() -> Self {
+        TrustState::new()
+    }
+}
+
+impl TrustState {
+    /// A fresh, trusting state with an empty window.
+    pub fn new() -> Self {
+        TrustState {
+            residuals: VecDeque::new(),
+            level: TrustLevel::Trusted,
+            validated: false,
+            since_check: 0,
+            checks: 0,
+            last_discrepancy: 0.0,
+            last_drift_score: 0.0,
+        }
+    }
+
+    /// Current trust level.
+    pub fn level(&self) -> TrustLevel {
+        self.level
+    }
+
+    /// Whether the claim has passed at least one full check.
+    pub fn validated(&self) -> bool {
+        self.validated
+    }
+
+    /// Number of cross-checks run so far.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// KS discrepancy from the most recent check.
+    pub fn last_discrepancy(&self) -> f64 {
+        self.last_discrepancy
+    }
+
+    /// Mean z-score from the most recent check.
+    pub fn last_drift_score(&self) -> f64 {
+        self.last_drift_score
+    }
+
+    /// The retained residual window, oldest first.
+    pub fn residuals(&self) -> impl Iterator<Item = f64> + '_ {
+        self.residuals.iter().copied()
+    }
+
+    /// Feed one observed residual; runs the cross-check against `claimed`
+    /// when due and returns what (if anything) the caller must do.
+    pub fn observe(
+        &mut self,
+        residual: f64,
+        claimed: &OffsetDistribution,
+        cfg: &DefenseConfig,
+    ) -> TrustEvent {
+        assert!(residual.is_finite(), "residuals must be finite");
+        if self.level == TrustLevel::Quarantined {
+            // Still record: the fallback re-registration wants fresh
+            // empirical moments, and post-mortems want the evidence.
+            self.push(residual, cfg);
+            return TrustEvent::Ok;
+        }
+        self.push(residual, cfg);
+        self.since_check += 1;
+        if self.residuals.len() < cfg.min_samples || self.since_check < cfg.check_interval {
+            return TrustEvent::Ok;
+        }
+        self.since_check = 0;
+        self.checks += 1;
+        let (ks, z) = self.discrepancy(claimed);
+        self.last_discrepancy = ks;
+        self.last_drift_score = z;
+        // Small windows produce noisy D even under H0: floor the limit at
+        // the classical α=0.01 critical value 1.63/√n.
+        let ks_limit = cfg
+            .ks_threshold
+            .max(1.63 / (self.residuals.len() as f64).sqrt());
+        let consistent = ks <= ks_limit && z <= cfg.drift_zscore;
+        if consistent {
+            self.validated = true;
+            TrustEvent::Ok
+        } else if self.validated {
+            TrustEvent::DriftSuspected
+        } else {
+            self.level = TrustLevel::Quarantined;
+            TrustEvent::Quarantined
+        }
+    }
+
+    /// The caller re-estimated this client's distribution: clear the window
+    /// (old residuals described the *previous* regime) and require the new
+    /// claim to validate from scratch.
+    pub fn acknowledge_reestimate(&mut self) {
+        self.residuals.clear();
+        self.validated = false;
+        self.since_check = 0;
+    }
+
+    /// Empirical mean of the retained window (0 when empty).
+    pub fn empirical_mean(&self) -> f64 {
+        if self.residuals.is_empty() {
+            return 0.0;
+        }
+        self.residuals.iter().sum::<f64>() / self.residuals.len() as f64
+    }
+
+    /// Empirical standard deviation of the retained window (0 with < 2
+    /// samples).
+    pub fn empirical_std_dev(&self) -> f64 {
+        let n = self.residuals.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.empirical_mean();
+        let var = self
+            .residuals
+            .iter()
+            .map(|r| (r - mean) * (r - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    fn push(&mut self, residual: f64, cfg: &DefenseConfig) {
+        if self.residuals.len() == cfg.window {
+            self.residuals.pop_front();
+        }
+        self.residuals.push_back(residual);
+    }
+
+    /// One-sample KS statistic of the window against `claimed`, plus the
+    /// mean z-score `|mean_emp − mean_claimed| / (σ_claimed / √n)`.
+    fn discrepancy(&self, claimed: &OffsetDistribution) -> (f64, f64) {
+        let mut sorted: Vec<f64> = self.residuals.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite residuals"));
+        let n = sorted.len();
+        let mut d: f64 = 0.0;
+        for (i, &x) in sorted.iter().enumerate() {
+            let f = claimed.cdf(x);
+            let above = (i + 1) as f64 / n as f64 - f;
+            let below = f - i as f64 / n as f64;
+            d = d.max(above.max(below));
+        }
+        let se = claimed.std_dev().max(1e-12) / (n as f64).sqrt();
+        let z = (self.empirical_mean() - claimed.mean()).abs() / se;
+        (d, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn feed(
+        state: &mut TrustState,
+        truth: &OffsetDistribution,
+        claimed: &OffsetDistribution,
+        cfg: &DefenseConfig,
+        n: usize,
+        rng: &mut StdRng,
+    ) -> Vec<TrustEvent> {
+        (0..n)
+            .map(|_| state.observe(truth.sample(rng), claimed, cfg))
+            .collect()
+    }
+
+    #[test]
+    fn honest_client_stays_trusted() {
+        let truth = OffsetDistribution::gaussian(2.0, 3.0);
+        let cfg = DefenseConfig::enabled();
+        let mut state = TrustState::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let events = feed(&mut state, &truth, &truth, &cfg, 400, &mut rng);
+        assert!(events.iter().all(|e| *e == TrustEvent::Ok));
+        assert_eq!(state.level(), TrustLevel::Trusted);
+        assert!(state.validated());
+        assert!(state.checks() > 10);
+    }
+
+    #[test]
+    fn misreported_sigma_is_quarantined_on_first_check() {
+        let truth = OffsetDistribution::gaussian(0.0, 8.0);
+        let claimed = OffsetDistribution::gaussian(0.0, 1.0); // deflated 8×
+        let cfg = DefenseConfig::enabled();
+        let mut state = TrustState::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let events = feed(&mut state, &truth, &claimed, &cfg, 64, &mut rng);
+        let quarantines = events
+            .iter()
+            .filter(|e| **e == TrustEvent::Quarantined)
+            .count();
+        assert_eq!(quarantines, 1, "exactly one quarantine event: {events:?}");
+        assert_eq!(state.level(), TrustLevel::Quarantined);
+        assert!(!state.validated());
+        // Sticky: further honest-looking residuals never rehabilitate.
+        let more = feed(&mut state, &claimed, &claimed, &cfg, 100, &mut rng);
+        assert!(more.iter().all(|e| *e == TrustEvent::Ok));
+        assert_eq!(state.level(), TrustLevel::Quarantined);
+    }
+
+    #[test]
+    fn stale_mean_is_caught_by_the_zscore() {
+        let truth = OffsetDistribution::gaussian(6.0, 2.0);
+        let claimed = OffsetDistribution::gaussian(0.0, 2.0); // 3σ stale mean
+        let cfg = DefenseConfig::enabled();
+        let mut state = TrustState::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        let events = feed(&mut state, &truth, &claimed, &cfg, 64, &mut rng);
+        assert!(events.contains(&TrustEvent::Quarantined));
+        assert!(state.last_drift_score() > cfg.drift_zscore);
+    }
+
+    #[test]
+    fn validated_then_shifted_reports_drift_not_quarantine() {
+        let claimed = OffsetDistribution::gaussian(0.0, 2.0);
+        let cfg = DefenseConfig::enabled();
+        let mut state = TrustState::new();
+        let mut rng = StdRng::seed_from_u64(17);
+        // Honest phase: validate the claim.
+        let honest = feed(&mut state, &claimed, &claimed, &cfg, 120, &mut rng);
+        assert!(honest.iter().all(|e| *e == TrustEvent::Ok));
+        assert!(state.validated());
+        // Clock steps by 5σ: the same claim now fails, but as drift.
+        let drifted = OffsetDistribution::gaussian(10.0, 2.0);
+        let events = feed(&mut state, &drifted, &claimed, &cfg, 200, &mut rng);
+        assert!(events.contains(&TrustEvent::DriftSuspected), "{events:?}");
+        assert!(!events.contains(&TrustEvent::Quarantined));
+        assert_eq!(state.level(), TrustLevel::Trusted);
+    }
+
+    #[test]
+    fn acknowledge_reestimate_resets_the_window() {
+        let claimed = OffsetDistribution::gaussian(0.0, 2.0);
+        let cfg = DefenseConfig::enabled();
+        let mut state = TrustState::new();
+        let mut rng = StdRng::seed_from_u64(19);
+        feed(&mut state, &claimed, &claimed, &cfg, 100, &mut rng);
+        assert!(state.validated());
+        state.acknowledge_reestimate();
+        assert!(!state.validated());
+        assert_eq!(state.residuals().count(), 0);
+    }
+
+    #[test]
+    fn disabled_config_defaults_and_builders() {
+        let cfg = DefenseConfig::default();
+        assert!(!cfg.enabled);
+        let cfg = DefenseConfig::enabled()
+            .with_window(32)
+            .with_min_samples(8)
+            .with_check_interval(4)
+            .with_ks_threshold(0.2)
+            .with_drift_zscore(4.0)
+            .with_sigma_inflation(2.0)
+            .with_expected_delay(1.0);
+        assert!(cfg.enabled);
+        assert_eq!(cfg.window, 32);
+        assert_eq!(cfg.min_samples, 8);
+        assert_eq!(cfg.check_interval, 4);
+        assert!((cfg.ks_threshold - 0.2).abs() < 1e-12);
+        assert!((cfg.expected_delay - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_statistic_matches_hand_computation() {
+        // Uniform-ish residuals vs a standard Gaussian claim: check the
+        // one-sample KS formula on a tiny window by hand.
+        let cfg = DefenseConfig::enabled().with_min_samples(4).with_check_interval(1);
+        let claimed = OffsetDistribution::gaussian(0.0, 1.0);
+        let mut state = TrustState::new();
+        for r in [-1.0, -0.5, 0.5, 1.0] {
+            state.observe(r, &claimed, &cfg);
+        }
+        let mut expected: f64 = 0.0;
+        let sorted = [-1.0, -0.5, 0.5, 1.0];
+        for (i, x) in sorted.iter().enumerate() {
+            let f = claimed.cdf(*x);
+            expected = expected
+                .max((i + 1) as f64 / 4.0 - f)
+                .max(f - i as f64 / 4.0);
+        }
+        assert!((state.last_discrepancy() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_moments_track_the_window() {
+        let cfg = DefenseConfig::enabled().with_window(4);
+        let claimed = OffsetDistribution::gaussian(0.0, 1.0);
+        let mut state = TrustState::new();
+        for r in [10.0, 10.0, 1.0, 2.0, 3.0, 4.0] {
+            state.observe(r, &claimed, &cfg);
+        }
+        // Window holds the last four: 1, 2, 3, 4.
+        assert!((state.empirical_mean() - 2.5).abs() < 1e-12);
+        let var = ((1.5f64 * 1.5) * 2.0 + (0.5 * 0.5) * 2.0) / 3.0;
+        assert!((state.empirical_std_dev() - var.sqrt()).abs() < 1e-12);
+    }
+}

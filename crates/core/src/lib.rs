@@ -47,6 +47,14 @@
 //!   the paper's evaluation (§2, §4).
 //! * [`tiebreak`] — randomized tie-breaking to extend the fair partial order
 //!   to a fair total order (§5 "Extension to Fair Total Order").
+//! * [`defense`] — untrusted-distribution hardening (§5 "Byzantine
+//!   Clients"): per-client [`defense::TrustState`] cross-checking observed
+//!   residuals against the claimed distribution, quarantine onto fallback
+//!   margins, and drift-triggered re-estimation.
+//! * [`checker`] — a small-model exhaustive checker that replays every
+//!   delivery schedule of a tiny workload through the online sequencer and
+//!   asserts TLA-style ordering invariants (see `ARCHITECTURE.md`, "Threat
+//!   model & degradation").
 //!
 //! The repository-level `ARCHITECTURE.md` documents how these pieces
 //! compose into the full arrival → emission pipeline (PairKernel column
@@ -59,7 +67,9 @@
 
 pub mod baselines;
 pub mod batching;
+pub mod checker;
 pub mod config;
+pub mod defense;
 pub mod error;
 pub mod graph;
 pub(crate) mod grid;
@@ -72,7 +82,9 @@ pub mod tiebreak;
 pub mod tournament;
 
 pub use batching::{Batch, FairOrder, FairOrderCounters, IncrementalFairOrder};
-pub use config::SequencerConfig;
+pub use checker::{CheckReport, InvariantViolation, ModelSpec, RunTrace};
+pub use config::{FasFallbackReason, SequencerConfig};
+pub use defense::{DefenseConfig, TrustEvent, TrustLevel, TrustState};
 pub use error::CoreError;
 pub use message::{ClientId, Message, MessageId};
 pub use precedence::PrecedenceMatrix;

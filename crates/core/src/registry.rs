@@ -47,6 +47,7 @@
 //! semantics — one count per pairwise probability evaluated — are unchanged.
 
 use crate::config::SequencerConfig;
+use crate::defense::{DefenseConfig, TrustEvent, TrustState};
 use crate::error::CoreError;
 use crate::message::{ClientId, Message};
 use parking_lot::RwLock;
@@ -181,6 +182,13 @@ pub struct DistributionRegistry {
     /// O(1)-tick and O(n)-arrival guarantees are asserted against this
     /// counter.
     queries: AtomicU64,
+    /// Per-client trust tracking for the untrusted-distribution defense
+    /// ([`crate::defense`]): residual windows, quarantine flags, and check
+    /// statistics. Empty until [`observe_residual`](Self::observe_residual)
+    /// is called; deliberately **not** cleared by [`register`](Self::register)
+    /// so a quarantine stays sticky through the defense's own fallback
+    /// re-registration.
+    trust: HashMap<ClientId, TrustState>,
 }
 
 impl Default for DistributionRegistry {
@@ -208,6 +216,7 @@ impl DistributionRegistry {
             differences: RwLock::new(HashMap::new()),
             safe_margins: RwLock::new(HashMap::new()),
             queries: AtomicU64::new(0),
+            trust: HashMap::new(),
         }
     }
 
@@ -252,6 +261,45 @@ impl DistributionRegistry {
         let mut v: Vec<ClientId> = self.distributions.keys().copied().collect();
         v.sort();
         v
+    }
+
+    /// Feed one observed residual (the client's apparent clock offset as
+    /// seen from the sequencer) into the defense's per-client
+    /// [`TrustState`], cross-checking it against whatever distribution is
+    /// *currently registered* for the client — the claim under test.
+    ///
+    /// Returns the resulting [`TrustEvent`]; the caller (the online
+    /// sequencer) acts on it — fallback re-registration on
+    /// [`TrustEvent::Quarantined`], online re-estimation on
+    /// [`TrustEvent::DriftSuspected`]. Errors if the client was never
+    /// registered.
+    pub fn observe_residual(
+        &mut self,
+        client: ClientId,
+        residual: f64,
+        cfg: &DefenseConfig,
+    ) -> Result<TrustEvent, CoreError> {
+        let claimed = self
+            .distributions
+            .get(&client)
+            .ok_or(CoreError::UnknownClient(client))?;
+        let state = self.trust.entry(client).or_default();
+        Ok(state.observe(residual, claimed, cfg))
+    }
+
+    /// The defense's trust state for `client`, if any residual has been
+    /// observed for it.
+    pub fn trust_state(&self, client: ClientId) -> Option<&TrustState> {
+        self.trust.get(&client)
+    }
+
+    /// Clear `client`'s residual window after a re-estimation (see
+    /// [`TrustState::acknowledge_reestimate`]); a no-op for untracked
+    /// clients.
+    pub fn acknowledge_reestimate(&mut self, client: ClientId) {
+        if let Some(state) = self.trust.get_mut(&client) {
+            state.acknowledge_reestimate();
+        }
     }
 
     fn distribution_or_err(&self, client: ClientId) -> Result<&OffsetDistribution, CoreError> {

@@ -27,7 +27,7 @@
 //! across arbitrary insert/remove/threshold sequences.
 
 use crate::batching::{FairOrder, IncrementalFairOrder};
-use crate::config::SequencerConfig;
+use crate::config::{FasFallbackReason, SequencerConfig};
 use crate::precedence::PrecedenceMatrix;
 use crate::tournament::IncrementalTournament;
 use rand::RngCore;
@@ -46,6 +46,11 @@ pub struct SequencingOutcome {
     /// Fraction of message pairs the sequencer could order with confidence
     /// above the threshold.
     pub confident_pair_fraction: f64,
+    /// Why the incremental FAS engine was bypassed for this run (`None`
+    /// when it ran) — [`SequencerConfig::fas_fallback_reason`] echoed onto
+    /// the result so consumers need not re-derive the historical silent
+    /// override.
+    pub fas_fallback_reason: Option<FasFallbackReason>,
 }
 
 /// The shared linear-order → fair-order pipeline tail (see module docs).
@@ -67,13 +72,14 @@ pub struct SequencingCore {
 
 impl SequencingCore {
     /// An empty core for the given configuration. The tournament's
-    /// incremental FAS engine follows [`SequencerConfig::incremental_fas`],
-    /// except under stochastic cycle breaking (whose randomized
-    /// per-component orders cannot be cached), where the full-recompute
-    /// fallback is always used.
+    /// incremental FAS engine runs iff
+    /// [`SequencerConfig::fas_fallback_reason`] is `None`: disabled
+    /// explicitly, or bypassed under stochastic cycle breaking (whose
+    /// randomized per-component orders cannot be cached) — the reason is
+    /// echoed on [`SequencingOutcome::fas_fallback_reason`].
     pub fn new(config: SequencerConfig) -> Self {
         let mut tournament = IncrementalTournament::new();
-        tournament.set_incremental_fas(config.incremental_fas && !config.stochastic_cycle_breaking);
+        tournament.set_incremental_fas(config.fas_fallback_reason().is_none());
         SequencingCore {
             tournament,
             fair: IncrementalFairOrder::new(config.threshold),
@@ -243,6 +249,7 @@ impl SequencingCore {
             transitive,
             cyclic_components,
             confident_pair_fraction: matrix.confident_pair_fraction(self.config.threshold),
+            fas_fallback_reason: self.config.fas_fallback_reason(),
         }
     }
 }

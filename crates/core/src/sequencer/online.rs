@@ -68,6 +68,7 @@
 
 use crate::batching::{FairOrder, FairOrderCounters};
 use crate::config::SequencerConfig;
+use crate::defense::{TrustEvent, TrustLevel};
 use crate::error::CoreError;
 use crate::message::{ClientId, Message, MessageId};
 use crate::precedence::PrecedenceMatrix;
@@ -79,7 +80,7 @@ use crate::tournament::IncrementalTournament;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, HashSet};
-use tommy_stats::distribution::OffsetDistribution;
+use tommy_stats::distribution::{Distribution, OffsetDistribution};
 
 /// One batch emitted by the online sequencer, with emission metadata.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,6 +118,19 @@ pub struct OnlineStats {
     /// Sum over emitted messages of (emission time − arrival time); divide by
     /// `messages_emitted` for the mean emission latency.
     pub total_emission_latency: f64,
+    /// Clients quarantined by the untrusted-distribution defense
+    /// ([`crate::defense`]): their first residual cross-check already
+    /// rejected the claimed distribution, and they were pinned to a
+    /// conservative fallback. Zero when the defense is disabled.
+    pub quarantines: usize,
+    /// Online re-estimations triggered by the defense: a previously
+    /// validated client's residuals stopped matching its claim (clock
+    /// drift), and its distribution was re-learned from the residual window.
+    pub reestimations: usize,
+    /// Messages accepted from currently quarantined clients — each was
+    /// sequenced under the conservative fallback margins rather than the
+    /// claimed distribution.
+    pub margin_fallbacks: usize,
 }
 
 impl OnlineStats {
@@ -371,6 +385,10 @@ impl OnlineSequencer {
         self.advance_clock(arrival_time);
         self.watermarks.observe(message.client, message.timestamp)?;
 
+        if self.core.config().defense.enabled {
+            self.observe_defense(message.client, message.timestamp, arrival_time);
+        }
+
         // Fairness-violation detection: the message confidently precedes (or
         // cannot be separated from) something already emitted in the most
         // recent batch. The per-client-pair margin turns each check into a
@@ -397,6 +415,78 @@ impl OnlineSequencer {
         self.candidate = None;
         self.stats.max_pending = self.stats.max_pending.max(self.matrix.len());
         Ok(self.try_emit())
+    }
+
+    /// Feed one message's residual into the untrusted-distribution defense
+    /// and act on the verdict (see [`crate::defense`]).
+    ///
+    /// The residual `timestamp − arrival + expected_delay` estimates the
+    /// client's clock offset δ from the sequencer's chair, the observable
+    /// the claimed distribution describes. Only *messages* feed the defense
+    /// — heartbeats carry coordination timestamps, not clock-noise samples,
+    /// and would poison the window with degenerate residuals.
+    ///
+    /// On [`TrustEvent::Quarantined`] the client is re-registered onto a
+    /// conservative fallback (empirical mean, inflated σ) so the sequencer
+    /// stops believing the lie; on [`TrustEvent::DriftSuspected`] its
+    /// distribution is re-learned from the residual window through
+    /// [`tommy_clock::DistributionLearner`] — the §3.3 re-estimation loop,
+    /// run sequencer-side. Both paths go through
+    /// [`register_client`](Self::register_client), so every cached quantity
+    /// derived from the stale distribution is invalidated.
+    fn observe_defense(&mut self, client: ClientId, timestamp: f64, arrival_time: f64) {
+        let cfg = self.core.config().defense;
+        let residual = timestamp - arrival_time + cfg.expected_delay;
+        if !residual.is_finite() {
+            return;
+        }
+        if self
+            .registry
+            .trust_state(client)
+            .is_some_and(|s| s.level() == TrustLevel::Quarantined)
+        {
+            self.stats.margin_fallbacks += 1;
+        }
+        let event = match self.registry.observe_residual(client, residual, &cfg) {
+            Ok(event) => event,
+            Err(_) => return,
+        };
+        match event {
+            TrustEvent::Ok => {}
+            TrustEvent::Quarantined => {
+                let state = self.registry.trust_state(client).expect("just observed");
+                let (emp_mean, emp_sd) = (state.empirical_mean(), state.empirical_std_dev());
+                let claimed_sd = self
+                    .registry
+                    .get(client)
+                    .map(|d| d.std_dev())
+                    .unwrap_or(0.0);
+                let fallback_sd = emp_sd.max(claimed_sd).max(1e-9) * cfg.sigma_inflation;
+                self.register_client(
+                    client,
+                    OffsetDistribution::gaussian(emp_mean, fallback_sd),
+                );
+                self.stats.quarantines += 1;
+            }
+            TrustEvent::DriftSuspected => {
+                let residuals: Vec<f64> = self
+                    .registry
+                    .trust_state(client)
+                    .expect("just observed")
+                    .residuals()
+                    .collect();
+                let mut learner = tommy_clock::DistributionLearner::with_window(
+                    tommy_clock::LearnedModel::GaussianFit,
+                    cfg.window.max(2),
+                );
+                learner.record_all(&residuals);
+                if let Some(learned) = learner.learned() {
+                    self.register_client(client, learned);
+                    self.registry.acknowledge_reestimate(client);
+                    self.stats.reestimations += 1;
+                }
+            }
+        }
     }
 
     /// Record a heartbeat (a timestamp-only liveness message) from a client.

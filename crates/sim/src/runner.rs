@@ -12,7 +12,8 @@ use rand::SeedableRng;
 use std::collections::HashMap;
 use tommy_core::baselines::{TrueTimeSequencer, WfoSequencer};
 use tommy_core::batching::FairOrder;
-use tommy_core::config::SequencerConfig;
+use tommy_core::config::{FasFallbackReason, SequencerConfig};
+use tommy_core::defense::DefenseConfig;
 use tommy_core::message::{ClientId, Message};
 use tommy_core::registry::DistributionRegistry;
 use tommy_core::sequencer::offline::TommySequencer;
@@ -77,6 +78,19 @@ pub fn scenario_offsets(config: &ScenarioConfig) -> Vec<(ClientId, OffsetDistrib
     }
 }
 
+/// The distributions the sequencers are *told*: the truth
+/// ([`scenario_offsets`]) for honest scenarios, a composed lie for the
+/// misreporting attackers of an adversarial misreport scenario (deflated σ
+/// and a stale mean; see `tommy_workload::adversarial`). Drift and collusion
+/// plans claim the truth — those attacks live in the timestamps.
+pub fn scenario_claimed_offsets(config: &ScenarioConfig) -> Vec<(ClientId, OffsetDistribution)> {
+    let truth = scenario_offsets(config);
+    match &config.adversarial {
+        Some(plan) => plan.claimed_offsets(&truth),
+        None => truth,
+    }
+}
+
 /// Generate the messages of a scenario (shared by the offline comparison and
 /// the online experiments).
 ///
@@ -87,6 +101,17 @@ pub fn scenario_offsets(config: &ScenarioConfig) -> Vec<(ClientId, OffsetDistrib
 /// Scenarios with a non-zero [`ScenarioConfig::cyclic_fraction`] delegate to
 /// the Condorcet-burst generator ([`scenario_workload`]) instead.
 pub fn generate_messages(config: &ScenarioConfig, rng: &mut StdRng) -> Vec<Message> {
+    let honest = generate_honest_messages(config, rng);
+    match &config.adversarial {
+        // The distortion is deterministic, so seeded adversarial scenarios
+        // are exactly as reproducible as their honest generator.
+        Some(plan) => plan.apply(&honest),
+        None => honest,
+    }
+}
+
+/// The honest stream of a scenario, before any adversarial distortion.
+fn generate_honest_messages(config: &ScenarioConfig, rng: &mut StdRng) -> Vec<Message> {
     if let Some(workload) = scenario_workload(config) {
         return workload.generate(rng);
     }
@@ -113,12 +138,13 @@ pub fn generate_messages(config: &ScenarioConfig, rng: &mut StdRng) -> Vec<Messa
     tag_messages(&events, &clocks, 0, rng)
 }
 
-/// Build a registry seeded with the oracle distributions of the scenario's
-/// population (the §4 setting: "we seed the clients with clock offsets
-/// distributions, instead of clients learning such distributions").
+/// Build a registry seeded with the distributions the sequencers are told —
+/// the oracle truth for honest scenarios (the §4 setting: "we seed the
+/// clients with clock offsets distributions, instead of clients learning
+/// such distributions"), the misreporters' claims under attack.
 pub fn oracle_registry(config: &ScenarioConfig) -> DistributionRegistry {
     let mut registry = DistributionRegistry::new();
-    for (client, dist) in scenario_offsets(config) {
+    for (client, dist) in scenario_claimed_offsets(config) {
         registry.register(client, dist);
     }
     registry
@@ -134,7 +160,7 @@ pub fn run_offline_comparison(config: &ScenarioConfig) -> ComparisonResult {
         .with_threshold(config.threshold)
         .with_parallelism(config.parallelism);
     let mut tommy = TommySequencer::new(seq_config);
-    let offsets = scenario_offsets(config);
+    let offsets = scenario_claimed_offsets(config);
     for (client, dist) in &offsets {
         tommy.register_client(*client, dist.clone());
     }
@@ -214,6 +240,20 @@ pub struct OnlineStreamResult {
     /// the fallback for every cyclic component per intransitivity event.
     /// Zero on Gaussian workloads.
     pub fas_exhaustive_passes: u64,
+    /// Why the run fell back from the incremental FAS engine, if it did
+    /// (`None`: the engine was active). Echoed from
+    /// [`SequencerConfig::fas_fallback_reason`] so sweeps can no longer
+    /// silently compare an incremental run against a fallback run.
+    pub fas_fallback_reason: Option<FasFallbackReason>,
+    /// Clients quarantined by the defense layer (`stats.quarantines`,
+    /// surfaced for sweep rows). Zero when [`ScenarioConfig::defended`] is
+    /// off.
+    pub quarantines: usize,
+    /// Drift-triggered online re-estimations (`stats.reestimations`).
+    pub reestimations: usize,
+    /// Messages sequenced under quarantine fallback margins
+    /// (`stats.margin_fallbacks`).
+    pub margin_fallbacks: usize,
 }
 
 /// Run the online sequencer over a scenario's message stream, draining
@@ -237,12 +277,24 @@ pub fn run_online_stream(config: &ScenarioConfig, p_safe: f64) -> OnlineStreamRe
         ta.partial_cmp(&tb).expect("finite true times")
     });
 
-    let seq_config = SequencerConfig::default()
+    let mut seq_config = SequencerConfig::default()
         .with_threshold(config.threshold)
         .with_p_safe(p_safe)
         .with_retain_history(false);
+    if config.defended {
+        // Small windows so the defense reaches a verdict within the short
+        // streams the sweeps use; residuals are measured against the fixed
+        // delivery delay below.
+        seq_config = seq_config.with_defense(
+            DefenseConfig::enabled()
+                .with_window(24)
+                .with_min_samples(12)
+                .with_check_interval(4)
+                .with_expected_delay(NETWORK_DELAY),
+        );
+    }
     let mut sequencer = OnlineSequencer::new(seq_config);
-    let client_ids: Vec<ClientId> = scenario_offsets(config)
+    let client_ids: Vec<ClientId> = scenario_claimed_offsets(config)
         .into_iter()
         .map(|(client, dist)| {
             sequencer.register_client(client, dist);
@@ -312,9 +364,10 @@ pub fn run_online_stream(config: &ScenarioConfig, p_safe: f64) -> OnlineStreamRe
 
     let ras = rank_agreement_score(&order, &messages);
     let fair_counters = sequencer.fair_order_counters();
+    let stats = sequencer.stats();
     OnlineStreamResult {
         ras,
-        stats: sequencer.stats(),
+        stats,
         batches: order.num_batches(),
         max_undrained,
         max_tracked_ids: max_tracked,
@@ -325,6 +378,10 @@ pub fn run_online_stream(config: &ScenarioConfig, p_safe: f64) -> OnlineStreamRe
         full_rebuilds: sequencer.tournament().full_rebuilds(),
         fas_local_repairs: sequencer.tournament().local_repairs(),
         fas_exhaustive_passes: tommy_core::graph::fas::exhaustive_passes() - exhaustive_before,
+        fas_fallback_reason: sequencer.config().fas_fallback_reason(),
+        quarantines: stats.quarantines,
+        reestimations: stats.reestimations,
+        margin_fallbacks: stats.margin_fallbacks,
     }
 }
 
@@ -500,6 +557,115 @@ mod tests {
         assert!(!result.transitive, "bursts must make the tournament cyclic");
         // The all-Gaussian control stays transitive on the same seed.
         assert!(run_offline_comparison(&small(5.0, 1.0)).transitive);
+    }
+
+    fn adversarial(sigma: f64, family: tommy_workload::AttackFamily, intensity: f64) -> ScenarioConfig {
+        use tommy_workload::AttackPlan;
+        ScenarioConfig::default()
+            .with_size(6, 240)
+            .with_clock_std_dev(sigma)
+            .with_gap(8.0)
+            .with_seed(21)
+            .with_adversarial(AttackPlan::new(family, intensity).with_scale(sigma))
+    }
+
+    /// Satellite regression: adversarial scenarios stay bit-stable per seed —
+    /// the attack distortion is deterministic, so two runs of the same config
+    /// agree on the stream and on every counter.
+    #[test]
+    fn adversarial_scenarios_are_seed_stable() {
+        use tommy_workload::AttackFamily;
+        for family in AttackFamily::ALL {
+            let cfg = adversarial(3.0, family, 0.6).with_defended(true);
+            let mut rng_a = StdRng::seed_from_u64(cfg.seed);
+            let mut rng_b = StdRng::seed_from_u64(cfg.seed);
+            assert_eq!(
+                generate_messages(&cfg, &mut rng_a),
+                generate_messages(&cfg, &mut rng_b),
+                "{family:?} stream must be seed-stable"
+            );
+            let a = run_online_stream(&cfg, 0.99);
+            let b = run_online_stream(&cfg, 0.99);
+            assert_eq!(a.ras.score(), b.ras.score(), "{family:?}");
+            assert_eq!(a.stats, b.stats, "{family:?}");
+        }
+    }
+
+    /// A zero-intensity plan is the identity: same stream, same claims.
+    #[test]
+    fn zero_intensity_attack_is_honest() {
+        use tommy_workload::{AttackFamily, AttackPlan};
+        let honest = ScenarioConfig::default().with_size(6, 60).with_seed(3);
+        let attacked =
+            honest.with_adversarial(AttackPlan::new(AttackFamily::Collusion, 0.0).with_scale(20.0));
+        let mut rng_a = StdRng::seed_from_u64(3);
+        let mut rng_b = StdRng::seed_from_u64(3);
+        assert_eq!(
+            generate_messages(&honest, &mut rng_a),
+            generate_messages(&attacked, &mut rng_b)
+        );
+        assert_eq!(scenario_claimed_offsets(&attacked), scenario_offsets(&attacked));
+    }
+
+    /// The defense core loop: a misreporting client (σ claimed far too
+    /// small) is quarantined onto fallback margins; honest clients are not.
+    #[test]
+    fn defended_stream_quarantines_misreporters() {
+        use tommy_workload::AttackFamily;
+        let cfg = adversarial(3.0, AttackFamily::Misreport, 0.6);
+        let undefended = run_online_stream(&cfg, 0.99);
+        assert_eq!(undefended.quarantines, 0, "defense off ⇒ no quarantines");
+        assert_eq!(undefended.margin_fallbacks, 0);
+
+        let defended = run_online_stream(&cfg.with_defended(true), 0.99);
+        assert!(
+            defended.quarantines >= 1,
+            "the misreporter must be quarantined: {defended:?}"
+        );
+        assert!(
+            defended.margin_fallbacks > 0,
+            "post-quarantine messages ride the fallback margins"
+        );
+        assert_eq!(defended.stats.messages_emitted, cfg.messages);
+    }
+
+    /// An honest defended stream raises no alarms (no false positives on
+    /// clean residuals).
+    #[test]
+    fn defended_honest_stream_raises_no_alarms() {
+        let cfg = ScenarioConfig::default()
+            .with_size(6, 240)
+            .with_clock_std_dev(3.0)
+            .with_gap(8.0)
+            .with_seed(21)
+            .with_defended(true);
+        let result = run_online_stream(&cfg, 0.99);
+        assert_eq!(result.quarantines, 0, "{result:?}");
+        assert_eq!(result.reestimations, 0, "{result:?}");
+        assert_eq!(result.margin_fallbacks, 0);
+        assert_eq!(result.stats.messages_emitted, cfg.messages);
+    }
+
+    /// Mid-stream clock drift on a previously validated client triggers
+    /// online re-estimation, not quarantine.
+    #[test]
+    fn defended_stream_reestimates_drifting_clients() {
+        use tommy_workload::AttackFamily;
+        let cfg = adversarial(3.0, AttackFamily::Drift, 0.8).with_defended(true);
+        let result = run_online_stream(&cfg, 0.99);
+        assert!(
+            result.reestimations >= 1,
+            "drift must trigger re-estimation: {result:?}"
+        );
+        assert_eq!(result.stats.messages_emitted, cfg.messages);
+    }
+
+    /// Satellite 1: the FAS fallback reason is echoed on the stream result
+    /// (`None` here — the default config keeps the incremental engine on).
+    #[test]
+    fn online_result_echoes_fas_fallback_reason() {
+        let result = run_online_stream(&small(3.0, 5.0), 0.99);
+        assert_eq!(result.fas_fallback_reason, None);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Scenario configuration shared by the experiments.
 
+use tommy_workload::AttackPlan;
+
 /// Configuration of one offline-comparison scenario (the §4 evaluation
 /// setup: seeded Gaussian clock offsets, all messages present before
 /// sequencing).
@@ -30,6 +32,16 @@ pub struct ScenarioConfig {
     /// clients whose near-tied bursts force tournament cycles, exercising
     /// the feedback-arc-set path (see `tommy_workload::intransitive`).
     pub cyclic_fraction: f64,
+    /// Adversarial attack applied to the generated stream (and, for
+    /// misreport plans, to the distributions the sequencers are told) —
+    /// `None` (the default) is the paper's all-honest setting. The plan's
+    /// timestamp distortion is deterministic, so seeded scenarios stay
+    /// reproducible under attack.
+    pub adversarial: Option<AttackPlan>,
+    /// Whether online runs enable the untrusted-distribution defense
+    /// (`tommy_core::defense`): residual cross-checks, quarantine onto
+    /// conservative fallback margins, and drift-triggered re-estimation.
+    pub defended: bool,
 }
 
 impl Default for ScenarioConfig {
@@ -43,6 +55,8 @@ impl Default for ScenarioConfig {
             seed: 42,
             parallelism: 1,
             cyclic_fraction: 0.0,
+            adversarial: None,
+            defended: false,
         }
     }
 }
@@ -105,6 +119,20 @@ impl ScenarioConfig {
         self.cyclic_fraction = fraction;
         self
     }
+
+    /// Builder: apply an adversarial attack plan to the scenario (see
+    /// [`ScenarioConfig::adversarial`]).
+    pub fn with_adversarial(mut self, plan: AttackPlan) -> Self {
+        self.adversarial = Some(plan);
+        self
+    }
+
+    /// Builder: enable or disable the online defense layer (see
+    /// [`ScenarioConfig::defended`]).
+    pub fn with_defended(mut self, defended: bool) -> Self {
+        self.defended = defended;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +162,18 @@ mod tests {
         assert_eq!(cfg.threshold, 0.9);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.cyclic_fraction, 0.25);
+    }
+
+    #[test]
+    fn adversarial_knobs_default_off_and_chain() {
+        use tommy_workload::AttackFamily;
+        let cfg = ScenarioConfig::default();
+        assert_eq!(cfg.adversarial, None);
+        assert!(!cfg.defended);
+        let plan = AttackPlan::new(AttackFamily::Drift, 0.5).with_scale(2.0);
+        let cfg = cfg.with_adversarial(plan).with_defended(true);
+        assert_eq!(cfg.adversarial, Some(plan));
+        assert!(cfg.defended);
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Mid-stream clock drift and step events.
+//!
+//! Unlike [`misreport`](super::misreport), a drifting client was *honest* at
+//! registration time: the distribution it shared matched its clock when the
+//! probes ran. The clock then moved — a slow frequency error (ramp) or a
+//! sudden step (NTP re-sync, VM migration) — and the registered model went
+//! stale. §3.3's answer is periodic re-estimation; this module produces the
+//! inputs that force it.
+
+use tommy_core::message::{ClientId, Message};
+
+/// Ground-truth time if the simulation attached one, else the reported
+/// timestamp (attacks on truth-less streams key off what the client said).
+pub(super) fn truth_of(m: &Message) -> f64 {
+    m.true_time.unwrap_or(m.timestamp)
+}
+
+/// The shape of a clock excursion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftKind {
+    /// Frequency error: the clock gains `rate` seconds of offset per second
+    /// of true time after onset (negative `rate` = losing time).
+    Ramp {
+        /// Offset accumulated per unit of true time past the onset.
+        rate: f64,
+    },
+    /// A one-shot step of `delta` at the onset (positive = clock jumps
+    /// forward).
+    Step {
+        /// Size of the jump applied to every timestamp after onset.
+        delta: f64,
+    },
+}
+
+/// A clock excursion starting at a point in true time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockDrift {
+    /// True time at which the excursion begins; earlier messages are
+    /// untouched.
+    pub onset: f64,
+    /// Ramp or step.
+    pub kind: DriftKind,
+}
+
+impl ClockDrift {
+    /// Extra offset (beyond the registered distribution) a drifting clock
+    /// shows at true time `t`.
+    pub fn offset_at(&self, t: f64) -> f64 {
+        if t < self.onset {
+            return 0.0;
+        }
+        match self.kind {
+            DriftKind::Ramp { rate } => rate * (t - self.onset),
+            DriftKind::Step { delta } => delta,
+        }
+    }
+}
+
+/// Apply `drift` to every message of the `drifters`, leaving other clients
+/// and all ground-truth times untouched. Each drifting client's timestamps
+/// are re-clamped to stay monotone (a real clock that steps *backwards*
+/// still never reports a time below its own last reading — the standard
+/// monotone-clock guard, same as the tagging step).
+pub fn apply_drift(messages: &[Message], drifters: &[ClientId], drift: &ClockDrift) -> Vec<Message> {
+    let mut out: Vec<Message> = messages.to_vec();
+    // Walk each drifting client's messages in true-time order and clamp.
+    let mut indices: Vec<usize> = (0..out.len())
+        .filter(|&i| drifters.contains(&out[i].client))
+        .collect();
+    indices.sort_by(|&a, &b| {
+        truth_of(&out[a])
+            .partial_cmp(&truth_of(&out[b]))
+            .expect("finite true times")
+    });
+    let mut floors: std::collections::HashMap<ClientId, f64> = std::collections::HashMap::new();
+    for i in indices {
+        let t = truth_of(&out[i]);
+        let m = &mut out[i];
+        let shifted = m.timestamp + drift.offset_at(t);
+        let floor = floors.entry(m.client).or_insert(f64::NEG_INFINITY);
+        m.timestamp = shifted.max(*floor);
+        *floor = m.timestamp;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tommy_core::message::MessageId;
+
+    fn msgs() -> Vec<Message> {
+        (0..10)
+            .map(|i| {
+                Message::with_true_time(
+                    MessageId(i),
+                    ClientId((i % 2) as u32),
+                    i as f64,
+                    i as f64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ramp_accumulates_after_onset_only() {
+        let drift = ClockDrift {
+            onset: 4.0,
+            kind: DriftKind::Ramp { rate: 0.5 },
+        };
+        let out = apply_drift(&msgs(), &[ClientId(0)], &drift);
+        for (h, d) in msgs().iter().zip(out.iter()) {
+            assert_eq!(h.true_time, d.true_time);
+            if h.client != ClientId(0) || h.true_time.unwrap() < 4.0 {
+                assert_eq!(h.timestamp, d.timestamp);
+            } else {
+                let expect = h.timestamp + 0.5 * (h.true_time.unwrap() - 4.0);
+                assert!((d.timestamp - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn step_is_flat_after_onset() {
+        let drift = ClockDrift {
+            onset: 5.0,
+            kind: DriftKind::Step { delta: 3.0 },
+        };
+        let out = apply_drift(&msgs(), &[ClientId(1)], &drift);
+        for (h, d) in msgs().iter().zip(out.iter()) {
+            if h.client == ClientId(1) && h.true_time.unwrap() >= 5.0 {
+                assert!((d.timestamp - (h.timestamp + 3.0)).abs() < 1e-12);
+            } else {
+                assert_eq!(h.timestamp, d.timestamp);
+            }
+        }
+    }
+
+    #[test]
+    fn backwards_step_keeps_timestamps_monotone() {
+        let drift = ClockDrift {
+            onset: 5.0,
+            kind: DriftKind::Step { delta: -4.0 },
+        };
+        let out = apply_drift(&msgs(), &[ClientId(0), ClientId(1)], &drift);
+        for c in [ClientId(0), ClientId(1)] {
+            let ts: Vec<f64> = out
+                .iter()
+                .filter(|m| m.client == c)
+                .map(|m| m.timestamp)
+                .collect();
+            for w in ts.windows(2) {
+                assert!(w[1] >= w[0], "client {c:?} went backwards: {ts:?}");
+            }
+        }
+        // And the step still shows once the clock climbs past the floor:
+        // client 0's message at true time 8 would honestly read 8, reads 4
+        // clamped to the floor 4 (from true time 4), i.e. the excursion is
+        // visible as a plateau.
+        let late: Vec<f64> = out
+            .iter()
+            .filter(|m| m.client == ClientId(0) && m.true_time.unwrap() >= 5.0)
+            .map(|m| m.timestamp)
+            .collect();
+        assert!(late.iter().all(|&t| t <= 6.0), "late = {late:?}");
+    }
+
+    #[test]
+    fn offset_at_is_zero_before_onset() {
+        let ramp = ClockDrift {
+            onset: 10.0,
+            kind: DriftKind::Ramp { rate: 2.0 },
+        };
+        assert_eq!(ramp.offset_at(9.999), 0.0);
+        assert_eq!(ramp.offset_at(10.0), 0.0);
+        assert!((ramp.offset_at(12.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_drifters_are_untouched() {
+        let drift = ClockDrift {
+            onset: 0.0,
+            kind: DriftKind::Ramp { rate: 1.0 },
+        };
+        let out = apply_drift(&msgs(), &[ClientId(7)], &drift);
+        assert_eq!(out, msgs());
+    }
+}

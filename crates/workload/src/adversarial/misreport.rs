@@ -1,0 +1,167 @@
+//! Misreported-distribution attacks: lying to the registry, not the clock.
+//!
+//! §3.3 of the paper has clients learn their own offset distributions and
+//! share them with the sequencer — an honesty assumption §5 calls out as the
+//! first thing a Byzantine client breaks. A misreporting client keeps its
+//! *timestamps* honest (they still come from its real clock) but registers a
+//! false distribution: a deflated σ buys unearned ordering confidence, an
+//! inflated σ drags neighbours into its batches, and a stale
+//! [`SharedDistribution`](tommy_clock::SharedDistribution) snapshot centres
+//! the sequencer's model on where the clock used to be.
+
+use tommy_clock::SharedDistribution;
+use tommy_core::message::ClientId;
+use tommy_stats::distribution::{Distribution as _, OffsetDistribution};
+
+/// One way of lying about an offset distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Misreport {
+    /// Claim a standard deviation `factor` times the true one (`factor > 1`):
+    /// the sequencer over-merges the client's messages with its neighbours,
+    /// widening batches around the attacker.
+    InflateSigma {
+        /// Multiplier applied to the true σ (must be ≥ 1 and finite).
+        factor: f64,
+    },
+    /// Claim a standard deviation `1/factor` of the true one (`factor > 1`):
+    /// the sequencer takes the client's noisy timestamps at face value,
+    /// confidently ordering pairs the evidence cannot support.
+    DeflateSigma {
+        /// Divisor applied to the true σ (must be ≥ 1 and finite).
+        factor: f64,
+    },
+    /// Register a snapshot learned before the clock moved: the claimed
+    /// distribution is the true one shifted by `-mean_shift` (the client's
+    /// clock has since advanced by `mean_shift` relative to the snapshot),
+    /// round-tripped through the [`SharedDistribution`] wire summary exactly
+    /// as a real client would have shipped it.
+    StaleSnapshot {
+        /// How far the clock has moved since the snapshot was taken.
+        mean_shift: f64,
+    },
+}
+
+impl Misreport {
+    /// The distribution the attacker *claims*, given its true one.
+    ///
+    /// Gaussian truths stay Gaussian with the lied-about parameters;
+    /// non-Gaussian truths are summarized by their moments first (a
+    /// misreporter ships the compact Gaussian wire form — see
+    /// [`SharedDistribution::from_distribution`]), then distorted. The claim
+    /// is always round-tripped through [`SharedDistribution`] so the lie
+    /// travels the same path an honest registration would.
+    pub fn claimed(&self, truth: &OffsetDistribution) -> OffsetDistribution {
+        let (mean, sd) = match truth {
+            OffsetDistribution::Gaussian(g) => (g.mean(), g.std_dev()),
+            other => (other.mean(), other.std_dev()),
+        };
+        let (mean, sd) = match *self {
+            Misreport::InflateSigma { factor } => {
+                assert!(factor >= 1.0 && factor.is_finite(), "inflate factor must be >= 1");
+                (mean, sd * factor)
+            }
+            Misreport::DeflateSigma { factor } => {
+                assert!(factor >= 1.0 && factor.is_finite(), "deflate factor must be >= 1");
+                (mean, sd / factor)
+            }
+            Misreport::StaleSnapshot { mean_shift } => {
+                assert!(mean_shift.is_finite(), "mean shift must be finite");
+                (mean - mean_shift, sd)
+            }
+        };
+        SharedDistribution::Gaussian {
+            mean,
+            // A literal zero σ would make downstream probabilities
+            // degenerate; the tiniest positive spread keeps the claim usable
+            // while staying an extreme lie.
+            std_dev: sd.max(1e-9),
+        }
+        .to_distribution()
+    }
+}
+
+/// The registry seeds a misreporting population hands the sequencer: every
+/// attacker's distribution is replaced by [`Misreport::claimed`], honest
+/// clients keep the truth. Message timestamps are untouched — the lie lives
+/// entirely in the registration.
+pub fn misreported_offsets(
+    offsets: &[(ClientId, OffsetDistribution)],
+    attackers: &[ClientId],
+    misreport: &Misreport,
+) -> Vec<(ClientId, OffsetDistribution)> {
+    offsets
+        .iter()
+        .map(|(client, truth)| {
+            if attackers.contains(client) {
+                (*client, misreport.claimed(truth))
+            } else {
+                (*client, truth.clone())
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offsets() -> Vec<(ClientId, OffsetDistribution)> {
+        (0..4)
+            .map(|c| (ClientId(c), OffsetDistribution::gaussian(1.0, 4.0)))
+            .collect()
+    }
+
+    #[test]
+    fn deflate_shrinks_sigma_and_keeps_mean() {
+        let claimed = Misreport::DeflateSigma { factor: 8.0 }
+            .claimed(&OffsetDistribution::gaussian(1.0, 4.0));
+        assert!((claimed.mean() - 1.0).abs() < 1e-12);
+        assert!((claimed.std_dev() - 0.5).abs() < 1e-12);
+        assert!(claimed.is_gaussian());
+    }
+
+    #[test]
+    fn inflate_grows_sigma() {
+        let claimed = Misreport::InflateSigma { factor: 3.0 }
+            .claimed(&OffsetDistribution::gaussian(-2.0, 4.0));
+        assert!((claimed.mean() - -2.0).abs() < 1e-12);
+        assert!((claimed.std_dev() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stale_snapshot_shifts_the_mean_back() {
+        let claimed = Misreport::StaleSnapshot { mean_shift: 10.0 }
+            .claimed(&OffsetDistribution::gaussian(3.0, 2.0));
+        assert!((claimed.mean() - -7.0).abs() < 1e-12);
+        assert!((claimed.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_gaussian_truths_are_summarized_by_moments() {
+        let truth = OffsetDistribution::laplace(2.0, 3.0);
+        let claimed = Misreport::DeflateSigma { factor: 2.0 }.claimed(&truth);
+        assert!(claimed.is_gaussian());
+        assert!((claimed.mean() - truth.mean()).abs() < 1e-9);
+        assert!((claimed.std_dev() - truth.std_dev() / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn only_attackers_are_replaced() {
+        let truth = offsets();
+        let attackers = [ClientId(1), ClientId(3)];
+        let seeds = misreported_offsets(&truth, &attackers, &Misreport::DeflateSigma { factor: 4.0 });
+        for ((c, claimed), (_, honest)) in seeds.iter().zip(truth.iter()) {
+            if attackers.contains(c) {
+                assert!((claimed.std_dev() - honest.std_dev() / 4.0).abs() < 1e-9);
+            } else {
+                assert_eq!(claimed, honest);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn deflate_factor_below_one_rejected() {
+        Misreport::DeflateSigma { factor: 0.5 }.claimed(&OffsetDistribution::gaussian(0.0, 1.0));
+    }
+}

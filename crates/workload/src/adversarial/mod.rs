@@ -1,12 +1,37 @@
-//! Byzantine timestamp manipulation.
+//! Byzantine timestamp manipulation and adversarial attack families.
 //!
 //! §5 of the paper: "In auction-apps, clients have an incentive to dictate
 //! sequencing of messages e.g., by manipulating the timestamps attached to
 //! the messages, as it may translate to monetary benefits e.g., winning
 //! trades in a financial exchange." This module applies such attacks to an
 //! honest workload so experiments can quantify how much an attacker gains
-//! under each sequencer (the paper leaves defences to future work; measuring
-//! the exposure is the first step).
+//! under each sequencer, and so the defense path in `tommy-core` (trust
+//! tracking, quarantine, online re-estimation) has something to defend
+//! against.
+//!
+//! Three parameterized attack families are provided (see the repository's
+//! `ARCHITECTURE.md`, "Threat model & degradation"):
+//!
+//! * misreport ([`Misreport`], [`misreported_offsets`]) — lying about the
+//!   *distribution* a client registers (inflated/deflated σ, stale
+//!   [`SharedDistribution`](tommy_clock::SharedDistribution) snapshots)
+//!   while its timestamps stay honest;
+//! * drift ([`ClockDrift`], [`apply_drift`]) — mid-stream clock drift or
+//!   step events: the registered distribution was honest when shared but
+//!   the clock has since moved;
+//! * timestamp forgery and coordinated collusion ([`apply_attack`],
+//!   [`apply_collusion`]) — forging the timestamps themselves.
+//!
+//! [`AttackPlan`] wraps all three behind one `(family, intensity, onset)`
+//! parameterization so scenario sweeps can dial an attack up and down.
+
+mod drift;
+mod misreport;
+mod plan;
+
+pub use drift::{apply_drift, ClockDrift, DriftKind};
+pub use misreport::{misreported_offsets, Misreport};
+pub use plan::{AttackFamily, AttackPlan};
 
 use tommy_core::message::{ClientId, Message};
 

@@ -1,0 +1,406 @@
+//! One-knob attack parameterization for scenario sweeps.
+//!
+//! Experiments want "family × intensity" axes, not a bag of per-attack
+//! constants. [`AttackPlan`] maps a single `intensity ∈ [0, 1]` onto
+//! concrete parameters for each family ([`Misreport`](super::Misreport),
+//! [`ClockDrift`](super::ClockDrift), [`apply_collusion`](super::apply_collusion))
+//! so `ScenarioConfig` can carry an attack as plain `Copy` data and the
+//! bench sweep can dial it up. Everything here is deterministic: the same
+//! plan applied to the same honest workload yields the same attacked
+//! workload, so seed-stability of a scenario reduces to seed-stability of
+//! its honest generator.
+
+use tommy_core::message::{ClientId, Message};
+use tommy_stats::distribution::OffsetDistribution;
+
+use super::drift::{apply_drift, ClockDrift, DriftKind};
+use super::misreport::{misreported_offsets, Misreport};
+use super::apply_collusion;
+
+/// Which of the three attack families a plan exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackFamily {
+    /// Attackers register a lie (deflated σ + stale mean) but timestamp
+    /// honestly. Defended by the KS cross-check + quarantine.
+    Misreport,
+    /// Attackers registered honestly, then their clocks ramp away
+    /// mid-stream. Defended by drift detection + online re-estimation.
+    Drift,
+    /// Attackers forge near-tied timestamps to push the sequencer into the
+    /// cyclic regime. Bounded by FAS repair; the trust layer reports but
+    /// cannot fully reverse it.
+    Collusion,
+}
+
+impl AttackFamily {
+    /// All families, in sweep order.
+    pub const ALL: [AttackFamily; 3] = [
+        AttackFamily::Misreport,
+        AttackFamily::Drift,
+        AttackFamily::Collusion,
+    ];
+
+    /// Stable lowercase name for JSON rows and bench labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackFamily::Misreport => "misreport",
+            AttackFamily::Drift => "drift",
+            AttackFamily::Collusion => "collusion",
+        }
+    }
+}
+
+/// A fully parameterized attack: family, intensity, onset, attacker count,
+/// and the magnitude scale tying `intensity` to the workload's units.
+///
+/// `intensity` is the sweep axis: `0.0` is a no-op for every family, `1.0`
+/// the strongest configured attack. `scale` is an absolute σ-like magnitude
+/// (callers typically pass the scenario's clock σ) so the same intensity
+/// means "the same multiple of the clock noise" across scenarios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackPlan {
+    /// Attack family to run.
+    pub family: AttackFamily,
+    /// Attack strength in `[0, 1]`.
+    pub intensity: f64,
+    /// Where in the stream (fraction of the true-time span) the attack
+    /// switches on. Misreports ignore this — the lie is in the
+    /// registration, active from the first message.
+    pub onset_fraction: f64,
+    /// How many clients attack (the first `attackers` client ids).
+    pub attackers: u32,
+    /// Magnitude scale in timestamp units (σ-like; must be positive).
+    pub scale: f64,
+}
+
+impl AttackPlan {
+    /// A plan with default onset (30% into the stream), one attacker for
+    /// misreport/drift and three for collusion (collusion needs partners),
+    /// and unit scale.
+    pub fn new(family: AttackFamily, intensity: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&intensity),
+            "intensity must be in [0, 1], got {intensity}"
+        );
+        AttackPlan {
+            family,
+            intensity,
+            onset_fraction: 0.3,
+            attackers: match family {
+                AttackFamily::Collusion => 3,
+                _ => 1,
+            },
+            scale: 1.0,
+        }
+    }
+
+    /// Set the onset point as a fraction of the stream's true-time span.
+    pub fn with_onset_fraction(mut self, onset_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&onset_fraction),
+            "onset fraction must be in [0, 1]"
+        );
+        self.onset_fraction = onset_fraction;
+        self
+    }
+
+    /// Set the number of attacking clients (the first `attackers` ids).
+    pub fn with_attackers(mut self, attackers: u32) -> Self {
+        assert!(attackers >= 1, "need at least one attacker");
+        self.attackers = attackers;
+        self
+    }
+
+    /// Set the magnitude scale (e.g. the scenario's clock σ).
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+        self.scale = scale;
+        self
+    }
+
+    /// The attacking client ids: the first `attackers` clients.
+    pub fn attacker_ids(&self) -> Vec<ClientId> {
+        (0..self.attackers).map(ClientId).collect()
+    }
+
+    /// The misreport this plan's intensity maps to (deflated σ composed
+    /// with a stale mean), if the family is [`AttackFamily::Misreport`].
+    pub fn misreport(&self) -> Option<(Misreport, Misreport)> {
+        if self.family != AttackFamily::Misreport || self.intensity == 0.0 {
+            return None;
+        }
+        Some((
+            // σ claimed up to 8× too small at full intensity…
+            Misreport::DeflateSigma {
+                factor: 1.0 + 7.0 * self.intensity,
+            },
+            // …and a mean stale by up to 2 scale units.
+            Misreport::StaleSnapshot {
+                mean_shift: 2.0 * self.scale * self.intensity,
+            },
+        ))
+    }
+
+    /// The distributions the sequencer is *told*: the truth for honest
+    /// clients and for non-misreport families (a drifting client was honest
+    /// at registration time), a composed lie for misreporting attackers.
+    pub fn claimed_offsets(
+        &self,
+        truth: &[(ClientId, OffsetDistribution)],
+    ) -> Vec<(ClientId, OffsetDistribution)> {
+        match self.misreport() {
+            None => truth.to_vec(),
+            Some((deflate, stale)) => {
+                let attackers = self.attacker_ids();
+                let deflated = misreported_offsets(truth, &attackers, &deflate);
+                misreported_offsets(&deflated, &attackers, &stale)
+            }
+        }
+    }
+
+    /// True time at which the attack switches on for `messages`.
+    fn onset_time(&self, messages: &[Message]) -> f64 {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for m in messages {
+            let t = super::drift::truth_of(m);
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+        if lo > hi {
+            return 0.0;
+        }
+        lo + self.onset_fraction * (hi - lo)
+    }
+
+    /// Apply this plan's timestamp-level effect to an honest workload.
+    ///
+    /// Misreport and zero-intensity plans are the identity — the misreport
+    /// attack lives entirely in [`Self::claimed_offsets`] — so an attacked
+    /// scenario at intensity 0 is bit-identical to its honest control. Drift
+    /// and collusion forge timestamps from the onset point on, followed by a
+    /// per-client monotone pass mirroring the tagging step's monotone-clock
+    /// guard.
+    pub fn apply(&self, messages: &[Message]) -> Vec<Message> {
+        if self.intensity == 0.0 || self.family == AttackFamily::Misreport {
+            return messages.to_vec();
+        }
+        let attackers = self.attacker_ids();
+        let mut out = match self.family {
+            AttackFamily::Misreport => messages.to_vec(),
+            AttackFamily::Drift => {
+                if self.intensity == 0.0 {
+                    messages.to_vec()
+                } else {
+                    let onset = self.onset_time(messages);
+                    let span = messages
+                        .iter()
+                        .map(super::drift::truth_of)
+                        .fold(f64::NEG_INFINITY, f64::max)
+                        - onset;
+                    // The ramp accumulates ~4 scale units of offset by the
+                    // end of the stream at full intensity.
+                    let rate = if span > 0.0 {
+                        4.0 * self.scale * self.intensity / span
+                    } else {
+                        0.0
+                    };
+                    apply_drift(
+                        messages,
+                        &attackers,
+                        &ClockDrift {
+                            onset,
+                            kind: DriftKind::Ramp { rate },
+                        },
+                    )
+                }
+            }
+            AttackFamily::Collusion => {
+                if self.intensity == 0.0 {
+                    messages.to_vec()
+                } else {
+                    let onset = self.onset_time(messages);
+                    let window = 2.0 * self.scale * self.intensity;
+                    // Collude only the post-onset suffix: earlier messages
+                    // keep their honest timestamps.
+                    let post: Vec<Message> = messages
+                        .iter()
+                        .filter(|m| super::drift::truth_of(m) >= onset)
+                        .cloned()
+                        .collect();
+                    let colluded = apply_collusion(&post, &attackers, window);
+                    let forged: std::collections::HashMap<_, _> =
+                        colluded.iter().map(|m| (m.id, m.timestamp)).collect();
+                    messages
+                        .iter()
+                        .map(|m| {
+                            let mut m = m.clone();
+                            if let Some(&ts) = forged.get(&m.id) {
+                                m.timestamp = ts;
+                            }
+                            m
+                        })
+                        .collect()
+                }
+            }
+        };
+        // Monotone-clock guard: each client's reported timestamps never go
+        // backwards in true-time order, whatever the attack did.
+        let mut order: Vec<usize> = (0..out.len()).collect();
+        order.sort_by(|&a, &b| {
+            super::drift::truth_of(&out[a])
+                .partial_cmp(&super::drift::truth_of(&out[b]))
+                .expect("finite true times")
+        });
+        let mut floors: std::collections::HashMap<ClientId, f64> = std::collections::HashMap::new();
+        for i in order {
+            let m = &mut out[i];
+            let floor = floors.entry(m.client).or_insert(f64::NEG_INFINITY);
+            m.timestamp = m.timestamp.max(*floor);
+            *floor = m.timestamp;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tommy_core::message::MessageId;
+    use tommy_stats::distribution::Distribution as _;
+
+    fn msgs() -> Vec<Message> {
+        (0..20)
+            .map(|i| {
+                Message::with_true_time(
+                    MessageId(i),
+                    ClientId((i % 4) as u32),
+                    i as f64,
+                    i as f64,
+                )
+            })
+            .collect()
+    }
+
+    fn truth() -> Vec<(ClientId, OffsetDistribution)> {
+        (0..4)
+            .map(|c| (ClientId(c), OffsetDistribution::gaussian(0.0, 4.0)))
+            .collect()
+    }
+
+    #[test]
+    fn zero_intensity_is_a_noop_for_every_family() {
+        for family in AttackFamily::ALL {
+            let plan = AttackPlan::new(family, 0.0);
+            assert_eq!(plan.apply(&msgs()), msgs(), "{family:?}");
+            assert_eq!(plan.claimed_offsets(&truth()), truth(), "{family:?}");
+        }
+    }
+
+    #[test]
+    fn misreport_lies_in_the_registry_not_the_stream() {
+        let plan = AttackPlan::new(AttackFamily::Misreport, 1.0).with_scale(4.0);
+        assert_eq!(plan.apply(&msgs()), msgs());
+        let claimed = plan.claimed_offsets(&truth());
+        let (c, lie) = &claimed[0];
+        assert_eq!(*c, ClientId(0));
+        // σ deflated 8×, mean stale by 2 × scale.
+        assert!((lie.std_dev() - 0.5).abs() < 1e-9, "σ = {}", lie.std_dev());
+        assert!((lie.mean() - -8.0).abs() < 1e-9, "μ = {}", lie.mean());
+        for (c, d) in claimed.iter().skip(1) {
+            assert_eq!(d, &truth()[c.0 as usize].1);
+        }
+    }
+
+    #[test]
+    fn drift_ramps_only_the_attacker_after_onset() {
+        let plan = AttackPlan::new(AttackFamily::Drift, 0.5)
+            .with_scale(2.0)
+            .with_onset_fraction(0.5);
+        let out = plan.apply(&msgs());
+        assert_eq!(plan.claimed_offsets(&truth()), truth());
+        let onset = 9.5; // 0 + 0.5 × (19 − 0)
+        for (h, d) in msgs().iter().zip(out.iter()) {
+            if h.client != ClientId(0) || h.true_time.unwrap() < onset {
+                assert_eq!(h.timestamp, d.timestamp);
+            }
+        }
+        // The ramp accumulates 4 × scale × intensity = 4 over the post-onset
+        // span (9.5 → 19); the attacker's last message at true time 16 has
+        // gained rate × (16 − 9.5).
+        let last = out.iter().rfind(|m| m.client == ClientId(0)).unwrap();
+        let honest_msgs = msgs();
+        let honest = honest_msgs
+            .iter()
+            .rfind(|m| m.client == ClientId(0))
+            .unwrap()
+            .timestamp;
+        let gained = last.timestamp - honest;
+        let expect = 4.0 * 2.0 * 0.5 / 9.5 * (16.0 - 9.5);
+        assert!((gained - expect).abs() < 1e-9, "gained = {gained}, expect = {expect}");
+    }
+
+    #[test]
+    fn collusion_ties_post_onset_colluders_only() {
+        let plan = AttackPlan::new(AttackFamily::Collusion, 1.0)
+            .with_scale(1.5)
+            .with_onset_fraction(0.5);
+        let out = plan.apply(&msgs());
+        let onset = 9.5;
+        let colluders = plan.attacker_ids();
+        assert_eq!(colluders.len(), 3);
+        for (h, d) in msgs().iter().zip(out.iter()) {
+            if h.true_time.unwrap() < onset || !colluders.contains(&h.client) {
+                assert_eq!(h.timestamp, d.timestamp, "pre-onset or honest moved");
+            }
+        }
+        // Post-onset colluder messages within a window (2 × 1.5 × 1 = 3)
+        // snap together: at least one pair closer than honestly possible.
+        let post: Vec<f64> = out
+            .iter()
+            .filter(|m| colluders.contains(&m.client) && m.true_time.unwrap() >= onset)
+            .map(|m| m.timestamp)
+            .collect();
+        let mut sorted = post.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min_gap = sorted
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_gap < 0.1, "no near-tie formed: {sorted:?}");
+    }
+
+    #[test]
+    fn apply_is_deterministic_and_monotone_per_client() {
+        for family in AttackFamily::ALL {
+            for intensity in [0.25, 0.6, 1.0] {
+                let plan = AttackPlan::new(family, intensity).with_scale(3.0);
+                let a = plan.apply(&msgs());
+                let b = plan.apply(&msgs());
+                assert_eq!(a, b, "{family:?}@{intensity} not deterministic");
+                for c in 0..4 {
+                    let ts: Vec<f64> = a
+                        .iter()
+                        .filter(|m| m.client == ClientId(c))
+                        .map(|m| m.timestamp)
+                        .collect();
+                    for w in ts.windows(2) {
+                        assert!(w[1] >= w[0], "{family:?} client {c} backwards: {ts:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn family_names_are_stable() {
+        assert_eq!(AttackFamily::Misreport.name(), "misreport");
+        assert_eq!(AttackFamily::Drift.name(), "drift");
+        assert_eq!(AttackFamily::Collusion.name(), "collusion");
+    }
+
+    #[test]
+    #[should_panic(expected = "intensity")]
+    fn out_of_range_intensity_rejected() {
+        AttackPlan::new(AttackFamily::Drift, 1.5);
+    }
+}

@@ -20,8 +20,10 @@
 //! * [`tagging`] — the §4 tagging step: turn generation events into
 //!   [`Message`](tommy_core::message::Message)s by reading each client's
 //!   simulated clock;
-//! * [`adversarial`] — Byzantine timestamp manipulation (§5 "Byzantine
-//!   Clients"), including the tie-forcing collusion attack;
+//! * [`adversarial`] — three parameterized Byzantine attack families (§5
+//!   "Byzantine Clients"): misreported distributions, mid-stream clock
+//!   drift/steps, and coordinated timestamp collusion, unified behind
+//!   [`adversarial::AttackPlan`] for intensity sweeps;
 //! * [`intransitive`] — cycle-forcing workloads: Condorcet (intransitive
 //!   dice) offset mixes and heavy-tailed populations whose preceding
 //!   probabilities are *not* transitive, exercising the feedback-arc-set
@@ -39,6 +41,7 @@ pub mod population;
 pub mod tagging;
 pub mod uniform;
 
+pub use adversarial::{AttackFamily, AttackPlan};
 pub use burst::BurstWorkload;
 pub use events::GenerationEvent;
 pub use intransitive::{condorcet_offsets, IntransitiveWorkload};
