@@ -20,9 +20,12 @@ use tommy_core::sequencer::emission::batch_emission_time;
 use tommy_core::sequencer::online::OnlineSequencer;
 use tommy_core::sequencer::{SequencingCore, SequencingOutcome};
 use tommy_core::tournament::Tournament;
+use tommy_netsim::FaultPlan;
+use tommy_sim::faults::{run_fault_stream, FaultStreamResult};
 use tommy_sim::runner::{run_online_stream, OnlineStreamResult};
 use tommy_sim::scenario::ScenarioConfig;
 use tommy_stats::distribution::OffsetDistribution;
+use tommy_wire::RecoveryPolicy;
 use tommy_workload::intransitive::IntransitiveWorkload;
 use tommy_workload::{AttackFamily, AttackPlan};
 
@@ -75,6 +78,32 @@ pub fn run_adversarial_stream(
         &adversarial_scenario(family, intensity, defended),
         ADVERSARIAL_P_SAFE,
     )
+}
+
+/// Safe-emission quantile of the fault sweep (the sim runner convention).
+pub const FAULT_P_SAFE: f64 = 0.99;
+
+/// Messages per fault-sweep run (the pending-scale the acceptance numbers
+/// are quoted at).
+pub const FAULT_MESSAGES: usize = 500;
+
+/// The fault-sweep scenario regime: 8 clients, 500 messages, σ = 3 clocks at
+/// gap 4 — the honest stream is nearly perfectly orderable, so RAS loss in a
+/// cell is attributable to the injected faults (and throughput loss to the
+/// recovery machinery).
+pub fn fault_scenario() -> ScenarioConfig {
+    ScenarioConfig::default()
+        .with_size(8, FAULT_MESSAGES)
+        .with_clock_std_dev(3.0)
+        .with_gap(4.0)
+        .with_seed(21)
+}
+
+/// One fault-sweep cell: stream [`fault_scenario`] through the full wire
+/// path under `plans` and `policy` — the measurement behind
+/// `BENCH_faults.json`.
+pub fn run_fault_cell(plans: &[FaultPlan], policy: RecoveryPolicy) -> FaultStreamResult {
+    run_fault_stream(&fault_scenario(), plans, policy, FAULT_P_SAFE)
 }
 
 /// Number of clients used by the streaming precedence benchmarks.

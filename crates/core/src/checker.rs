@@ -33,16 +33,17 @@
 //! pre-emission pending set is still known. See `ARCHITECTURE.md`, "Threat
 //! model & degradation", for the row-per-invariant table.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use tommy_stats::distribution::{Distribution, OffsetDistribution};
 
-use crate::config::SequencerConfig;
+use crate::config::{LivenessConfig, SequencerConfig};
 use crate::error::CoreError;
 use crate::message::{ClientId, Message, MessageId};
 use crate::precedence::PrecedenceMatrix;
 use crate::sequencer::online::{EmittedBatch, OnlineSequencer, OnlineStats};
 use crate::sequencer::SequencingCore;
+use crate::session::{RecoveryPolicy, SequenceValidator, SessionAction, SessionCounters};
 
 /// A small model: a fixed client population, a fixed message set, and the
 /// network/bound parameters defining the schedule space.
@@ -117,6 +118,20 @@ pub enum InvariantViolation {
         /// The configured bound on `violations / messages`.
         bound: f64,
     },
+    /// Fault invariant: a delivery fault (dropped frame) left no trace in
+    /// the session layer — the stream advanced past the hole without
+    /// counting a gap, so the loss would go unnoticed.
+    UndetectedGap {
+        /// The client whose stream silently skipped a hole.
+        client: ClientId,
+    },
+    /// Fault invariant: messages the sequencer accepted were still pending
+    /// after the liveness horizon (final tick past the staleness deadline)
+    /// — the watermark stalled instead of evicting the failed client.
+    WatermarkStalled {
+        /// How many accepted messages never emitted.
+        pending: usize,
+    },
 }
 
 impl std::fmt::Display for InvariantViolation {
@@ -145,6 +160,13 @@ impl std::fmt::Display for InvariantViolation {
             } => write!(
                 f,
                 "{violations}/{messages} fairness violations exceeds the {bound} rate bound"
+            ),
+            InvariantViolation::UndetectedGap { client } => {
+                write!(f, "{client}'s stream passed a dropped frame without detecting a gap")
+            }
+            InvariantViolation::WatermarkStalled { pending } => write!(
+                f,
+                "{pending} accepted messages still pending after the liveness horizon"
             ),
         }
     }
@@ -322,38 +344,13 @@ impl ModelSpec {
             !self.config.stochastic_cycle_breaking,
             "the boundary-consistency invariant requires a deterministic config"
         );
-        // Deliveries are chosen among messages ordered by ground truth.
-        let mut by_truth: Vec<usize> = (0..self.messages.len()).collect();
-        by_truth.sort_by(|&a, &b| {
-            truth_of(&self.messages[a])
-                .partial_cmp(&truth_of(&self.messages[b]))
-                .expect("finite true times")
-        });
-
+        let (schedules, truncated) = self.enumerate_schedules();
         let mut report = CheckReport {
-            schedules: 0,
-            truncated: false,
+            schedules: schedules.len(),
+            truncated,
             violations: Vec::new(),
         };
-        let mut delivered = vec![false; self.messages.len()];
-        let mut schedule: Vec<usize> = Vec::with_capacity(self.messages.len());
-        self.explore(&by_truth, &mut delivered, &mut schedule, &mut report)?;
-        Ok(report)
-    }
-
-    /// DFS over the schedule space (see [`check`](Self::check)).
-    fn explore(
-        &self,
-        by_truth: &[usize],
-        delivered: &mut Vec<bool>,
-        schedule: &mut Vec<usize>,
-        report: &mut CheckReport,
-    ) -> Result<(), CoreError> {
-        if report.truncated {
-            return Ok(());
-        }
-        if schedule.len() == self.messages.len() {
-            report.schedules += 1;
+        for schedule in &schedules {
             let (trace, mut violations) = self.replay(schedule)?;
             violations.extend(check_trace(&trace, self.max_violation_rate));
             for violation in violations {
@@ -362,10 +359,48 @@ impl ModelSpec {
                     violation,
                 });
             }
-            if report.schedules >= self.max_schedules {
-                report.truncated = true;
+        }
+        Ok(report)
+    }
+
+    /// Enumerate every admissible delivery schedule (up to
+    /// [`ModelSpec::max_schedules`]). Returns the schedules (as indices into
+    /// [`ModelSpec::messages`], in delivery order) and whether the cap was
+    /// hit.
+    pub fn enumerate_schedules(&self) -> (Vec<Vec<usize>>, bool) {
+        let mut by_truth: Vec<usize> = (0..self.messages.len()).collect();
+        by_truth.sort_by(|&a, &b| {
+            truth_of(&self.messages[a])
+                .partial_cmp(&truth_of(&self.messages[b]))
+                .expect("finite true times")
+        });
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        let mut truncated = false;
+        let mut delivered = vec![false; self.messages.len()];
+        let mut schedule: Vec<usize> = Vec::with_capacity(self.messages.len());
+        self.explore(&by_truth, &mut delivered, &mut schedule, &mut out, &mut truncated);
+        (out, truncated)
+    }
+
+    /// DFS over the schedule space (see
+    /// [`enumerate_schedules`](Self::enumerate_schedules)).
+    fn explore(
+        &self,
+        by_truth: &[usize],
+        delivered: &mut Vec<bool>,
+        schedule: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+        truncated: &mut bool,
+    ) {
+        if *truncated {
+            return;
+        }
+        if schedule.len() == self.messages.len() {
+            out.push(schedule.clone());
+            if out.len() >= self.max_schedules {
+                *truncated = true;
             }
-            return Ok(());
+            return;
         }
         // The choice set: among the oldest `max_in_flight` undelivered
         // messages (by ground truth), each client's earliest one — per-client
@@ -387,11 +422,10 @@ impl ModelSpec {
         for idx in choices {
             delivered[idx] = true;
             schedule.push(idx);
-            self.explore(by_truth, delivered, schedule, report)?;
+            self.explore(by_truth, delivered, schedule, out, truncated);
             schedule.pop();
             delivered[idx] = false;
         }
-        Ok(())
     }
 
     /// Replay one delivery schedule (indices into [`ModelSpec::messages`])
@@ -540,6 +574,637 @@ impl ModelSpec {
     }
 }
 
+/// The fault model layered on a [`ModelSpec`] by
+/// [`ModelSpec::check_faulty`]: a session-layer [`RecoveryPolicy`] plus
+/// bounds on how many deliveries the adversary may drop or duplicate per
+/// schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSpec {
+    /// The recovery policy every client stream runs under.
+    pub policy: RecoveryPolicy,
+    /// Maximum deliveries dropped per schedule (every subset up to this
+    /// size is checked).
+    pub max_dropped: usize,
+    /// Maximum deliveries duplicated per schedule (every subset up to this
+    /// size is checked; duplicating a dropped delivery is skipped — there
+    /// is no copy to duplicate).
+    pub max_duplicated: usize,
+    /// Heartbeat staleness deadline for the sequencer's liveness detector
+    /// (always enabled in faulty replays: a blocked stream must be evicted,
+    /// not waited on forever).
+    pub staleness_deadline: f64,
+}
+
+impl FaultSpec {
+    /// A spec for `policy` checking one drop and one duplicate per
+    /// schedule, with a staleness deadline of 50 time units.
+    pub fn new(policy: RecoveryPolicy) -> Self {
+        policy.validate();
+        FaultSpec {
+            policy,
+            max_dropped: 1,
+            max_duplicated: 1,
+            staleness_deadline: 50.0,
+        }
+    }
+
+    /// Set the per-schedule drop bound.
+    pub fn with_max_dropped(mut self, max_dropped: usize) -> Self {
+        self.max_dropped = max_dropped;
+        self
+    }
+
+    /// Set the per-schedule duplication bound.
+    pub fn with_max_duplicated(mut self, max_duplicated: usize) -> Self {
+        self.max_duplicated = max_duplicated;
+        self
+    }
+
+    /// Set the liveness staleness deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the deadline is positive and finite.
+    pub fn with_staleness_deadline(mut self, deadline: f64) -> Self {
+        assert!(
+            deadline.is_finite() && deadline > 0.0,
+            "staleness deadline must be positive and finite, got {deadline}"
+        );
+        self.staleness_deadline = deadline;
+        self
+    }
+}
+
+/// An invariant failure tagged with the schedule *and fault pattern* that
+/// produced it.
+#[derive(Debug, Clone)]
+pub struct FaultViolation {
+    /// Indices into [`ModelSpec::messages`], in delivery order.
+    pub schedule: Vec<usize>,
+    /// Schedule positions whose delivery was dropped.
+    pub dropped: Vec<usize>,
+    /// Schedule positions whose delivery was duplicated.
+    pub duplicated: Vec<usize>,
+    /// The failed invariant.
+    pub violation: InvariantViolation,
+}
+
+/// Result of an exhaustive fault check.
+#[derive(Debug, Clone)]
+pub struct FaultCheckReport {
+    /// Delivery schedules enumerated.
+    pub schedules: usize,
+    /// Total (schedule × drop-subset × dup-subset) cases replayed.
+    pub cases: usize,
+    /// Whether schedule enumeration stopped at [`ModelSpec::max_schedules`].
+    pub truncated: bool,
+    /// Every invariant failure found, tagged with its fault pattern.
+    pub violations: Vec<FaultViolation>,
+}
+
+impl FaultCheckReport {
+    /// Whether every case satisfied every invariant.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Report from [`ModelSpec::check_crash_liveness`].
+#[derive(Debug, Clone)]
+pub struct CrashLivenessReport {
+    /// Messages the sequencer accepted (the crashed client's unsent tail is
+    /// excluded by construction).
+    pub submitted: usize,
+    /// Messages emitted in batches (without any flush).
+    pub emitted: usize,
+    /// Accepted messages still pending after the liveness horizon.
+    pub stalled: usize,
+    /// Clients evicted by the staleness detector.
+    pub evictions: usize,
+    /// The sequencer's final counters.
+    pub stats: OnlineStats,
+}
+
+/// Every subset of `{0, .., n-1}` with at most `k` elements (the empty set
+/// first), in a deterministic order.
+fn subsets_up_to(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut current: Vec<Vec<usize>> = vec![Vec::new()];
+    for _ in 0..k {
+        let mut next: Vec<Vec<usize>> = Vec::new();
+        for prefix in &current {
+            let start = prefix.last().map_or(0, |&p| p + 1);
+            for i in start..n {
+                let mut s = prefix.clone();
+                s.push(i);
+                next.push(s);
+            }
+        }
+        out.extend(next.iter().cloned());
+        current = next;
+    }
+    out
+}
+
+/// Mutable state threaded through one faulty replay.
+struct FaultReplay {
+    seq: OnlineSequencer,
+    validators: BTreeMap<ClientId, SequenceValidator<Option<usize>>>,
+    /// Per-client send history: sequence number → message index (`None` is
+    /// the closing fin). Retransmissions are answered from here.
+    frames: BTreeMap<ClientId, Vec<Option<usize>>>,
+    clock: f64,
+    floors: HashMap<ClientId, f64>,
+    /// Truths of each client's not-yet-released messages — heartbeats ride
+    /// the same ordered stream, so a client may only heartbeat past what it
+    /// has actually gotten through.
+    unreleased: HashMap<ClientId, Vec<f64>>,
+    submitted: Vec<Message>,
+    pending: Vec<Message>,
+    violations: Vec<InvariantViolation>,
+}
+
+impl ModelSpec {
+    /// Enumerate every admissible delivery schedule and, for each, every
+    /// drop/duplication pattern within [`FaultSpec`]'s bounds; replay each
+    /// case through a session layer (one [`SequenceValidator`] per client
+    /// stream, heartbeats gated behind release order) feeding a
+    /// liveness-enabled [`OnlineSequencer`], and assert the fault
+    /// invariants:
+    ///
+    /// * every hole left by a dropped delivery is **detected** (counted as
+    ///   a gap by its stream) — no silent loss under any policy;
+    /// * no duplicated delivery is ever emitted twice;
+    /// * under [`RecoveryPolicy::RequestRetransmit`], every message —
+    ///   dropped or not — is eventually accepted and emitted exactly once;
+    /// * under [`RecoveryPolicy::SkipAfterTimeout`], every non-dropped
+    ///   message is emitted exactly once;
+    /// * the watermark never stalls past the liveness horizon: everything
+    ///   the sequencer accepted is emitted **without a flush** (blocked
+    ///   clients must be evicted, not waited on);
+    /// * plus the base invariants (per-client monotone emission, boundary
+    ///   consistency, bounded violation rate) on every trace.
+    ///
+    /// # Errors
+    ///
+    /// Errors propagate from replay (unknown client, duplicate id, …) —
+    /// they indicate a malformed model, not an invariant violation.
+    pub fn check_faulty(&self, spec: &FaultSpec) -> Result<FaultCheckReport, CoreError> {
+        assert!(
+            !self.config.stochastic_cycle_breaking,
+            "the boundary-consistency invariant requires a deterministic config"
+        );
+        let (schedules, truncated) = self.enumerate_schedules();
+        let mut report = FaultCheckReport {
+            schedules: schedules.len(),
+            cases: 0,
+            truncated,
+            violations: Vec::new(),
+        };
+        for schedule in &schedules {
+            let drop_sets = subsets_up_to(schedule.len(), spec.max_dropped);
+            let dup_sets = subsets_up_to(schedule.len(), spec.max_duplicated);
+            for dropped in &drop_sets {
+                for duplicated in &dup_sets {
+                    if duplicated.iter().any(|p| dropped.contains(p)) {
+                        continue;
+                    }
+                    report.cases += 1;
+                    let (_, violations) =
+                        self.replay_faulty(schedule, dropped, duplicated, spec)?;
+                    for violation in violations {
+                        report.violations.push(FaultViolation {
+                            schedule: schedule.clone(),
+                            dropped: dropped.clone(),
+                            duplicated: duplicated.clone(),
+                            violation,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Replay one schedule under one fault pattern (see
+    /// [`check_faulty`](Self::check_faulty) for the semantics and the
+    /// invariants evaluated). `dropped` and `duplicated` are *schedule
+    /// positions*; the returned violations include both the fault
+    /// invariants and the base trace invariants.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sequencer rejections — a malformed model, not an
+    /// invariant violation.
+    pub fn replay_faulty(
+        &self,
+        schedule: &[usize],
+        dropped: &[usize],
+        duplicated: &[usize],
+        spec: &FaultSpec,
+    ) -> Result<(RunTrace, Vec<InvariantViolation>), CoreError> {
+        let config = self
+            .config
+            .with_liveness(LivenessConfig::enabled(spec.staleness_deadline));
+        let mut seq = OnlineSequencer::new(config);
+        for (client, dist) in &self.offsets {
+            seq.register_client(*client, dist.clone());
+        }
+
+        // Per-client send order (truth order) assigns dense sequence
+        // numbers; each stream closes with a fin one past its last data
+        // frame.
+        let mut by_truth: Vec<usize> = (0..self.messages.len()).collect();
+        by_truth.sort_by(|&a, &b| {
+            truth_of(&self.messages[a])
+                .partial_cmp(&truth_of(&self.messages[b]))
+                .expect("finite true times")
+        });
+        let mut frames: BTreeMap<ClientId, Vec<Option<usize>>> =
+            self.offsets.iter().map(|(c, _)| (*c, Vec::new())).collect();
+        let mut seq_no: Vec<u64> = vec![0; self.messages.len()];
+        for &idx in &by_truth {
+            let history = frames
+                .get_mut(&self.messages[idx].client)
+                .expect("message from unregistered client");
+            seq_no[idx] = history.len() as u64;
+            history.push(Some(idx));
+        }
+        for history in frames.values_mut() {
+            history.push(None); // fin
+        }
+
+        let mut unreleased: HashMap<ClientId, Vec<f64>> = HashMap::new();
+        for m in &self.messages {
+            unreleased.entry(m.client).or_default().push(truth_of(m));
+        }
+        let mut st = FaultReplay {
+            seq,
+            validators: self
+                .offsets
+                .iter()
+                .map(|(c, _)| (*c, SequenceValidator::new(spec.policy)))
+                .collect(),
+            frames,
+            clock: 0.0,
+            floors: HashMap::new(),
+            unreleased,
+            submitted: Vec::new(),
+            pending: Vec::new(),
+            violations: Vec::new(),
+        };
+
+        for (p, &idx) in schedule.iter().enumerate() {
+            let client = self.messages[idx].client;
+            let t = truth_of(&self.messages[idx]);
+            st.clock = st.clock.max(t + self.network_delay);
+            if !dropped.contains(&p) {
+                let copies = if duplicated.contains(&p) { 2 } else { 1 };
+                for _ in 0..copies {
+                    let released = st
+                        .validators
+                        .get_mut(&client)
+                        .expect("validator per client")
+                        .accept(seq_no[idx], Some(idx), st.clock);
+                    for ridx in released.into_iter().flatten() {
+                        self.deliver_released(&mut st, ridx)?;
+                    }
+                }
+            }
+            self.pump_recovery(&mut st)?;
+
+            // Ordered channels: a client may heartbeat at this round's true
+            // time only once everything it sent up to t has been released.
+            for (hb_client, _) in &self.offsets {
+                if *hb_client == client {
+                    continue;
+                }
+                let blocked = st
+                    .unreleased
+                    .get(hb_client)
+                    .is_some_and(|v| v.iter().any(|&u| u <= t));
+                if blocked {
+                    continue;
+                }
+                let floor = st
+                    .floors
+                    .get(hb_client)
+                    .copied()
+                    .unwrap_or(f64::NEG_INFINITY);
+                let hb = t.max(floor);
+                st.floors.insert(*hb_client, hb);
+                let batches = st.seq.heartbeat(*hb_client, hb, st.clock)?;
+                self.account(&st.seq, &batches, &mut st.pending, &mut st.violations)?;
+            }
+        }
+
+        // Close: advance well past every horizon so pending skip timeouts
+        // and retransmit give-ups fire, then land each stream's fin.
+        let max_ts = st.floors.values().fold(0.0_f64, |a, &b| a.max(b));
+        let max_sd = self
+            .offsets
+            .iter()
+            .map(|(_, d)| d.std_dev())
+            .fold(0.0_f64, f64::max);
+        let horizon = max_ts + 1000.0 * max_sd.max(1.0);
+        st.clock = st.clock.max(horizon + self.network_delay);
+        self.pump_recovery(&mut st)?;
+        for (client, _) in &self.offsets {
+            let fin_seq = (self.fin_sequence(&st, *client)) as u64;
+            let released = st
+                .validators
+                .get_mut(client)
+                .expect("validator per client")
+                .accept(fin_seq, None, st.clock);
+            for ridx in released.into_iter().flatten() {
+                self.deliver_released(&mut st, ridx)?;
+            }
+        }
+        self.pump_recovery(&mut st)?;
+
+        // A client whose stream fully released closes with a horizon
+        // heartbeat; a stream still blocked on a hole keeps its owner
+        // silent — its heartbeat is sequenced behind the hole.
+        for (client, _) in &self.offsets {
+            let fin_seq = self.fin_sequence(&st, *client) as u64;
+            if st.validators[client].next_expected() > fin_seq {
+                let batches = st.seq.heartbeat(*client, horizon, st.clock)?;
+                self.account(&st.seq, &batches, &mut st.pending, &mut st.violations)?;
+            }
+        }
+        let batches = st.seq.tick(st.clock);
+        self.account(&st.seq, &batches, &mut st.pending, &mut st.violations)?;
+        // The liveness horizon: one more tick past the staleness deadline
+        // must evict silent clients and let the watermark advance. No flush
+        // — liveness has to come from eviction, not a forced drain.
+        let final_clock = st.clock + spec.staleness_deadline + 1.0;
+        let batches = st.seq.tick(final_clock);
+        self.account(&st.seq, &batches, &mut st.pending, &mut st.violations)?;
+
+        let mut session_total = SessionCounters::default();
+        for v in st.validators.values() {
+            session_total.absorb(v.counters());
+        }
+        st.seq.record_session_counters(session_total);
+
+        // Fault invariants: every hole detected, policy guarantees met.
+        let mut drops_per_client: HashMap<ClientId, u64> = HashMap::new();
+        let mut dropped_ids: Vec<MessageId> = Vec::new();
+        for &p in dropped {
+            let idx = schedule[p];
+            *drops_per_client
+                .entry(self.messages[idx].client)
+                .or_insert(0) += 1;
+            dropped_ids.push(self.messages[idx].id);
+        }
+        let mut violations = std::mem::take(&mut st.violations);
+        for (client, v) in &st.validators {
+            let holes = drops_per_client.get(client).copied().unwrap_or(0);
+            if v.counters().gaps_detected < holes {
+                violations.push(InvariantViolation::UndetectedGap { client: *client });
+            }
+        }
+        let submitted_ids: HashSet<MessageId> = st.submitted.iter().map(|m| m.id).collect();
+        match spec.policy {
+            RecoveryPolicy::RequestRetransmit { .. } => {
+                // Retransmission must recover every drop: zero loss.
+                for m in &self.messages {
+                    if !submitted_ids.contains(&m.id) {
+                        violations.push(InvariantViolation::MessageLost { id: m.id });
+                    }
+                }
+            }
+            RecoveryPolicy::SkipAfterTimeout { .. } => {
+                // Skips sacrifice the dropped frames only.
+                for m in &self.messages {
+                    if !dropped_ids.contains(&m.id) && !submitted_ids.contains(&m.id) {
+                        violations.push(InvariantViolation::MessageLost { id: m.id });
+                    }
+                }
+            }
+            RecoveryPolicy::Halt => {
+                // No recovery path exists, so nothing dropped may surface.
+                // (Released prefixes are covered by the base invariants.)
+            }
+        }
+
+        let stats = st.seq.stats();
+        let trace = RunTrace {
+            submitted: st.submitted,
+            emitted: st.seq.take_emitted(),
+            stats,
+        };
+        // Base invariants; an accepted-but-never-emitted message here means
+        // the watermark stalled (there was no flush), which is the liveness
+        // failure — report it as such rather than as N losses.
+        let mut found = check_trace(&trace, self.max_violation_rate);
+        let stalled = found
+            .iter()
+            .filter(|v| matches!(v, InvariantViolation::MessageLost { .. }))
+            .count();
+        if stalled > 0 {
+            found.retain(|v| !matches!(v, InvariantViolation::MessageLost { .. }));
+            found.push(InvariantViolation::WatermarkStalled { pending: stalled });
+        }
+        violations.extend(found);
+        Ok((trace, violations))
+    }
+
+    /// The fin sequence number of a client's stream (one past its last data
+    /// frame).
+    fn fin_sequence(&self, st: &FaultReplay, client: ClientId) -> usize {
+        st.frames[&client].len() - 1
+    }
+
+    /// Release one session-layer payload into the sequencer: clamp the
+    /// timestamp to the client's floor, record it as submitted, and check
+    /// boundary consistency on anything emitted.
+    fn deliver_released(&self, st: &mut FaultReplay, idx: usize) -> Result<(), CoreError> {
+        let m = &self.messages[idx];
+        let t = truth_of(m);
+        let floor = st
+            .floors
+            .get(&m.client)
+            .copied()
+            .unwrap_or(f64::NEG_INFINITY);
+        let ts = m.timestamp.max(floor);
+        st.floors.insert(m.client, ts);
+        if let Some(v) = st.unreleased.get_mut(&m.client) {
+            if let Some(pos) = v.iter().position(|&u| u == t) {
+                v.remove(pos);
+            }
+        }
+        let msg = Message {
+            id: m.id,
+            client: m.client,
+            timestamp: ts,
+            true_time: m.true_time,
+        };
+        st.submitted.push(msg.clone());
+        st.pending.push(msg.clone());
+        let batches = st.seq.submit(msg, st.clock)?;
+        self.account(&st.seq, &batches, &mut st.pending, &mut st.violations)
+    }
+
+    /// Run every stream's recovery policy to quiescence at the current
+    /// clock: skip timeouts release buffered frames, retransmit requests
+    /// are answered immediately from the sender's history.
+    fn pump_recovery(&self, st: &mut FaultReplay) -> Result<(), CoreError> {
+        loop {
+            let clock = st.clock;
+            let mut released_payloads: Vec<usize> = Vec::new();
+            let mut progressed = false;
+            for (client, v) in st.validators.iter_mut() {
+                let polled = v.poll(clock);
+                let mut released = polled.released;
+                for action in polled.actions {
+                    let SessionAction::RequestRetransmit { sequence } = action;
+                    progressed = true;
+                    // Retransmission modeled as an immediate, successful
+                    // redelivery answered from the sender's history.
+                    let payload = st.frames[client]
+                        .get(usize::try_from(sequence).expect("small model"))
+                        .copied()
+                        .flatten();
+                    released.extend(v.accept(sequence, payload, clock));
+                }
+                released_payloads.extend(released.into_iter().flatten());
+            }
+            progressed |= !released_payloads.is_empty();
+            for idx in released_payloads {
+                self.deliver_released(st, idx)?;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replay a FIFO schedule in which `crashed` falls permanently silent
+    /// after sending `crash_after` messages: its remaining messages are
+    /// never sent, it never heartbeats again, and the stream closes
+    /// *without* it (no closing heartbeat, no flush). With `liveness`
+    /// enabled the staleness detector must evict it so everything actually
+    /// accepted still emits; with `liveness: None` the run demonstrates the
+    /// stall the paper warns about.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sequencer rejections — a malformed model.
+    pub fn check_crash_liveness(
+        &self,
+        crashed: ClientId,
+        crash_after: usize,
+        liveness: Option<f64>,
+    ) -> Result<CrashLivenessReport, CoreError> {
+        let config = match liveness {
+            Some(deadline) => self.config.with_liveness(LivenessConfig::enabled(deadline)),
+            None => self.config,
+        };
+        let mut seq = OnlineSequencer::new(config);
+        for (client, dist) in &self.offsets {
+            seq.register_client(*client, dist.clone());
+        }
+        let mut by_truth: Vec<usize> = (0..self.messages.len()).collect();
+        by_truth.sort_by(|&a, &b| {
+            truth_of(&self.messages[a])
+                .partial_cmp(&truth_of(&self.messages[b]))
+                .expect("finite true times")
+        });
+
+        let mut undelivered: HashMap<ClientId, Vec<f64>> = HashMap::new();
+        for m in &self.messages {
+            undelivered.entry(m.client).or_default().push(truth_of(m));
+        }
+        let mut clock = 0.0_f64;
+        let mut floors: HashMap<ClientId, f64> = HashMap::new();
+        let mut submitted = 0usize;
+        let mut sent_by_crashed = 0usize;
+
+        for &idx in &by_truth {
+            let m = &self.messages[idx];
+            let t = truth_of(m);
+            if m.client == crashed {
+                if sent_by_crashed >= crash_after {
+                    continue; // crashed: this message is never sent
+                }
+                sent_by_crashed += 1;
+            }
+            clock = clock.max(t + self.network_delay);
+            let floor = floors.get(&m.client).copied().unwrap_or(f64::NEG_INFINITY);
+            let ts = m.timestamp.max(floor);
+            floors.insert(m.client, ts);
+            if let Some(v) = undelivered.get_mut(&m.client) {
+                if let Some(pos) = v.iter().position(|&u| u == t) {
+                    v.remove(pos);
+                }
+            }
+            submitted += 1;
+            seq.submit(
+                Message {
+                    id: m.id,
+                    client: m.client,
+                    timestamp: ts,
+                    true_time: m.true_time,
+                },
+                clock,
+            )?;
+            for (hb_client, _) in &self.offsets {
+                if *hb_client == m.client {
+                    continue;
+                }
+                // The crashed client's unsent messages stay "undelivered"
+                // forever, which silences its heartbeats from the crash
+                // point on — exactly the failure mode under test.
+                let blocked = undelivered
+                    .get(hb_client)
+                    .is_some_and(|v| v.iter().any(|&u| u <= t));
+                if blocked {
+                    continue;
+                }
+                let floor = floors.get(hb_client).copied().unwrap_or(f64::NEG_INFINITY);
+                let hb = t.max(floor);
+                floors.insert(*hb_client, hb);
+                seq.heartbeat(*hb_client, hb, clock)?;
+            }
+        }
+
+        // Close without the crashed client and without a flush.
+        let max_ts = floors.values().fold(0.0_f64, |a, &b| a.max(b));
+        let max_sd = self
+            .offsets
+            .iter()
+            .map(|(_, d)| d.std_dev())
+            .fold(0.0_f64, f64::max);
+        let horizon = max_ts + 1000.0 * max_sd.max(1.0);
+        clock = clock.max(horizon + self.network_delay);
+        for (client, _) in &self.offsets {
+            if *client == crashed {
+                continue;
+            }
+            seq.heartbeat(*client, horizon, clock)?;
+        }
+        seq.tick(clock);
+        let deadline = liveness.unwrap_or(0.0);
+        seq.tick(clock + deadline + 1.0);
+
+        let stats = seq.stats();
+        let emitted: usize = seq
+            .take_emitted()
+            .iter()
+            .map(|b| b.messages.len())
+            .sum();
+        Ok(CrashLivenessReport {
+            submitted,
+            emitted,
+            stalled: submitted.saturating_sub(emitted),
+            evictions: stats.evictions,
+            stats,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -643,6 +1308,83 @@ mod tests {
         assert!(found
             .iter()
             .any(|v| matches!(v, InvariantViolation::ViolationRateExceeded { .. })));
+    }
+
+    #[test]
+    fn faulty_fifo_model_retransmit_recovers_every_drop() {
+        let spec = ModelSpec::new(tiny_offsets(), tiny_messages()).with_max_in_flight(1);
+        let fault = FaultSpec::new(RecoveryPolicy::RequestRetransmit {
+            max_retries: 4,
+            base_backoff: 5.0,
+        });
+        let report = spec.check_faulty(&fault).unwrap();
+        assert_eq!(report.schedules, 1);
+        assert!(report.cases > 6, "only {} cases", report.cases);
+        assert!(report.ok(), "{:?}", report.violations.first());
+    }
+
+    #[test]
+    fn faulty_model_skip_policy_loses_only_the_dropped() {
+        let spec = ModelSpec::new(tiny_offsets(), tiny_messages()).with_max_in_flight(1);
+        let fault = FaultSpec::new(RecoveryPolicy::SkipAfterTimeout { timeout: 5.0 });
+        let report = spec.check_faulty(&fault).unwrap();
+        assert!(report.ok(), "{:?}", report.violations.first());
+    }
+
+    #[test]
+    fn faulty_model_halt_policy_detects_gaps_and_stays_live() {
+        let spec = ModelSpec::new(tiny_offsets(), tiny_messages()).with_max_in_flight(1);
+        let fault = FaultSpec::new(RecoveryPolicy::Halt).with_max_duplicated(0);
+        let report = spec.check_faulty(&fault).unwrap();
+        assert!(report.ok(), "{:?}", report.violations.first());
+    }
+
+    #[test]
+    fn faulty_replay_counts_session_events() {
+        let spec = ModelSpec::new(tiny_offsets(), tiny_messages()).with_max_in_flight(1);
+        let fault = FaultSpec::new(RecoveryPolicy::RequestRetransmit {
+            max_retries: 4,
+            base_backoff: 5.0,
+        });
+        let schedule: Vec<usize> = (0..spec.messages.len()).collect();
+        // Drop position 0 and duplicate position 3.
+        let (trace, violations) = spec
+            .replay_faulty(&schedule, &[0], &[3], &fault)
+            .unwrap();
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(trace.stats.gaps_detected >= 1);
+        assert!(trace.stats.retransmit_requests >= 1);
+        assert_eq!(trace.stats.dupes_dropped, 1);
+        assert_eq!(trace.submitted.len(), spec.messages.len(), "zero loss");
+    }
+
+    #[test]
+    fn crash_liveness_evicts_and_emits_without_flush() {
+        let spec = ModelSpec::new(tiny_offsets(), tiny_messages()).with_max_in_flight(1);
+        let report = spec
+            .check_crash_liveness(ClientId(2), 1, Some(30.0))
+            .unwrap();
+        assert!(report.evictions >= 1, "{report:?}");
+        assert_eq!(report.stalled, 0, "{report:?}");
+        assert_eq!(report.emitted, report.submitted);
+    }
+
+    #[test]
+    fn crash_without_liveness_stalls_the_watermark() {
+        let spec = ModelSpec::new(tiny_offsets(), tiny_messages()).with_max_in_flight(1);
+        let report = spec.check_crash_liveness(ClientId(2), 1, None).unwrap();
+        assert_eq!(report.evictions, 0);
+        assert!(report.stalled > 0, "{report:?}");
+    }
+
+    #[test]
+    fn subsets_enumerate_up_to_the_bound() {
+        assert_eq!(subsets_up_to(3, 0), vec![Vec::<usize>::new()]);
+        let s = subsets_up_to(3, 1);
+        assert_eq!(s.len(), 4); // {}, {0}, {1}, {2}
+        let s = subsets_up_to(3, 2);
+        assert_eq!(s.len(), 7); // + {0,1}, {0,2}, {1,2}
+        assert!(s.contains(&vec![0, 2]));
     }
 
     #[test]

@@ -35,6 +35,61 @@ impl std::fmt::Display for FasFallbackReason {
     }
 }
 
+/// Watermark-liveness configuration: heartbeat-timeout detection for the
+/// online sequencer (§3.5 degradation under client failure).
+///
+/// The watermark completeness rule blocks a batch until *every* active
+/// client's watermark passes the batch horizon, so one silent client stalls
+/// emission forever. With liveness enabled, a client not heard from for
+/// `staleness_deadline` sequencer-clock units while the watermark is
+/// blocking is *suspended* — excluded from the watermark (an eviction,
+/// counted on [`OnlineStats`](crate::sequencer::online::OnlineStats)) —
+/// and *resumed* the moment it speaks again (a rejoin). A suspended
+/// client's late messages may land below already-emitted horizons; they
+/// are then counted as fairness violations by the existing machinery —
+/// bounded staleness traded for liveness, never silent reordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LivenessConfig {
+    /// Whether heartbeat-timeout eviction is active.
+    pub enabled: bool,
+    /// How long (sequencer-clock units) a client may stay silent while
+    /// blocking the watermark before it is suspended.
+    pub staleness_deadline: f64,
+}
+
+impl LivenessConfig {
+    /// Liveness off: a silent client blocks emission forever (the
+    /// historical behaviour, and the default).
+    pub fn disabled() -> Self {
+        LivenessConfig {
+            enabled: false,
+            staleness_deadline: f64::INFINITY,
+        }
+    }
+
+    /// Liveness on with the given staleness deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the deadline is positive and finite.
+    pub fn enabled(staleness_deadline: f64) -> Self {
+        assert!(
+            staleness_deadline.is_finite() && staleness_deadline > 0.0,
+            "staleness deadline must be positive and finite, got {staleness_deadline}"
+        );
+        LivenessConfig {
+            enabled: true,
+            staleness_deadline,
+        }
+    }
+}
+
+impl Default for LivenessConfig {
+    fn default() -> Self {
+        LivenessConfig::disabled()
+    }
+}
+
 /// Configuration shared by the offline and online Tommy sequencers.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SequencerConfig {
@@ -122,6 +177,11 @@ pub struct SequencerConfig {
     /// online. Disabled by default — the pipeline is then bit-for-bit the
     /// historical one.
     pub defense: DefenseConfig,
+    /// Watermark liveness under client failure (see [`LivenessConfig`]):
+    /// when enabled, the online sequencer suspends clients that stay silent
+    /// past the staleness deadline while blocking the watermark, and resumes
+    /// them when they speak again. Disabled by default.
+    pub liveness: LivenessConfig,
 }
 
 impl Default for SequencerConfig {
@@ -136,6 +196,7 @@ impl Default for SequencerConfig {
             retain_history: true,
             parallelism: 1,
             defense: DefenseConfig::disabled(),
+            liveness: LivenessConfig::disabled(),
         }
     }
 }
@@ -247,6 +308,13 @@ impl SequencerConfig {
         self
     }
 
+    /// Set the watermark-liveness configuration (see
+    /// [`SequencerConfig::liveness`]).
+    pub fn with_liveness(mut self, liveness: LivenessConfig) -> Self {
+        self.liveness = liveness;
+        self
+    }
+
     /// Why the incremental FAS engine will *not* run for this
     /// configuration, or `None` when it will. This is the single source of
     /// truth consulted by [`SequencingCore`](crate::sequencer::SequencingCore)
@@ -329,6 +397,22 @@ mod tests {
         assert!(!SequencerConfig::default().defense.enabled);
         let c = SequencerConfig::new().with_defense(DefenseConfig::enabled());
         assert!(c.defense.enabled);
+    }
+
+    #[test]
+    fn liveness_defaults_off_and_builder_attaches() {
+        let c = SequencerConfig::default();
+        assert!(!c.liveness.enabled);
+        assert_eq!(c.liveness.staleness_deadline, f64::INFINITY);
+        let on = SequencerConfig::new().with_liveness(LivenessConfig::enabled(25.0));
+        assert!(on.liveness.enabled);
+        assert_eq!(on.liveness.staleness_deadline, 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn infinite_staleness_deadline_rejected() {
+        LivenessConfig::enabled(f64::INFINITY);
     }
 
     #[test]

@@ -51,10 +51,17 @@
 //!   Clients"): per-client [`defense::TrustState`] cross-checking observed
 //!   residuals against the claimed distribution, quarantine onto fallback
 //!   margins, and drift-triggered re-estimation.
+//! * [`session`] — sequenced-session recovery: the payload-generic
+//!   [`SequenceValidator`] reassembling per-`(client, stream)` frames in
+//!   order, detecting gaps/duplicates/reorders and recovering per a
+//!   [`RecoveryPolicy`] (halt, skip-after-timeout, or bounded retransmit
+//!   requests with exponential backoff).
 //! * [`checker`] — a small-model exhaustive checker that replays every
 //!   delivery schedule of a tiny workload through the online sequencer and
-//!   asserts TLA-style ordering invariants (see `ARCHITECTURE.md`, "Threat
-//!   model & degradation").
+//!   asserts TLA-style ordering invariants — including lossy, duplicating
+//!   and crash-faulted delivery schedules replayed through the session
+//!   layer (see `ARCHITECTURE.md`, "Threat model & degradation" and
+//!   "Failure model & recovery").
 //!
 //! The repository-level `ARCHITECTURE.md` documents how these pieces
 //! compose into the full arrival → emission pipeline (PairKernel column
@@ -78,12 +85,16 @@ pub mod precedence;
 pub mod registry;
 pub mod relation;
 pub mod sequencer;
+pub mod session;
 pub mod tiebreak;
 pub mod tournament;
 
 pub use batching::{Batch, FairOrder, FairOrderCounters, IncrementalFairOrder};
-pub use checker::{CheckReport, InvariantViolation, ModelSpec, RunTrace};
-pub use config::{FasFallbackReason, SequencerConfig};
+pub use checker::{
+    CheckReport, CrashLivenessReport, FaultCheckReport, FaultSpec, InvariantViolation, ModelSpec,
+    RunTrace,
+};
+pub use config::{FasFallbackReason, LivenessConfig, SequencerConfig};
 pub use defense::{DefenseConfig, TrustEvent, TrustLevel, TrustState};
 pub use error::CoreError;
 pub use message::{ClientId, Message, MessageId};
@@ -93,6 +104,7 @@ pub use relation::LikelyHappenedBefore;
 pub use sequencer::offline::TommySequencer;
 pub use sequencer::online::{OnlineSequencer, OnlineStats};
 pub use sequencer::{SequencingCore, SequencingOutcome};
+pub use session::{RecoveryPolicy, SequenceValidator, SessionAction, SessionCounters};
 pub use tournament::{IncrementalTournament, Tournament};
 
 /// Commonly used items, re-exported for convenience.

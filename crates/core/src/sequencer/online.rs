@@ -76,6 +76,7 @@ use crate::registry::DistributionRegistry;
 use crate::sequencer::core::SequencingCore;
 use crate::sequencer::emission::batch_emission_time_over;
 use crate::sequencer::watermark::WatermarkTracker;
+use crate::session::SessionCounters;
 use crate::tournament::IncrementalTournament;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -131,6 +132,30 @@ pub struct OnlineStats {
     /// sequenced under the conservative fallback margins rather than the
     /// claimed distribution.
     pub margin_fallbacks: usize,
+    /// Sequence gaps detected by the delivery/session layer feeding this
+    /// sequencer (recorded via
+    /// [`OnlineSequencer::record_session_counters`]; zero when no session
+    /// layer is attached).
+    pub gaps_detected: u64,
+    /// Duplicate frames dropped by the delivery/session layer.
+    pub dupes_dropped: u64,
+    /// Out-of-order frames the delivery/session layer buffered for
+    /// reassembly.
+    pub reorders_buffered: u64,
+    /// Retransmit requests the delivery/session layer emitted.
+    pub retransmit_requests: u64,
+    /// Sequence numbers the delivery/session layer gave up on and skipped.
+    pub sequences_skipped: u64,
+    /// Clients suspended from the watermark after staying silent past the
+    /// staleness deadline ([`LivenessConfig`](crate::config::LivenessConfig)).
+    pub evictions: usize,
+    /// Suspended clients re-admitted to the watermark after being heard
+    /// from again (crash/restart recovery).
+    pub rejoins: usize,
+    /// Emission attempts where the candidate batch was already time-safe
+    /// but a client watermark still blocked it (condition (ii) of §3.5) —
+    /// a count of blocked checks, not of distinct stalls.
+    pub watermark_stall_ticks: u64,
 }
 
 impl OnlineStats {
@@ -214,6 +239,11 @@ pub struct OnlineSequencer {
     /// batch — all the margin-based violation check needs, so emission does
     /// not clone the batch's message vector for it.
     last_emitted: Vec<(ClientId, f64)>,
+    /// Sequencer-clock time each client was last heard from (message or
+    /// heartbeat); `NEG_INFINITY` means "registered but never measured
+    /// against the staleness deadline yet". Drives watermark eviction when
+    /// [`LivenessConfig`](crate::config::LivenessConfig) is enabled.
+    last_heard: HashMap<ClientId, f64>,
     stats: OnlineStats,
     rng: StdRng,
     now: f64,
@@ -234,6 +264,7 @@ impl OnlineSequencer {
             emitted: Vec::new(),
             emitted_order: FairOrder::default(),
             last_emitted: Vec::new(),
+            last_heard: HashMap::new(),
             stats: OnlineStats::default(),
             rng: StdRng::seed_from_u64(0),
             now: f64::NEG_INFINITY,
@@ -256,6 +287,7 @@ impl OnlineSequencer {
     pub fn register_client(&mut self, client: ClientId, distribution: OffsetDistribution) {
         self.registry.register(client, distribution);
         self.watermarks.add_client(client);
+        self.last_heard.entry(client).or_insert(f64::NEG_INFINITY);
         self.violation_margins
             .retain(|(a, b), _| *a != client && *b != client);
         self.candidate = None;
@@ -354,6 +386,74 @@ impl OnlineSequencer {
         }
     }
 
+    /// Record that a client was heard from (message or heartbeat) at the
+    /// current clock, resuming it if it had been suspended by the liveness
+    /// detector.
+    fn note_heard(&mut self, client: ClientId) {
+        let entry = self.last_heard.entry(client).or_insert(f64::NEG_INFINITY);
+        *entry = entry.max(self.now);
+        if self.watermarks.is_suspended(client) {
+            self.watermarks.resume(client);
+            self.stats.rejoins += 1;
+        }
+    }
+
+    /// Suspend every client that is blocking the batch horizon *and* has
+    /// been silent past the staleness deadline (no-op unless
+    /// [`LivenessConfig`](crate::config::LivenessConfig) is enabled).
+    /// Returns whether any client was newly suspended.
+    ///
+    /// Only blocking clients (watermark at or below the horizon, or never
+    /// heard from) are candidates: suspending a client whose watermark is
+    /// already past the batch would not unblock anything, and would only
+    /// degrade fairness for its future messages. A blocking client that has
+    /// never been measured before starts its staleness clock at the first
+    /// blocked emission instead of being evicted immediately, so a
+    /// quiet-but-alive client gets a full deadline's grace.
+    fn evict_stale_clients(&mut self, horizon: f64) -> bool {
+        let liveness = self.core.config().liveness;
+        if !liveness.enabled {
+            return false;
+        }
+        let now = self.now;
+        let mut any = false;
+        for (&client, heard) in self.last_heard.iter_mut() {
+            if self.watermarks.is_suspended(client) {
+                continue;
+            }
+            let blocking = match self.watermarks.latest(client) {
+                None => true,
+                Some(t) => t <= horizon,
+            };
+            if !blocking {
+                continue;
+            }
+            if !heard.is_finite() {
+                *heard = now;
+                continue;
+            }
+            if now - *heard > liveness.staleness_deadline {
+                self.watermarks.suspend(client);
+                self.stats.evictions += 1;
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// Record delivery-layer session counters (gap/duplicate/reorder
+    /// detection and retransmit recovery, maintained by the wire/session
+    /// layer *outside* the sequencer) onto this run's [`OnlineStats`], so a
+    /// run's statistics describe the whole delivery path. Pass cumulative
+    /// counters: the corresponding stats fields are overwritten, not summed.
+    pub fn record_session_counters(&mut self, counters: SessionCounters) {
+        self.stats.gaps_detected = counters.gaps_detected;
+        self.stats.dupes_dropped = counters.dupes_dropped;
+        self.stats.reorders_buffered = counters.reorders_buffered;
+        self.stats.retransmit_requests = counters.retransmit_requests;
+        self.stats.sequences_skipped = counters.sequences_skipped;
+    }
+
     /// Cached fairness-violation margin for an (arriving, emitted) client
     /// pair; computed once per pair.
     fn violation_margin(&mut self, arriving: ClientId, emitted: ClientId) -> Option<f64> {
@@ -384,6 +484,7 @@ impl OnlineSequencer {
         }
         self.advance_clock(arrival_time);
         self.watermarks.observe(message.client, message.timestamp)?;
+        self.note_heard(message.client);
 
         if self.core.config().defense.enabled {
             self.observe_defense(message.client, message.timestamp, arrival_time);
@@ -503,6 +604,7 @@ impl OnlineSequencer {
         }
         self.advance_clock(arrival_time);
         self.watermarks.observe(client, timestamp)?;
+        self.note_heard(client);
         Ok(self.try_emit())
     }
 
@@ -614,7 +716,22 @@ impl OnlineSequencer {
             }
             // Condition (ii): watermark completeness up to the batch horizon.
             if !self.watermarks.is_complete_up_to(horizon) {
-                break;
+                // The batch is time-safe but a watermark still blocks it: a
+                // stall (usually transient). With liveness enabled, clients
+                // silent past the staleness deadline are suspended; if that
+                // unblocks the watermark, emission proceeds this very tick.
+                self.stats.watermark_stall_ticks += 1;
+                if !self.evict_stale_clients(horizon) {
+                    break;
+                }
+                // Emission proceeds if the watermark is now complete — or if
+                // no active client is left at all (everyone presumed failed:
+                // there is no one whose messages could still be in flight).
+                if !self.watermarks.is_complete_up_to(horizon)
+                    && self.watermarks.active_clients() > 0
+                {
+                    break;
+                }
             }
             let candidate = self.candidate.take().expect("candidate just ensured");
             let batch_msgs = self.candidate_messages(&candidate);
@@ -673,6 +790,79 @@ mod tests {
             seq.register_client(ClientId(c), OffsetDistribution::gaussian(0.0, sigma));
         }
         seq
+    }
+
+    #[test]
+    fn stale_client_is_evicted_and_rejoins() {
+        use crate::config::LivenessConfig;
+        let mut seq = OnlineSequencer::new(
+            SequencerConfig::default().with_liveness(LivenessConfig::enabled(50.0)),
+        );
+        for c in 0..3 {
+            seq.register_client(ClientId(c), OffsetDistribution::gaussian(0.0, 1.0));
+        }
+        // Client 2 never speaks: the watermark blocks even though the batch
+        // is long past its safe-emission time.
+        assert!(seq.submit(msg(0, 0, 0.0), 0.5).unwrap().is_empty());
+        assert!(seq.heartbeat(ClientId(0), 100.0, 100.0).unwrap().is_empty());
+        assert!(seq.heartbeat(ClientId(1), 100.0, 100.0).unwrap().is_empty());
+        assert!(seq.stats().watermark_stall_ticks > 0);
+        // The first blocked emission started client 2's staleness clock at
+        // t = 100; within the deadline nothing is evicted…
+        assert!(seq.tick(140.0).is_empty());
+        assert_eq!(seq.stats().evictions, 0);
+        // …past it, client 2 is suspended and the batch comes out.
+        let emitted = seq.tick(151.0);
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(emitted[0].messages[0].id, MessageId(0));
+        assert_eq!(seq.stats().evictions, 1);
+        assert_eq!(seq.stats().rejoins, 0);
+        // Keep clients 0 and 1 fresh so only client 2's fate is in play.
+        seq.heartbeat(ClientId(0), 152.0, 152.0).unwrap();
+        seq.heartbeat(ClientId(1), 152.0, 152.0).unwrap();
+        // Client 2 recovers: hearing from it again re-admits it to the
+        // watermark, and it constrains emission once more.
+        seq.heartbeat(ClientId(2), 160.0, 160.0).unwrap();
+        assert_eq!(seq.stats().rejoins, 1);
+        assert!(seq.submit(msg(1, 0, 161.0), 161.5).unwrap().is_empty());
+        seq.heartbeat(ClientId(0), 165.0, 165.0).unwrap();
+        assert!(
+            seq.heartbeat(ClientId(1), 165.0, 165.0).unwrap().is_empty(),
+            "rejoined client 2 must block the watermark again"
+        );
+        let emitted = seq.heartbeat(ClientId(2), 170.0, 170.0).unwrap();
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(seq.stats().evictions, 1, "no further evictions");
+    }
+
+    #[test]
+    fn liveness_disabled_never_evicts() {
+        let mut seq = sequencer(&[(0, 1.0), (1, 1.0), (2, 1.0)]);
+        seq.submit(msg(0, 0, 0.0), 0.5).unwrap();
+        seq.heartbeat(ClientId(0), 100.0, 100.0).unwrap();
+        seq.heartbeat(ClientId(1), 100.0, 100.0).unwrap();
+        assert!(seq.tick(1.0e7).is_empty(), "silent client blocks forever");
+        assert_eq!(seq.stats().evictions, 0);
+        assert!(seq.stats().watermark_stall_ticks > 0);
+        assert_eq!(seq.pending_len(), 1);
+    }
+
+    #[test]
+    fn session_counters_are_recorded_onto_stats() {
+        let mut seq = sequencer(&[(0, 1.0)]);
+        seq.record_session_counters(SessionCounters {
+            gaps_detected: 3,
+            dupes_dropped: 2,
+            reorders_buffered: 4,
+            retransmit_requests: 5,
+            sequences_skipped: 1,
+        });
+        let stats = seq.stats();
+        assert_eq!(stats.gaps_detected, 3);
+        assert_eq!(stats.dupes_dropped, 2);
+        assert_eq!(stats.reorders_buffered, 4);
+        assert_eq!(stats.retransmit_requests, 5);
+        assert_eq!(stats.sequences_skipped, 1);
     }
 
     #[test]

@@ -10,17 +10,23 @@
 //! The paper also notes the liveness cost of this design: "a failed client
 //! may halt the sequencer from emitting any messages". The tracker therefore
 //! supports explicitly retiring a client, which is how a deployment would
-//! plug in a failure detector.
+//! plug in a failure detector — and, for the built-in heartbeat-timeout
+//! detector ([`LivenessConfig`](crate::config::LivenessConfig)), a
+//! *reversible* suspension: a suspended client stops constraining the
+//! watermark exactly like a retired one, but can be resumed when it is heard
+//! from again (crash/restart rejoin).
 
 use crate::error::CoreError;
 use crate::message::ClientId;
 use std::collections::HashMap;
+use std::collections::HashSet;
 
 /// Tracks the largest timestamp observed from every known client.
 #[derive(Debug, Clone)]
 pub struct WatermarkTracker {
     latest: HashMap<ClientId, Option<f64>>,
     retired: HashMap<ClientId, bool>,
+    suspended: HashSet<ClientId>,
 }
 
 impl WatermarkTracker {
@@ -29,6 +35,7 @@ impl WatermarkTracker {
         WatermarkTracker {
             latest: clients.iter().map(|&c| (c, None)).collect(),
             retired: clients.iter().map(|&c| (c, false)).collect(),
+            suspended: HashSet::new(),
         }
     }
 
@@ -45,14 +52,39 @@ impl WatermarkTracker {
         }
     }
 
+    /// Temporarily exclude a client from the watermark (failure suspected:
+    /// it has been silent past the staleness deadline). Unlike
+    /// [`retire`](Self::retire) this is reversible via
+    /// [`resume`](Self::resume). No-op for unknown clients.
+    pub fn suspend(&mut self, client: ClientId) {
+        if self.knows(client) {
+            self.suspended.insert(client);
+        }
+    }
+
+    /// Re-admit a suspended client to the watermark (it has been heard from
+    /// again). No-op if the client was not suspended.
+    pub fn resume(&mut self, client: ClientId) {
+        self.suspended.remove(&client);
+    }
+
+    /// Whether the client is currently suspended.
+    pub fn is_suspended(&self, client: ClientId) -> bool {
+        self.suspended.contains(&client)
+    }
+
     /// Whether the client is known to the tracker.
     pub fn knows(&self, client: ClientId) -> bool {
         self.latest.contains_key(&client)
     }
 
-    /// Number of known (non-retired) clients.
+    /// Number of known clients that still constrain the watermark (neither
+    /// retired nor suspended).
     pub fn active_clients(&self) -> usize {
-        self.retired.values().filter(|&&r| !r).count()
+        self.retired
+            .iter()
+            .filter(|(c, &r)| !r && !self.suspended.contains(c))
+            .count()
     }
 
     /// Observe a message or heartbeat timestamp from a client.
@@ -87,12 +119,14 @@ impl WatermarkTracker {
     }
 
     /// The global watermark: the minimum of the per-client latest timestamps
-    /// over all non-retired clients. `None` until every active client has
-    /// been heard from at least once.
+    /// over all non-retired, non-suspended clients. `None` until every
+    /// active client has been heard from at least once.
     pub fn watermark(&self) -> Option<f64> {
         let mut min: Option<f64> = None;
         for (client, latest) in &self.latest {
-            if self.retired.get(client).copied().unwrap_or(false) {
+            if self.retired.get(client).copied().unwrap_or(false)
+                || self.suspended.contains(client)
+            {
                 continue;
             }
             match latest {
@@ -188,6 +222,29 @@ mod tests {
         w.retire(ClientId(2));
         assert_eq!(w.watermark(), Some(100.0));
         assert_eq!(w.active_clients(), 2);
+    }
+
+    #[test]
+    fn suspension_is_reversible_retirement() {
+        let mut w = WatermarkTracker::new(&clients(3));
+        w.observe(ClientId(0), 100.0).unwrap();
+        w.observe(ClientId(1), 200.0).unwrap();
+        assert_eq!(w.watermark(), None);
+        // Suspension unblocks the watermark like retirement…
+        w.suspend(ClientId(2));
+        assert!(w.is_suspended(ClientId(2)));
+        assert_eq!(w.watermark(), Some(100.0));
+        assert_eq!(w.active_clients(), 2);
+        // …but the client can come back.
+        w.resume(ClientId(2));
+        assert!(!w.is_suspended(ClientId(2)));
+        assert_eq!(w.watermark(), None);
+        w.observe(ClientId(2), 50.0).unwrap();
+        assert_eq!(w.watermark(), Some(50.0));
+        assert_eq!(w.active_clients(), 3);
+        // Suspending an unknown client is a no-op.
+        w.suspend(ClientId(99));
+        assert!(!w.is_suspended(ClientId(99)));
     }
 
     #[test]

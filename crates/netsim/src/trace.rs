@@ -3,9 +3,15 @@
 //! Experiments record every (sender, send time, delivery time) triple so the
 //! metrics crate can compare arrival order, generation order and sequencer
 //! output order — the three orders Figures 2–4 of the paper contrast.
+//!
+//! Drops are first-class records too: a lossy link that silently discards a
+//! message would otherwise leave no evidence in the trace, making fault runs
+//! unauditable (and fault-injection determinism untestable). Every drop is
+//! recorded with its link, so per-link loss can be audited after a run.
 
 use crate::time::SimTime;
 use crate::NodeId;
+use std::collections::HashMap;
 
 /// One delivered message.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,10 +35,24 @@ impl DeliveryRecord {
     }
 }
 
-/// An append-only trace of deliveries.
-#[derive(Debug, Clone, Default)]
+/// One dropped (lost, never delivered) message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DropRecord {
+    /// Sending node.
+    pub from: NodeId,
+    /// Intended receiving node.
+    pub to: NodeId,
+    /// Application-level message identifier.
+    pub message_id: u64,
+    /// True time at which the message was sent.
+    pub sent_at: SimTime,
+}
+
+/// An append-only trace of deliveries and drops.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DeliveryTrace {
     records: Vec<DeliveryRecord>,
+    drops: Vec<DropRecord>,
 }
 
 impl DeliveryTrace {
@@ -46,9 +66,33 @@ impl DeliveryTrace {
         self.records.push(record);
     }
 
+    /// Append one drop record.
+    pub fn record_drop(&mut self, drop: DropRecord) {
+        self.drops.push(drop);
+    }
+
     /// All records in insertion order.
     pub fn records(&self) -> &[DeliveryRecord] {
         &self.records
+    }
+
+    /// All drop records in insertion order.
+    pub fn drops(&self) -> &[DropRecord] {
+        &self.drops
+    }
+
+    /// Total number of dropped messages.
+    pub fn drop_count(&self) -> usize {
+        self.drops.len()
+    }
+
+    /// Dropped-message counts per `(from, to)` link.
+    pub fn drops_per_link(&self) -> HashMap<(NodeId, NodeId), usize> {
+        let mut per_link = HashMap::new();
+        for d in &self.drops {
+            *per_link.entry((d.from, d.to)).or_insert(0) += 1;
+        }
+        per_link
     }
 
     /// Number of records.
@@ -143,5 +187,44 @@ mod tests {
         assert_eq!(trace.mean_latency(), 0.0);
         assert_eq!(trace.reorder_count(), 0);
         assert!(trace.arrival_order().is_empty());
+        assert_eq!(trace.drop_count(), 0);
+        assert!(trace.drops_per_link().is_empty());
+    }
+
+    #[test]
+    fn drops_are_recorded_per_link() {
+        let mut trace = DeliveryTrace::new();
+        trace.record(rec(1, 0.0, 1.0));
+        let drop = |id: u64, from: u32, sent: f64| DropRecord {
+            from: NodeId(from),
+            to: NodeId(999),
+            message_id: id,
+            sent_at: SimTime::new(sent),
+        };
+        trace.record_drop(drop(2, 7, 0.5));
+        trace.record_drop(drop(3, 7, 0.6));
+        trace.record_drop(drop(4, 8, 0.7));
+        assert_eq!(trace.drop_count(), 3);
+        assert_eq!(trace.len(), 1, "drops are not deliveries");
+        let per_link = trace.drops_per_link();
+        assert_eq!(per_link[&(NodeId(7), NodeId(999))], 2);
+        assert_eq!(per_link[&(NodeId(8), NodeId(999))], 1);
+        assert_eq!(trace.drops()[0].message_id, 2);
+    }
+
+    #[test]
+    fn traces_compare_bit_identical() {
+        let mut a = DeliveryTrace::new();
+        let mut b = DeliveryTrace::new();
+        a.record(rec(1, 0.0, 1.0));
+        b.record(rec(1, 0.0, 1.0));
+        assert_eq!(a, b);
+        b.record_drop(DropRecord {
+            from: NodeId(1),
+            to: NodeId(2),
+            message_id: 9,
+            sent_at: SimTime::new(0.0),
+        });
+        assert_ne!(a, b, "a drop is part of the trace identity");
     }
 }

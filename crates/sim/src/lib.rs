@@ -19,14 +19,21 @@
 //! Every experiment is exposed both as a library function returning typed
 //! rows (so integration tests and criterion benches can call it) and as a
 //! binary under `src/bin/` that prints the rows as a table/CSV.
+//!
+//! [`faults`] adds the fault-injected streaming runner: the same scenarios
+//! driven through the full wire path (sequenced stream frames, framing and
+//! CRC, gap/duplicate/reorder recovery) over a deterministic lossy network,
+//! with a liveness-enabled sequencer evicting wedged clients.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod faults;
 pub mod output;
 pub mod runner;
 pub mod scenario;
 
+pub use faults::{run_fault_stream, FaultStreamResult, FAULT_STALENESS_DEADLINE};
 pub use runner::{run_offline_comparison, ComparisonResult};
 pub use scenario::ScenarioConfig;

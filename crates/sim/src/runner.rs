@@ -254,6 +254,19 @@ pub struct OnlineStreamResult {
     /// Messages sequenced under quarantine fallback margins
     /// (`stats.margin_fallbacks`).
     pub margin_fallbacks: usize,
+    /// The network delay the runner actually simulated (the fault-free
+    /// schedule's constant), reported so the estimate below is auditable.
+    pub true_delay: f64,
+    /// Online per-client delivery-delay estimate: the mean over clients of
+    /// each client's running-mean `arrival − timestamp` residual. With
+    /// zero-mean clock offsets this converges on the true delay — the
+    /// runner no longer has to *assume* the delay it configured, it
+    /// estimates it from the same residuals the defense layer watches.
+    /// `NaN` when no message was delivered.
+    pub estimated_delay: f64,
+    /// Absolute error of the estimate, `|estimated_delay − true_delay|`
+    /// (grows with the clock σ and shrinks with per-client sample count).
+    pub delay_estimate_error: f64,
 }
 
 /// Run the online sequencer over a scenario's message stream, draining
@@ -317,6 +330,11 @@ pub fn run_online_stream(config: &ScenarioConfig, p_safe: f64) -> OnlineStreamRe
     // heartbeat keep their clamped timestamp for scoring too.
     let mut last_ts: HashMap<ClientId, f64> = HashMap::new();
     let mut messages: Vec<Message> = Vec::with_capacity(deliveries.len());
+    // Per-client online delay estimator: running mean of the
+    // `arrival − timestamp` residual of each delivered message. The offset
+    // noise in the timestamps is zero-mean, so the residual mean estimates
+    // the delivery delay without assuming the configured constant.
+    let mut delay_obs: HashMap<ClientId, (f64, usize)> = HashMap::new();
     for delivery in &deliveries {
         let true_time = delivery.true_time.expect("true time");
         let arrival = true_time + NETWORK_DELAY;
@@ -341,6 +359,9 @@ pub fn run_online_stream(config: &ScenarioConfig, p_safe: f64) -> OnlineStreamRe
         last_ts.insert(delivery.client, ts);
         let message = Message::with_true_time(delivery.id, delivery.client, ts, true_time);
         messages.push(message.clone());
+        let obs = delay_obs.entry(delivery.client).or_insert((0.0, 0));
+        obs.0 += arrival - ts;
+        obs.1 += 1;
         sequencer.submit(message, arrival).expect("valid submission");
         max_undrained = max_undrained.max(sequencer.emitted().len());
         max_tracked = max_tracked.max(sequencer.tracked_ids());
@@ -365,6 +386,11 @@ pub fn run_online_stream(config: &ScenarioConfig, p_safe: f64) -> OnlineStreamRe
     let ras = rank_agreement_score(&order, &messages);
     let fair_counters = sequencer.fair_order_counters();
     let stats = sequencer.stats();
+    let estimated_delay = if delay_obs.is_empty() {
+        f64::NAN
+    } else {
+        delay_obs.values().map(|(sum, n)| sum / *n as f64).sum::<f64>() / delay_obs.len() as f64
+    };
     OnlineStreamResult {
         ras,
         stats,
@@ -382,6 +408,9 @@ pub fn run_online_stream(config: &ScenarioConfig, p_safe: f64) -> OnlineStreamRe
         quarantines: stats.quarantines,
         reestimations: stats.reestimations,
         margin_fallbacks: stats.margin_fallbacks,
+        true_delay: NETWORK_DELAY,
+        estimated_delay,
+        delay_estimate_error: (estimated_delay - NETWORK_DELAY).abs(),
     }
 }
 
@@ -666,6 +695,29 @@ mod tests {
     fn online_result_echoes_fas_fallback_reason() {
         let result = run_online_stream(&small(3.0, 5.0), 0.99);
         assert_eq!(result.fas_fallback_reason, None);
+    }
+
+    /// Satellite: the runner estimates the delivery delay from residuals
+    /// instead of blindly trusting the configured constant. With perfect
+    /// clocks the estimate is exact; with noisy clocks it converges on the
+    /// truth to within the offset noise.
+    #[test]
+    fn online_stream_estimates_the_delivery_delay() {
+        let exact = run_online_stream(&small(0.0, 5.0), 0.99);
+        assert_eq!(exact.true_delay, 1.0);
+        assert!(
+            exact.delay_estimate_error < 1e-9,
+            "perfect clocks ⇒ exact delay estimate, got {}",
+            exact.estimated_delay
+        );
+        let noisy = run_online_stream(&small(2.0, 5.0), 0.99);
+        assert!(noisy.estimated_delay.is_finite());
+        assert!(
+            noisy.delay_estimate_error < 2.0,
+            "estimate {} strays too far from the true delay {}",
+            noisy.estimated_delay,
+            noisy.true_delay
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Scenario configuration shared by the experiments.
 
+use tommy_netsim::FaultPlan;
 use tommy_workload::AttackPlan;
 
 /// Configuration of one offline-comparison scenario (the §4 evaluation
@@ -42,6 +43,12 @@ pub struct ScenarioConfig {
     /// (`tommy_core::defense`): residual cross-checks, quarantine onto
     /// conservative fallback margins, and drift-triggered re-estimation.
     pub defended: bool,
+    /// Delivery-fault plan applied by the fault-injected streaming runner
+    /// (`crate::faults::run_fault_stream`) — `None` (the default) is the
+    /// reliable-network setting. Composes with any extra plans passed to the
+    /// runner; fault decisions are pure hashes, so seeded scenarios stay
+    /// reproducible under injected faults.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for ScenarioConfig {
@@ -57,6 +64,7 @@ impl Default for ScenarioConfig {
             cyclic_fraction: 0.0,
             adversarial: None,
             defended: false,
+            fault: None,
         }
     }
 }
@@ -133,6 +141,12 @@ impl ScenarioConfig {
         self.defended = defended;
         self
     }
+
+    /// Builder: attach a delivery-fault plan (see [`ScenarioConfig::fault`]).
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +188,16 @@ mod tests {
         let cfg = cfg.with_adversarial(plan).with_defended(true);
         assert_eq!(cfg.adversarial, Some(plan));
         assert!(cfg.defended);
+    }
+
+    #[test]
+    fn fault_knob_defaults_off_and_chains() {
+        use tommy_netsim::FaultFamily;
+        let cfg = ScenarioConfig::default();
+        assert_eq!(cfg.fault, None);
+        let plan = FaultPlan::new(FaultFamily::Loss, 0.2).with_seed(9);
+        let cfg = cfg.with_fault(plan);
+        assert_eq!(cfg.fault, Some(plan));
     }
 
     #[test]

@@ -3,12 +3,15 @@
 //! Frame layout (all little-endian):
 //!
 //! ```text
-//! [u32 length] [u8 kind] [payload bytes...] [u32 crc32(payload)]
+//! [u32 length] [u8 kind] [payload bytes...] [u32 crc32(kind + payload)]
 //! ```
 //!
 //! `length` counts everything after itself (kind + payload + crc). The
-//! decoder is incremental: feed it arbitrary byte chunks from a TCP stream
-//! and pull complete messages out as they become available.
+//! checksum covers the kind byte as well as the payload — a bit flip in the
+//! kind byte would otherwise silently re-type a frame whose payload happens
+//! to parse under both kinds. The decoder is incremental: feed it arbitrary
+//! byte chunks from a TCP stream and pull complete messages out as they
+//! become available.
 
 use crate::checksum::crc32;
 use crate::error::WireError;
@@ -22,14 +25,14 @@ pub const MAX_FRAME_LEN: usize = 1 << 20;
 
 /// Encode a message into a complete frame ready to write to a socket.
 pub fn encode_frame(message: &WireMessage) -> Bytes {
-    let mut payload = BytesMut::new();
-    message.encode_payload(&mut payload);
-    let crc = crc32(&payload);
-    let body_len = 1 + payload.len() + 4;
+    let mut covered = BytesMut::new();
+    covered.put_u8(message.kind());
+    message.encode_payload(&mut covered);
+    let crc = crc32(&covered);
+    let body_len = covered.len() + 4;
     let mut frame = BytesMut::with_capacity(4 + body_len);
     frame.put_u32_le(body_len as u32);
-    frame.put_u8(message.kind());
-    frame.extend_from_slice(&payload);
+    frame.extend_from_slice(&covered);
     frame.put_u32_le(crc);
     frame.freeze()
 }
@@ -54,6 +57,18 @@ impl FrameDecoder {
     /// Append raw bytes received from the transport.
     pub fn feed(&mut self, data: &[u8]) {
         self.buffer.extend_from_slice(data);
+    }
+
+    /// Discard all buffered bytes and start clean.
+    ///
+    /// A corrupted *length* field leaves the decoder wedged: it either
+    /// rejects the frame outright ([`WireError::FrameTooLarge`]) or waits
+    /// forever for bytes that will never arrive, and every subsequent read
+    /// is misaligned. Framing carries no sync markers, so the only safe
+    /// recovery is to drop the buffer and resume at the next clean frame
+    /// boundary (e.g. after a reconnect, or a sender-side resend).
+    pub fn resync(&mut self) {
+        self.buffer.clear();
     }
 
     /// Try to decode the next complete message. Returns `Ok(None)` when more
@@ -82,9 +97,9 @@ impl FrameDecoder {
         let payload = self.buffer[1..1 + payload_len].to_vec();
         let expected =
             u32::from_le_bytes(self.buffer[1 + payload_len..5 + payload_len].try_into().unwrap());
+        let actual = crc32(&self.buffer[..1 + payload_len]);
         self.buffer.advance(body_len);
 
-        let actual = crc32(&payload);
         if actual != expected {
             return Err(WireError::ChecksumMismatch { expected, actual });
         }
@@ -190,6 +205,22 @@ mod tests {
         decoder.feed(&bogus);
         let err = decoder.next_message().unwrap_err();
         assert!(matches!(err, WireError::FrameTooLarge { .. }));
+    }
+
+    #[test]
+    fn resync_recovers_a_wedged_decoder() {
+        let mut decoder = FrameDecoder::new();
+        let mut bogus = BytesMut::new();
+        bogus.put_u32_le((MAX_FRAME_LEN + 1) as u32);
+        decoder.feed(&bogus);
+        assert!(decoder.next_message().is_err());
+        // The poisoned length stays buffered: the decoder keeps failing.
+        assert!(decoder.next_message().is_err());
+        decoder.resync();
+        assert_eq!(decoder.buffered(), 0);
+        let msg = WireMessage::Ack { id: MessageId(3) };
+        decoder.feed(&encode_frame(&msg));
+        assert_eq!(decoder.next_message().unwrap().unwrap(), msg);
     }
 
     #[test]

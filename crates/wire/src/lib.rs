@@ -7,11 +7,20 @@
 //!
 //! The protocol is deliberately simple: every frame is
 //! `[u32 length][u8 kind][payload]`, with fixed-width little-endian numeric
-//! fields and a trailing CRC-32 over the payload. Framing and codecs are
+//! fields and a trailing CRC-32 over the kind byte and payload. Framing and
+//! codecs are
 //! hand-rolled over [`bytes`] rather than pulling in a serialization
 //! framework, both to keep the dependency surface small and because the
 //! formats are simple enough that an explicit layout is the better
 //! documentation.
+//!
+//! On top of the codecs, [`stream`] adds fault-tolerant delivery: messages
+//! wrapped in sequence-numbered [`WireMessage::Stream`] frames by a
+//! [`SequencedSender`] are reassembled in strict send order by a
+//! [`StreamReceiver`], which detects gaps, drops duplicates, buffers
+//! reordering, and recovers per the configured
+//! [`RecoveryPolicy`] (halt, skip after a timeout, or request bounded
+//! retransmits with exponential backoff).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,7 +29,11 @@ pub mod checksum;
 pub mod error;
 pub mod frame;
 pub mod messages;
+pub mod stream;
 
 pub use error::WireError;
 pub use frame::{FrameDecoder, MAX_FRAME_LEN};
 pub use messages::WireMessage;
+pub use stream::{RetransmitRequest, SequencedSender, StreamPoll, StreamReceiver};
+// Session-layer building blocks re-exported from tommy-core for convenience.
+pub use tommy_core::session::{RecoveryPolicy, SequenceValidator, SessionAction, SessionCounters};

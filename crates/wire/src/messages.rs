@@ -21,6 +21,7 @@ mod kind {
     pub const ACK: u8 = 0x07;
     pub const PROBE: u8 = 0x08;
     pub const PROBE_REPLY: u8 = 0x09;
+    pub const STREAM: u8 = 0x0A;
 }
 
 /// A message exchanged between a client and the sequencer.
@@ -79,6 +80,24 @@ pub enum WireMessage {
         /// Sequencer transmit timestamp (sequencer clock).
         t2: f64,
     },
+    /// A sequenced session frame: any other message wrapped with a
+    /// per-`(sender, stream)` monotone sequence number, so the receiver can
+    /// detect gaps, duplicates and reordering (and request retransmits).
+    /// Stream frames must not nest.
+    Stream {
+        /// The client that owns the stream.
+        sender: ClientId,
+        /// Stream identifier within the sender (a sender may run several
+        /// independent sequenced streams).
+        stream_id: u64,
+        /// Dense per-stream sequence number, starting at 0.
+        sequence: u64,
+        /// Whether this is the final frame of the stream.
+        fin: bool,
+        /// The wrapped message. `None` for a bare control frame (e.g. a
+        /// standalone fin).
+        inner: Option<Box<WireMessage>>,
+    },
 }
 
 impl WireMessage {
@@ -105,6 +124,7 @@ impl WireMessage {
             WireMessage::Ack { .. } => kind::ACK,
             WireMessage::Probe { .. } => kind::PROBE,
             WireMessage::ProbeReply { .. } => kind::PROBE_REPLY,
+            WireMessage::Stream { .. } => kind::STREAM,
         }
     }
 
@@ -167,6 +187,33 @@ impl WireMessage {
                 buf.put_f64_le(*t0);
                 buf.put_f64_le(*t1);
                 buf.put_f64_le(*t2);
+            }
+            WireMessage::Stream {
+                sender,
+                stream_id,
+                sequence,
+                fin,
+                inner,
+            } => {
+                buf.put_u32_le(sender.0);
+                buf.put_u64_le(*stream_id);
+                buf.put_u64_le(*sequence);
+                let mut flags = 0u8;
+                if *fin {
+                    flags |= 0x01;
+                }
+                if inner.is_some() {
+                    flags |= 0x02;
+                }
+                buf.put_u8(flags);
+                if let Some(inner) = inner {
+                    assert!(
+                        !matches!(**inner, WireMessage::Stream { .. }),
+                        "stream frames must not nest"
+                    );
+                    buf.put_u8(inner.kind());
+                    inner.encode_payload(buf);
+                }
             }
         }
     }
@@ -277,6 +324,34 @@ impl WireMessage {
                 let t2 = finite(buf.get_f64_le(), "t2")?;
                 WireMessage::ProbeReply { seq, t0, t1, t2 }
             }
+            kind::STREAM => {
+                need(buf, 21, "stream header")?;
+                let sender = ClientId(buf.get_u32_le());
+                let stream_id = buf.get_u64_le();
+                let sequence = buf.get_u64_le();
+                let flags = buf.get_u8();
+                if flags & !0x03 != 0 {
+                    return Err(WireError::InvalidField { field: "flags" });
+                }
+                let fin = flags & 0x01 != 0;
+                let inner = if flags & 0x02 != 0 {
+                    need(buf, 1, "stream inner kind")?;
+                    let inner_kind = buf.get_u8();
+                    if inner_kind == kind::STREAM {
+                        return Err(WireError::InvalidField { field: "inner" });
+                    }
+                    Some(Box::new(WireMessage::decode_payload(inner_kind, buf)?))
+                } else {
+                    None
+                };
+                WireMessage::Stream {
+                    sender,
+                    stream_id,
+                    sequence,
+                    fin,
+                    inner,
+                }
+            }
             other => return Err(WireError::UnknownKind(other)),
         };
         Ok(msg)
@@ -335,6 +410,24 @@ mod tests {
                 t1: 100.25,
                 t2: 100.5,
             },
+            WireMessage::Stream {
+                sender: ClientId(6),
+                stream_id: 2,
+                sequence: 17,
+                fin: false,
+                inner: Some(Box::new(WireMessage::Submit {
+                    id: MessageId(8),
+                    client: ClientId(6),
+                    timestamp: 0.125,
+                })),
+            },
+            WireMessage::Stream {
+                sender: ClientId(6),
+                stream_id: 2,
+                sequence: 18,
+                fin: true,
+                inner: None,
+            },
         ]
     }
 
@@ -347,9 +440,11 @@ mod tests {
 
     #[test]
     fn kinds_are_distinct() {
+        // Two of the sample variants are both Stream frames; every other
+        // sample has its own kind byte.
         let kinds: std::collections::HashSet<u8> =
             all_variants().iter().map(|m| m.kind()).collect();
-        assert_eq!(kinds.len(), all_variants().len());
+        assert_eq!(kinds.len(), all_variants().len() - 1);
     }
 
     #[test]
@@ -412,6 +507,51 @@ mod tests {
         buf.put_u32_le(0);
         let err = WireMessage::decode_payload(0x04, &buf).unwrap_err();
         assert_eq!(err, WireError::InvalidField { field: "hi" });
+    }
+
+    #[test]
+    fn nested_stream_frames_rejected_on_decode() {
+        // Hand-craft a stream frame whose inner kind byte is itself STREAM.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1); // sender
+        buf.put_u64_le(0); // stream_id
+        buf.put_u64_le(0); // sequence
+        buf.put_u8(0x02); // flags: has_inner
+        buf.put_u8(0x0A); // inner kind: STREAM — illegal
+        let err = WireMessage::decode_payload(0x0A, &buf).unwrap_err();
+        assert_eq!(err, WireError::InvalidField { field: "inner" });
+    }
+
+    #[test]
+    fn unknown_stream_flags_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1);
+        buf.put_u64_le(0);
+        buf.put_u64_le(0);
+        buf.put_u8(0x80); // reserved flag bit set
+        let err = WireMessage::decode_payload(0x0A, &buf).unwrap_err();
+        assert_eq!(err, WireError::InvalidField { field: "flags" });
+    }
+
+    #[test]
+    #[should_panic(expected = "must not nest")]
+    fn nested_stream_frames_rejected_on_encode() {
+        let inner = WireMessage::Stream {
+            sender: ClientId(1),
+            stream_id: 0,
+            sequence: 0,
+            fin: false,
+            inner: None,
+        };
+        let outer = WireMessage::Stream {
+            sender: ClientId(1),
+            stream_id: 0,
+            sequence: 1,
+            fin: false,
+            inner: Some(Box::new(inner)),
+        };
+        let mut buf = BytesMut::new();
+        outer.encode_payload(&mut buf);
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! Sequenced session streams over the wire protocol.
+//!
+//! The watermark argument of §3.5 assumes an *ordered, reliable* channel per
+//! client. This module supplies that guarantee at the session layer instead
+//! of assuming it from the transport: a [`SequencedSender`] wraps every
+//! outgoing message in a [`WireMessage::Stream`] frame carrying a dense
+//! per-`(sender, stream)` sequence number, and a [`StreamReceiver`] runs one
+//! [`SequenceValidator`] per stream to detect gaps, drop duplicates, buffer
+//! reordered frames, and — under
+//! [`RecoveryPolicy::RequestRetransmit`] — ask the sender to resend what was
+//! lost. Frames are released to the application strictly in send order, so
+//! downstream consumers (the watermark tracker above all) keep their
+//! monotonicity assumptions even over a lossy, reordering network.
+//!
+//! The sender retains every wrapped frame so retransmit requests can be
+//! answered from history; [`SequencedSender::frame`] looks one up by
+//! sequence number.
+
+use crate::messages::WireMessage;
+use std::collections::BTreeMap;
+use tommy_core::message::ClientId;
+use tommy_core::session::{RecoveryPolicy, SequenceValidator, SessionAction, SessionCounters};
+
+/// Wraps outgoing messages of one stream in sequence-numbered
+/// [`WireMessage::Stream`] frames and retains them for retransmission.
+#[derive(Debug, Clone)]
+pub struct SequencedSender {
+    sender: ClientId,
+    stream_id: u64,
+    history: Vec<WireMessage>,
+    finished: bool,
+}
+
+impl SequencedSender {
+    /// A sender for `(sender, stream_id)` starting at sequence 0.
+    pub fn new(sender: ClientId, stream_id: u64) -> Self {
+        SequencedSender {
+            sender,
+            stream_id,
+            history: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// The sequence number the next wrapped frame will carry.
+    pub fn next_sequence(&self) -> u64 {
+        self.history.len() as u64
+    }
+
+    /// Whether [`fin`](Self::fin) has been sent.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Wrap `inner` in the next stream frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner` is itself a stream frame (streams must not nest) or
+    /// if the stream is already finished.
+    pub fn wrap(&mut self, inner: WireMessage) -> WireMessage {
+        assert!(
+            !matches!(inner, WireMessage::Stream { .. }),
+            "stream frames must not nest"
+        );
+        assert!(!self.finished, "stream is finished");
+        let frame = WireMessage::Stream {
+            sender: self.sender,
+            stream_id: self.stream_id,
+            sequence: self.next_sequence(),
+            fin: false,
+            inner: Some(Box::new(inner)),
+        };
+        self.history.push(frame.clone());
+        frame
+    }
+
+    /// Close the stream with a bare fin frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is already finished.
+    pub fn fin(&mut self) -> WireMessage {
+        assert!(!self.finished, "stream is finished");
+        let frame = WireMessage::Stream {
+            sender: self.sender,
+            stream_id: self.stream_id,
+            sequence: self.next_sequence(),
+            fin: true,
+            inner: None,
+        };
+        self.history.push(frame.clone());
+        self.finished = true;
+        frame
+    }
+
+    /// The previously sent frame with this sequence number (for answering a
+    /// [`RetransmitRequest`]), if one exists.
+    pub fn frame(&self, sequence: u64) -> Option<&WireMessage> {
+        self.history.get(usize::try_from(sequence).ok()?)
+    }
+}
+
+/// A receiver-side request for the sender to resend one stream frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetransmitRequest {
+    /// The stream's owning client.
+    pub sender: ClientId,
+    /// The stream within that client.
+    pub stream_id: u64,
+    /// The missing sequence number.
+    pub sequence: u64,
+}
+
+/// The outcome of a [`StreamReceiver::poll`] call.
+#[derive(Debug, Default)]
+pub struct StreamPoll {
+    /// Messages released in send order by skip-driven advances.
+    pub released: Vec<WireMessage>,
+    /// Retransmit requests to forward to the senders.
+    pub retransmits: Vec<RetransmitRequest>,
+}
+
+/// Per-stream receiver state.
+#[derive(Debug)]
+struct StreamState {
+    validator: SequenceValidator<Option<WireMessage>>,
+    /// Sequence number of the fin frame, once seen.
+    fin_sequence: Option<u64>,
+}
+
+/// Demultiplexes [`WireMessage::Stream`] frames into per-stream
+/// [`SequenceValidator`]s and releases inner messages strictly in send
+/// order. Non-stream messages pass through untouched.
+#[derive(Debug)]
+pub struct StreamReceiver {
+    policy: RecoveryPolicy,
+    streams: BTreeMap<(ClientId, u64), StreamState>,
+}
+
+impl StreamReceiver {
+    /// A receiver applying `policy` to every stream.
+    pub fn new(policy: RecoveryPolicy) -> Self {
+        policy.validate();
+        StreamReceiver {
+            policy,
+            streams: BTreeMap::new(),
+        }
+    }
+
+    /// The recovery policy applied to every stream.
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// Number of streams ever seen (completed streams keep their state so
+    /// late duplicates are still recognized).
+    pub fn open_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Number of streams currently blocked on a detected hole.
+    pub fn blocked_streams(&self) -> usize {
+        self.streams
+            .values()
+            .filter(|s| s.validator.blocked())
+            .count()
+    }
+
+    /// Whether stream `(sender, stream_id)` has released its fin frame (all
+    /// frames before it were released or skipped).
+    pub fn stream_complete(&self, sender: ClientId, stream_id: u64) -> bool {
+        self.streams
+            .get(&(sender, stream_id))
+            .and_then(|s| s.fin_sequence)
+            .is_some_and(|fin| {
+                let state = &self.streams[&(sender, stream_id)];
+                state.validator.next_expected() > fin
+            })
+    }
+
+    /// Aggregate session counters across every stream.
+    pub fn counters(&self) -> SessionCounters {
+        let mut total = SessionCounters::default();
+        for state in self.streams.values() {
+            total.absorb(state.validator.counters());
+        }
+        total
+    }
+
+    /// Ingest one message at receiver time `now`.
+    ///
+    /// Stream frames go through their stream's validator; the returned
+    /// messages are the inner payloads released (in send order) by this
+    /// frame. Any other message passes straight through.
+    pub fn receive(&mut self, message: WireMessage, now: f64) -> Vec<WireMessage> {
+        let WireMessage::Stream {
+            sender,
+            stream_id,
+            sequence,
+            fin,
+            inner,
+        } = message
+        else {
+            return vec![message];
+        };
+        let state = self
+            .streams
+            .entry((sender, stream_id))
+            .or_insert_with(|| StreamState {
+                validator: SequenceValidator::new(self.policy),
+                fin_sequence: None,
+            });
+        if fin {
+            state.fin_sequence = Some(sequence);
+        }
+        state
+            .validator
+            .accept(sequence, inner.map(|b| *b), now)
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Run every stream's recovery policy at time `now`: collect messages
+    /// released by timeout/give-up skips and retransmit requests that have
+    /// come due.
+    pub fn poll(&mut self, now: f64) -> StreamPoll {
+        let mut out = StreamPoll::default();
+        for (&(sender, stream_id), state) in &mut self.streams {
+            let polled = state.validator.poll(now);
+            out.released.extend(polled.released.into_iter().flatten());
+            for action in polled.actions {
+                let SessionAction::RequestRetransmit { sequence } = action;
+                out.retransmits.push(RetransmitRequest {
+                    sender,
+                    stream_id,
+                    sequence,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tommy_core::message::MessageId;
+
+    fn submit(id: u64, client: u32, ts: f64) -> WireMessage {
+        WireMessage::Submit {
+            id: MessageId(id),
+            client: ClientId(client),
+            timestamp: ts,
+        }
+    }
+
+    #[test]
+    fn in_order_stream_passes_through() {
+        let mut tx = SequencedSender::new(ClientId(1), 0);
+        let mut rx = StreamReceiver::new(RecoveryPolicy::Halt);
+        let mut released = Vec::new();
+        for i in 0..5 {
+            let frame = tx.wrap(submit(i, 1, i as f64));
+            released.extend(rx.receive(frame, i as f64));
+        }
+        released.extend(rx.receive(tx.fin(), 5.0));
+        assert_eq!(released.len(), 5);
+        assert_eq!(released[0], submit(0, 1, 0.0));
+        assert!(rx.stream_complete(ClientId(1), 0));
+        assert_eq!(rx.blocked_streams(), 0);
+        assert!(tx.finished());
+    }
+
+    #[test]
+    fn reordered_frames_release_in_send_order() {
+        let mut tx = SequencedSender::new(ClientId(1), 0);
+        let frames: Vec<_> = (0..4).map(|i| tx.wrap(submit(i, 1, i as f64))).collect();
+        let mut rx = StreamReceiver::new(RecoveryPolicy::Halt);
+        let mut released = Vec::new();
+        for &i in &[2usize, 0, 3, 1] {
+            released.extend(rx.receive(frames[i].clone(), 10.0));
+        }
+        let ids: Vec<u64> = released
+            .iter()
+            .map(|m| match m {
+                WireMessage::Submit { id, .. } => id.0,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        let counters = rx.counters();
+        assert!(counters.reorders_buffered > 0);
+        assert_eq!(counters.dupes_dropped, 0);
+    }
+
+    #[test]
+    fn duplicates_are_dropped_even_after_completion() {
+        let mut tx = SequencedSender::new(ClientId(1), 0);
+        let frame = tx.wrap(submit(0, 1, 0.0));
+        let fin = tx.fin();
+        let mut rx = StreamReceiver::new(RecoveryPolicy::Halt);
+        assert_eq!(rx.receive(frame.clone(), 0.0).len(), 1);
+        rx.receive(fin, 1.0);
+        assert!(rx.stream_complete(ClientId(1), 0));
+        // A late duplicate of an already-released frame yields nothing.
+        assert!(rx.receive(frame, 2.0).is_empty());
+        assert_eq!(rx.counters().dupes_dropped, 1);
+    }
+
+    #[test]
+    fn retransmit_requests_carry_stream_identity() {
+        let mut tx = SequencedSender::new(ClientId(7), 3);
+        let frames: Vec<_> = (0..3).map(|i| tx.wrap(submit(i, 7, i as f64))).collect();
+        let mut rx = StreamReceiver::new(RecoveryPolicy::RequestRetransmit {
+            max_retries: 3,
+            base_backoff: 5.0,
+        });
+        rx.receive(frames[0].clone(), 0.0);
+        rx.receive(frames[2].clone(), 1.0); // hole at sequence 1
+        assert_eq!(rx.blocked_streams(), 1);
+        let poll = rx.poll(1.0);
+        assert_eq!(
+            poll.retransmits,
+            vec![RetransmitRequest {
+                sender: ClientId(7),
+                stream_id: 3,
+                sequence: 1,
+            }]
+        );
+        // The sender answers from history and the stream unblocks.
+        let resend = tx.frame(1).expect("history holds frame 1").clone();
+        let released = rx.receive(resend, 2.0);
+        assert_eq!(released.len(), 2, "hole heals: frames 1 and 2 release");
+        assert_eq!(rx.blocked_streams(), 0);
+        assert!(tx.frame(99).is_none());
+    }
+
+    #[test]
+    fn independent_streams_do_not_interfere() {
+        let mut tx_a = SequencedSender::new(ClientId(1), 0);
+        let mut tx_b = SequencedSender::new(ClientId(2), 0);
+        let mut rx = StreamReceiver::new(RecoveryPolicy::Halt);
+        // Client 1 has a hole; client 2 flows untouched.
+        let a0 = tx_a.wrap(submit(0, 1, 0.0));
+        let _a1 = tx_a.wrap(submit(1, 1, 1.0));
+        let a2 = tx_a.wrap(submit(2, 1, 2.0));
+        rx.receive(a0, 0.0);
+        rx.receive(a2, 1.0);
+        assert_eq!(rx.blocked_streams(), 1);
+        let b0 = tx_b.wrap(submit(10, 2, 0.0));
+        assert_eq!(rx.receive(b0, 2.0).len(), 1);
+        assert_eq!(rx.open_streams(), 2);
+    }
+
+    #[test]
+    fn non_stream_messages_pass_through() {
+        let mut rx = StreamReceiver::new(RecoveryPolicy::Halt);
+        let hb = WireMessage::Heartbeat {
+            client: ClientId(4),
+            timestamp: 9.0,
+        };
+        assert_eq!(rx.receive(hb.clone(), 0.0), vec![hb]);
+        assert_eq!(rx.open_streams(), 0);
+    }
+
+    #[test]
+    fn skip_policy_flushes_past_a_lost_frame() {
+        let mut tx = SequencedSender::new(ClientId(1), 0);
+        let frames: Vec<_> = (0..3).map(|i| tx.wrap(submit(i, 1, i as f64))).collect();
+        let mut rx = StreamReceiver::new(RecoveryPolicy::SkipAfterTimeout { timeout: 10.0 });
+        rx.receive(frames[1].clone(), 0.0); // 0 lost
+        rx.receive(frames[2].clone(), 1.0);
+        assert!(rx.poll(5.0).released.is_empty(), "before the timeout");
+        let released = rx.poll(11.0).released;
+        assert_eq!(released.len(), 2, "frames 1 and 2 flush after the skip");
+        assert_eq!(rx.counters().sequences_skipped, 1);
+        assert_eq!(rx.counters().gaps_detected, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stream is finished")]
+    fn wrapping_after_fin_panics() {
+        let mut tx = SequencedSender::new(ClientId(1), 0);
+        tx.fin();
+        tx.wrap(submit(0, 1, 0.0));
+    }
+}
