@@ -1,12 +1,15 @@
 //! Emit `BENCH_adversarial.json`: RAS and throughput of the online
 //! sequencer under each adversarial attack family (misreported
-//! distributions, mid-stream clock drift, timestamp collusion), defended
-//! versus undefended, at two attack intensities plus the honest control.
+//! distributions, mid-stream clock drift, timestamp collusion, correlated
+//! shared-signal collusion), defended versus undefended, at two attack
+//! intensities plus the honest control.
 //!
 //! Each row also records the defense counters that explain the recovery:
-//! quarantines, drift-triggered re-estimations, and messages sequenced under
-//! quarantine fallback margins — alongside the fairness violations the
-//! attack actually caused.
+//! quarantines, drift-triggered re-estimations, messages sequenced under
+//! quarantine fallback margins, and the cross-client correlation counters
+//! (checks run, collusion quarantines, peak pair score) — alongside the
+//! fairness violations the attack actually caused, and a `detected` flag
+//! (did the defense take any action at all).
 //!
 //! Run from the repository root:
 //!
@@ -76,18 +79,25 @@ fn main() {
     json.push_str("  \"results\": [\n");
     let n = rows.len();
     for (i, (label, intensity, defended, rate, result)) in rows.into_iter().enumerate() {
+        let detected =
+            result.quarantines > 0 || result.reestimations > 0 || result.margin_fallbacks > 0;
         let _ = write!(
             json,
             "    {{\"family\": \"{label}\", \"intensity\": {intensity}, \
              \"defended\": {defended}, \"ras_normalized\": {:.6}, \
              \"msgs_per_sec\": {rate:.1}, \"fairness_violations\": {}, \
              \"quarantines\": {}, \"reestimations\": {}, \
-             \"margin_fallbacks\": {}}}",
+             \"margin_fallbacks\": {}, \"collusion_checks\": {}, \
+             \"collusion_quarantines\": {}, \"peak_collusion_score\": {:.4}, \
+             \"detected\": {detected}}}",
             result.ras.normalized(),
             result.stats.fairness_violations,
             result.quarantines,
             result.reestimations,
             result.margin_fallbacks,
+            result.stats.collusion_checks,
+            result.stats.collusion_quarantines,
+            result.stats.peak_collusion_score,
         );
         json.push_str(if i + 1 < n { ",\n" } else { "\n" });
     }

@@ -62,7 +62,15 @@ pub fn adversarial_scenario(
     if intensity == 0.0 {
         cfg
     } else {
-        cfg.with_adversarial(AttackPlan::new(family, intensity).with_scale(cfg.clock_std_dev))
+        let mut plan = AttackPlan::new(family, intensity).with_scale(cfg.clock_std_dev);
+        if family == AttackFamily::CorrelatedCollusion {
+            // Pad coordination needs no trigger event: colluders share their
+            // pad before the stream starts and co-move from the first
+            // message. The mid-stream onset sweep belongs to the drift and
+            // forgery families, where the "before" segment is the contrast.
+            plan = plan.with_onset_fraction(0.0);
+        }
+        cfg.with_adversarial(plan)
     }
 }
 
@@ -487,6 +495,34 @@ mod tests {
         let again = run_adversarial_stream(AttackFamily::Misreport, 0.6, true);
         assert_eq!(defended.ras.score(), again.ras.score(), "cells must be deterministic");
         assert_eq!(defended.stats.fairness_violations, again.stats.fairness_violations);
+    }
+
+    #[test]
+    fn adversarial_harness_engages_the_collusion_detector() {
+        // The honest control runs the correlation checks but never fires them.
+        let honest = run_adversarial_stream(AttackFamily::Misreport, 0.0, true);
+        assert!(honest.stats.collusion_checks > 0, "{:?}", honest.stats);
+        assert_eq!(honest.stats.collusion_quarantines, 0, "{:?}", honest.stats);
+
+        // Pad-coordinated colluders at λ = 0.6 keep honest marginals but are
+        // caught — and only — by the cross-client correlation detector.
+        let defended = run_adversarial_stream(AttackFamily::CorrelatedCollusion, 0.6, true);
+        assert!(defended.stats.collusion_quarantines >= 2, "{:?}", defended.stats);
+        assert_eq!(
+            defended.quarantines, defended.stats.collusion_quarantines,
+            "marginal checks must stay blind to the marginal-preserving forgery"
+        );
+        assert!(defended.stats.peak_collusion_score > 0.6, "{:?}", defended.stats);
+
+        // At λ = 0.25 the pairwise correlation λ(2 − λ)(1 + λ)/(1 + 2λ² − λ³)
+        // ≈ 0.49 sits below the detection threshold: a weak colluder evades,
+        // with no false alarms.
+        let weak = run_adversarial_stream(AttackFamily::CorrelatedCollusion, 0.25, true);
+        assert_eq!(weak.stats.collusion_quarantines, 0, "{:?}", weak.stats);
+
+        let undefended = run_adversarial_stream(AttackFamily::CorrelatedCollusion, 0.6, false);
+        assert_eq!(undefended.stats.collusion_checks, 0, "defense off must stay silent");
+        assert_eq!(undefended.stats.collusion_quarantines, 0);
     }
 
     #[test]

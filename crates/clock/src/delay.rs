@@ -1,0 +1,102 @@
+//! Online one-way delay estimation from timestamped arrivals.
+//!
+//! §3.1 gives every message two times: the client-claimed timestamp
+//! `T = t + θ` and the sequencer-side arrival `t + d` (true time plus the
+//! one-way network delay `d`). The defense layer's residual cross-check
+//! (`tommy-core::defense`) needs `d` to center residuals on the clock offset
+//! rather than on transport latency — but over real topologies the per-link
+//! delay is unknown a priori. [`DelayEstimator`] closes that gap with the
+//! observable `arrival − timestamp = d − θ`: its running mean converges to
+//! `d − E[θ]`, so adding back the *claimed* mean offset recovers `d` exactly
+//! for honest claims (and exactly `d` at σ = 0). The estimate is a plain
+//! running mean — O(1) per observation, deterministic, no RNG.
+//!
+//! The unavoidable ambiguity: a lie about the mean offset is
+//! indistinguishable from a different link delay when the delay is learned
+//! online, so mean-shift lies are absorbed into the delay estimate. Shape
+//! and scale lies (the deflated-σ misreports the KS check catches) remain
+//! fully visible, and collusive co-movement is caught by the pairwise
+//! correlation detector, which is delay-invariant.
+
+/// Running mean of per-message `arrival − timestamp` gaps for one client.
+///
+/// Exact at σ = 0 after one observation; unbiased for `d − E[θ]` under
+/// zero-drift honest clocks.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DelayEstimator {
+    sum: f64,
+    count: u64,
+}
+
+impl DelayEstimator {
+    /// A fresh estimator with no observations.
+    pub fn new() -> Self {
+        DelayEstimator::default()
+    }
+
+    /// Record one `arrival − timestamp` gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the gap is finite.
+    pub fn record(&mut self, gap: f64) {
+        assert!(gap.is_finite(), "delay gaps must be finite");
+        self.sum += gap;
+        self.count += 1;
+    }
+
+    /// Number of gaps recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The running mean gap, or `None` before the first observation.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tommy_stats::distribution::{Distribution, OffsetDistribution};
+
+    #[test]
+    fn empty_estimator_has_no_mean() {
+        let est = DelayEstimator::new();
+        assert_eq!(est.mean(), None);
+        assert_eq!(est.count(), 0);
+    }
+
+    #[test]
+    fn exact_at_sigma_zero() {
+        let mut est = DelayEstimator::new();
+        est.record(1.5);
+        assert_eq!(est.mean(), Some(1.5));
+        est.record(1.5);
+        assert_eq!(est.mean(), Some(1.5));
+    }
+
+    #[test]
+    fn converges_to_delay_minus_mean_offset() {
+        // gap = d − θ with d = 2.0 and θ ~ N(0.5, 3): the mean converges to
+        // d − E[θ] = 1.5, and adding the claimed mean back recovers d.
+        let theta = OffsetDistribution::gaussian(0.5, 3.0);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut est = DelayEstimator::new();
+        for _ in 0..20_000 {
+            est.record(2.0 - theta.sample(&mut rng));
+        }
+        let mean = est.mean().unwrap();
+        assert!((mean - 1.5).abs() < 0.1, "mean = {mean}");
+        assert!((mean + theta.mean() - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_gap_rejected() {
+        DelayEstimator::new().record(f64::NAN);
+    }
+}

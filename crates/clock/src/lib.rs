@@ -20,11 +20,15 @@
 //!   distribution (parametric Gaussian fit, histogram, or KDE);
 //! * [`shared`] — the compact representation of a learned distribution that a
 //!   client ships to the sequencer ("clients merely send their respective
-//!   learned distributions to the sequencer", §3.3).
+//!   learned distributions to the sequencer", §3.3);
+//! * [`delay`] — sequencer-side online estimation of the per-client one-way
+//!   delivery delay from `arrival − timestamp` gaps, feeding the defense
+//!   layer's residual formation when link delays are unknown.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delay;
 pub mod learning;
 pub mod offset;
 pub mod probe;
@@ -32,6 +36,7 @@ pub mod shared;
 pub mod sim_clock;
 pub mod sync;
 
+pub use delay::DelayEstimator;
 pub use learning::{DistributionLearner, LearnedModel};
 pub use offset::ClockModel;
 pub use probe::{OffsetSample, ProbeExchange};

@@ -32,12 +32,38 @@
 //! a trace, watch it fire); invariant 3 is checked during replay, where the
 //! pre-emission pending set is still known. See `ARCHITECTURE.md`, "Threat
 //! model & degradation", for the row-per-invariant table.
+//!
+//! ## State-space reductions
+//!
+//! Two sound reductions (on by default, [`ModelSpec::with_reductions`] to
+//! disable) keep larger models enumerable:
+//!
+//! * **Symmetry** — clients with identical claimed distributions *and*
+//!   bit-identical `(timestamp, true-time)` message sequences are fully
+//!   exchangeable: replay is equivariant under permuting them and every
+//!   invariant is client-permutation-invariant, so enumeration explores only
+//!   the canonical interleaving per orbit (a client's *first* delivery is
+//!   admitted only if it is the least unused member of its orbit). Pruned
+//!   branches are counted in [`CheckReport::symmetry_pruned`].
+//! * **Partial order over heartbeats** — with liveness disabled, a heartbeat
+//!   whose clamped reading does not advance the client's floor, arriving at
+//!   the current clock right after a sequencer call that emitted nothing, is
+//!   a provable no-op (watermarks keep maxima, the candidate cache is
+//!   untouched, and the previous `try_emit` already ran to fixpoint under
+//!   identical inputs) — replay elides it instead of making the call.
+//!   Elisions are counted in [`CheckReport::heartbeats_elided`].
+//!
+//! On top of the base invariants, [`ModelSpec::check_collusive`] checks a
+//! *collusive* model end to end: every schedule must leave every listed
+//! colluder quarantined by the cross-client correlation defense and every
+//! honest client untouched (see [`crate::defense`]).
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use tommy_stats::distribution::{Distribution, OffsetDistribution};
 
 use crate::config::{LivenessConfig, SequencerConfig};
+use crate::defense::TrustLevel;
 use crate::error::CoreError;
 use crate::message::{ClientId, Message, MessageId};
 use crate::precedence::PrecedenceMatrix;
@@ -76,6 +102,11 @@ pub struct ModelSpec {
     /// Hard cap on enumerated schedules (a runaway-model guard, reported
     /// as [`CheckReport::truncated`] when hit).
     pub max_schedules: usize,
+    /// Whether the sound state-space reductions (client-orbit symmetry
+    /// canonicalization and no-op heartbeat elision — see the module docs)
+    /// are applied. On by default; disable to cross-validate the reductions
+    /// against the full space on small models.
+    pub reductions: bool,
 }
 
 /// One invariant failure on one trace.
@@ -132,6 +163,19 @@ pub enum InvariantViolation {
         /// How many accepted messages never emitted.
         pending: usize,
     },
+    /// Collusion invariant ([`ModelSpec::check_collusive`]): a listed
+    /// colluder finished the replay unquarantined — the correlation
+    /// defense missed it on this schedule.
+    ColluderMissed {
+        /// The undetected colluder.
+        client: ClientId,
+    },
+    /// Collusion invariant: an honest client finished the replay
+    /// quarantined — the defense false-positived under collusive load.
+    HonestQuarantined {
+        /// The wrongly quarantined client.
+        client: ClientId,
+    },
 }
 
 impl std::fmt::Display for InvariantViolation {
@@ -168,6 +212,12 @@ impl std::fmt::Display for InvariantViolation {
                 f,
                 "{pending} accepted messages still pending after the liveness horizon"
             ),
+            InvariantViolation::ColluderMissed { client } => {
+                write!(f, "colluder {client} was never quarantined")
+            }
+            InvariantViolation::HonestQuarantined { client } => {
+                write!(f, "honest {client} was quarantined under collusive load")
+            }
         }
     }
 }
@@ -184,6 +234,9 @@ pub struct RunTrace {
     pub emitted: Vec<EmittedBatch>,
     /// The sequencer's final counters.
     pub stats: OnlineStats,
+    /// Clients the defense had quarantined by the end of the replay
+    /// (sorted; empty when the defense is disabled).
+    pub quarantined: Vec<ClientId>,
 }
 
 /// An invariant failure tagged with the schedule that produced it.
@@ -202,6 +255,14 @@ pub struct CheckReport {
     pub schedules: usize,
     /// Whether enumeration stopped at [`ModelSpec::max_schedules`].
     pub truncated: bool,
+    /// Branches the symmetry reduction pruned during enumeration: each is a
+    /// non-canonical first use of an exchangeable client whose entire
+    /// subtree was skipped (0 when reductions are off or every orbit is a
+    /// singleton).
+    pub symmetry_pruned: u64,
+    /// No-op heartbeats the partial-order reduction elided across every
+    /// replay (0 when reductions are off or liveness is enabled).
+    pub heartbeats_elided: u64,
     /// Every invariant failure found, tagged with its schedule.
     pub violations: Vec<ScheduleViolation>,
 }
@@ -276,6 +337,13 @@ fn truth_of(m: &Message) -> f64 {
     m.true_time.unwrap_or(m.timestamp)
 }
 
+/// The result of one schedule-space enumeration, with reduction accounting.
+struct Enumeration {
+    schedules: Vec<Vec<usize>>,
+    truncated: bool,
+    symmetry_pruned: u64,
+}
+
 impl ModelSpec {
     /// A model with default bounds: unit network delay, a reordering window
     /// of 3, no violation-rate bound (1.0 — every submission may violate),
@@ -289,6 +357,7 @@ impl ModelSpec {
             max_in_flight: 3,
             max_violation_rate: 1.0,
             max_schedules: 20_000,
+            reductions: true,
         }
     }
 
@@ -332,6 +401,14 @@ impl ModelSpec {
         self
     }
 
+    /// Enable or disable the sound state-space reductions (symmetry
+    /// canonicalization and heartbeat elision; see the module docs). On by
+    /// default.
+    pub fn with_reductions(mut self, reductions: bool) -> Self {
+        self.reductions = reductions;
+        self
+    }
+
     /// Enumerate every admissible delivery schedule, replay each through a
     /// real [`OnlineSequencer`], and evaluate all four invariants.
     ///
@@ -344,15 +421,72 @@ impl ModelSpec {
             !self.config.stochastic_cycle_breaking,
             "the boundary-consistency invariant requires a deterministic config"
         );
-        let (schedules, truncated) = self.enumerate_schedules();
+        let enumeration = self.enumerate();
         let mut report = CheckReport {
-            schedules: schedules.len(),
-            truncated,
+            schedules: enumeration.schedules.len(),
+            truncated: enumeration.truncated,
+            symmetry_pruned: enumeration.symmetry_pruned,
+            heartbeats_elided: 0,
             violations: Vec::new(),
         };
-        for schedule in &schedules {
-            let (trace, mut violations) = self.replay(schedule)?;
+        for schedule in &enumeration.schedules {
+            let (trace, mut violations, elided) = self.replay_full(schedule)?;
+            report.heartbeats_elided += elided;
             violations.extend(check_trace(&trace, self.max_violation_rate));
+            for violation in violations {
+                report.violations.push(ScheduleViolation {
+                    schedule: schedule.clone(),
+                    violation,
+                });
+            }
+        }
+        Ok(report)
+    }
+
+    /// Exhaustively check a *collusive* model: on top of the pure trace
+    /// invariants, every enumerated schedule must end with every listed
+    /// colluder quarantined by the defense ([`InvariantViolation::ColluderMissed`]
+    /// otherwise) and every other client unquarantined
+    /// ([`InvariantViolation::HonestQuarantined`] otherwise). The model's
+    /// [`SequencerConfig`] must have the defense enabled; the colluders'
+    /// forged message sequences make them exchangeable, so the symmetry
+    /// reduction collapses their interleavings too.
+    ///
+    /// # Errors
+    ///
+    /// Errors propagate from replay — they indicate a malformed model, not
+    /// an invariant violation.
+    pub fn check_collusive(&self, colluders: &[ClientId]) -> Result<CheckReport, CoreError> {
+        assert!(
+            self.config.defense.enabled,
+            "a collusive check requires the defense enabled"
+        );
+        assert!(
+            !self.config.stochastic_cycle_breaking,
+            "the boundary-consistency invariant requires a deterministic config"
+        );
+        let enumeration = self.enumerate();
+        let mut report = CheckReport {
+            schedules: enumeration.schedules.len(),
+            truncated: enumeration.truncated,
+            symmetry_pruned: enumeration.symmetry_pruned,
+            heartbeats_elided: 0,
+            violations: Vec::new(),
+        };
+        for schedule in &enumeration.schedules {
+            let (trace, mut violations, elided) = self.replay_full(schedule)?;
+            report.heartbeats_elided += elided;
+            violations.extend(check_trace(&trace, self.max_violation_rate));
+            for (client, _) in &self.offsets {
+                let quarantined = trace.quarantined.contains(client);
+                if colluders.contains(client) {
+                    if !quarantined {
+                        violations.push(InvariantViolation::ColluderMissed { client: *client });
+                    }
+                } else if quarantined {
+                    violations.push(InvariantViolation::HonestQuarantined { client: *client });
+                }
+            }
             for violation in violations {
                 report.violations.push(ScheduleViolation {
                     schedule: schedule.clone(),
@@ -368,37 +502,90 @@ impl ModelSpec {
     /// [`ModelSpec::messages`], in delivery order) and whether the cap was
     /// hit.
     pub fn enumerate_schedules(&self) -> (Vec<Vec<usize>>, bool) {
+        let enumeration = self.enumerate();
+        (enumeration.schedules, enumeration.truncated)
+    }
+
+    /// Group clients into exchangeability orbits: two clients share an
+    /// orbit when they are fully interchangeable — identical claimed
+    /// distribution *and* bit-identical `(timestamp, true-time)` message
+    /// sequences. Replay is equivariant under permuting such clients and
+    /// every invariant is client-permutation-invariant, so enumeration only
+    /// needs one canonical interleaving per orbit.
+    fn orbit_members(&self) -> HashMap<ClientId, Vec<ClientId>> {
+        let mut sigs: HashMap<ClientId, Vec<(u64, u64)>> = HashMap::new();
+        for (client, _) in &self.offsets {
+            sigs.entry(*client).or_default();
+        }
+        for m in &self.messages {
+            sigs.entry(m.client)
+                .or_default()
+                .push((m.timestamp.to_bits(), truth_of(m).to_bits()));
+        }
+        for sig in sigs.values_mut() {
+            sig.sort_unstable();
+        }
+        let mut members: HashMap<ClientId, Vec<ClientId>> = HashMap::new();
+        for (a, da) in &self.offsets {
+            let mut orbit: Vec<ClientId> = self
+                .offsets
+                .iter()
+                .filter(|(b, db)| da == db && sigs.get(a) == sigs.get(b))
+                .map(|(b, _)| *b)
+                .collect();
+            orbit.sort();
+            members.insert(*a, orbit);
+        }
+        members
+    }
+
+    /// Enumerate the schedule space with reduction accounting.
+    fn enumerate(&self) -> Enumeration {
         let mut by_truth: Vec<usize> = (0..self.messages.len()).collect();
         by_truth.sort_by(|&a, &b| {
             truth_of(&self.messages[a])
                 .partial_cmp(&truth_of(&self.messages[b]))
                 .expect("finite true times")
         });
-        let mut out: Vec<Vec<usize>> = Vec::new();
-        let mut truncated = false;
+        let orbits = self.orbit_members();
+        let mut enumeration = Enumeration {
+            schedules: Vec::new(),
+            truncated: false,
+            symmetry_pruned: 0,
+        };
         let mut delivered = vec![false; self.messages.len()];
+        let mut used: HashMap<ClientId, usize> = HashMap::new();
         let mut schedule: Vec<usize> = Vec::with_capacity(self.messages.len());
-        self.explore(&by_truth, &mut delivered, &mut schedule, &mut out, &mut truncated);
-        (out, truncated)
+        self.explore(
+            &by_truth,
+            &orbits,
+            &mut used,
+            &mut delivered,
+            &mut schedule,
+            &mut enumeration,
+        );
+        enumeration
     }
 
     /// DFS over the schedule space (see
     /// [`enumerate_schedules`](Self::enumerate_schedules)).
+    #[allow(clippy::too_many_arguments)]
     fn explore(
         &self,
         by_truth: &[usize],
+        orbits: &HashMap<ClientId, Vec<ClientId>>,
+        used: &mut HashMap<ClientId, usize>,
         delivered: &mut Vec<bool>,
         schedule: &mut Vec<usize>,
-        out: &mut Vec<Vec<usize>>,
-        truncated: &mut bool,
+        enumeration: &mut Enumeration,
     ) {
-        if *truncated {
+        if enumeration.truncated {
             return;
         }
         if schedule.len() == self.messages.len() {
-            out.push(schedule.clone());
-            if out.len() >= self.max_schedules {
-                *truncated = true;
+            enumeration.schedules.push(schedule.clone());
+            if enumeration.schedules.len() >= self.max_schedules {
+                enumeration.truncated = true;
             }
             return;
         }
@@ -420,10 +607,26 @@ impl ModelSpec {
             }
         }
         for idx in choices {
+            let client = self.messages[idx].client;
+            // Symmetry canonicalization: a client's *first* delivery is
+            // admissible only if it is the least not-yet-used member of its
+            // orbit — any other interleaving is a relabeling of one already
+            // explored.
+            if self.reductions && used.get(&client).copied().unwrap_or(0) == 0 {
+                let non_canonical = orbits[&client]
+                    .iter()
+                    .any(|c| *c < client && used.get(c).copied().unwrap_or(0) == 0);
+                if non_canonical {
+                    enumeration.symmetry_pruned += 1;
+                    continue;
+                }
+            }
             delivered[idx] = true;
+            *used.entry(client).or_insert(0) += 1;
             schedule.push(idx);
-            self.explore(by_truth, delivered, schedule, out, truncated);
+            self.explore(by_truth, orbits, used, delivered, schedule, enumeration);
             schedule.pop();
+            *used.get_mut(&client).expect("just incremented") -= 1;
             delivered[idx] = false;
         }
     }
@@ -449,6 +652,17 @@ impl ModelSpec {
         &self,
         schedule: &[usize],
     ) -> Result<(RunTrace, Vec<InvariantViolation>), CoreError> {
+        let (trace, violations, _) = self.replay_full(schedule)?;
+        Ok((trace, violations))
+    }
+
+    /// [`replay`](Self::replay) plus the heartbeat-elision count (the third
+    /// element), which [`check`](Self::check) accumulates onto
+    /// [`CheckReport::heartbeats_elided`].
+    fn replay_full(
+        &self,
+        schedule: &[usize],
+    ) -> Result<(RunTrace, Vec<InvariantViolation>, u64), CoreError> {
         let mut seq = OnlineSequencer::new(self.config);
         for (client, dist) in &self.offsets {
             seq.register_client(*client, dist.clone());
@@ -463,6 +677,15 @@ impl ModelSpec {
         let mut submitted: Vec<Message> = Vec::new();
         let mut pending: Vec<Message> = Vec::new();
         let mut violations: Vec<InvariantViolation> = Vec::new();
+        let mut heartbeats_elided = 0u64;
+        // Whether the most recent sequencer call emitted anything — the
+        // elision guard: after a non-emitting call, `try_emit` has already
+        // run to fixpoint, so a heartbeat changing neither the clock, the
+        // watermark frontier nor the pending set cannot emit either.
+        // (Assigned by the submit that starts every delivery round before
+        // any heartbeat reads it.)
+        let mut last_call_emitted;
+        let elide = self.reductions && !self.config.liveness.enabled;
 
         for &idx in schedule {
             let m = &self.messages[idx];
@@ -486,6 +709,7 @@ impl ModelSpec {
             submitted.push(msg.clone());
             pending.push(msg.clone());
             let batches = seq.submit(msg, clock)?;
+            last_call_emitted = !batches.is_empty();
             self.account(&seq, &batches, &mut pending, &mut violations)?;
 
             // Ordered channels: a client may heartbeat at this round's true
@@ -503,8 +727,17 @@ impl ModelSpec {
                 }
                 let floor = floors.get(client).copied().unwrap_or(f64::NEG_INFINITY);
                 let hb = t.max(floor);
+                // Partial-order reduction: with liveness off, a heartbeat
+                // whose reading does not advance the client's floor,
+                // arriving at the unchanged current clock right after a
+                // non-emitting call, is a pure no-op — skip the call.
+                if elide && hb <= floor && !last_call_emitted {
+                    heartbeats_elided += 1;
+                    continue;
+                }
                 floors.insert(*client, hb);
                 let batches = seq.heartbeat(*client, hb, clock)?;
+                last_call_emitted = !batches.is_empty();
                 self.account(&seq, &batches, &mut pending, &mut violations)?;
             }
         }
@@ -529,13 +762,26 @@ impl ModelSpec {
         self.account(&seq, &batches, &mut pending, &mut violations)?;
 
         let stats = seq.stats();
+        let mut quarantined: Vec<ClientId> = self
+            .offsets
+            .iter()
+            .map(|(c, _)| *c)
+            .filter(|c| {
+                seq.registry()
+                    .trust_state(*c)
+                    .is_some_and(|s| s.level() == TrustLevel::Quarantined)
+            })
+            .collect();
+        quarantined.sort();
         Ok((
             RunTrace {
                 submitted,
                 emitted: seq.take_emitted(),
                 stats,
+                quarantined,
             },
             violations,
+            heartbeats_elided,
         ))
     }
 
@@ -989,10 +1235,23 @@ impl ModelSpec {
         }
 
         let stats = st.seq.stats();
+        let mut quarantined: Vec<ClientId> = self
+            .offsets
+            .iter()
+            .map(|(c, _)| *c)
+            .filter(|c| {
+                st.seq
+                    .registry()
+                    .trust_state(*c)
+                    .is_some_and(|s| s.level() == TrustLevel::Quarantined)
+            })
+            .collect();
+        quarantined.sort();
         let trace = RunTrace {
             submitted: st.submitted,
             emitted: st.seq.take_emitted(),
             stats,
+            quarantined,
         };
         // Base invariants; an accepted-but-never-emitted message here means
         // the watermark stalled (there was no flush), which is the liveness
@@ -1208,6 +1467,7 @@ impl ModelSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::defense::{DefenseConfig, ExpectedDelay};
 
     fn tiny_offsets() -> Vec<(ClientId, OffsetDistribution)> {
         (0..3)
@@ -1385,6 +1645,161 @@ mod tests {
         let s = subsets_up_to(3, 2);
         assert_eq!(s.len(), 7); // + {0,1}, {0,2}, {1,2}
         assert!(s.contains(&vec![0, 2]));
+    }
+
+    /// Claimed distributions for the collusive model: every client claims
+    /// the same honest Gaussian.
+    fn collusive_offsets() -> Vec<(ClientId, OffsetDistribution)> {
+        (0..4)
+            .map(|c| (ClientId(c), OffsetDistribution::gaussian(0.0, 2.0)))
+            .collect()
+    }
+
+    /// Clients 0 and 1 collude: a shared monotone ramp pushes their
+    /// timestamps ever further ahead of true time, in lockstep (their
+    /// residuals are bit-identical round by round, so the pair correlation
+    /// is exactly 1). Clients 2 and 3 are honest but submit only one early
+    /// message each — too few paired residuals to ever be scored.
+    fn collusive_messages(rounds: u32) -> Vec<Message> {
+        let mut v = Vec::new();
+        let mut id = 0;
+        for c in 2..4u32 {
+            v.push(Message::with_true_time(MessageId(id), ClientId(c), 5.0, 5.0));
+            id += 1;
+        }
+        for r in 0..rounds {
+            let truth = 10.0 + 4.0 * r as f64;
+            let ts = truth + 3.0 * r as f64;
+            for c in 0..2u32 {
+                v.push(Message::with_true_time(MessageId(id), ClientId(c), ts, truth));
+                id += 1;
+            }
+        }
+        v
+    }
+
+    /// Defense tuned so only the correlation detector can fire: the
+    /// marginal KS/z checks never reach their sample quorum, while pairs
+    /// are scored on every observation once nine residuals align.
+    fn collusive_defense() -> DefenseConfig {
+        DefenseConfig::enabled()
+            .with_window(64)
+            .with_min_samples(50)
+            .with_check_interval(1)
+            .with_ks_threshold(0.95)
+            .with_drift_zscore(1e6)
+            .with_expected_delay(ExpectedDelay::Fixed(1.0))
+            .with_collusion_threshold(0.6)
+            .with_collusion_min_pairs(9)
+            .with_collusion_confirmations(1)
+    }
+
+    fn collusive_spec(rounds: u32) -> ModelSpec {
+        let config = SequencerConfig::new().with_defense(collusive_defense());
+        ModelSpec::new(collusive_offsets(), collusive_messages(rounds))
+            .with_config(config)
+            .with_max_in_flight(1)
+            .with_max_violation_rate(1.0)
+    }
+
+    #[test]
+    fn symmetric_clients_collapse_the_schedule_space() {
+        // Clients 0 and 1 are exchangeable (identical claims, identical
+        // message lists); client 2 is distinct.
+        let make = || {
+            let mut messages = Vec::new();
+            let mut id = 0;
+            for round in 0..2 {
+                let t = 10.0 + round as f64 * 40.0;
+                for c in 0..2u32 {
+                    messages.push(Message::with_true_time(MessageId(id), ClientId(c), t, t));
+                    id += 1;
+                }
+                messages.push(Message::with_true_time(
+                    MessageId(id),
+                    ClientId(2),
+                    t + 5.0,
+                    t + 5.0,
+                ));
+                id += 1;
+            }
+            ModelSpec::new(tiny_offsets(), messages)
+                .with_max_in_flight(3)
+                .with_max_violation_rate(1.0)
+        };
+        let reduced = make().check().unwrap();
+        let full = make().with_reductions(false).check().unwrap();
+        assert!(reduced.ok(), "{:?}", reduced.violations.first());
+        assert!(full.ok(), "{:?}", full.violations.first());
+        assert_eq!(full.symmetry_pruned, 0);
+        assert!(reduced.symmetry_pruned > 0, "{reduced:?}");
+        assert!(
+            reduced.schedules < full.schedules,
+            "reduced {} vs full {}",
+            reduced.schedules,
+            full.schedules
+        );
+    }
+
+    #[test]
+    fn heartbeat_elision_is_behavior_preserving() {
+        // Distinct per-client timestamps: singleton orbits, so any schedule
+        // shrink here could only come from (unsound) symmetry pruning.
+        let make = || ModelSpec::new(tiny_offsets(), tiny_messages()).with_max_in_flight(3);
+        let reduced = make().check().unwrap();
+        let full = make().with_reductions(false).check().unwrap();
+        assert!(reduced.ok(), "{:?}", reduced.violations.first());
+        assert!(full.ok(), "{:?}", full.violations.first());
+        assert_eq!(reduced.schedules, full.schedules);
+        assert_eq!(reduced.symmetry_pruned, 0);
+        assert!(reduced.heartbeats_elided > 0, "{reduced:?}");
+        assert_eq!(full.heartbeats_elided, 0);
+
+        // One schedule replayed both ways must agree on everything except
+        // the stall-tick counter (elided heartbeats skip its sampling).
+        let schedule: Vec<usize> = (0..make().messages.len()).collect();
+        let (mut a, va) = make().replay(&schedule).unwrap();
+        let (mut b, vb) = make().with_reductions(false).replay(&schedule).unwrap();
+        assert!(va.is_empty(), "{va:?}");
+        assert!(vb.is_empty(), "{vb:?}");
+        a.stats.watermark_stall_ticks = 0;
+        b.stats.watermark_stall_ticks = 0;
+        assert_eq!(a.submitted, b.submitted);
+        assert_eq!(a.emitted, b.emitted);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.quarantined, b.quarantined);
+    }
+
+    #[test]
+    fn collusive_fifo_model_flags_both_colluders() {
+        let spec = collusive_spec(10);
+        let schedule: Vec<usize> = (0..spec.messages.len()).collect();
+        let (trace, violations) = spec.replay(&schedule).unwrap();
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(trace.quarantined, vec![ClientId(0), ClientId(1)]);
+        assert_eq!(trace.stats.collusion_quarantines, 2, "{:?}", trace.stats);
+        assert!(trace.stats.collusion_checks > 0);
+        assert!(trace.stats.peak_collusion_score > 0.9);
+
+        let report = spec.check_collusive(&[ClientId(0), ClientId(1)]).unwrap();
+        assert_eq!(report.schedules, 1);
+        assert!(report.ok(), "{:?}", report.violations.first());
+    }
+
+    #[test]
+    fn collusive_check_reports_missed_and_honest_violations() {
+        // Mislabel the colluders: the real colluders trip
+        // HonestQuarantined and the claimed one trips ColluderMissed.
+        let report = collusive_spec(10).check_collusive(&[ClientId(2)]).unwrap();
+        assert!(!report.ok());
+        assert!(report.violations.iter().any(|sv| matches!(
+            sv.violation,
+            InvariantViolation::ColluderMissed { client } if client == ClientId(2)
+        )));
+        assert!(report.violations.iter().any(|sv| matches!(
+            sv.violation,
+            InvariantViolation::HonestQuarantined { client } if client == ClientId(0)
+        )));
     }
 
     #[test]

@@ -21,17 +21,59 @@
 //!   the caller re-estimates its distribution online through
 //!   [`tommy_clock::DistributionLearner`] and resets the window.
 //!
+//! Marginal checks are blind to **collusion** by construction: a coalition
+//! forging offsets that stay inside each member's claimed distribution
+//! produces residual windows that are individually unremarkable. What the
+//! coalition cannot hide is *co-movement* — forging toward shared values
+//! makes colluders' residual sequences correlate, while honest clocks drift
+//! independently. The [`CollusionTracker`] maintains pairwise co-moment
+//! sums over the same per-client residual windows (aligned by per-client
+//! residual index, incrementally updated, O(active clients) per residual)
+//! and escalates a persistently correlated pair through the same sticky
+//! quarantine path as the marginal checks.
+//!
 //! The degradation counters (`quarantines`, `reestimations`,
-//! `margin_fallbacks`) surface through
-//! [`OnlineStats`](crate::sequencer::online::OnlineStats) next to the
-//! existing rebuild/repair counters; the defenses themselves are wired in
-//! [`OnlineSequencer::submit`](crate::sequencer::online::OnlineSequencer::submit).
+//! `margin_fallbacks`, `collusion_checks`, `collusion_quarantines`) surface
+//! through [`OnlineStats`](crate::sequencer::online::OnlineStats) next to
+//! the existing rebuild/repair counters; the defenses themselves are wired
+//! in [`OnlineSequencer::submit`](crate::sequencer::online::OnlineSequencer::submit).
 //! See `ARCHITECTURE.md`, "Threat model & degradation", for the full
 //! attack-families × defenses matrix.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
+use crate::message::ClientId;
 use tommy_stats::distribution::{Distribution, OffsetDistribution};
+
+/// Where the expected network delay used to form residuals comes from.
+///
+/// Residuals are `timestamp − arrival + expected_delay`: with the right
+/// delay they center on the client's clock offset, with the wrong one they
+/// carry a spurious shift that mis-flags honest clients. Fixed mode is the
+/// historical assumption (the caller knows the link delay); online mode
+/// learns it per client from the `arrival − timestamp` gaps themselves
+/// ([`tommy_clock::DelayEstimator`]), which is what defended runs over
+/// topologies with unknown per-link delays need.
+///
+/// Online mode trades one thing away: a lie about the *mean* offset is
+/// indistinguishable from a different link delay, so mean-shift misreports
+/// are absorbed into the learned delay. Scale and shape lies (the KS check)
+/// and collusive co-movement (the correlation check) remain fully visible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExpectedDelay {
+    /// Use this known, fixed one-way delay for every client.
+    Fixed(f64),
+    /// Learn each client's delay online from its own arrival gaps; the
+    /// first [`DefenseConfig::delay_warmup`] observations per client only
+    /// feed the estimator (no residual is formed from them).
+    Online,
+}
+
+impl Default for ExpectedDelay {
+    fn default() -> Self {
+        ExpectedDelay::Fixed(0.0)
+    }
+}
 
 /// Tuning knobs for the residual cross-check.
 ///
@@ -61,10 +103,32 @@ pub struct DefenseConfig {
     /// re-registered with `max(claimed σ, empirical σ) × sigma_inflation`,
     /// buying conservative (wide) margins instead of the lied-about ones.
     pub sigma_inflation: f64,
-    /// Expected network delay subtracted from `arrival − timestamp` when the
-    /// caller forms residuals; lets the residual center on the clock offset
-    /// rather than on transport latency.
-    pub expected_delay: f64,
+    /// Where the expected network delay used when forming residuals comes
+    /// from: a known fixed value, or learned online per client.
+    pub expected_delay: ExpectedDelay,
+    /// In [`ExpectedDelay::Online`] mode, how many arrival gaps per client
+    /// feed the delay estimator before residuals start flowing into the
+    /// trust window (early estimates are too noisy to test against).
+    pub delay_warmup: usize,
+    /// Pairwise residual correlation above which a client pair counts as
+    /// co-moving. The effective limit is `max(collusion_threshold,
+    /// 2.8/√n)` over `n` paired samples — under independence `r·√n` is
+    /// approximately standard normal, so the floor keeps small-sample
+    /// checks (where honest `r` is noisy) from tripping. The default (0.7)
+    /// is calibrated on honest heavy-tailed streams: across the seeded
+    /// false-positive suite (`tests/collusion_defense.rs`, Gaussian +
+    /// Laplace + shifted log-normal clients over heterogeneous links),
+    /// honest pairs reach `r ≈ 0.65` at full windows, while pad-coordinated
+    /// colluders at intensity ≥ 0.5 sustain `r ≥ 0.8`.
+    pub collusion_threshold: f64,
+    /// Minimum paired samples before a pair's correlation is scored.
+    pub collusion_min_pairs: usize,
+    /// Consecutive over-threshold verdicts (each separated by at least
+    /// `check_interval` fresh paired samples) required before a pair is
+    /// quarantined — the false-positive guard: an honest correlation spike
+    /// decays as fresh independent residuals arrive, collusive co-movement
+    /// persists.
+    pub collusion_confirmations: u32,
 }
 
 impl DefenseConfig {
@@ -78,7 +142,11 @@ impl DefenseConfig {
             ks_threshold: 0.3,
             drift_zscore: 5.0,
             sigma_inflation: 3.0,
-            expected_delay: 0.0,
+            expected_delay: ExpectedDelay::default(),
+            delay_warmup: 8,
+            collusion_threshold: 0.7,
+            collusion_min_pairs: 12,
+            collusion_confirmations: 2,
         }
     }
 
@@ -135,10 +203,48 @@ impl DefenseConfig {
         self
     }
 
-    /// Set the expected network delay used when forming residuals.
-    pub fn with_expected_delay(mut self, expected_delay: f64) -> Self {
-        assert!(expected_delay.is_finite(), "expected delay must be finite");
+    /// Set the expected-delay source used when forming residuals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fixed delay is not finite.
+    pub fn with_expected_delay(mut self, expected_delay: ExpectedDelay) -> Self {
+        if let ExpectedDelay::Fixed(d) = expected_delay {
+            assert!(d.is_finite(), "expected delay must be finite");
+        }
         self.expected_delay = expected_delay;
+        self
+    }
+
+    /// Set the per-client delay-estimator warm-up (online mode only).
+    pub fn with_delay_warmup(mut self, delay_warmup: usize) -> Self {
+        assert!(delay_warmup >= 1, "delay warm-up must be positive");
+        self.delay_warmup = delay_warmup;
+        self
+    }
+
+    /// Set the pairwise correlation threshold for the collusion check.
+    pub fn with_collusion_threshold(mut self, collusion_threshold: f64) -> Self {
+        assert!(
+            collusion_threshold > 0.0 && collusion_threshold < 1.0,
+            "collusion threshold must be in (0, 1)"
+        );
+        self.collusion_threshold = collusion_threshold;
+        self
+    }
+
+    /// Set the minimum paired samples before a pair is scored.
+    pub fn with_collusion_min_pairs(mut self, collusion_min_pairs: usize) -> Self {
+        assert!(collusion_min_pairs >= 4, "need at least four paired samples");
+        self.collusion_min_pairs = collusion_min_pairs;
+        self
+    }
+
+    /// Set the consecutive-verdict confirmation count for collusion
+    /// quarantines.
+    pub fn with_collusion_confirmations(mut self, collusion_confirmations: u32) -> Self {
+        assert!(collusion_confirmations >= 1, "need at least one confirmation");
+        self.collusion_confirmations = collusion_confirmations;
         self
     }
 }
@@ -283,6 +389,13 @@ impl TrustState {
         }
     }
 
+    /// Escalate straight to [`TrustLevel::Quarantined`] on evidence from
+    /// outside the marginal check — the collusion detector's path. Sticky,
+    /// exactly like a first-check quarantine.
+    pub(crate) fn force_quarantine(&mut self) {
+        self.level = TrustLevel::Quarantined;
+    }
+
     /// The caller re-estimated this client's distribution: clear the window
     /// (old residuals described the *previous* regime) and require the new
     /// claim to validate from scratch.
@@ -340,6 +453,241 @@ impl TrustState {
         let se = claimed.std_dev().max(1e-12) / (n as f64).sqrt();
         let z = (self.empirical_mean() - claimed.mean()).abs() / se;
         (d, z)
+    }
+}
+
+/// Outcome of feeding one residual into [`CollusionTracker::observe`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CollusionReport {
+    /// Whether a correlation check ran on this observation (the client's
+    /// check cadence came due).
+    pub checked: bool,
+    /// Highest pairwise correlation scored during this check (0 when no
+    /// pair was scorable). Only positive co-movement counts: colluders
+    /// forging toward shared values correlate positively.
+    pub peak_score: f64,
+    /// Clients whose pair crossed the confirmation bar this check — both
+    /// members of a confirmed pair, sorted, deduplicated. The caller
+    /// quarantines them and removes them from the tracker.
+    pub flagged: Vec<ClientId>,
+}
+
+/// One client's aligned residual history inside the tracker.
+#[derive(Debug, Clone, Default)]
+struct ClientWindow {
+    /// Recent residuals, oldest first; `total - window.len()` is the
+    /// absolute index of the front element.
+    window: VecDeque<f64>,
+    /// Residuals ever recorded for this client (monotone across resets, so
+    /// per-index pair alignment survives drift re-estimation).
+    total: u64,
+    since_check: usize,
+}
+
+impl ClientWindow {
+    fn push(&mut self, residual: f64, cap: usize) {
+        if self.window.len() == cap {
+            self.window.pop_front();
+        }
+        self.window.push_back(residual);
+        self.total += 1;
+    }
+
+    /// The residual with absolute index `k`, if still retained.
+    fn value_at(&self, k: u64) -> Option<f64> {
+        let start = self.total - self.window.len() as u64;
+        if k < start || k >= self.total {
+            return None;
+        }
+        Some(self.window[(k - start) as usize])
+    }
+}
+
+/// Incremental co-moment sums over one client pair's aligned residuals.
+#[derive(Debug, Clone, Default)]
+struct PairStats {
+    /// Paired samples currently in the window, oldest first.
+    samples: VecDeque<(f64, f64)>,
+    sx: f64,
+    sy: f64,
+    sxx: f64,
+    syy: f64,
+    sxy: f64,
+    /// Paired samples ever pushed (freshness clock for streak spacing).
+    total: u64,
+    /// Pair count at the last scored evaluation.
+    last_eval_total: u64,
+    /// Consecutive over-threshold verdicts.
+    streak: u32,
+}
+
+impl PairStats {
+    fn push(&mut self, x: f64, y: f64, cap: usize) {
+        if self.samples.len() == cap {
+            let (ox, oy) = self.samples.pop_front().expect("non-empty at cap");
+            self.sx -= ox;
+            self.sy -= oy;
+            self.sxx -= ox * ox;
+            self.syy -= oy * oy;
+            self.sxy -= ox * oy;
+        }
+        self.samples.push_back((x, y));
+        self.sx += x;
+        self.sy += y;
+        self.sxx += x * x;
+        self.syy += y * y;
+        self.sxy += x * y;
+        self.total += 1;
+    }
+
+    /// Pearson correlation over the retained pairs (0 when a marginal is
+    /// degenerate — a constant residual stream carries no co-movement
+    /// evidence the marginal checks would not already see).
+    fn correlation(&self) -> f64 {
+        let n = self.samples.len() as f64;
+        let cov = self.sxy - self.sx * self.sy / n;
+        let vx = self.sxx - self.sx * self.sx / n;
+        let vy = self.syy - self.sy * self.sy / n;
+        if vx <= 1e-18 || vy <= 1e-18 {
+            return 0.0;
+        }
+        cov / (vx * vy).sqrt()
+    }
+}
+
+fn pair_key(a: ClientId, b: ClientId) -> (ClientId, ClientId) {
+    if a.0 <= b.0 {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Cross-client correlation detector over the per-client residual windows.
+///
+/// Each residual a client produces is paired, **by per-client residual
+/// index**, with every other tracked client's residual of the same index
+/// (round-robin workloads keep indices aligned in true time, so colluders'
+/// k-th forged offsets land in the same pair sample). Pairs maintain
+/// incrementally updated co-moment sums over a sliding window, so one
+/// observation costs O(active clients) updates and a due check costs one
+/// O(1) correlation read per active pair — O(active pairs) per check
+/// interval across a full round of clients.
+///
+/// Escalation is guarded three ways against honest false positives: a
+/// small-sample floor on the correlation limit (`2.8/√n`), a minimum
+/// paired-sample count, and a confirmation streak that only advances when
+/// at least `check_interval` fresh pairs arrived since the last verdict —
+/// an honest spike decays under fresh independent residuals, collusive
+/// co-movement does not. Confirmed pairs are reported for the same sticky
+/// quarantine treatment as the marginal KS/z-score checks.
+#[derive(Debug, Clone, Default)]
+pub struct CollusionTracker {
+    clients: BTreeMap<ClientId, ClientWindow>,
+    pairs: BTreeMap<(ClientId, ClientId), PairStats>,
+}
+
+impl CollusionTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        CollusionTracker::default()
+    }
+
+    /// Number of clients currently tracked.
+    pub fn tracked_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Feed one residual from `client`; runs the pairwise correlation check
+    /// when the client's cadence comes due.
+    pub fn observe(
+        &mut self,
+        client: ClientId,
+        residual: f64,
+        cfg: &DefenseConfig,
+    ) -> CollusionReport {
+        assert!(residual.is_finite(), "residuals must be finite");
+        let entry = self.clients.entry(client).or_default();
+        let k = entry.total;
+        entry.push(residual, cfg.window);
+        entry.since_check += 1;
+        let due = entry.since_check >= cfg.check_interval;
+        if due {
+            entry.since_check = 0;
+        }
+        // Pair this residual with every partner's residual of the same
+        // index (BTreeMap: deterministic order).
+        let partners: Vec<ClientId> = self
+            .clients
+            .keys()
+            .copied()
+            .filter(|c| *c != client)
+            .collect();
+        for &d in &partners {
+            if let Some(y) = self.clients[&d].value_at(k) {
+                self.pairs
+                    .entry(pair_key(client, d))
+                    .or_default()
+                    .push(residual, y, cfg.window);
+            }
+        }
+        if !due {
+            return CollusionReport::default();
+        }
+        let mut report = CollusionReport {
+            checked: true,
+            ..CollusionReport::default()
+        };
+        for &d in &partners {
+            let Some(pair) = self.pairs.get_mut(&pair_key(client, d)) else {
+                continue;
+            };
+            if pair.samples.len() < cfg.collusion_min_pairs {
+                continue;
+            }
+            // Freshness guard: a verdict needs at least a check interval of
+            // new paired evidence since the last one, so both endpoints
+            // checking in the same round cannot double-count one window.
+            if pair.total - pair.last_eval_total < cfg.check_interval as u64 {
+                continue;
+            }
+            pair.last_eval_total = pair.total;
+            let r = pair.correlation();
+            report.peak_score = report.peak_score.max(r);
+            let limit = cfg
+                .collusion_threshold
+                .max(2.8 / (pair.samples.len() as f64).sqrt());
+            if r > limit {
+                pair.streak += 1;
+            } else {
+                pair.streak = 0;
+            }
+            if pair.streak >= cfg.collusion_confirmations {
+                report.flagged.push(client.min(d));
+                report.flagged.push(client.max(d));
+            }
+        }
+        report.flagged.sort();
+        report.flagged.dedup();
+        report
+    }
+
+    /// Drop a client (quarantined: its evidence is settled) along with
+    /// every pair it participates in.
+    pub fn remove(&mut self, client: ClientId) {
+        self.clients.remove(&client);
+        self.pairs.retain(|&(a, b), _| a != client && b != client);
+    }
+
+    /// Reset a client's window after a drift re-estimation (old residuals
+    /// described the previous regime) without losing index alignment, and
+    /// restart its pairs from scratch.
+    pub fn reset_client(&mut self, client: ClientId) {
+        if let Some(entry) = self.clients.get_mut(&client) {
+            entry.window.clear();
+            entry.since_check = 0;
+        }
+        self.pairs.retain(|&(a, b), _| a != client && b != client);
     }
 }
 
@@ -443,6 +791,7 @@ mod tests {
     fn disabled_config_defaults_and_builders() {
         let cfg = DefenseConfig::default();
         assert!(!cfg.enabled);
+        assert_eq!(cfg.expected_delay, ExpectedDelay::Fixed(0.0));
         let cfg = DefenseConfig::enabled()
             .with_window(32)
             .with_min_samples(8)
@@ -450,13 +799,23 @@ mod tests {
             .with_ks_threshold(0.2)
             .with_drift_zscore(4.0)
             .with_sigma_inflation(2.0)
-            .with_expected_delay(1.0);
+            .with_expected_delay(ExpectedDelay::Fixed(1.0))
+            .with_delay_warmup(4)
+            .with_collusion_threshold(0.5)
+            .with_collusion_min_pairs(8)
+            .with_collusion_confirmations(3);
         assert!(cfg.enabled);
         assert_eq!(cfg.window, 32);
         assert_eq!(cfg.min_samples, 8);
         assert_eq!(cfg.check_interval, 4);
         assert!((cfg.ks_threshold - 0.2).abs() < 1e-12);
-        assert!((cfg.expected_delay - 1.0).abs() < 1e-12);
+        assert_eq!(cfg.expected_delay, ExpectedDelay::Fixed(1.0));
+        assert_eq!(cfg.delay_warmup, 4);
+        assert!((cfg.collusion_threshold - 0.5).abs() < 1e-12);
+        assert_eq!(cfg.collusion_min_pairs, 8);
+        assert_eq!(cfg.collusion_confirmations, 3);
+        let online = DefenseConfig::enabled().with_expected_delay(ExpectedDelay::Online);
+        assert_eq!(online.expected_delay, ExpectedDelay::Online);
     }
 
     #[test]
@@ -492,5 +851,112 @@ mod tests {
         assert!((state.empirical_mean() - 2.5).abs() < 1e-12);
         let var = ((1.5f64 * 1.5) * 2.0 + (0.5 * 0.5) * 2.0) / 3.0;
         assert!((state.empirical_std_dev() - var.sqrt()).abs() < 1e-12);
+    }
+
+    /// Defense cadence used by the tracker tests: checks every 4 residuals,
+    /// scoring pairs once 12 are aligned.
+    fn collusion_cfg() -> DefenseConfig {
+        DefenseConfig::enabled()
+            .with_window(24)
+            .with_min_samples(12)
+            .with_check_interval(4)
+    }
+
+    #[test]
+    fn correlated_pair_is_flagged_within_two_checks_of_scorability() {
+        let cfg = collusion_cfg();
+        let mut tracker = CollusionTracker::new();
+        let shared = OffsetDistribution::gaussian(0.0, 3.0);
+        let own = OffsetDistribution::gaussian(0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(31);
+        let (a, b) = (ClientId(0), ClientId(1));
+        let mut first_scorable = None;
+        let mut flagged_at = None;
+        let mut checks = 0u64;
+        for i in 0..200u64 {
+            // Strong co-movement: a shared component dominates each
+            // client's own noise.
+            let s = shared.sample(&mut rng);
+            let ra = tracker.observe(a, s + own.sample(&mut rng), &cfg);
+            let rb = tracker.observe(b, s + own.sample(&mut rng), &cfg);
+            for r in [ra, rb] {
+                if r.checked {
+                    checks += 1;
+                    if r.peak_score > 0.0 && first_scorable.is_none() {
+                        first_scorable = Some(checks);
+                    }
+                    if !r.flagged.is_empty() && flagged_at.is_none() {
+                        assert_eq!(r.flagged, vec![a, b]);
+                        flagged_at = Some(checks);
+                    }
+                }
+            }
+            if flagged_at.is_some() {
+                assert!(i < 60, "flag came absurdly late");
+                break;
+            }
+        }
+        let (first, at) = (first_scorable.unwrap(), flagged_at.expect("colluders flagged"));
+        // The confirmation streak needs exactly the configured number of
+        // spaced verdicts: detection lands within 2 check intervals of the
+        // pair first becoming scorable.
+        assert!(
+            at - first < 2 * cfg.collusion_confirmations as u64,
+            "first scorable at check {first}, flagged at {at}"
+        );
+    }
+
+    #[test]
+    fn honest_independent_streams_are_never_flagged() {
+        let cfg = collusion_cfg();
+        let gaussian = OffsetDistribution::gaussian(0.0, 3.0);
+        for seed in 0..24 {
+            let mut tracker = CollusionTracker::new();
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..150 {
+                for c in 0..4 {
+                    let report =
+                        tracker.observe(ClientId(c), gaussian.sample(&mut rng), &cfg);
+                    assert!(
+                        report.flagged.is_empty(),
+                        "honest flag at seed {seed}: {report:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn removal_and_reset_drop_pair_evidence() {
+        let cfg = collusion_cfg().with_check_interval(1).with_collusion_min_pairs(4);
+        let mut tracker = CollusionTracker::new();
+        let (a, b) = (ClientId(0), ClientId(1));
+        for i in 0..6 {
+            let v = i as f64;
+            tracker.observe(a, v, &cfg);
+            tracker.observe(b, v, &cfg);
+        }
+        assert_eq!(tracker.tracked_clients(), 2);
+        tracker.reset_client(a);
+        // Pairs restart: the next observation cannot be scored against the
+        // dropped evidence.
+        let report = tracker.observe(a, 6.0, &cfg);
+        assert!(report.flagged.is_empty());
+        tracker.remove(b);
+        assert_eq!(tracker.tracked_clients(), 1);
+    }
+
+    #[test]
+    fn degenerate_constant_residuals_score_zero() {
+        let cfg = collusion_cfg().with_check_interval(1).with_collusion_min_pairs(4);
+        let mut tracker = CollusionTracker::new();
+        let mut last = CollusionReport::default();
+        for _ in 0..10 {
+            tracker.observe(ClientId(0), 1.0, &cfg);
+            last = tracker.observe(ClientId(1), 1.0, &cfg);
+        }
+        assert!(last.checked);
+        assert_eq!(last.peak_score, 0.0);
+        assert!(last.flagged.is_empty());
     }
 }

@@ -95,7 +95,10 @@ pub use checker::{
     RunTrace,
 };
 pub use config::{FasFallbackReason, LivenessConfig, SequencerConfig};
-pub use defense::{DefenseConfig, TrustEvent, TrustLevel, TrustState};
+pub use defense::{
+    CollusionReport, CollusionTracker, DefenseConfig, ExpectedDelay, TrustEvent, TrustLevel,
+    TrustState,
+};
 pub use error::CoreError;
 pub use message::{ClientId, Message, MessageId};
 pub use precedence::PrecedenceMatrix;

@@ -47,7 +47,9 @@
 //! semantics — one count per pairwise probability evaluated — are unchanged.
 
 use crate::config::SequencerConfig;
-use crate::defense::{DefenseConfig, TrustEvent, TrustState};
+use crate::defense::{
+    CollusionReport, CollusionTracker, DefenseConfig, TrustEvent, TrustLevel, TrustState,
+};
 use crate::error::CoreError;
 use crate::message::{ClientId, Message};
 use parking_lot::RwLock;
@@ -189,6 +191,11 @@ pub struct DistributionRegistry {
     /// so a quarantine stays sticky through the defense's own fallback
     /// re-registration.
     trust: HashMap<ClientId, TrustState>,
+    /// Cross-client correlation detector over the same residual stream
+    /// ([`crate::defense::CollusionTracker`]): pairwise co-moment windows,
+    /// checked on the marginal cadence, escalating persistently co-moving
+    /// pairs through [`quarantine`](Self::quarantine).
+    collusion: CollusionTracker,
 }
 
 impl Default for DistributionRegistry {
@@ -217,6 +224,7 @@ impl DistributionRegistry {
             safe_margins: RwLock::new(HashMap::new()),
             queries: AtomicU64::new(0),
             trust: HashMap::new(),
+            collusion: CollusionTracker::new(),
         }
     }
 
@@ -295,11 +303,48 @@ impl DistributionRegistry {
 
     /// Clear `client`'s residual window after a re-estimation (see
     /// [`TrustState::acknowledge_reestimate`]); a no-op for untracked
-    /// clients.
+    /// clients. Also resets the client's collusion window: the re-learned
+    /// distribution changes the residual baseline, so stale pair evidence
+    /// would mix two regimes.
     pub fn acknowledge_reestimate(&mut self, client: ClientId) {
         if let Some(state) = self.trust.get_mut(&client) {
             state.acknowledge_reestimate();
         }
+        self.collusion.reset_client(client);
+    }
+
+    /// Feed one residual into the cross-client correlation detector (see
+    /// [`crate::defense::CollusionTracker`]). Quarantined clients are
+    /// excluded: their residuals no longer reflect a live claim, and keeping
+    /// them in the pair set would only inflate the O(pairs) check cost.
+    ///
+    /// Returns the detector's report for this observation; the caller acts
+    /// on `report.flagged` by escalating each member through
+    /// [`quarantine`](Self::quarantine).
+    pub fn observe_collusion(
+        &mut self,
+        client: ClientId,
+        residual: f64,
+        cfg: &DefenseConfig,
+    ) -> CollusionReport {
+        let quarantined = self
+            .trust
+            .get(&client)
+            .is_some_and(|s| s.level() == TrustLevel::Quarantined);
+        if quarantined {
+            return CollusionReport::default();
+        }
+        self.collusion.observe(client, residual, cfg)
+    }
+
+    /// Force `client` into the sticky [`TrustLevel::Quarantined`] state —
+    /// the collusion detector's escalation path, which bypasses the
+    /// per-client marginal checks (a colluder's marginal can be perfectly
+    /// in-distribution). Drops the client's collusion windows so remaining
+    /// pairs stop paying for it.
+    pub fn quarantine(&mut self, client: ClientId) {
+        self.trust.entry(client).or_default().force_quarantine();
+        self.collusion.remove(client);
     }
 
     fn distribution_or_err(&self, client: ClientId) -> Result<&OffsetDistribution, CoreError> {

@@ -68,7 +68,7 @@
 
 use crate::batching::{FairOrder, FairOrderCounters};
 use crate::config::SequencerConfig;
-use crate::defense::{TrustEvent, TrustLevel};
+use crate::defense::{ExpectedDelay, TrustEvent, TrustLevel};
 use crate::error::CoreError;
 use crate::message::{ClientId, Message, MessageId};
 use crate::precedence::PrecedenceMatrix;
@@ -80,7 +80,8 @@ use crate::session::SessionCounters;
 use crate::tournament::IncrementalTournament;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use tommy_clock::DelayEstimator;
 use tommy_stats::distribution::{Distribution, OffsetDistribution};
 
 /// One batch emitted by the online sequencer, with emission metadata.
@@ -156,6 +157,22 @@ pub struct OnlineStats {
     /// but a client watermark still blocked it (condition (ii) of §3.5) —
     /// a count of blocked checks, not of distinct stalls.
     pub watermark_stall_ticks: u64,
+    /// Pairwise correlation evaluations performed by the cross-client
+    /// collusion detector ([`crate::defense::CollusionTracker`]) — one per
+    /// observation that actually scored at least one pair (i.e. a check was
+    /// due and enough aligned residual pairs existed). Zero when the defense
+    /// is disabled.
+    pub collusion_checks: u64,
+    /// Clients quarantined by the *collusion* detector specifically: their
+    /// per-client marginals passed every KS/z-score check, but their
+    /// residuals co-moved with another client's past the correlation
+    /// threshold for the configured confirmation streak. Each is also
+    /// counted in `quarantines`.
+    pub collusion_quarantines: usize,
+    /// Largest pairwise correlation score the collusion detector has
+    /// observed across the run (0 when no pair was ever scored). A run-level
+    /// "how close did honest traffic get to the threshold" diagnostic.
+    pub peak_collusion_score: f64,
 }
 
 impl OnlineStats {
@@ -244,6 +261,13 @@ pub struct OnlineSequencer {
     /// against the staleness deadline yet". Drives watermark eviction when
     /// [`LivenessConfig`](crate::config::LivenessConfig) is enabled.
     last_heard: HashMap<ClientId, f64>,
+    /// Per-client online delay estimators over `arrival − timestamp` gaps
+    /// ([`tommy_clock::DelayEstimator`]), fed by every accepted message —
+    /// whether or not the defense is enabled, so undefended runs can still
+    /// report the estimate. A `BTreeMap` so pooled means sum in a
+    /// deterministic order (seed-stability tests compare whole stat structs
+    /// bit-for-bit).
+    delays: BTreeMap<ClientId, DelayEstimator>,
     stats: OnlineStats,
     rng: StdRng,
     now: f64,
@@ -265,6 +289,7 @@ impl OnlineSequencer {
             emitted_order: FairOrder::default(),
             last_emitted: Vec::new(),
             last_heard: HashMap::new(),
+            delays: BTreeMap::new(),
             stats: OnlineStats::default(),
             rng: StdRng::seed_from_u64(0),
             now: f64::NEG_INFINITY,
@@ -489,6 +514,14 @@ impl OnlineSequencer {
         if self.core.config().defense.enabled {
             self.observe_defense(message.client, message.timestamp, arrival_time);
         }
+        // Delay estimation *after* the defense check: the estimate used for
+        // residual formation must exclude the current sample, or the first
+        // residual of every client would be identically zero and early
+        // windows would be variance-shrunk.
+        let gap = arrival_time - message.timestamp;
+        if gap.is_finite() {
+            self.delays.entry(message.client).or_default().record(gap);
+        }
 
         // Fairness-violation detection: the message confidently precedes (or
         // cannot be separated from) something already emitted in the most
@@ -525,7 +558,12 @@ impl OnlineSequencer {
     /// client's clock offset δ from the sequencer's chair, the observable
     /// the claimed distribution describes. Only *messages* feed the defense
     /// — heartbeats carry coordination timestamps, not clock-noise samples,
-    /// and would poison the window with degenerate residuals.
+    /// and would poison the window with degenerate residuals. Under
+    /// [`ExpectedDelay::Online`] the delay term is the client's learned
+    /// `mean(arrival − timestamp) + claimed mean offset` (see
+    /// [`tommy_clock::DelayEstimator`]); no residual is formed until the
+    /// estimator has seen `delay_warmup` gaps, so early variance-shrunk
+    /// windows never reach the KS check.
     ///
     /// On [`TrustEvent::Quarantined`] the client is re-registered onto a
     /// conservative fallback (empirical mean, inflated σ) so the sequencer
@@ -535,9 +573,28 @@ impl OnlineSequencer {
     /// run sequencer-side. Both paths go through
     /// [`register_client`](Self::register_client), so every cached quantity
     /// derived from the stale distribution is invalidated.
+    ///
+    /// The same residual then feeds the cross-client collusion detector:
+    /// clients whose residuals persistently co-move past the correlation
+    /// threshold are force-quarantined even though their marginals pass
+    /// every per-client check.
     fn observe_defense(&mut self, client: ClientId, timestamp: f64, arrival_time: f64) {
         let cfg = self.core.config().defense;
-        let residual = timestamp - arrival_time + cfg.expected_delay;
+        let expected_delay = match cfg.expected_delay {
+            ExpectedDelay::Fixed(delay) => delay,
+            ExpectedDelay::Online => {
+                let Some(est) = self.delays.get(&client) else {
+                    return;
+                };
+                if est.count() < cfg.delay_warmup as u64 {
+                    return;
+                }
+                let raw = est.mean().expect("count >= warmup >= 1");
+                let claimed_mean = self.registry.get(client).map(|d| d.mean()).unwrap_or(0.0);
+                raw + claimed_mean
+            }
+        };
+        let residual = timestamp - arrival_time + expected_delay;
         if !residual.is_finite() {
             return;
         }
@@ -588,6 +645,77 @@ impl OnlineSequencer {
                 }
             }
         }
+
+        // Cross-client correlation: the marginal checks above are blind to
+        // colluders who forge *in-distribution* timestamps toward shared
+        // values, so the same residual also updates the pairwise co-moment
+        // windows. Quarantined clients are excluded inside the registry.
+        let report = self.registry.observe_collusion(client, residual, &cfg);
+        if report.checked {
+            self.stats.collusion_checks += 1;
+            if report.peak_score > self.stats.peak_collusion_score {
+                self.stats.peak_collusion_score = report.peak_score;
+            }
+        }
+        for flagged in report.flagged {
+            self.quarantine_collusive(flagged);
+        }
+    }
+
+    /// Escalate one collusion-flagged client into the sticky quarantine,
+    /// re-registering it onto the same conservative fallback the marginal
+    /// quarantine path uses (empirical mean, inflated σ) so its co-moving
+    /// timestamps stop steering the order with tight claimed margins.
+    fn quarantine_collusive(&mut self, client: ClientId) {
+        if self
+            .registry
+            .trust_state(client)
+            .is_some_and(|s| s.level() == TrustLevel::Quarantined)
+        {
+            return;
+        }
+        let cfg = self.core.config().defense;
+        self.registry.quarantine(client);
+        let (emp_mean, emp_sd) = self
+            .registry
+            .trust_state(client)
+            .map(|s| (s.empirical_mean(), s.empirical_std_dev()))
+            .unwrap_or((0.0, 0.0));
+        let claimed_sd = self
+            .registry
+            .get(client)
+            .map(|d| d.std_dev())
+            .unwrap_or(0.0);
+        let fallback_sd = emp_sd.max(claimed_sd).max(1e-9) * cfg.sigma_inflation;
+        self.register_client(client, OffsetDistribution::gaussian(emp_mean, fallback_sd));
+        self.stats.quarantines += 1;
+        self.stats.collusion_quarantines += 1;
+    }
+
+    /// The corrected online delay estimate for one client — the learned
+    /// mean `arrival − timestamp` gap plus the client's *claimed* mean
+    /// offset, which converges to the true one-way delay for honest claims
+    /// (see [`tommy_clock::DelayEstimator`]). `None` before the client's
+    /// first accepted message.
+    pub fn delay_estimate(&self, client: ClientId) -> Option<f64> {
+        let raw = self.delays.get(&client)?.mean()?;
+        let claimed_mean = self.registry.get(client).map(|d| d.mean()).unwrap_or(0.0);
+        Some(raw + claimed_mean)
+    }
+
+    /// The corrected delay estimate pooled over every client, weighted by
+    /// observation count (deterministic: clients are summed in `ClientId`
+    /// order). `None` before the first accepted message.
+    pub fn mean_delay_estimate(&self) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for (&client, est) in &self.delays {
+            let Some(raw) = est.mean() else { continue };
+            let claimed_mean = self.registry.get(client).map(|d| d.mean()).unwrap_or(0.0);
+            sum += (raw + claimed_mean) * est.count() as f64;
+            count += est.count();
+        }
+        (count > 0).then(|| sum / count as f64)
     }
 
     /// Record a heartbeat (a timestamp-only liveness message) from a client.

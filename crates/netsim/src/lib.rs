@@ -19,12 +19,15 @@
 //! * [`trace`] — delivery traces (including drops) for post-hoc analysis;
 //! * [`fault`] — seeded, deterministic fault plans (loss, duplication,
 //!   reordering, transient partitions, client crash/restart) for the
-//!   fault-tolerance experiments.
+//!   fault-tolerance experiments;
+//! * [`delay`] — deterministic heterogeneous per-link delays for the
+//!   online delay-estimation experiments.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod delay;
 pub mod event;
 pub mod fault;
 pub mod link;
@@ -34,6 +37,7 @@ pub mod topology;
 pub mod trace;
 
 pub use channel::{ChannelKind, DeliveryChannel};
+pub use delay::link_delay;
 pub use event::ScheduledEvent;
 pub use fault::{FaultAction, FaultFamily, FaultInjector, FaultPlan, FaultWindow};
 pub use link::LinkModel;

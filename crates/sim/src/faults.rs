@@ -25,6 +25,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use tommy_core::batching::FairOrder;
 use tommy_core::config::{LivenessConfig, SequencerConfig};
+use tommy_core::defense::{DefenseConfig, ExpectedDelay};
 use tommy_core::message::{ClientId, Message, MessageId};
 use tommy_core::sequencer::online::{OnlineSequencer, OnlineStats};
 use tommy_metrics::ras::{rank_agreement_score, RasScore};
@@ -116,6 +117,9 @@ impl Ord for Event {
 /// The mutable state of one fault run (network, session layer, sequencer).
 struct FaultRun {
     injector: FaultInjector,
+    /// Heterogeneous link-delay spread ([`ScenarioConfig::link_delay_spread`]);
+    /// `0.0` keeps every link at the homogeneous [`NETWORK_DELAY`].
+    link_spread: f64,
     senders: BTreeMap<ClientId, SequencedSender>,
     heap: BinaryHeap<Reverse<Event>>,
     next_event: u64,
@@ -136,6 +140,12 @@ struct FaultRun {
 }
 
 impl FaultRun {
+    /// The one-way delay of `from`'s link: the nominal constant plus the
+    /// deterministic node-keyed spread ([`tommy_netsim::link_delay`]).
+    fn link_delay(&self, from: ClientId) -> f64 {
+        tommy_netsim::link_delay(NETWORK_DELAY, self.link_spread, NodeId(from.0))
+    }
+
     /// Enqueue a delivery event.
     fn push(&mut self, at: f64, from: ClientId, sequence: u64, sent_at: f64, bytes: Vec<u8>) {
         let id = self.next_event;
@@ -198,22 +208,24 @@ impl FaultRun {
                 });
             }
             FaultAction::Deliver { extra_delay } => {
-                self.push(sent_at + NETWORK_DELAY + extra_delay, from, sequence, sent_at, bytes);
+                let delay = self.link_delay(from);
+                self.push(sent_at + delay + extra_delay, from, sequence, sent_at, bytes);
             }
             FaultAction::Duplicate {
                 extra_delay,
                 duplicate_delay,
             } => {
                 self.frames_duplicated += 1;
+                let delay = self.link_delay(from);
                 self.push(
-                    sent_at + NETWORK_DELAY + extra_delay,
+                    sent_at + delay + extra_delay,
                     from,
                     sequence,
                     sent_at,
                     bytes.clone(),
                 );
                 self.push(
-                    sent_at + NETWORK_DELAY + duplicate_delay,
+                    sent_at + delay + duplicate_delay,
                     from,
                     sequence,
                     sent_at,
@@ -279,7 +291,8 @@ impl FaultRun {
             };
             self.retransmits_answered += 1;
             progressed = true;
-            self.dispatch(request.sender, request.sequence, &frame, now + NETWORK_DELAY, false);
+            let rtt = self.link_delay(request.sender);
+            self.dispatch(request.sender, request.sequence, &frame, now + rtt, false);
         }
         progressed
     }
@@ -343,11 +356,26 @@ pub fn run_fault_stream(
     let all_plans: Vec<FaultPlan> = config.fault.iter().copied().chain(plans.iter().copied()).collect();
     let injector = FaultInjector::new(&all_plans, span_lo, span_hi);
 
-    let seq_config = SequencerConfig::default()
+    let mut seq_config = SequencerConfig::default()
         .with_threshold(config.threshold)
         .with_p_safe(p_safe)
         .with_retain_history(false)
         .with_liveness(LivenessConfig::enabled(FAULT_STALENESS_DEADLINE));
+    if config.defended {
+        // Same defense shape as `run_online_stream`, with the expected
+        // delay learned online — essential here, where
+        // `link_delay_spread` gives every client a distinct one-way delay
+        // the sequencer has no way to know a priori. A fixed expected
+        // delay would bias every residual by the per-link delta and
+        // mis-flag honest clients (see `tests/collusion_defense.rs`).
+        seq_config = seq_config.with_defense(
+            DefenseConfig::enabled()
+                .with_window(24)
+                .with_min_samples(12)
+                .with_check_interval(4)
+                .with_expected_delay(ExpectedDelay::Online),
+        );
+    }
     let mut sequencer = OnlineSequencer::new(seq_config);
     let client_ids: Vec<ClientId> = scenario_claimed_offsets(config)
         .into_iter()
@@ -359,6 +387,7 @@ pub fn run_fault_stream(
 
     let mut run = FaultRun {
         injector,
+        link_spread: config.link_delay_spread,
         senders: client_ids
             .iter()
             .map(|&c| (c, SequencedSender::new(c, 0)))
@@ -607,6 +636,41 @@ mod tests {
             assert_eq!(control.trace, faulted.trace, "{family:?}");
             assert_eq!(control.batches, faulted.batches, "{family:?}");
         }
+    }
+
+    /// Heterogeneous links are deterministic (same spread ⇒ bit-identical
+    /// runs) and actually heterogeneous (the trace differs from the
+    /// homogeneous control).
+    #[test]
+    fn heterogeneous_links_are_deterministic_and_distinct() {
+        let cfg = small().with_link_delay_spread(3.0);
+        let a = run_fault_stream(&cfg, &[], RecoveryPolicy::Halt, 0.99);
+        let b = run_fault_stream(&cfg, &[], RecoveryPolicy::Halt, 0.99);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.batches, b.batches);
+        let control = run_fault_stream(&small(), &[], RecoveryPolicy::Halt, 0.99);
+        assert_ne!(a.trace, control.trace, "spread must perturb arrivals");
+        assert_eq!(a.submitted, a.generated, "delays lose nothing");
+        assert_eq!(a.stats.messages_emitted, a.generated);
+    }
+
+    /// The defended fault path learns each link's delay online: honest
+    /// clients behind unknown heterogeneous links raise no alarms.
+    #[test]
+    fn defended_heterogeneous_links_raise_no_false_alarms() {
+        let cfg = ScenarioConfig::default()
+            .with_size(6, 240)
+            .with_clock_std_dev(2.0)
+            .with_gap(4.0)
+            .with_seed(11)
+            .with_defended(true)
+            .with_link_delay_spread(6.0);
+        let result = run_fault_stream(&cfg, &[], RecoveryPolicy::Halt, 0.99);
+        assert_eq!(result.submitted, result.generated);
+        assert_eq!(result.stats.quarantines, 0, "{:?}", result.stats);
+        assert_eq!(result.stats.collusion_quarantines, 0);
+        assert_eq!(result.stats.margin_fallbacks, 0);
+        assert_eq!(result.stats.messages_emitted, result.generated);
     }
 
     #[test]

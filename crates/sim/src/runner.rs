@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use tommy_core::baselines::{TrueTimeSequencer, WfoSequencer};
 use tommy_core::batching::FairOrder;
 use tommy_core::config::{FasFallbackReason, SequencerConfig};
-use tommy_core::defense::DefenseConfig;
+use tommy_core::defense::{DefenseConfig, ExpectedDelay};
 use tommy_core::message::{ClientId, Message};
 use tommy_core::registry::DistributionRegistry;
 use tommy_core::sequencer::offline::TommySequencer;
@@ -257,11 +257,12 @@ pub struct OnlineStreamResult {
     /// The network delay the runner actually simulated (the fault-free
     /// schedule's constant), reported so the estimate below is auditable.
     pub true_delay: f64,
-    /// Online per-client delivery-delay estimate: the mean over clients of
-    /// each client's running-mean `arrival − timestamp` residual. With
-    /// zero-mean clock offsets this converges on the true delay — the
-    /// runner no longer has to *assume* the delay it configured, it
-    /// estimates it from the same residuals the defense layer watches.
+    /// The sequencer's pooled online delivery-delay estimate
+    /// ([`OnlineSequencer::mean_delay_estimate`]): per-client running means
+    /// of the `arrival − timestamp` gap, corrected by each client's claimed
+    /// mean offset and pooled by observation count. This is the same
+    /// estimate `ExpectedDelay::Online` feeds the defense layer's residual
+    /// formation, surfaced so sweeps can audit it against `true_delay`.
     /// `NaN` when no message was delivered.
     pub estimated_delay: f64,
     /// Absolute error of the estimate, `|estimated_delay − true_delay|`
@@ -296,14 +297,17 @@ pub fn run_online_stream(config: &ScenarioConfig, p_safe: f64) -> OnlineStreamRe
         .with_retain_history(false);
     if config.defended {
         // Small windows so the defense reaches a verdict within the short
-        // streams the sweeps use; residuals are measured against the fixed
-        // delivery delay below.
+        // streams the sweeps use. Residuals are measured against the
+        // sequencer's *online* per-client delay estimate, not a configured
+        // constant — the runner no longer leaks the delay it simulates into
+        // the defense, so defended runs stay honest when links are
+        // heterogeneous (see `run_fault_stream`).
         seq_config = seq_config.with_defense(
             DefenseConfig::enabled()
                 .with_window(24)
                 .with_min_samples(12)
                 .with_check_interval(4)
-                .with_expected_delay(NETWORK_DELAY),
+                .with_expected_delay(ExpectedDelay::Online),
         );
     }
     let mut sequencer = OnlineSequencer::new(seq_config);
@@ -330,11 +334,6 @@ pub fn run_online_stream(config: &ScenarioConfig, p_safe: f64) -> OnlineStreamRe
     // heartbeat keep their clamped timestamp for scoring too.
     let mut last_ts: HashMap<ClientId, f64> = HashMap::new();
     let mut messages: Vec<Message> = Vec::with_capacity(deliveries.len());
-    // Per-client online delay estimator: running mean of the
-    // `arrival − timestamp` residual of each delivered message. The offset
-    // noise in the timestamps is zero-mean, so the residual mean estimates
-    // the delivery delay without assuming the configured constant.
-    let mut delay_obs: HashMap<ClientId, (f64, usize)> = HashMap::new();
     for delivery in &deliveries {
         let true_time = delivery.true_time.expect("true time");
         let arrival = true_time + NETWORK_DELAY;
@@ -359,9 +358,6 @@ pub fn run_online_stream(config: &ScenarioConfig, p_safe: f64) -> OnlineStreamRe
         last_ts.insert(delivery.client, ts);
         let message = Message::with_true_time(delivery.id, delivery.client, ts, true_time);
         messages.push(message.clone());
-        let obs = delay_obs.entry(delivery.client).or_insert((0.0, 0));
-        obs.0 += arrival - ts;
-        obs.1 += 1;
         sequencer.submit(message, arrival).expect("valid submission");
         max_undrained = max_undrained.max(sequencer.emitted().len());
         max_tracked = max_tracked.max(sequencer.tracked_ids());
@@ -386,11 +382,7 @@ pub fn run_online_stream(config: &ScenarioConfig, p_safe: f64) -> OnlineStreamRe
     let ras = rank_agreement_score(&order, &messages);
     let fair_counters = sequencer.fair_order_counters();
     let stats = sequencer.stats();
-    let estimated_delay = if delay_obs.is_empty() {
-        f64::NAN
-    } else {
-        delay_obs.values().map(|(sum, n)| sum / *n as f64).sum::<f64>() / delay_obs.len() as f64
-    };
+    let estimated_delay = sequencer.mean_delay_estimate().unwrap_or(f64::NAN);
     OnlineStreamResult {
         ras,
         stats,

@@ -49,6 +49,14 @@ pub struct ScenarioConfig {
     /// runner; fault decisions are pure hashes, so seeded scenarios stay
     /// reproducible under injected faults.
     pub fault: Option<FaultPlan>,
+    /// Spread of the per-client link delays simulated by the fault runner:
+    /// each client's one-way delay is the base delay plus a deterministic
+    /// node-keyed offset uniform in `[0, spread)`
+    /// (`tommy_netsim::link_delay`). `0.0` (the default) is the homogeneous
+    /// constant-delay setting, bit-identical to previous behavior; a
+    /// non-zero spread models links the sequencer does not know a priori —
+    /// the setting `ExpectedDelay::Online` exists for.
+    pub link_delay_spread: f64,
 }
 
 impl Default for ScenarioConfig {
@@ -65,6 +73,7 @@ impl Default for ScenarioConfig {
             adversarial: None,
             defended: false,
             fault: None,
+            link_delay_spread: 0.0,
         }
     }
 }
@@ -147,6 +156,17 @@ impl ScenarioConfig {
         self.fault = Some(plan);
         self
     }
+
+    /// Builder: set the heterogeneous link-delay spread (see
+    /// [`ScenarioConfig::link_delay_spread`]).
+    pub fn with_link_delay_spread(mut self, spread: f64) -> Self {
+        assert!(
+            spread >= 0.0 && spread.is_finite(),
+            "link delay spread must be non-negative"
+        );
+        self.link_delay_spread = spread;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +218,20 @@ mod tests {
         let plan = FaultPlan::new(FaultFamily::Loss, 0.2).with_seed(9);
         let cfg = cfg.with_fault(plan);
         assert_eq!(cfg.fault, Some(plan));
+    }
+
+    #[test]
+    fn link_delay_spread_defaults_homogeneous_and_chains() {
+        let cfg = ScenarioConfig::default();
+        assert_eq!(cfg.link_delay_spread, 0.0);
+        let cfg = cfg.with_link_delay_spread(2.5);
+        assert_eq!(cfg.link_delay_spread, 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "spread")]
+    fn negative_link_delay_spread_rejected() {
+        ScenarioConfig::default().with_link_delay_spread(-1.0);
     }
 
     #[test]

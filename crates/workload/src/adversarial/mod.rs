@@ -9,7 +9,7 @@
 //! tracking, quarantine, online re-estimation) has something to defend
 //! against.
 //!
-//! Three parameterized attack families are provided (see the repository's
+//! Four parameterized attack families are provided (see the repository's
 //! `ARCHITECTURE.md`, "Threat model & degradation"):
 //!
 //! * misreport ([`Misreport`], [`misreported_offsets`]) — lying about the
@@ -19,10 +19,16 @@
 //! * drift ([`ClockDrift`], [`apply_drift`]) — mid-stream clock drift or
 //!   step events: the registered distribution was honest when shared but
 //!   the clock has since moved;
-//! * timestamp forgery and coordinated collusion ([`apply_attack`],
-//!   [`apply_collusion`]) — forging the timestamps themselves.
+//! * timestamp forgery and tie-forcing collusion ([`apply_attack`],
+//!   [`apply_collusion`]) — forging the timestamps themselves;
+//! * correlated collusion ([`apply_correlated_collusion`]) — colluders
+//!   replace part of their honest clock noise with a pre-shared
+//!   pseudorandom *pad* keyed by message ordinal, co-moving their
+//!   timestamp errors without changing their marginal spread. Invisible to
+//!   per-client KS/z checks; caught by the cross-client correlation
+//!   detector in `tommy-core`'s defense layer.
 //!
-//! [`AttackPlan`] wraps all three behind one `(family, intensity, onset)`
+//! [`AttackPlan`] wraps all four behind one `(family, intensity, onset)`
 //! parameterization so scenario sweeps can dial an attack up and down.
 
 mod drift;
@@ -123,6 +129,104 @@ pub fn apply_collusion(messages: &[Message], colluders: &[ClientId], window: f64
         cluster_rank += 1;
     }
     out
+}
+
+/// splitmix64's finalizer: a cheap, well-mixed 64-bit hash used to derive
+/// the colluders' shared pad deterministically from a message ordinal.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The colluders' pre-shared pad: a deterministic pseudorandom sequence
+/// with zero mean and unit variance (uniform over ±√3), indexed by message
+/// ordinal. Sharing a pad seed ahead of time — rather than coordinating on
+/// wall-clock — needs no real-time communication between colluders and
+/// survives arbitrary interleaving differences between their streams.
+fn shared_pad(k: u64) -> f64 {
+    let h = splitmix64(k);
+    // 53 high bits → uniform in [0, 1), then to ±√3 (zero mean, unit variance).
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+    (2.0 * u - 1.0) * 3.0_f64.sqrt()
+}
+
+/// Apply a *correlated collusion* attack: the colluders pre-share a
+/// pseudorandom pad (`shared_pad`), and from `onset` on each mixes the
+/// pad value at its own message ordinal `k` into its forged timestamp:
+///
+/// ```text
+/// forged = truth + (1 − λ)·(honest_ts − truth) + λ·a·pad(k),
+///          a = scale·√((2 − λ)(1 + λ)/λ)
+/// ```
+///
+/// The amplitude `a` sits a factor `√(1 + λ)` above the variance-preserving
+/// point: the forged error spread is `σ·√(1 + 2λ² − λ³)` — at most `√2·σ`
+/// even at full `λ`, well inside the blind zone of per-client KS and
+/// z-score checks (a KS distance under 0.15 against the claimed Gaussian,
+/// versus the 0.3 detection floor) — while buying the colluders maximal
+/// co-movement. Their errors correlate in exactly the per-ordinal pairing a
+/// cross-client correlation detector uses (`k`-th residual against `k`-th
+/// residual): the pairwise residual correlation is
+/// `λ(2 − λ)(1 + λ) / (1 + 2λ² − λ³)` — ≈ 0.89 at `λ = 0.6`, ≈ 0.82 at
+/// `λ = 0.5`, and a sub-threshold ≈ 0.49 at `λ = 0.25`. Keying the pad by
+/// ordinal rather than wall-clock is the colluders' strongest realistic
+/// strategy; weaker (time-keyed) coordination only lowers the correlation
+/// the detector measures. This is precisely the attack the defense layer's
+/// cross-client correlation detector exists to catch. Ground-truth times
+/// are preserved, like [`apply_attack`].
+pub fn apply_correlated_collusion(
+    messages: &[Message],
+    colluders: &[ClientId],
+    lambda: f64,
+    scale: f64,
+    onset: f64,
+) -> Vec<Message> {
+    assert!(
+        (0.0..=1.0).contains(&lambda),
+        "lambda must be in [0, 1], got {lambda}"
+    );
+    assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+    if lambda == 0.0 {
+        return messages.to_vec();
+    }
+    let amplitude = scale * ((2.0 - lambda) * (1.0 + lambda) / lambda).sqrt();
+    // Each colluder's message ordinal: its rank within its own stream in
+    // true-time order (the order the colluder generated them in), counting
+    // pre-onset messages too so the pad index never depends on the onset.
+    let mut ordinal: Vec<u64> = vec![0; messages.len()];
+    for colluder in colluders {
+        let mut own: Vec<usize> = (0..messages.len())
+            .filter(|&i| messages[i].client == *colluder)
+            .collect();
+        own.sort_by(|&a, &b| {
+            drift::truth_of(&messages[a])
+                .partial_cmp(&drift::truth_of(&messages[b]))
+                .expect("finite true times")
+        });
+        for (k, &i) in own.iter().enumerate() {
+            ordinal[i] = k as u64;
+        }
+    }
+    messages
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            if !colluders.contains(&m.client) {
+                return m.clone();
+            }
+            let t = drift::truth_of(m);
+            if t < onset {
+                return m.clone();
+            }
+            let mut forged = m.clone();
+            forged.timestamp = t
+                + (1.0 - lambda) * (m.timestamp - t)
+                + lambda * amplitude * shared_pad(ordinal[i]);
+            forged
+        })
+        .collect()
 }
 
 /// The attacker's mean rank improvement: how many positions earlier (in a
@@ -283,6 +387,91 @@ mod tests {
         for (h, f) in honest.iter().zip(forged.iter()) {
             assert!((h.timestamp - f.timestamp).abs() < 0.1 * 1e-3 * 2.0 + 1e-12);
         }
+    }
+
+    /// Two colluders with orthogonal honest error patterns, one honest
+    /// bystander, across `rounds` rounds of shared true times.
+    fn correlated_setup(rounds: u64) -> Vec<Message> {
+        let mut v = Vec::new();
+        let mut id = 0;
+        for r in 0..rounds {
+            let t = r as f64 * 16.0;
+            // Colluder 0: +1, −1, +1, …; colluder 1: +1, +1, −1, −1, … —
+            // orthogonal over a multiple of 4 rounds, so their honest
+            // errors are uncorrelated by construction.
+            let e0 = if r % 2 == 0 { 1.0 } else { -1.0 };
+            let e1 = if r % 4 < 2 { 1.0 } else { -1.0 };
+            v.push(Message::with_true_time(MessageId(id), ClientId(0), t + e0, t));
+            v.push(Message::with_true_time(MessageId(id + 1), ClientId(1), t + e1, t));
+            v.push(Message::with_true_time(MessageId(id + 2), ClientId(2), t + 0.5, t));
+            id += 3;
+        }
+        v
+    }
+
+    fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+        let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+        cov / (vx * vy).sqrt()
+    }
+
+    fn errors_of(messages: &[Message], client: ClientId) -> Vec<f64> {
+        messages
+            .iter()
+            .filter(|m| m.client == client)
+            .map(|m| m.timestamp - m.true_time.unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn correlated_collusion_coordinates_without_changing_marginals() {
+        let honest = correlated_setup(40);
+        let colluders = [ClientId(0), ClientId(1)];
+        // Full λ: colluders at the same ordinal tie exactly (pure shared
+        // pad), and the pad's amplitude stays within the uniform bound
+        // ±√3·√2·scale (`a = scale·√2` at λ = 1) — the same order of
+        // magnitude as honest clock noise.
+        let forged = apply_correlated_collusion(&honest, &colluders, 1.0, 1.0, 0.0);
+        let (e0, e1) = (errors_of(&forged, ClientId(0)), errors_of(&forged, ClientId(1)));
+        assert_eq!(e0, e1, "full-λ colluders must co-move exactly");
+        for e in &e0 {
+            assert!(e.abs() <= 6.0_f64.sqrt() + 1e-9, "amplitude {e}");
+        }
+        // The honest bystander and every true time are untouched.
+        for (h, f) in honest.iter().zip(forged.iter()) {
+            assert_eq!(h.true_time, f.true_time);
+            if h.client == ClientId(2) {
+                assert_eq!(h.timestamp, f.timestamp);
+            }
+        }
+        // λ = 0 is the identity; pre-onset messages are untouched too.
+        assert_eq!(
+            apply_correlated_collusion(&honest, &colluders, 0.0, 1.0, 0.0),
+            honest
+        );
+        let late = apply_correlated_collusion(&honest, &colluders, 1.0, 1.0, 1e9);
+        assert_eq!(late, honest);
+    }
+
+    #[test]
+    fn correlated_collusion_raises_pair_correlation() {
+        let honest = correlated_setup(40);
+        let colluders = [ClientId(0), ClientId(1)];
+        let r_honest = pearson(
+            &errors_of(&honest, ClientId(0)),
+            &errors_of(&honest, ClientId(1)),
+        );
+        assert!(r_honest.abs() < 1e-9, "orthogonal by construction: {r_honest}");
+        let forged = apply_correlated_collusion(&honest, &colluders, 0.6, 1.0, 0.0);
+        let r_forged = pearson(
+            &errors_of(&forged, ClientId(0)),
+            &errors_of(&forged, ClientId(1)),
+        );
+        assert!(r_forged > 0.3, "co-movement too weak: r = {r_forged}");
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! Experiments want "family × intensity" axes, not a bag of per-attack
 //! constants. [`AttackPlan`] maps a single `intensity ∈ [0, 1]` onto
 //! concrete parameters for each family ([`Misreport`](super::Misreport),
-//! [`ClockDrift`](super::ClockDrift), [`apply_collusion`](super::apply_collusion))
+//! [`ClockDrift`](super::ClockDrift), [`apply_collusion`](super::apply_collusion),
+//! [`apply_correlated_collusion`](super::apply_correlated_collusion))
 //! so `ScenarioConfig` can carry an attack as plain `Copy` data and the
 //! bench sweep can dial it up. Everything here is deterministic: the same
 //! plan applied to the same honest workload yields the same attacked
@@ -30,14 +31,21 @@ pub enum AttackFamily {
     /// cyclic regime. Bounded by FAS repair; the trust layer reports but
     /// cannot fully reverse it.
     Collusion,
+    /// Attackers co-move their timestamp errors with a pre-shared
+    /// pseudorandom pad while keeping exactly honest-looking marginals
+    /// ([`apply_correlated_collusion`](super::apply_correlated_collusion)).
+    /// Invisible to per-client KS/z checks; defended by the cross-client
+    /// correlation detector + quarantine.
+    CorrelatedCollusion,
 }
 
 impl AttackFamily {
     /// All families, in sweep order.
-    pub const ALL: [AttackFamily; 3] = [
+    pub const ALL: [AttackFamily; 4] = [
         AttackFamily::Misreport,
         AttackFamily::Drift,
         AttackFamily::Collusion,
+        AttackFamily::CorrelatedCollusion,
     ];
 
     /// Stable lowercase name for JSON rows and bench labels.
@@ -46,6 +54,7 @@ impl AttackFamily {
             AttackFamily::Misreport => "misreport",
             AttackFamily::Drift => "drift",
             AttackFamily::Collusion => "collusion",
+            AttackFamily::CorrelatedCollusion => "correlated_collusion",
         }
     }
 }
@@ -75,8 +84,8 @@ pub struct AttackPlan {
 
 impl AttackPlan {
     /// A plan with default onset (30% into the stream), one attacker for
-    /// misreport/drift and three for collusion (collusion needs partners),
-    /// and unit scale.
+    /// misreport/drift and three for either collusion family (collusion
+    /// needs partners), and unit scale.
     pub fn new(family: AttackFamily, intensity: f64) -> Self {
         assert!(
             (0.0..=1.0).contains(&intensity),
@@ -87,7 +96,7 @@ impl AttackPlan {
             intensity,
             onset_fraction: 0.3,
             attackers: match family {
-                AttackFamily::Collusion => 3,
+                AttackFamily::Collusion | AttackFamily::CorrelatedCollusion => 3,
                 _ => 1,
             },
             scale: 1.0,
@@ -241,6 +250,18 @@ impl AttackPlan {
                         })
                         .collect()
                 }
+            }
+            AttackFamily::CorrelatedCollusion => {
+                // λ is the intensity directly: the fraction of honest clock
+                // noise displaced by the shared signal.
+                let onset = self.onset_time(messages);
+                super::apply_correlated_collusion(
+                    messages,
+                    &attackers,
+                    self.intensity,
+                    self.scale,
+                    onset,
+                )
             }
         };
         // Monotone-clock guard: each client's reported timestamps never go
@@ -396,6 +417,29 @@ mod tests {
         assert_eq!(AttackFamily::Misreport.name(), "misreport");
         assert_eq!(AttackFamily::Drift.name(), "drift");
         assert_eq!(AttackFamily::Collusion.name(), "collusion");
+        assert_eq!(AttackFamily::CorrelatedCollusion.name(), "correlated_collusion");
+    }
+
+    #[test]
+    fn correlated_collusion_plan_forges_post_onset_attackers_only() {
+        let plan = AttackPlan::new(AttackFamily::CorrelatedCollusion, 0.6)
+            .with_scale(2.0)
+            .with_onset_fraction(0.5);
+        assert_eq!(plan.attackers, 3);
+        assert_eq!(plan.claimed_offsets(&truth()), truth(), "registry stays honest");
+        let out = plan.apply(&msgs());
+        let onset = 9.5;
+        let colluders = plan.attacker_ids();
+        let mut forged_any = false;
+        for (h, d) in msgs().iter().zip(out.iter()) {
+            assert_eq!(h.true_time, d.true_time);
+            if h.true_time.unwrap() < onset || !colluders.contains(&h.client) {
+                assert_eq!(h.timestamp, d.timestamp, "pre-onset or honest moved");
+            } else if h.timestamp != d.timestamp {
+                forged_any = true;
+            }
+        }
+        assert!(forged_any, "no post-onset colluder timestamp changed");
     }
 
     #[test]

@@ -20,9 +20,10 @@
 //! * [`tagging`] — the §4 tagging step: turn generation events into
 //!   [`Message`](tommy_core::message::Message)s by reading each client's
 //!   simulated clock;
-//! * [`adversarial`] — three parameterized Byzantine attack families (§5
+//! * [`adversarial`] — four parameterized Byzantine attack families (§5
 //!   "Byzantine Clients"): misreported distributions, mid-stream clock
-//!   drift/steps, and coordinated timestamp collusion, unified behind
+//!   drift/steps, coordinated timestamp collusion, and correlated
+//!   (shared-signal) collusion, unified behind
 //!   [`adversarial::AttackPlan`] for intensity sweeps;
 //! * [`intransitive`] — cycle-forcing workloads: Condorcet (intransitive
 //!   dice) offset mixes and heavy-tailed populations whose preceding

@@ -112,6 +112,28 @@ fn collusion_family_passes_all_invariants() {
     }
 }
 
+/// The pad-coordinated family forges marginal-preserving timestamps from
+/// the first message on (the bench harness runs it with onset 0 for the
+/// same reason: pad coordination needs no trigger event). The structural
+/// invariants must survive the forgery — detection is a separate question,
+/// answered by `checker_scaled.rs` and the `check_collusive` suite.
+#[test]
+fn correlated_collusion_family_passes_all_invariants() {
+    for intensity in [0.3, 0.8] {
+        let plan = AttackPlan::new(AttackFamily::CorrelatedCollusion, intensity)
+            .with_scale(2.0)
+            .with_attackers(2)
+            .with_onset_fraction(0.0);
+        let report = check_plan(&plan, 0.5);
+        assert!(report.schedules > 1);
+        assert!(
+            report.ok(),
+            "correlated_collusion@{intensity} violated: {:?}",
+            report.violations
+        );
+    }
+}
+
 /// The checker is falsifiable: a client that deflates its claimed σ shrinks
 /// its safe-emission margin, so a colluder's backdated message can land
 /// within the violation margin of an already-emitted batch. With a zero
