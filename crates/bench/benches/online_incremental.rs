@@ -5,18 +5,65 @@
 //! Three measurements per pending-set size `n`:
 //!
 //! * `stream_incremental/n` — submit `n` watermark-blocked arrivals through
-//!   the incremental online sequencer (O(k) probability queries at arrival
-//!   `k`).
+//!   the online sequencer in its default mode (the sparse fast path on this
+//!   all-Gaussian stream; the `sparse_path` bench isolates the dense-vs-
+//!   sparse arrival-cost split).
 //! * `stream_scratch/n` — the same stream through the seed path: a
 //!   from-scratch candidate recomputation per arrival (O(k²) queries at
 //!   arrival `k`). Skipped at the largest sizes, where a single iteration
 //!   takes tens of seconds.
 //! * `tick_cached/n` — a pure clock tick against `n` pending messages:
-//!   O(1), zero probability queries, regardless of `n`.
+//!   O(1), zero probability queries, and — pinned by the counting allocator
+//!   below before the measurements start — zero heap allocations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use tommy_bench::{prefilled_sequencer, run_incremental_stream, run_scratch_stream};
+
+/// A pass-through allocator that counts allocation calls, so the bench can
+/// *assert* (not just measure) that a cached tick touches the heap zero
+/// times — a regression here would show up as noise long before it showed
+/// up as a mean shift.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// A cached tick against a settled pending set performs **zero** heap
+/// allocations: the candidate is cached, nothing emits (the silent client
+/// blocks the watermark frontier), and the returned batch vector is empty.
+fn assert_cached_tick_is_allocation_free() {
+    let mut sequencer = prefilled_sequencer(200);
+    let now = 201.0;
+    // Settle the candidate cache (this may allocate).
+    sequencer.tick(now);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..100 {
+        std::hint::black_box(sequencer.tick(now).len());
+    }
+    let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocations, 0,
+        "a cached tick must not touch the heap (got {allocations} allocations over 100 ticks)"
+    );
+    eprintln!("tick allocation pin: 100 cached ticks, 0 heap allocations");
+}
 
 const SIZES: [usize; 4] = [50, 200, 500, 2000];
 /// From-scratch recomputation is O(n³) for the whole stream; cap the sizes
@@ -51,4 +98,8 @@ fn online_incremental(c: &mut Criterion) {
 }
 
 criterion_group!(benches, online_incremental);
-criterion_main!(benches);
+
+fn main() {
+    assert_cached_tick_is_allocation_free();
+    benches();
+}

@@ -55,8 +55,18 @@ fn scenario(messages: usize) -> ScenarioConfig {
 }
 
 fn main() {
-    let threads = resolve_parallelism(0);
-    eprintln!("auto-detected parallelism: {threads} thread(s)");
+    // Detect the hardware directly (not only through `resolve_parallelism`)
+    // so the recorded baseline states both what the host *had* and what the
+    // tiled build *used* — a single-core container can otherwise masquerade
+    // as a meaningless "speedup ≈ 1" datapoint.
+    let threads_detected = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let threads_used = resolve_parallelism(0);
+    eprintln!(
+        "hardware parallelism: {threads_detected} core(s) detected, \
+         {threads_used} worker(s) used"
+    );
 
     let mut rows = Vec::new();
     for n in SIZES {
@@ -144,13 +154,22 @@ fn main() {
          serial vs tiled parallel build\",\n",
     );
     json.push_str("  \"unit\": \"milliseconds\",\n");
-    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"threads_detected\": {threads_detected},");
+    let _ = writeln!(json, "  \"threads_used\": {threads_used},");
     json.push_str(
         "  \"note\": \"build_speedup is serial/parallel wall clock and is bounded by the \
-         recording host's core count (threads field); the tiled build is bit-identical to \
-         serial, so regenerate on multi-core hardware for the real speedup. \
-         tiled4_build_ms forces 4 workers to expose the tiling overhead itself.\",\n",
+         recording host's core count (threads_detected field); the tiled build is \
+         bit-identical to serial, so regenerate on multi-core hardware for the real \
+         speedup. tiled4_build_ms forces 4 workers to expose the tiling overhead \
+         itself.\",\n",
     );
+    if threads_detected == 1 {
+        json.push_str(
+            "  \"caveat\": \"recorded on a single-core host: parallel_build_ms and \
+             build_speedup measure thread-pool overhead, not parallel speedup; only the \
+             serial columns are meaningful here\",\n",
+        );
+    }
     json.push_str("  \"results\": [\n");
     for (i, (n, serial, parallel, tiled, seq_serial, seq_parallel)) in rows.iter().enumerate() {
         let _ = write!(

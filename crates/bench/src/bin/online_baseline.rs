@@ -1,7 +1,9 @@
 //! Emit `BENCH_online.json`: messages/sec of the online sequencer's
-//! streaming path at several pending-set sizes, for the incremental engine
-//! and (where it finishes in reasonable time) the seed's
-//! recompute-from-scratch path, plus the cost of a cached clock tick.
+//! streaming path at several pending-set sizes — the default sparse fast
+//! path across the whole sweep, the dense matrix engine and the seed's
+//! recompute-from-scratch path where they finish in reasonable time — plus
+//! the cost of a cached clock tick and the peak-memory split between the
+//! dense matrix and the sparse index.
 //!
 //! Run from the repository root:
 //!
@@ -11,13 +13,20 @@
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use tommy_bench::{prefilled_sequencer, run_incremental_stream, run_scratch_stream};
+use tommy_bench::{
+    prefilled_sequencer, run_dense_stream, run_incremental_stream, run_scratch_stream,
+    stream_stats,
+};
+use tommy_core::config::FastPathMode;
 
-const SIZES: [usize; 4] = [50, 200, 500, 2000];
-// The scratch (seed) path is O(n³) over the stream, so 2000 takes minutes —
-// but recording it keeps the speedup column computable across the whole
-// sweep.
-const SCRATCH_MAX: usize = 2000;
+const SIZES: [usize; 6] = [50, 200, 500, 2000, 10_000, 100_000];
+// The dense engine pays O(n) queries per arrival over an O(n²)-byte matrix:
+// at 10k pending the matrix alone is 800 MB, at 100k it would be 80 GB —
+// the comparison rows stop at 2000 and the sparse column carries the sweep.
+const DENSE_MAX: usize = 2000;
+// The scratch (seed) path is O(n³) over the stream; recording it through
+// n = 500 keeps the speedup column computable without minutes-long calls.
+const SCRATCH_MAX: usize = 500;
 const TARGET_SECONDS: f64 = 0.4;
 
 /// Repeat `f` until `TARGET_SECONDS` of wall clock elapse (at least once);
@@ -37,24 +46,40 @@ fn time_per_call<F: FnMut()>(mut f: F) -> f64 {
     start.elapsed().as_secs_f64() / calls as f64
 }
 
+struct Row {
+    n: usize,
+    sparse_rate: f64,
+    dense_rate: Option<f64>,
+    scratch_rate: Option<f64>,
+    tick_ns: f64,
+    peak_index_bytes: usize,
+    dense_peak_matrix_bytes: Option<usize>,
+}
+
 fn main() {
     let mut rows = Vec::new();
     for n in SIZES {
-        eprintln!("measuring incremental stream at n = {n} ...");
-        let inc_secs = time_per_call(|| {
+        eprintln!("measuring sparse (default) stream at n = {n} ...");
+        let sparse_secs = time_per_call(|| {
             run_incremental_stream(n);
         });
-        let inc_rate = n as f64 / inc_secs;
+        let sparse_rate = n as f64 / sparse_secs;
 
-        let scratch_rate = if n <= SCRATCH_MAX {
+        let dense_rate = (n <= DENSE_MAX).then(|| {
+            eprintln!("measuring dense stream at n = {n} ...");
+            let dense_secs = time_per_call(|| {
+                run_dense_stream(n);
+            });
+            n as f64 / dense_secs
+        });
+
+        let scratch_rate = (n <= SCRATCH_MAX).then(|| {
             eprintln!("measuring scratch stream at n = {n} ...");
             let scratch_secs = time_per_call(|| {
                 run_scratch_stream(n);
             });
-            Some(n as f64 / scratch_secs)
-        } else {
-            None
-        };
+            n as f64 / scratch_secs
+        });
 
         eprintln!("measuring cached tick at n = {n} ...");
         let mut sequencer = prefilled_sequencer(n);
@@ -68,28 +93,67 @@ fn main() {
         }) / 1000.0
             * 1e9;
 
-        rows.push((n, inc_rate, scratch_rate, tick_ns));
+        // Peak-memory split: the sparse run never allocates the matrix
+        // (asserted here, not just recorded), the dense run never builds
+        // the index.
+        let sparse_stats = stream_stats(n, FastPathMode::Auto);
+        assert_eq!(
+            sparse_stats.peak_matrix_bytes, 0,
+            "the fast path must not materialize the dense matrix"
+        );
+        let dense_peak_matrix_bytes = (n <= DENSE_MAX)
+            .then(|| stream_stats(n, FastPathMode::ForceDense).peak_matrix_bytes);
+
+        rows.push(Row {
+            n,
+            sparse_rate,
+            dense_rate,
+            scratch_rate,
+            tick_ns,
+            peak_index_bytes: sparse_stats.peak_index_bytes,
+            dense_peak_matrix_bytes,
+        });
     }
 
+    let fmt_opt = |v: &Option<f64>| match v {
+        Some(rate) => format!("{rate:.1}"),
+        None => "null".to_string(),
+    };
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"online_incremental\",\n");
-    json.push_str("  \"description\": \"online sequencer streaming throughput by pending-set size\",\n");
+    json.push_str(
+        "  \"description\": \"online sequencer streaming throughput by pending-set size: \
+         sparse fast path (default) vs dense matrix engine vs seed scratch path\",\n",
+    );
     json.push_str("  \"unit\": \"messages_per_sec\",\n");
+    json.push_str(
+        "  \"note\": \"dense rows stop at 2000 pending (the matrix is O(n^2) bytes: 800 MB \
+         at 10k, 80 GB at 100k); the sparse index is O(n) and carries the sweep to 100k. \
+         peak_index_bytes / dense_peak_matrix_bytes are the engines' peak-memory high-water \
+         marks over the run.\",\n",
+    );
     json.push_str("  \"results\": [\n");
-    for (i, (n, inc, scratch, tick_ns)) in rows.iter().enumerate() {
-        let scratch_str = match scratch {
-            Some(rate) => format!("{rate:.1}"),
+    for (i, row) in rows.iter().enumerate() {
+        let speedup = match row.dense_rate {
+            Some(dense) => format!("{:.2}", row.sparse_rate / dense),
             None => "null".to_string(),
         };
-        let speedup = match scratch {
-            Some(rate) => format!("{:.2}", inc / rate),
+        let matrix_bytes = match row.dense_peak_matrix_bytes {
+            Some(bytes) => format!("{bytes}"),
             None => "null".to_string(),
         };
         let _ = write!(
             json,
-            "    {{\"pending\": {n}, \"incremental_msgs_per_sec\": {inc:.1}, \
-             \"scratch_msgs_per_sec\": {scratch_str}, \"speedup\": {speedup}, \
-             \"tick_ns\": {tick_ns:.1}}}"
+            "    {{\"pending\": {}, \"sparse_msgs_per_sec\": {:.1}, \
+             \"dense_msgs_per_sec\": {}, \"scratch_msgs_per_sec\": {}, \
+             \"sparse_over_dense\": {speedup}, \"tick_ns\": {:.1}, \
+             \"peak_index_bytes\": {}, \"dense_peak_matrix_bytes\": {matrix_bytes}}}",
+            row.n,
+            row.sparse_rate,
+            fmt_opt(&row.dense_rate),
+            fmt_opt(&row.scratch_rate),
+            row.tick_ns,
+            row.peak_index_bytes,
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

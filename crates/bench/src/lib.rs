@@ -12,7 +12,8 @@
 #![warn(missing_docs)]
 
 use tommy_core::batching::FairOrder;
-use tommy_core::config::SequencerConfig;
+use tommy_core::config::{FastPathMode, SequencerConfig};
+use tommy_core::sequencer::online::OnlineStats;
 use tommy_core::message::{ClientId, Message, MessageId};
 use tommy_core::precedence::PrecedenceMatrix;
 use tommy_core::registry::DistributionRegistry;
@@ -146,8 +147,17 @@ pub fn stream_registry() -> DistributionRegistry {
 }
 
 /// An online sequencer pre-loaded with `pending` watermark-blocked messages.
+/// The default (`Auto`) fast-path mode rides the sparse engine: the stream
+/// census is all-Gaussian.
 pub fn prefilled_sequencer(pending: usize) -> OnlineSequencer {
-    let mut sequencer = OnlineSequencer::new(SequencerConfig::default());
+    prefilled_sequencer_mode(pending, FastPathMode::Auto)
+}
+
+/// [`prefilled_sequencer`] with an explicit fast-path mode, for dense-vs-
+/// sparse arrival-cost comparisons over the identical workload.
+pub fn prefilled_sequencer_mode(pending: usize, fast_path: FastPathMode) -> OnlineSequencer {
+    let mut sequencer =
+        OnlineSequencer::new(SequencerConfig::default().with_fast_path(fast_path));
     for c in 0..STREAM_CLIENTS {
         sequencer.register_client(ClientId(c), OffsetDistribution::gaussian(0.0, 5.0));
     }
@@ -163,14 +173,34 @@ pub fn prefilled_sequencer(pending: usize) -> OnlineSequencer {
     sequencer
 }
 
-/// Stream `messages` arrivals through the incremental online sequencer
-/// (each submit pays O(pending) probability queries and one candidate
-/// recomputation). Returns the number of messages left pending, which equals
-/// `messages` because the silent client blocks every watermark.
+/// Stream `messages` arrivals through the online sequencer in its default
+/// (`Auto`) mode — the sparse fast path on this all-Gaussian workload, with
+/// O(log pending) treap placement and lazy boundary evaluations per arrival.
+/// Returns the number of messages left pending, which equals `messages`
+/// because the silent client blocks every watermark.
 pub fn run_incremental_stream(messages: usize) -> usize {
     let mut sequencer = prefilled_sequencer(messages);
     sequencer.tick(messages as f64 + 1.0);
     sequencer.pending_len()
+}
+
+/// Stream `messages` arrivals through the dense matrix engine
+/// (`ForceDense`): each submit materializes a full probability column —
+/// O(pending) queries — and the run holds the O(pending²) matrix. This is
+/// the engine the sparse fast path retires on closed-form streams.
+pub fn run_dense_stream(messages: usize) -> usize {
+    let mut sequencer = prefilled_sequencer_mode(messages, FastPathMode::ForceDense);
+    sequencer.tick(messages as f64 + 1.0);
+    sequencer.pending_len()
+}
+
+/// [`run_incremental_stream`]'s counters: stream `messages` watermark-blocked
+/// arrivals in the given mode and return the sequencer's [`OnlineStats`]
+/// (peak-memory accounting and fast-path counters for the baseline rows).
+pub fn stream_stats(messages: usize, fast_path: FastPathMode) -> OnlineStats {
+    let mut sequencer = prefilled_sequencer_mode(messages, fast_path);
+    sequencer.tick(messages as f64 + 1.0);
+    sequencer.stats()
 }
 
 /// Stream `messages` arrivals through the pre-incremental (seed) path: every
@@ -416,7 +446,26 @@ mod tests {
     #[test]
     fn streams_keep_everything_pending() {
         assert_eq!(run_incremental_stream(25), 25);
+        assert_eq!(run_dense_stream(25), 25);
         assert_eq!(run_scratch_stream(25), 25);
+    }
+
+    /// The two engines really take the two paths on this workload: the
+    /// default stream avoids every dense column and allocates no matrix;
+    /// the forced-dense stream does the opposite.
+    #[test]
+    fn stream_stats_split_by_mode() {
+        let sparse = stream_stats(30, FastPathMode::Auto);
+        assert_eq!(sparse.dense_columns_avoided, 30, "{sparse:?}");
+        assert!(sparse.lazy_evals > 0, "{sparse:?}");
+        assert_eq!(sparse.peak_matrix_bytes, 0, "{sparse:?}");
+        assert!(sparse.peak_index_bytes > 0, "{sparse:?}");
+
+        let dense = stream_stats(30, FastPathMode::ForceDense);
+        assert_eq!(dense.dense_columns_avoided, 0, "{dense:?}");
+        assert_eq!(dense.lazy_evals, 0, "{dense:?}");
+        assert!(dense.peak_matrix_bytes > 0, "{dense:?}");
+        assert_eq!(dense.peak_index_bytes, 0, "{dense:?}");
     }
 
     #[test]

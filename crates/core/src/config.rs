@@ -35,6 +35,35 @@ impl std::fmt::Display for FasFallbackReason {
     }
 }
 
+/// Which precedence engine the online sequencer runs over its pending set.
+///
+/// For closed-form (Gaussian) kernels, `p(i ≺ j) ≥ ½` reduces to a
+/// per-client timestamp-margin comparison, so the tournament order is a
+/// sort by margin-adjusted timestamp and the dense
+/// [`PrecedenceMatrix`](crate::precedence::PrecedenceMatrix) column an
+/// arrival would fill is never needed — the *sparse fast path* maintains
+/// the order in an order-statistics tree and evaluates probabilities
+/// lazily, only for the boundary-adjacent pairs the batch threshold
+/// actually inspects (see `ARCHITECTURE.md`, "Sparse fast path").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FastPathMode {
+    /// Decide automatically (the default): the sparse path runs whenever
+    /// *every* registered client has a closed-form (Gaussian) offset
+    /// distribution, and the sequencer falls back to the dense matrix the
+    /// moment a non-closed-form client is registered — re-evaluated on
+    /// every registration, with pending messages migrated across the
+    /// switch (bit-identical emitted batches either way, property-tested).
+    #[default]
+    Auto,
+    /// Never use the sparse path: every arrival fills a dense matrix
+    /// column, exactly the historical engine. Exists for baseline
+    /// measurement (`sparse_path` bench), for the exact-query-count
+    /// regression tests, and as a correctness anchor — the fast-path
+    /// counters (`lazy_evals`, `dense_columns_avoided`, `mode_switches`)
+    /// stay zero under it.
+    ForceDense,
+}
+
 /// Watermark-liveness configuration: heartbeat-timeout detection for the
 /// online sequencer (§3.5 degradation under client failure).
 ///
@@ -182,6 +211,12 @@ pub struct SequencerConfig {
     /// past the staleness deadline while blocking the watermark, and resumes
     /// them when they speak again. Disabled by default.
     pub liveness: LivenessConfig,
+    /// Online precedence-engine selection (see [`FastPathMode`]):
+    /// [`FastPathMode::Auto`] (the default) runs the sub-quadratic sparse
+    /// fast path on all-closed-form client populations and the dense matrix
+    /// otherwise; [`FastPathMode::ForceDense`] pins the historical dense
+    /// engine unconditionally.
+    pub fast_path: FastPathMode,
 }
 
 impl Default for SequencerConfig {
@@ -197,6 +232,7 @@ impl Default for SequencerConfig {
             parallelism: 1,
             defense: DefenseConfig::disabled(),
             liveness: LivenessConfig::disabled(),
+            fast_path: FastPathMode::Auto,
         }
     }
 }
@@ -315,6 +351,13 @@ impl SequencerConfig {
         self
     }
 
+    /// Select the online precedence engine (see
+    /// [`SequencerConfig::fast_path`] and [`FastPathMode`]).
+    pub fn with_fast_path(mut self, mode: FastPathMode) -> Self {
+        self.fast_path = mode;
+        self
+    }
+
     /// Why the incremental FAS engine will *not* run for this
     /// configuration, or `None` when it will. This is the single source of
     /// truth consulted by [`SequencingCore`](crate::sequencer::SequencingCore)
@@ -345,6 +388,14 @@ mod tests {
         assert!(c.incremental_fas);
         assert!(c.retain_history);
         assert_eq!(c.parallelism, 1);
+        assert_eq!(c.fast_path, FastPathMode::Auto);
+    }
+
+    #[test]
+    fn fast_path_builder() {
+        let c = SequencerConfig::new().with_fast_path(FastPathMode::ForceDense);
+        assert_eq!(c.fast_path, FastPathMode::ForceDense);
+        assert_eq!(FastPathMode::default(), FastPathMode::Auto);
     }
 
     #[test]

@@ -42,7 +42,10 @@
 //!   batch-boundary engine the online sequencer maintains across arrivals.
 //! * [`sequencer`] — the shared sequencing core (linear order → fair order,
 //!   one code path for both modes), the offline sequencer (§3.4) and the
-//!   online sequencer with safe emission and watermarks (§3.5).
+//!   online sequencer with safe emission and watermarks (§3.5), including
+//!   the sub-quadratic sparse fast path for all-closed-form streams
+//!   (order-statistics treap + lazy probability evaluation; see
+//!   `ARCHITECTURE.md`, "Sparse fast path").
 //! * [`baselines`] — FIFO, WaitsForOne and TrueTime-style sequencers used in
 //!   the paper's evaluation (§2, §4).
 //! * [`tiebreak`] — randomized tie-breaking to extend the fair partial order
@@ -94,7 +97,7 @@ pub use checker::{
     CheckReport, CrashLivenessReport, FaultCheckReport, FaultSpec, InvariantViolation, ModelSpec,
     RunTrace,
 };
-pub use config::{FasFallbackReason, LivenessConfig, SequencerConfig};
+pub use config::{FasFallbackReason, FastPathMode, LivenessConfig, SequencerConfig};
 pub use defense::{
     CollusionReport, CollusionTracker, DefenseConfig, ExpectedDelay, TrustEvent, TrustLevel,
     TrustState,
@@ -105,7 +108,7 @@ pub use precedence::PrecedenceMatrix;
 pub use registry::{DistributionRegistry, PairKernel};
 pub use relation::LikelyHappenedBefore;
 pub use sequencer::offline::TommySequencer;
-pub use sequencer::online::{OnlineSequencer, OnlineStats};
+pub use sequencer::online::{CandidateStatus, OnlineSequencer, OnlineStats};
 pub use sequencer::{SequencingCore, SequencingOutcome};
 pub use session::{RecoveryPolicy, SequenceValidator, SessionAction, SessionCounters};
 pub use tournament::{IncrementalTournament, Tournament};
@@ -114,7 +117,7 @@ pub use tournament::{IncrementalTournament, Tournament};
 pub mod prelude {
     pub use crate::baselines::{FifoSequencer, TrueTimeSequencer, WfoSequencer};
     pub use crate::batching::{Batch, FairOrder};
-    pub use crate::config::SequencerConfig;
+    pub use crate::config::{FastPathMode, SequencerConfig};
     pub use crate::message::{ClientId, Message, MessageId};
     pub use crate::registry::DistributionRegistry;
     pub use crate::sequencer::offline::TommySequencer;

@@ -575,6 +575,14 @@ impl PrecedenceMatrix {
         self.messages.len()
     }
 
+    /// Bytes currently reserved for the dense probability grid
+    /// (`capacity × 8`). This is the O(n²) term the sparse fast path
+    /// avoids; the online sequencer samples it into
+    /// `OnlineStats::peak_matrix_bytes` after every mutation.
+    pub fn prob_bytes(&self) -> usize {
+        self.probs.capacity() * core::mem::size_of::<f64>()
+    }
+
     /// Whether the matrix is empty (possible only for [`empty`](Self::empty)
     /// matrices between incremental insertions).
     pub fn is_empty(&self) -> bool {

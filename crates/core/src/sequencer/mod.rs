@@ -17,15 +17,21 @@
 //! * [`emission`] — safe-emission time computation (`T^F_i`, `T_b`).
 //! * [`watermark`] — per-client completeness tracking via messages and
 //!   heartbeats over ordered channels.
+//! * `sparse` (private) — the sub-quadratic Gaussian fast path: when every
+//!   registered client has a closed-form kernel, the online sequencer keeps
+//!   its order in an order-statistics treap keyed by margin-adjusted
+//!   timestamps and evaluates probabilities lazily, never materializing a
+//!   dense matrix column (see `ARCHITECTURE.md`, "Sparse fast path").
 
 pub mod core;
 pub mod emission;
 pub mod offline;
 pub mod online;
+mod sparse;
 pub mod watermark;
 
 pub use self::core::{SequencingCore, SequencingOutcome};
 pub use emission::{batch_emission_time, batch_emission_time_over, safe_emission_time};
 pub use offline::TommySequencer;
-pub use online::{EmittedBatch, OnlineSequencer, OnlineStats};
+pub use online::{CandidateStatus, EmittedBatch, OnlineSequencer, OnlineStats};
 pub use watermark::WatermarkTracker;

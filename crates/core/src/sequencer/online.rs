@@ -65,9 +65,32 @@
 //! A late high-uncertainty message still merges into the open batch exactly
 //! as in the Appendix C worked example: its arrival invalidates the cache and
 //! the next recomputation sees the full pending set.
+//!
+//! ## Sparse fast path
+//!
+//! When every registered client has a closed-form (Gaussian) distribution
+//! and [`SequencerConfig::fast_path`] is
+//! [`Auto`](crate::config::FastPathMode::Auto), the sequencer bypasses the
+//! dense engine entirely: arrivals go into the private sparse engine
+//! (`sequencer::sparse`), which keeps the tournament order in an
+//! order-statistics treap keyed by margin-adjusted timestamps — O(log n)
+//! insert/remove — and evaluates probabilities lazily, only for the
+//! boundary-adjacent and closure-window pairs the batch threshold actually
+//! inspects. No dense matrix column is ever materialized
+//! (`dense_columns_avoided` counts the arrivals that skipped one). The mode
+//! is decided by a *census*: it is re-evaluated only at
+//! [`register_client`](OnlineSequencer::register_client) — the only event
+//! that can change the census, since submission rejects unknown clients —
+//! and any non-closed-form registration switches the pending set to the
+//! dense path (cyclic pairs thus keep flowing through the existing FAS
+//! block machinery, which only dense mode can need: Gaussian tournaments
+//! are transitive by Appendix A). Emitted batches, boundary sets and
+//! counters are bit-identical between the two modes; see `ARCHITECTURE.md`
+//! ("Sparse fast path") for the decision rule and the lazy-evaluation
+//! invariant.
 
 use crate::batching::{FairOrder, FairOrderCounters};
-use crate::config::SequencerConfig;
+use crate::config::{FastPathMode, SequencerConfig};
 use crate::defense::{ExpectedDelay, TrustEvent, TrustLevel};
 use crate::error::CoreError;
 use crate::message::{ClientId, Message, MessageId};
@@ -75,6 +98,7 @@ use crate::precedence::PrecedenceMatrix;
 use crate::registry::DistributionRegistry;
 use crate::sequencer::core::SequencingCore;
 use crate::sequencer::emission::batch_emission_time_over;
+use crate::sequencer::sparse::SparseEngine;
 use crate::sequencer::watermark::WatermarkTracker;
 use crate::session::SessionCounters;
 use crate::tournament::IncrementalTournament;
@@ -173,6 +197,27 @@ pub struct OnlineStats {
     /// observed across the run (0 when no pair was ever scored). A run-level
     /// "how close did honest traffic get to the threshold" diagnostic.
     pub peak_collusion_score: f64,
+    /// Probability evaluations performed lazily by the sparse fast path —
+    /// boundary bits plus closure-window checks, the only pairs the batch
+    /// threshold actually inspects. Zero on forced-dense runs. (These are
+    /// also counted in the registry's query counter, exactly like dense
+    /// column fills.)
+    pub lazy_evals: u64,
+    /// Arrivals handled by the sparse fast path, each of which skipped the
+    /// O(n) dense [`PrecedenceMatrix`] column fill (and its share of the
+    /// O(n²) probability grid). Zero on forced-dense runs.
+    pub dense_columns_avoided: u64,
+    /// Census-driven engine flips (sparse → dense or back), each triggered
+    /// by a [`register_client`](OnlineSequencer::register_client) call that
+    /// changed whether *every* registered client is closed-form. Zero on
+    /// forced-dense runs.
+    pub mode_switches: u64,
+    /// Largest number of bytes the dense probability grid ever had reserved
+    /// (O(n²) in the dense pending set; stays 0 on a pure fast-path run).
+    pub peak_matrix_bytes: usize,
+    /// Largest number of bytes the sparse order-statistics arena ever had
+    /// reserved (O(n) in the fast-path pending set).
+    pub peak_index_bytes: usize,
 }
 
 impl OnlineStats {
@@ -198,6 +243,32 @@ struct Candidate {
     safe_after: f64,
     /// Largest timestamp in the batch: the watermark horizon.
     horizon: f64,
+}
+
+/// A zero-allocation snapshot of the current candidate batch — what a
+/// monitoring tick needs (is a batch forming, how large, when does it
+/// become emittable) without cloning a single message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateStatus {
+    /// Number of messages in the candidate batch.
+    pub size: usize,
+    /// The batch's safe-emission time `T_b` (§3.5 condition (i)).
+    pub safe_after: f64,
+    /// The batch's watermark horizon — its largest timestamp (§3.5
+    /// condition (ii)).
+    pub horizon: f64,
+}
+
+/// Which precedence engine currently owns the pending set (see the module
+/// docs, "Sparse fast path").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EngineMode {
+    /// Every registered client is closed-form: order-statistics treap,
+    /// lazy probability evaluation, no dense matrix.
+    Sparse,
+    /// At least one registered client is non-closed-form (or the fast path
+    /// is disabled): dense matrix + incremental tournament/FAS machinery.
+    Dense,
 }
 
 /// The online Tommy sequencer.
@@ -239,6 +310,14 @@ pub struct OnlineSequencer {
     /// linear order, and batch boundaries over `matrix` (updated in
     /// lockstep with every matrix insert/removal).
     core: SequencingCore,
+    /// The sub-quadratic closed-form engine; holds the pending set instead
+    /// of `matrix`/`core` while `mode` is [`EngineMode::Sparse`].
+    sparse: SparseEngine,
+    /// Which engine owns the pending set (census-driven, see module docs).
+    mode: EngineMode,
+    /// Registered clients whose distribution has no closed form — the
+    /// census: the sparse fast path requires this set to be empty.
+    non_gaussian: HashSet<ClientId>,
     /// Arrival time per pending message (for emission-latency accounting).
     arrivals: HashMap<MessageId, f64>,
     /// Cached candidate batch; `None` means the pending set changed since the
@@ -276,11 +355,18 @@ pub struct OnlineSequencer {
 impl OnlineSequencer {
     /// Create an online sequencer with no registered clients.
     pub fn new(config: SequencerConfig) -> Self {
+        let mode = match config.fast_path {
+            FastPathMode::Auto => EngineMode::Sparse,
+            FastPathMode::ForceDense => EngineMode::Dense,
+        };
         OnlineSequencer {
             registry: DistributionRegistry::from_config(&config),
             watermarks: WatermarkTracker::new(&[]),
             matrix: PrecedenceMatrix::empty(),
             core: SequencingCore::new(config),
+            sparse: SparseEngine::new(),
+            mode,
+            non_gaussian: HashSet::new(),
             arrivals: HashMap::new(),
             candidate: None,
             violation_margins: HashMap::new(),
@@ -308,23 +394,109 @@ impl OnlineSequencer {
     /// Re-registering a client invalidates every cached quantity derived
     /// from its old distribution: the violation margins, the candidate
     /// batch, and — since pairwise probabilities involving the client may
-    /// have changed — the pending precedence matrix is re-derived.
+    /// have changed — the pending precedence state is re-derived.
+    ///
+    /// Registration is also the only point where the engine mode can flip
+    /// (see module docs, "Sparse fast path"): the census of closed-form
+    /// clients is re-taken, and the pending set migrates between the sparse
+    /// and dense engines when the census verdict changes.
     pub fn register_client(&mut self, client: ClientId, distribution: OffsetDistribution) {
+        match distribution.as_gaussian() {
+            Some(gaussian) => {
+                self.sparse.observe_sigma(gaussian.std_dev());
+                self.non_gaussian.remove(&client);
+            }
+            None => {
+                self.non_gaussian.insert(client);
+            }
+        }
         self.registry.register(client, distribution);
         self.watermarks.add_client(client);
         self.last_heard.entry(client).or_insert(f64::NEG_INFINITY);
         self.violation_margins
             .retain(|(a, b), _| *a != client && *b != client);
         self.candidate = None;
-        // Pairwise probabilities only change if the client has pending
-        // messages; a re-derivation over an unaffected pending set would be
-        // O(n²) queries of pure waste.
-        if self.matrix.messages().iter().any(|m| m.client == client) {
-            let pending = self.matrix.messages().to_vec();
-            self.matrix =
-                PrecedenceMatrix::compute_parallel(&pending, &self.registry, self.core.config().parallelism)
+        self.sparse.invalidate_candidate();
+
+        let want_sparse = self.core.config().fast_path == FastPathMode::Auto
+            && self.non_gaussian.is_empty();
+        match (self.mode, want_sparse) {
+            (EngineMode::Sparse, false) => self.switch_to_dense(),
+            (EngineMode::Dense, true) => self.switch_to_sparse(),
+            (EngineMode::Sparse, true) => {
+                // Same mode: the client's margins (hence keys and lazy
+                // probabilities) may have changed — re-key iff it has
+                // pending messages, exactly as the dense path re-derives.
+                if self.sparse.contains_client(client) {
+                    let pending = self.sparse.messages_in_arrival_order();
+                    let threshold = self.core.config().threshold;
+                    self.sparse.rebuild_from(&pending, &self.registry, threshold);
+                }
+            }
+            (EngineMode::Dense, false) => {
+                // Pairwise probabilities only change if the client has
+                // pending messages; a re-derivation over an unaffected
+                // pending set would be O(n²) queries of pure waste.
+                if self.matrix.messages().iter().any(|m| m.client == client) {
+                    let pending = self.matrix.messages().to_vec();
+                    self.matrix = PrecedenceMatrix::compute_parallel(
+                        &pending,
+                        &self.registry,
+                        self.core.config().parallelism,
+                    )
                     .expect("pending messages come from registered clients");
+                    self.core.load(&self.matrix);
+                }
+            }
+        }
+        self.record_memory_peaks();
+    }
+
+    /// Migrate the pending set sparse → dense: materialize the matrix the
+    /// fast path avoided (the one O(n²) payment a census change costs) and
+    /// load it into the shared core. With nothing pending the engines are
+    /// both empty and only the mode flips.
+    fn switch_to_dense(&mut self) {
+        debug_assert!(self.matrix.is_empty(), "dense state leaked into sparse mode");
+        let pending = self.sparse.messages_in_arrival_order();
+        self.sparse.clear_pending();
+        if !pending.is_empty() {
+            self.matrix = PrecedenceMatrix::compute_parallel(
+                &pending,
+                &self.registry,
+                self.core.config().parallelism,
+            )
+            .expect("pending messages come from registered clients");
             self.core.load(&self.matrix);
+        }
+        self.mode = EngineMode::Dense;
+        self.stats.mode_switches += 1;
+    }
+
+    /// Migrate the pending set dense → sparse: re-key the pending messages
+    /// into the order-statistics treap (in arrival order, so sequence
+    /// numbers keep matching dense slot order) and retire the dense state.
+    fn switch_to_sparse(&mut self) {
+        let pending = std::mem::replace(&mut self.matrix, PrecedenceMatrix::empty());
+        if !pending.is_empty() {
+            let threshold = self.core.config().threshold;
+            self.sparse
+                .rebuild_from(pending.messages(), &self.registry, threshold);
+            self.core.load(&self.matrix);
+        }
+        self.mode = EngineMode::Sparse;
+        self.stats.mode_switches += 1;
+    }
+
+    /// Sample both engines' reserved bytes into the run's high-water marks.
+    fn record_memory_peaks(&mut self) {
+        let matrix_bytes = self.matrix.prob_bytes();
+        if matrix_bytes > self.stats.peak_matrix_bytes {
+            self.stats.peak_matrix_bytes = matrix_bytes;
+        }
+        let index_bytes = self.sparse.index_bytes();
+        if index_bytes > self.stats.peak_index_bytes {
+            self.stats.peak_index_bytes = index_bytes;
         }
     }
 
@@ -343,12 +515,17 @@ impl OnlineSequencer {
 
     /// Number of messages waiting to be emitted.
     pub fn pending_len(&self) -> usize {
-        self.matrix.len()
+        match self.mode {
+            EngineMode::Sparse => self.sparse.len(),
+            EngineMode::Dense => self.matrix.len(),
+        }
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> OnlineStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.lazy_evals = self.sparse.lazy_evals();
+        stats
     }
 
     /// Batches emitted and not yet drained. Callers that never call
@@ -397,12 +574,58 @@ impl OnlineSequencer {
         self.core.tournament()
     }
 
+    /// The maintained tournament order of the pending set as
+    /// `(message id, starts_batch)` pairs — the boundary-bit surface the
+    /// sparse/dense equivalence property tests compare. Position 0 is
+    /// normalized to `true` (the head of the order always starts a batch).
+    ///
+    /// Dense mode refreshes the maintained order first (a no-op on a clean
+    /// incremental state); sparse mode reads the treap in key order.
+    pub fn pending_order(&mut self) -> Vec<(MessageId, bool)> {
+        match self.mode {
+            EngineMode::Sparse => self.sparse.pending_order(),
+            EngineMode::Dense => {
+                if self.matrix.is_empty() {
+                    return Vec::new();
+                }
+                let rng: Option<&mut dyn rand::RngCore> =
+                    if self.core.config().stochastic_cycle_breaking {
+                        Some(&mut self.rng)
+                    } else {
+                        None
+                    };
+                let order = self.core.linear_order(&self.matrix, rng);
+                let boundaries: HashSet<usize> =
+                    self.core.fair().boundary_positions().into_iter().collect();
+                order
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, &idx)| {
+                        (
+                            self.matrix.message(idx).id,
+                            pos == 0 || boundaries.contains(&pos),
+                        )
+                    })
+                    .collect()
+            }
+        }
+    }
+
     /// Counters of the incremental batch-boundary engine: adjacent-pair
     /// re-evaluations (at most two per arrival, one per removed run on
     /// emission), the local batch splits/merges they caused, and the
-    /// cycle-induced full rebuilds (zero on Gaussian workloads).
+    /// cycle-induced full rebuilds (zero on Gaussian workloads). Both
+    /// engines obey the same contract, so the sparse fast path's boundary
+    /// work is summed in — the invariants hold across mode switches.
     pub fn fair_order_counters(&self) -> FairOrderCounters {
-        self.core.fair().counters()
+        let dense = self.core.fair().counters();
+        let sparse = self.sparse.counters();
+        FairOrderCounters {
+            boundary_evals: dense.boundary_evals + sparse.boundary_evals,
+            batch_splits: dense.batch_splits + sparse.batch_splits,
+            batch_merges: dense.batch_merges + sparse.batch_merges,
+            full_rebuilds: dense.full_rebuilds + sparse.full_rebuilds,
+        }
     }
 
     fn advance_clock(&mut self, now: f64) {
@@ -544,10 +767,22 @@ impl OnlineSequencer {
         }
 
         self.arrivals.insert(message.id, arrival_time);
-        self.matrix.insert(message, &self.registry)?;
-        self.core.insert_last(&self.matrix);
-        self.candidate = None;
-        self.stats.max_pending = self.stats.max_pending.max(self.matrix.len());
+        match self.mode {
+            EngineMode::Sparse => {
+                let threshold = self.core.config().threshold;
+                let p_safe = self.core.config().p_safe;
+                self.sparse
+                    .insert(message, &self.registry, threshold, p_safe)?;
+                self.stats.dense_columns_avoided += 1;
+            }
+            EngineMode::Dense => {
+                self.matrix.insert(message, &self.registry)?;
+                self.core.insert_last(&self.matrix);
+                self.candidate = None;
+            }
+        }
+        self.stats.max_pending = self.stats.max_pending.max(self.pending_len());
+        self.record_memory_peaks();
         Ok(self.try_emit())
     }
 
@@ -751,15 +986,15 @@ impl OnlineSequencer {
     /// because the workload has ended).
     pub fn flush(&mut self) -> Vec<EmittedBatch> {
         let mut emitted = Vec::new();
-        while let Some(candidate) = self.take_candidate() {
-            let batch_msgs = self.candidate_messages(&candidate);
-            emitted.push(self.emit_batch(batch_msgs, candidate.safe_after));
+        while let Some((batch_msgs, safe_after)) = self.take_candidate_messages() {
+            emitted.push(self.emit_batch(batch_msgs, safe_after));
         }
         emitted
     }
 
     /// The candidate batch for the current pending set, recomputing it only
-    /// if an arrival or emission invalidated the cache.
+    /// if an arrival or emission invalidated the cache (dense mode only —
+    /// the sparse engine caches its own candidate).
     fn ensure_candidate(&mut self) -> Option<&Candidate> {
         if self.matrix.is_empty() {
             return None;
@@ -776,21 +1011,60 @@ impl OnlineSequencer {
         self.candidate.as_ref()
     }
 
-    /// Take the current candidate out of the cache (recomputing it first if
-    /// needed), leaving the cache dirty for the next pending-set state.
-    fn take_candidate(&mut self) -> Option<Candidate> {
-        self.ensure_candidate()?;
-        self.candidate.take()
+    /// The current candidate batch's `(size, safe_after, horizon)` from
+    /// whichever engine owns the pending set, using (or filling) its cache.
+    fn candidate_gate(&mut self) -> Option<CandidateStatus> {
+        match self.mode {
+            EngineMode::Sparse => {
+                let threshold = self.core.config().threshold;
+                let p_safe = self.core.config().p_safe;
+                self.sparse
+                    .candidate_meta(&self.registry, threshold, p_safe)
+                    .map(|(size, safe_after, horizon)| CandidateStatus {
+                        size,
+                        safe_after,
+                        horizon,
+                    })
+            }
+            EngineMode::Dense => self.ensure_candidate().map(|c| CandidateStatus {
+                size: c.indices.len(),
+                safe_after: c.safe_after,
+                horizon: c.horizon,
+            }),
+        }
     }
 
-    /// Clone the candidate's messages out of the matrix (the one clone per
-    /// batch, paid at emission rather than per recomputation).
-    fn candidate_messages(&self, candidate: &Candidate) -> Vec<Message> {
-        candidate
-            .indices
-            .iter()
-            .map(|&i| self.matrix.message(i).clone())
-            .collect()
+    /// Inspect the candidate batch the sequencer is currently forming
+    /// without cloning it: size, safe-emission time and watermark horizon,
+    /// straight off the (possibly recomputed) candidate cache. Exactly like
+    /// [`tick`](Self::tick), an unchanged pending set answers with **zero**
+    /// probability queries and zero allocations.
+    pub fn candidate_status(&mut self) -> Option<CandidateStatus> {
+        self.candidate_gate()
+    }
+
+    /// Take the current candidate out of whichever engine's cache
+    /// (recomputing it first if needed), returning its messages in arrival
+    /// order together with its safe-emission time, and leaving the cache
+    /// dirty for the next pending-set state.
+    fn take_candidate_messages(&mut self) -> Option<(Vec<Message>, f64)> {
+        match self.mode {
+            EngineMode::Sparse => {
+                let threshold = self.core.config().threshold;
+                let p_safe = self.core.config().p_safe;
+                self.sparse.take_candidate(&self.registry, threshold, p_safe)
+            }
+            EngineMode::Dense => {
+                self.ensure_candidate()?;
+                let candidate = self.candidate.take().expect("candidate just ensured");
+                let batch_msgs = candidate
+                    .indices
+                    .iter()
+                    .map(|&i| self.matrix.message(i).clone())
+                    .collect();
+                Some((batch_msgs, candidate.safe_after))
+            }
+        }
     }
 
     fn emit_batch(&mut self, batch_msgs: Vec<Message>, safe_after: f64) -> EmittedBatch {
@@ -801,11 +1075,19 @@ impl OnlineSequencer {
                 self.stats.total_emission_latency += (self.now - arrived_at).max(0.0);
             }
         }
-        let removed_indices: Vec<usize> =
-            ids.iter().filter_map(|id| self.matrix.index_of(*id)).collect();
-        self.matrix.remove_batch(&ids);
-        self.core.remove_indices(&removed_indices, &self.matrix);
-        self.candidate = None;
+        match self.mode {
+            EngineMode::Sparse => {
+                let threshold = self.core.config().threshold;
+                self.sparse.commit_removal(&self.registry, threshold);
+            }
+            EngineMode::Dense => {
+                let removed_indices: Vec<usize> =
+                    ids.iter().filter_map(|id| self.matrix.index_of(*id)).collect();
+                self.matrix.remove_batch(&ids);
+                self.core.remove_indices(&removed_indices, &self.matrix);
+                self.candidate = None;
+            }
+        }
 
         let rank = self.stats.batches_emitted;
         if self.core.config().retain_history {
@@ -836,8 +1118,8 @@ impl OnlineSequencer {
     /// Emit every batch that currently satisfies both safety conditions.
     fn try_emit(&mut self) -> Vec<EmittedBatch> {
         let mut out = Vec::new();
-        while let Some(c) = self.ensure_candidate() {
-            let (safe_after, horizon) = (c.safe_after, c.horizon);
+        while let Some(gate) = self.candidate_gate() {
+            let (safe_after, horizon) = (gate.safe_after, gate.horizon);
             // Condition (i): the sequencer clock reached T_b.
             if self.now < safe_after {
                 break;
@@ -861,9 +1143,10 @@ impl OnlineSequencer {
                     break;
                 }
             }
-            let candidate = self.candidate.take().expect("candidate just ensured");
-            let batch_msgs = self.candidate_messages(&candidate);
-            out.push(self.emit_batch(batch_msgs, candidate.safe_after));
+            let (batch_msgs, safe_after) = self
+                .take_candidate_messages()
+                .expect("candidate just ensured");
+            out.push(self.emit_batch(batch_msgs, safe_after));
         }
         out
     }
@@ -914,6 +1197,16 @@ mod tests {
 
     fn sequencer(clients: &[(u32, f64)]) -> OnlineSequencer {
         let mut seq = OnlineSequencer::new(SequencerConfig::default());
+        for &(c, sigma) in clients {
+            seq.register_client(ClientId(c), OffsetDistribution::gaussian(0.0, sigma));
+        }
+        seq
+    }
+
+    fn dense_sequencer(clients: &[(u32, f64)]) -> OnlineSequencer {
+        let mut seq = OnlineSequencer::new(
+            SequencerConfig::default().with_fast_path(FastPathMode::ForceDense),
+        );
         for &(c, sigma) in clients {
             seq.register_client(ClientId(c), OffsetDistribution::gaussian(0.0, sigma));
         }
@@ -1194,9 +1487,11 @@ mod tests {
 
     /// Each arrival adds exactly O(n) probability queries (one per existing
     /// pending message), not the O(n²) a from-scratch rebuild would.
+    /// (Forced dense: the sparse fast path would do strictly fewer, lazy
+    /// queries — this pins the dense engine's exact per-arrival count.)
     #[test]
     fn arrivals_query_linearly_in_pending_size() {
-        let mut seq = sequencer(&[(0, 10.0), (1, 10.0)]);
+        let mut seq = dense_sequencer(&[(0, 10.0), (1, 10.0)]);
         let mut previous = seq.registry().query_count();
         for i in 0..20u64 {
             seq.submit(msg(i, 0, 100.0 + i as f64), 100.0 + i as f64).unwrap();
@@ -1238,7 +1533,7 @@ mod tests {
     /// this pins the arrival path to zero O(n²) components.
     #[test]
     fn arrivals_compare_linearly_in_pending_size() {
-        let mut seq = sequencer(&[(0, 10.0), (1, 10.0)]);
+        let mut seq = dense_sequencer(&[(0, 10.0), (1, 10.0)]);
         let mut previous = seq.tournament().comparisons();
         for i in 0..20u64 {
             seq.submit(msg(i, 0, 100.0 + i as f64), 100.0 + i as f64).unwrap();
@@ -1319,5 +1614,111 @@ mod tests {
         };
         assert_eq!(emitted.len(), 1, "expected one merged batch");
         assert_eq!(emitted[0].messages.len(), 2);
+    }
+
+    /// An all-Gaussian stream under the default `Auto` mode never fills a
+    /// dense matrix column: every arrival is counted as avoided, the dense
+    /// grid stays at zero bytes, and the lazy evaluations show up on stats.
+    #[test]
+    fn sparse_mode_avoids_dense_columns() {
+        let mut seq = sequencer(&[(0, 2.0), (1, 2.0)]);
+        // Unit spacing with σ = 2: adjacent messages are inseparable, so the
+        // pending set builds up and every arrival pays its boundary bits.
+        for i in 0..20u64 {
+            let ts = 100.0 + i as f64;
+            seq.submit(msg(i, (i % 2) as u32, ts), ts).unwrap();
+        }
+        seq.heartbeat(ClientId(0), 1_000.0, 1_000.0).unwrap();
+        seq.heartbeat(ClientId(1), 1_000.0, 1_000.0).unwrap();
+        seq.tick(2_000.0);
+        seq.flush();
+        let stats = seq.stats();
+        assert_eq!(stats.messages_emitted, 20);
+        assert_eq!(stats.dense_columns_avoided, 20);
+        assert_eq!(stats.peak_matrix_bytes, 0, "no dense grid on the fast path");
+        assert!(stats.peak_index_bytes > 0);
+        assert!(stats.lazy_evals > 0);
+        assert_eq!(stats.mode_switches, 0);
+        let counters = seq.fair_order_counters();
+        assert!(counters.boundary_evals > 0);
+        assert_eq!(counters.full_rebuilds, 0);
+    }
+
+    /// `ForceDense` pins the sequencer to the dense engine: all fast-path
+    /// counters stay zero no matter how Gaussian the census is (the
+    /// forced-dense acceptance criterion).
+    #[test]
+    fn forced_dense_keeps_fast_path_counters_zero() {
+        let mut seq = dense_sequencer(&[(0, 2.0), (1, 2.0)]);
+        for i in 0..10u64 {
+            let ts = 10.0 * (i + 1) as f64;
+            seq.submit(msg(i, (i % 2) as u32, ts), ts).unwrap();
+            seq.heartbeat(ClientId(0), ts + 5.0, ts + 5.0).unwrap();
+            seq.heartbeat(ClientId(1), ts + 5.0, ts + 5.0).unwrap();
+            seq.tick(ts + 9.9);
+        }
+        seq.flush();
+        let stats = seq.stats();
+        assert!(stats.messages_emitted > 0);
+        assert_eq!(stats.lazy_evals, 0);
+        assert_eq!(stats.dense_columns_avoided, 0);
+        assert_eq!(stats.mode_switches, 0);
+        assert_eq!(stats.peak_index_bytes, 0);
+        assert!(stats.peak_matrix_bytes > 0);
+    }
+
+    /// Registering a non-closed-form client mid-stream migrates the pending
+    /// set sparse → dense without losing a message, and re-registering it as
+    /// Gaussian migrates back — two counted mode switches.
+    #[test]
+    fn census_change_switches_modes_and_preserves_pending() {
+        let mut seq = sequencer(&[(0, 1.0), (1, 1.0)]);
+        seq.submit(msg(0, 0, 100.0), 100.0).unwrap();
+        seq.submit(msg(1, 1, 100.4), 100.4).unwrap();
+        assert_eq!(seq.stats().dense_columns_avoided, 2);
+
+        // Client 1 turns out to be Laplace: the census fails and the
+        // pending set materializes into the dense engine.
+        seq.register_client(ClientId(1), OffsetDistribution::laplace(0.0, 1.0));
+        assert_eq!(seq.stats().mode_switches, 1);
+        assert_eq!(seq.pending_len(), 2);
+        assert!(seq.stats().peak_matrix_bytes > 0);
+        seq.submit(msg(2, 1, 100.8), 100.8).unwrap();
+        assert_eq!(seq.stats().dense_columns_avoided, 2, "dense mode fills columns");
+
+        // Re-registered as Gaussian, the census passes again and the
+        // pending set migrates back into the treap.
+        seq.register_client(ClientId(1), OffsetDistribution::gaussian(0.0, 1.0));
+        assert_eq!(seq.stats().mode_switches, 2);
+        assert_eq!(seq.pending_len(), 3);
+
+        let mut emitted = seq.heartbeat(ClientId(0), 200.0, 200.0).unwrap();
+        emitted.extend(seq.heartbeat(ClientId(1), 200.0, 200.0).unwrap());
+        emitted.extend(seq.tick(300.0));
+        let total: usize = emitted.iter().map(|b| b.messages.len()).sum();
+        assert_eq!(total, 3, "no message lost across two mode switches");
+        assert_eq!(seq.pending_len(), 0);
+    }
+
+    /// The borrow-style candidate inspection is query-free and stable on an
+    /// unchanged pending set (the zero-allocation tick path).
+    #[test]
+    fn candidate_status_is_query_free_when_cached() {
+        let mut seq = sequencer(&[(0, 10.0), (1, 10.0)]);
+        for i in 0..8u64 {
+            seq.submit(msg(i, 0, 100.0 + i as f64), 100.0 + i as f64).unwrap();
+        }
+        let first = seq.candidate_status().expect("pending set non-empty");
+        assert!(first.size >= 1);
+        assert!(first.horizon >= 100.0);
+        let baseline = seq.registry().query_count();
+        for _ in 0..50 {
+            assert_eq!(seq.candidate_status(), Some(first));
+        }
+        assert_eq!(
+            seq.registry().query_count(),
+            baseline,
+            "cached candidate inspection must not issue probability queries"
+        );
     }
 }

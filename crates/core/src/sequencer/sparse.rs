@@ -1,0 +1,1014 @@
+//! The sub-quadratic sparse fast path for closed-form (Gaussian) streams.
+//!
+//! For closed-form kernels the tournament orientation `p(i ≺ j) ≥ ½`
+//! reduces to a per-client timestamp-margin comparison: with Gaussian
+//! offsets `δ ~ N(μ, σ²)`, `P(T*_i < T*_j) = Φ((T_j − μ_j − (T_i − μ_i)) /
+//! √(σ_i² + σ_j²)) ≥ ½ ⇔ T_i − μ_i ≤ T_j − μ_j`. The Gaussian tournament
+//! order is therefore a *sort by the margin-adjusted timestamp*
+//! `key = T − μ` — no dense [`PrecedenceMatrix`] column is needed to place
+//! an arrival, and Gaussian tournaments are always transitive (Appendix A),
+//! so no FAS machinery is needed either.
+//!
+//! [`SparseEngine`] maintains that order in an order-statistics treap
+//! (arena-allocated, deterministic priorities, subtree sizes): O(log n)
+//! insert/remove at any pending-set size. Probabilities are evaluated
+//! *lazily*, only where the batch threshold actually inspects them:
+//!
+//! * **Boundary bits** — each arrival evaluates exactly its two in-order
+//!   adjacencies (mirroring
+//!   [`IncrementalFairOrder::insert_at`](crate::batching::IncrementalFairOrder)),
+//!   each emission one seam per removed run.
+//! * **Closure checks** — the Appendix C candidate closure only ever needs
+//!   pairs inside a *pruning window*: a pair is inseparable
+//!   (`max(p, 1−p) ≤ θ`) only if its kernel argument satisfies
+//!   `|Δkey| ≤ z(θ)·√(σ_i²+σ_j²)`, so any pair whose adjusted keys differ
+//!   by more than `w = z(θ)·√2·σ_max` (plus a floating-point slack that
+//!   dominates every rounding term, with `z` inflated past the erf/quantile
+//!   approximation error) is *guaranteed separable* and never evaluated.
+//!
+//! Every probability the engine does evaluate goes through the exact same
+//! [`PairKernel`](crate::registry::PairKernel) the dense column fill uses,
+//! oriented by arrival sequence exactly as the matrix stores it (direct
+//! value for the older message, `1.0 − p` for the newer), so boundary bits,
+//! closure decisions, safe-emission folds and emitted batches are
+//! bit-identical to the dense path. The one caveat: the erf polynomial's
+//! `Φ(0) ≈ 0.5 + 1.5e-8` leaves a ≈4e-8-wide kernel-argument band where the
+//! dense orientation rule (`p ≥ ½`) and the key-sort orientation can
+//! disagree on *placement* of two nearly-coincident messages; boundary and
+//! closure evaluations are kernel-exact in either placement, and any
+//! `θ > 0.5 + 3.2e-8` decides such pairs identically (both directions sit
+//! at `0.5 ± 2e-8`, far below the threshold), so batches agree for every
+//! realistic threshold.
+//!
+//! The candidate batch is cached *and maintained incrementally*: an arrival
+//! with `key > batch_max_key + w` provably cannot join (or alter) the
+//! cached candidate and leaves it untouched; an arrival inside the window
+//! is closure-checked against the in-window members and, if absorbed,
+//! expands the closure transitively from itself; only an arrival *below*
+//! the cached batch's key range invalidates the cache. Emission always
+//! invalidates. This keeps steady-state time-ordered arrivals at O(log n)
+//! plus O(window) lazy evaluations.
+//!
+//! The engine is private to the [`OnlineSequencer`](super::online): mode
+//! selection, counters and the dense fallback are documented on
+//! [`FastPathMode`](crate::config::FastPathMode) and in `ARCHITECTURE.md`
+//! ("Sparse fast path").
+
+use crate::batching::FairOrderCounters;
+use crate::error::CoreError;
+use crate::message::{Message, MessageId};
+use crate::registry::DistributionRegistry;
+use tommy_stats::erf::std_normal_inv_cdf;
+
+/// Arena null index.
+const NIL: u32 = u32::MAX;
+
+/// Deterministic treap priority from the arrival sequence number
+/// (splitmix64: consecutive sequences map to well-scattered priorities, so
+/// the treap stays balanced without any run-time randomness — sparse runs
+/// are exactly reproducible).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One pending message in the order-statistics treap. The arena index of a
+/// node is its stable *slot* for the lifetime of the message.
+#[derive(Debug, Clone)]
+struct Node {
+    left: u32,
+    right: u32,
+    /// Subtree size (order statistics / O(1) length).
+    size: u32,
+    /// Treap priority: `splitmix64(seq)`.
+    prio: u64,
+    /// Margin-adjusted timestamp `T − μ_client`, the sort key
+    /// (`−0.0` normalized to `+0.0`; never NaN).
+    key: f64,
+    /// Arrival sequence number: the total-order tie-break for equal keys
+    /// and the slot-orientation rule for lazy probability evaluation.
+    seq: u64,
+    /// Whether this node starts a new batch in the maintained order
+    /// (position 0 is `true` by convention, exactly as the dense boundary
+    /// set treats the head of the order).
+    starts_batch: bool,
+    /// Scratch membership flag of the cached candidate batch.
+    in_candidate: bool,
+    message: Message,
+}
+
+/// The cached lowest-rank candidate batch (sparse counterpart of the dense
+/// `Candidate`): member slots plus the folds emission needs.
+#[derive(Debug, Clone)]
+struct SparseCandidate {
+    /// Member slots, ascending by arrival sequence (the dense matrix-slot
+    /// order, so emitted batches list messages identically).
+    members: Vec<u32>,
+    /// Largest member key: arrivals beyond `batch_max_key + window` cannot
+    /// join or perturb the candidate.
+    batch_max_key: f64,
+    safe_after: f64,
+    horizon: f64,
+}
+
+/// Sparse precedence engine over an all-closed-form pending set (see the
+/// module docs). Owned by the online sequencer and active only while every
+/// registered client is Gaussian under [`FastPathMode::Auto`].
+///
+/// [`FastPathMode::Auto`]: crate::config::FastPathMode::Auto
+#[derive(Debug)]
+pub(crate) struct SparseEngine {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+    next_seq: u64,
+    /// Conservative monotone maximum σ over every Gaussian registration the
+    /// sequencer has ever seen (never decreased on re-registration, so the
+    /// pruning window stays sound).
+    max_sigma: f64,
+    /// Cached pruning window for the current `(threshold, max_sigma)`.
+    window: Option<f64>,
+    candidate: Option<SparseCandidate>,
+    /// Slots handed out by [`take_candidate`](Self::take_candidate) and not
+    /// yet removed by [`commit_removal`](Self::commit_removal).
+    pending_removal: Vec<u32>,
+    counters: FairOrderCounters,
+    lazy_evals: u64,
+}
+
+impl SparseEngine {
+    pub(crate) fn new() -> Self {
+        SparseEngine {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            next_seq: 0,
+            max_sigma: 0.0,
+            window: None,
+            candidate: None,
+            pending_removal: Vec::new(),
+            counters: FairOrderCounters::default(),
+            lazy_evals: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        if self.root == NIL {
+            0
+        } else {
+            self.nodes[self.root as usize].size as usize
+        }
+    }
+
+    /// Bytes currently reserved for the order-statistics arena — the
+    /// sparse counterpart of [`PrecedenceMatrix::prob_bytes`]
+    /// (O(n) per pending message instead of O(n²) total).
+    ///
+    /// [`PrecedenceMatrix::prob_bytes`]: crate::precedence::PrecedenceMatrix::prob_bytes
+    pub(crate) fn index_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Boundary-engine-shaped counters of the lazy evaluations (summed with
+    /// the dense engine's counters by the sequencer).
+    pub(crate) fn counters(&self) -> FairOrderCounters {
+        self.counters
+    }
+
+    /// Total lazy kernel evaluations (boundary bits + closure checks).
+    pub(crate) fn lazy_evals(&self) -> u64 {
+        self.lazy_evals
+    }
+
+    /// Record a Gaussian registration's σ (monotone max; widening the
+    /// pruning window invalidates its cache, never the candidate — the
+    /// window only *prunes*, membership is decided by exact evaluations).
+    pub(crate) fn observe_sigma(&mut self, sigma: f64) {
+        if sigma > self.max_sigma {
+            self.max_sigma = sigma;
+            self.window = None;
+        }
+    }
+
+    /// Drop the cached candidate (pending-set-external invalidation, e.g.
+    /// a client (re-)registration).
+    pub(crate) fn invalidate_candidate(&mut self) {
+        if let Some(cand) = self.candidate.take() {
+            for &m in &cand.members {
+                self.nodes[m as usize].in_candidate = false;
+            }
+        }
+    }
+
+    /// The pending messages in arrival (sequence) order — the dense matrix
+    /// slot order, used to replay the pending set into the dense engine on
+    /// a sparse → dense mode switch.
+    pub(crate) fn messages_in_arrival_order(&self) -> Vec<Message> {
+        let mut with_seq: Vec<(u64, Message)> = Vec::with_capacity(self.len());
+        self.for_each_in_order(|node| with_seq.push((node.seq, node.message.clone())));
+        with_seq.sort_unstable_by_key(|&(seq, _)| seq);
+        with_seq.into_iter().map(|(_, m)| m).collect()
+    }
+
+    /// Whether any pending message belongs to `client` (drives the
+    /// re-registration re-key decision, mirroring the dense scan).
+    pub(crate) fn contains_client(&self, client: crate::message::ClientId) -> bool {
+        let mut stack: Vec<u32> = Vec::new();
+        if self.root != NIL {
+            stack.push(self.root);
+        }
+        while let Some(slot) = stack.pop() {
+            let node = &self.nodes[slot as usize];
+            if node.message.client == client {
+                return true;
+            }
+            if node.left != NIL {
+                stack.push(node.left);
+            }
+            if node.right != NIL {
+                stack.push(node.right);
+            }
+        }
+        false
+    }
+
+    /// `(message id, starts_batch)` in maintained (key) order — diagnostic
+    /// surface for the bit-identity property tests.
+    pub(crate) fn pending_order(&self) -> Vec<(MessageId, bool)> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each_in_order(|node| out.push((node.message.id, node.starts_batch)));
+        out
+    }
+
+    /// Reset the pending set (counters, σ bound and sequence numbers are
+    /// kept — they describe the whole run).
+    pub(crate) fn clear_pending(&mut self) {
+        debug_assert!(self.pending_removal.is_empty(), "removal in flight");
+        self.nodes.clear();
+        self.free.clear();
+        self.root = NIL;
+        self.candidate = None;
+    }
+
+    // ------------------------------------------------------------------
+    // Lazy probability evaluation
+    // ------------------------------------------------------------------
+
+    /// `P(u precedes v)` exactly as the dense matrix would store it: the
+    /// kernel is evaluated *directly* for the pair oriented by arrival
+    /// sequence (older message first — the direction
+    /// [`PrecedenceMatrix::insert`](crate::precedence::PrecedenceMatrix)
+    /// evaluates) and the opposite direction is the same single rounding
+    /// `1.0 − p` the matrix stores. One kernel evaluation, recorded on the
+    /// registry query counter like every dense evaluation.
+    fn prob_oriented(&mut self, registry: &DistributionRegistry, u: u32, v: u32) -> f64 {
+        let (a, b, flip) = if self.nodes[u as usize].seq < self.nodes[v as usize].seq {
+            (u, v, false)
+        } else {
+            (v, u, true)
+        };
+        let (na, nb) = (&self.nodes[a as usize], &self.nodes[b as usize]);
+        let kernel = registry
+            .pair_kernel(na.message.client, nb.message.client)
+            .expect("pending messages come from registered clients");
+        let p = kernel.preceding(na.message.timestamp - nb.message.timestamp);
+        debug_assert!(!p.is_nan(), "finite keys imply finite probabilities");
+        registry.record_queries(1);
+        self.lazy_evals += 1;
+        if flip {
+            1.0 - p
+        } else {
+            p
+        }
+    }
+
+    /// `max(P(u ≺ v), P(v ≺ u))` with dense rounding (direct value and its
+    /// `1.0 − p`) — the Appendix C separability statistic.
+    fn pair_max(&mut self, registry: &DistributionRegistry, u: u32, v: u32) -> f64 {
+        let p = self.prob_oriented(registry, u, v);
+        p.max(1.0 - p)
+    }
+
+    /// The pruning window `w = z·√2·σ_max` for the current threshold, with
+    /// `z` inflated past both approximation errors: `θ` is widened by 1e-6
+    /// (≫ the 1.2e-7 erf forward error) before inversion and the inverse's
+    /// own ~1e-9 error is absorbed by a further +1e-6. Pairs whose keys
+    /// differ by more than `w` plus the caller's magnitude slack are
+    /// guaranteed separable; everything closer is decided by exact kernel
+    /// evaluation, so the window only ever *skips* work, never changes a
+    /// decision.
+    fn window(&mut self, threshold: f64) -> f64 {
+        if let Some(w) = self.window {
+            return w;
+        }
+        let q = (threshold + 1e-6).clamp(0.5 + 1e-12, 1.0 - 1e-12);
+        let z = std_normal_inv_cdf(q).max(0.0) + 1e-6;
+        let w = z * std::f64::consts::SQRT_2 * self.max_sigma;
+        self.window = Some(w);
+        w
+    }
+
+    /// Absolute floating-point slack added to every window comparison —
+    /// orders of magnitude above the few-ulp difference between the kernel
+    /// argument's numerator and the key difference.
+    fn slack(a: f64, b: f64) -> f64 {
+        1e-9 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    // ------------------------------------------------------------------
+    // Arrival
+    // ------------------------------------------------------------------
+
+    /// Insert an arrival: O(log n) treap insert, exactly two adjacency
+    /// evaluations for the boundary bits (mirroring the dense
+    /// `IncrementalFairOrder::insert_at` contract), and an incremental
+    /// candidate update (see module docs).
+    pub(crate) fn insert(
+        &mut self,
+        message: Message,
+        registry: &DistributionRegistry,
+        threshold: f64,
+        p_safe: f64,
+    ) -> Result<(), CoreError> {
+        let gaussian = registry
+            .get(message.client)
+            .and_then(|d| d.as_gaussian().copied())
+            .expect("sparse fast path requires closed-form (Gaussian) clients");
+        let raw_key = message.timestamp - gaussian.mean();
+        if raw_key.is_nan() {
+            return Err(CoreError::InvalidProbability {
+                left: message.id,
+                right: message.id,
+            });
+        }
+        // Normalize −0.0 so `total_cmp` and arithmetic agree on equality.
+        let key = if raw_key == 0.0 { 0.0 } else { raw_key };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = self.alloc(key, seq, message);
+        self.root = self.insert_rec(self.root, slot);
+
+        // Boundary bits: evaluate both adjacencies of the insertion point,
+        // with the same split/merge accounting as the dense engine.
+        let pred = self.prev_in_order(slot);
+        let succ = self.next_in_order(slot);
+        let left_start = match pred {
+            NIL => true,
+            p => {
+                self.counters.boundary_evals += 1;
+                self.prob_oriented(registry, p, slot) > threshold
+            }
+        };
+        self.nodes[slot as usize].starts_batch = left_start;
+        let old_succ_bit = (succ != NIL).then(|| self.nodes[succ as usize].starts_batch);
+        if succ != NIL {
+            self.counters.boundary_evals += 1;
+            let bit = self.prob_oriented(registry, slot, succ) > threshold;
+            self.nodes[succ as usize].starts_batch = bit;
+        }
+        let old_boundary = usize::from(pred != NIL && old_succ_bit == Some(true));
+        let new_boundaries = usize::from(pred != NIL && left_start)
+            + usize::from(succ != NIL && self.nodes[succ as usize].starts_batch);
+        if new_boundaries > old_boundary {
+            self.counters.batch_splits += (new_boundaries - old_boundary) as u64;
+        } else {
+            self.counters.batch_merges += (old_boundary - new_boundaries) as u64;
+        }
+
+        self.update_candidate_on_insert(slot, registry, threshold, p_safe);
+        Ok(())
+    }
+
+    /// Incremental candidate maintenance for an arrival (see module docs
+    /// for the case analysis and its soundness argument).
+    fn update_candidate_on_insert(
+        &mut self,
+        slot: u32,
+        registry: &DistributionRegistry,
+        threshold: f64,
+        p_safe: f64,
+    ) {
+        let Some(mut cand) = self.candidate.take() else {
+            return;
+        };
+        let key = self.nodes[slot as usize].key;
+        let w = self.window(threshold);
+        if key > cand.batch_max_key + w + Self::slack(key, cand.batch_max_key) {
+            // Beyond the window: provably separable from every member, and
+            // the bit rewrites sit strictly after the first boundary — the
+            // candidate is untouched.
+            self.candidate = Some(cand);
+            return;
+        }
+        if key.total_cmp(&cand.batch_max_key) == std::cmp::Ordering::Less {
+            // Below the batch's key range: the prefix itself may have
+            // changed. Rare for time-ordered streams; recompute lazily.
+            for &m in &cand.members {
+                self.nodes[m as usize].in_candidate = false;
+            }
+            return;
+        }
+        // Inside the window at or above the batch's range: absorbed iff
+        // inseparable from some member (all of which sit at keys at or
+        // below this one — walk the in-order predecessors in the window).
+        let mut absorbed = false;
+        let mut cur = self.prev_in_order(slot);
+        while cur != NIL {
+            let ck = self.nodes[cur as usize].key;
+            if key - ck > w + Self::slack(key, ck) {
+                break;
+            }
+            if self.nodes[cur as usize].in_candidate
+                && self.pair_max(registry, cur, slot) <= threshold
+            {
+                absorbed = true;
+                break;
+            }
+            cur = self.prev_in_order(cur);
+        }
+        if !absorbed {
+            self.candidate = Some(cand);
+            return;
+        }
+        let from = cand.members.len();
+        self.absorb(&mut cand, slot, registry, p_safe);
+        self.expand_closure(&mut cand, from, registry, threshold, p_safe);
+        self.candidate = Some(cand);
+    }
+
+    /// Add one slot to the candidate: mark it, append it, and fold its
+    /// emission quantities — the same `max` folds the dense sweep performs,
+    /// so the result is order-independent and bit-identical. `members` is
+    /// *not* kept sequence-sorted here (an absorbed arrival's closure can
+    /// pull in older neighbours after it); emission sorts by sequence.
+    fn absorb(
+        &mut self,
+        cand: &mut SparseCandidate,
+        slot: u32,
+        registry: &DistributionRegistry,
+        p_safe: f64,
+    ) {
+        let node = &self.nodes[slot as usize];
+        let (client, ts, key) = (node.message.client, node.message.timestamp, node.key);
+        let margin = registry
+            .safe_margin(client, p_safe)
+            .expect("pending messages come from registered clients");
+        self.nodes[slot as usize].in_candidate = true;
+        cand.members.push(slot);
+        cand.safe_after = cand.safe_after.max(ts - margin);
+        cand.horizon = cand.horizon.max(ts);
+        if key.total_cmp(&cand.batch_max_key) == std::cmp::Ordering::Greater {
+            cand.batch_max_key = key;
+        }
+    }
+
+    /// Transitive Appendix C closure from `members[from..]`: walk the
+    /// in-order window around every frontier member and absorb each
+    /// non-member the threshold cannot separate from it, until a fixpoint.
+    /// Pairs outside the window are separable by construction and never
+    /// evaluated — the lazy-evaluation invariant.
+    fn expand_closure(
+        &mut self,
+        cand: &mut SparseCandidate,
+        mut from: usize,
+        registry: &DistributionRegistry,
+        threshold: f64,
+        p_safe: f64,
+    ) {
+        let w = self.window(threshold);
+        while from < cand.members.len() {
+            let f = cand.members[from];
+            from += 1;
+            let fk = self.nodes[f as usize].key;
+            // Predecessor side.
+            let mut cur = self.prev_in_order(f);
+            while cur != NIL {
+                let ck = self.nodes[cur as usize].key;
+                if fk - ck > w + Self::slack(fk, ck) {
+                    break;
+                }
+                if !self.nodes[cur as usize].in_candidate
+                    && self.pair_max(registry, cur, f) <= threshold
+                {
+                    self.absorb(cand, cur, registry, p_safe);
+                }
+                cur = self.prev_in_order(cur);
+            }
+            // Successor side.
+            let mut cur = self.next_in_order(f);
+            while cur != NIL {
+                let ck = self.nodes[cur as usize].key;
+                if ck - fk > w + Self::slack(fk, ck) {
+                    break;
+                }
+                if !self.nodes[cur as usize].in_candidate
+                    && self.pair_max(registry, f, cur) <= threshold
+                {
+                    self.absorb(cand, cur, registry, p_safe);
+                }
+                cur = self.next_in_order(cur);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Candidate computation and emission
+    // ------------------------------------------------------------------
+
+    /// Ensure the candidate cache holds the lowest-rank batch of the
+    /// current pending set; returns its `(size, safe_after, horizon)`.
+    ///
+    /// A full recompute walks the maintained order only as far as the first
+    /// boundary bit plus the closure windows — O((batch + window)·log n),
+    /// never O(n).
+    pub(crate) fn candidate_meta(
+        &mut self,
+        registry: &DistributionRegistry,
+        threshold: f64,
+        p_safe: f64,
+    ) -> Option<(usize, f64, f64)> {
+        if self.root == NIL {
+            return None;
+        }
+        if self.candidate.is_none() {
+            self.recompute_candidate(registry, threshold, p_safe);
+        }
+        self.candidate
+            .as_ref()
+            .map(|c| (c.members.len(), c.safe_after, c.horizon))
+    }
+
+    fn recompute_candidate(
+        &mut self,
+        registry: &DistributionRegistry,
+        threshold: f64,
+        p_safe: f64,
+    ) {
+        debug_assert!(self.root != NIL);
+        let mut cand = SparseCandidate {
+            members: Vec::new(),
+            batch_max_key: f64::NEG_INFINITY,
+            safe_after: f64::NEG_INFINITY,
+            horizon: f64::NEG_INFINITY,
+        };
+        // The first batch: the contiguous head of the maintained order up
+        // to the first boundary bit.
+        let mut cur = self.first();
+        loop {
+            self.absorb(&mut cand, cur, registry, p_safe);
+            let next = self.next_in_order(cur);
+            if next == NIL || self.nodes[next as usize].starts_batch {
+                break;
+            }
+            cur = next;
+        }
+        // Appendix C closure over the whole prefix.
+        self.expand_closure(&mut cand, 0, registry, threshold, p_safe);
+        self.candidate = Some(cand);
+    }
+
+    /// Take the candidate out of the cache (computing it first if needed):
+    /// returns its messages in arrival order — identical to the dense
+    /// ascending-matrix-slot emission order — plus its safe-emission time,
+    /// and stages the member slots for [`commit_removal`](Self::commit_removal).
+    pub(crate) fn take_candidate(
+        &mut self,
+        registry: &DistributionRegistry,
+        threshold: f64,
+        p_safe: f64,
+    ) -> Option<(Vec<Message>, f64)> {
+        self.candidate_meta(registry, threshold, p_safe)?;
+        let mut cand = self.candidate.take().expect("just ensured");
+        // Arrival order = ascending sequence: the closure can absorb older
+        // neighbours after a newer arrival, so the member list is sorted
+        // here, once, at emission.
+        cand.members
+            .sort_unstable_by_key(|&s| self.nodes[s as usize].seq);
+        let messages = cand
+            .members
+            .iter()
+            .map(|&s| self.nodes[s as usize].message.clone())
+            .collect();
+        let safe_after = cand.safe_after;
+        debug_assert!(self.pending_removal.is_empty(), "removal in flight");
+        self.pending_removal = cand.members;
+        Some((messages, safe_after))
+    }
+
+    /// Remove the slots staged by [`take_candidate`](Self::take_candidate):
+    /// one seam evaluation per removed run (the dense
+    /// `IncrementalFairOrder::remove_slots` contract), then O(log n) treap
+    /// removals.
+    pub(crate) fn commit_removal(&mut self, registry: &DistributionRegistry, threshold: f64) {
+        let mut removed = std::mem::take(&mut self.pending_removal);
+        if removed.is_empty() {
+            return;
+        }
+        // Tree order: runs of in-order-adjacent removed slots are
+        // contiguous in this sorted view.
+        removed.sort_unstable_by(|&a, &b| {
+            let (na, nb) = (&self.nodes[a as usize], &self.nodes[b as usize]);
+            na.key
+                .total_cmp(&nb.key)
+                .then(na.seq.cmp(&nb.seq))
+        });
+        let mut i = 0;
+        while i < removed.len() {
+            // Extend the run while the next removed slot is tree-adjacent.
+            let mut j = i;
+            while j + 1 < removed.len() && self.next_in_order(removed[j]) == removed[j + 1] {
+                j += 1;
+            }
+            let pred = self.prev_in_order(removed[i]);
+            let succ = self.next_in_order(removed[j]);
+            debug_assert!(
+                pred == NIL || !self.nodes[pred as usize].in_candidate,
+                "run start has a removed predecessor"
+            );
+            if succ != NIL {
+                let bit = match pred {
+                    // The run was the head of the order: the survivor now
+                    // heads it, no evaluation needed.
+                    NIL => true,
+                    p => {
+                        self.counters.boundary_evals += 1;
+                        self.prob_oriented(registry, p, succ) > threshold
+                    }
+                };
+                self.nodes[succ as usize].starts_batch = bit;
+            }
+            i = j + 1;
+        }
+        for &slot in &removed {
+            self.root = self.remove_rec(self.root, slot);
+            self.nodes[slot as usize].in_candidate = false;
+            self.free.push(slot);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Wholesale rebuild (mode switches, re-registration)
+    // ------------------------------------------------------------------
+
+    /// Rebuild the pending set from scratch (dense → sparse mode switch, or
+    /// a re-registration that changed a pending client's μ and hence its
+    /// keys): fresh sequence numbers in the given (arrival) order, then all
+    /// `n − 1` boundary bits derived in one in-order sweep — the sparse
+    /// mirror of the dense `rebuild_from`, counted the same way.
+    pub(crate) fn rebuild_from(
+        &mut self,
+        messages: &[Message],
+        registry: &DistributionRegistry,
+        threshold: f64,
+    ) {
+        self.invalidate_candidate();
+        debug_assert!(self.pending_removal.is_empty(), "removal in flight");
+        self.nodes.clear();
+        self.free.clear();
+        self.root = NIL;
+        for message in messages {
+            let gaussian = registry
+                .get(message.client)
+                .and_then(|d| d.as_gaussian().copied())
+                .expect("sparse fast path requires closed-form (Gaussian) clients");
+            let raw_key = message.timestamp - gaussian.mean();
+            debug_assert!(!raw_key.is_nan(), "pending keys are finite");
+            let key = if raw_key == 0.0 { 0.0 } else { raw_key };
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let slot = self.alloc(key, seq, message.clone());
+            self.root = self.insert_rec(self.root, slot);
+        }
+        if self.root == NIL {
+            return;
+        }
+        let mut prev = self.first();
+        self.nodes[prev as usize].starts_batch = true;
+        let mut cur = self.next_in_order(prev);
+        while cur != NIL {
+            self.counters.boundary_evals += 1;
+            let bit = self.prob_oriented(registry, prev, cur) > threshold;
+            self.nodes[cur as usize].starts_batch = bit;
+            prev = cur;
+            cur = self.next_in_order(cur);
+        }
+        self.counters.full_rebuilds += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Treap plumbing
+    // ------------------------------------------------------------------
+
+    fn alloc(&mut self, key: f64, seq: u64, message: Message) -> u32 {
+        let node = Node {
+            left: NIL,
+            right: NIL,
+            size: 1,
+            prio: splitmix64(seq),
+            key,
+            seq,
+            starts_batch: true,
+            in_candidate: false,
+            message,
+        };
+        match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize] = node;
+                slot
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Total order over nodes: `(key, seq)` with `total_cmp` on keys (keys
+    /// are normalized, so `total_cmp` agrees with `<` wherever both apply).
+    fn less(&self, a: u32, b: u32) -> bool {
+        let (na, nb) = (&self.nodes[a as usize], &self.nodes[b as usize]);
+        match na.key.total_cmp(&nb.key) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => na.seq < nb.seq,
+        }
+    }
+
+    fn pull(&mut self, slot: u32) {
+        let (l, r) = (self.nodes[slot as usize].left, self.nodes[slot as usize].right);
+        let mut size = 1;
+        if l != NIL {
+            size += self.nodes[l as usize].size;
+        }
+        if r != NIL {
+            size += self.nodes[r as usize].size;
+        }
+        self.nodes[slot as usize].size = size;
+    }
+
+    fn insert_rec(&mut self, root: u32, slot: u32) -> u32 {
+        if root == NIL {
+            return slot;
+        }
+        if self.nodes[slot as usize].prio > self.nodes[root as usize].prio {
+            let (l, r) = self.split_rec(root, slot);
+            self.nodes[slot as usize].left = l;
+            self.nodes[slot as usize].right = r;
+            self.pull(slot);
+            slot
+        } else if self.less(slot, root) {
+            let nl = self.insert_rec(self.nodes[root as usize].left, slot);
+            self.nodes[root as usize].left = nl;
+            self.pull(root);
+            root
+        } else {
+            let nr = self.insert_rec(self.nodes[root as usize].right, slot);
+            self.nodes[root as usize].right = nr;
+            self.pull(root);
+            root
+        }
+    }
+
+    /// Split `root` into `(< pivot, > pivot)`; `pivot` itself is not in the
+    /// tree being split.
+    fn split_rec(&mut self, root: u32, pivot: u32) -> (u32, u32) {
+        if root == NIL {
+            return (NIL, NIL);
+        }
+        if self.less(root, pivot) {
+            let (l, r) = self.split_rec(self.nodes[root as usize].right, pivot);
+            self.nodes[root as usize].right = l;
+            self.pull(root);
+            (root, r)
+        } else {
+            let (l, r) = self.split_rec(self.nodes[root as usize].left, pivot);
+            self.nodes[root as usize].left = r;
+            self.pull(root);
+            (l, root)
+        }
+    }
+
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a as usize].prio > self.nodes[b as usize].prio {
+            let m = self.merge(self.nodes[a as usize].right, b);
+            self.nodes[a as usize].right = m;
+            self.pull(a);
+            a
+        } else {
+            let m = self.merge(a, self.nodes[b as usize].left);
+            self.nodes[b as usize].left = m;
+            self.pull(b);
+            b
+        }
+    }
+
+    fn remove_rec(&mut self, root: u32, slot: u32) -> u32 {
+        debug_assert!(root != NIL, "slot not in tree");
+        if root == slot {
+            let (l, r) = (self.nodes[root as usize].left, self.nodes[root as usize].right);
+            return self.merge(l, r);
+        }
+        if self.less(slot, root) {
+            let nl = self.remove_rec(self.nodes[root as usize].left, slot);
+            self.nodes[root as usize].left = nl;
+        } else {
+            let nr = self.remove_rec(self.nodes[root as usize].right, slot);
+            self.nodes[root as usize].right = nr;
+        }
+        self.pull(root);
+        root
+    }
+
+    fn first(&self) -> u32 {
+        debug_assert!(self.root != NIL);
+        let mut cur = self.root;
+        while self.nodes[cur as usize].left != NIL {
+            cur = self.nodes[cur as usize].left;
+        }
+        cur
+    }
+
+    /// In-order predecessor of a slot (descent by `(key, seq)`): O(log n).
+    fn prev_in_order(&self, slot: u32) -> u32 {
+        let mut cur = self.root;
+        let mut best = NIL;
+        while cur != NIL {
+            if cur != slot && self.less(cur, slot) {
+                best = cur;
+                cur = self.nodes[cur as usize].right;
+            } else {
+                cur = self.nodes[cur as usize].left;
+            }
+        }
+        best
+    }
+
+    /// In-order successor of a slot: O(log n).
+    fn next_in_order(&self, slot: u32) -> u32 {
+        let mut cur = self.root;
+        let mut best = NIL;
+        while cur != NIL {
+            if cur != slot && self.less(slot, cur) {
+                best = cur;
+                cur = self.nodes[cur as usize].left;
+            } else {
+                cur = self.nodes[cur as usize].right;
+            }
+        }
+        best
+    }
+
+    /// In-order traversal with an explicit stack (full walks are only used
+    /// by the mode-switch and diagnostic paths, never per arrival).
+    fn for_each_in_order(&self, mut f: impl FnMut(&Node)) {
+        let mut stack: Vec<u32> = Vec::new();
+        let mut cur = self.root;
+        loop {
+            while cur != NIL {
+                stack.push(cur);
+                cur = self.nodes[cur as usize].left;
+            }
+            let Some(slot) = stack.pop() else {
+                break;
+            };
+            f(&self.nodes[slot as usize]);
+            cur = self.nodes[slot as usize].right;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ClientId;
+    use tommy_stats::distribution::OffsetDistribution;
+
+    fn registry(clients: &[(u32, f64, f64)]) -> DistributionRegistry {
+        let mut reg = DistributionRegistry::new();
+        for &(c, mean, sigma) in clients {
+            reg.register(ClientId(c), OffsetDistribution::gaussian(mean, sigma));
+        }
+        reg
+    }
+
+    fn msg(id: u64, client: u32, ts: f64) -> Message {
+        Message::new(MessageId(id), ClientId(client), ts)
+    }
+
+    /// Deterministic pseudo-random stream driver (no external RNG needed).
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state >> 11
+    }
+
+    #[test]
+    fn maintains_key_order_under_random_insert_remove() {
+        let reg = registry(&[(0, 0.0, 2.0), (1, 1.0, 3.0), (2, -2.0, 1.0)]);
+        let mut engine = SparseEngine::new();
+        engine.observe_sigma(3.0);
+        let mut state = 42u64;
+        for id in 0..200u64 {
+            let client = (lcg(&mut state) % 3) as u32;
+            let ts = (lcg(&mut state) % 1000) as f64 * 0.25;
+            engine
+                .insert(msg(id, client, ts), &reg, 0.75, 0.999)
+                .unwrap();
+            if id % 17 == 16 {
+                let (_msgs, _safe) = engine.take_candidate(&reg, 0.75, 0.999).unwrap();
+                engine.commit_removal(&reg, 0.75);
+            }
+        }
+        let order = engine.pending_order();
+        assert_eq!(order.len(), engine.len());
+        assert!(engine.len() > 100);
+        // Keys ascend along the maintained order.
+        let keys: Vec<f64> = {
+            let mut ks = Vec::new();
+            engine.for_each_in_order(|n| ks.push(n.key));
+            ks
+        };
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn candidate_cache_survives_far_future_arrivals() {
+        let reg = registry(&[(0, 0.0, 1.0), (1, 0.0, 1.0)]);
+        let mut engine = SparseEngine::new();
+        engine.observe_sigma(1.0);
+        engine.insert(msg(0, 0, 100.0), &reg, 0.75, 0.999).unwrap();
+        engine.insert(msg(1, 1, 100.5), &reg, 0.75, 0.999).unwrap();
+        let meta = engine.candidate_meta(&reg, 0.75, 0.999).unwrap();
+        let evals_before = engine.lazy_evals();
+        // Far beyond the window: candidate untouched, zero closure evals
+        // beyond the two boundary bits.
+        engine.insert(msg(2, 0, 500.0), &reg, 0.75, 0.999).unwrap();
+        assert_eq!(engine.candidate_meta(&reg, 0.75, 0.999).unwrap(), meta);
+        assert_eq!(engine.lazy_evals(), evals_before + 1, "one bit eval only");
+    }
+
+    #[test]
+    fn near_arrival_is_absorbed_into_cached_candidate() {
+        let reg = registry(&[(0, 0.0, 5.0), (1, 0.0, 5.0)]);
+        let mut engine = SparseEngine::new();
+        engine.observe_sigma(5.0);
+        engine.insert(msg(0, 0, 100.0), &reg, 0.75, 0.999).unwrap();
+        engine.candidate_meta(&reg, 0.75, 0.999).unwrap();
+        // One σ apart with σ = 5: far inside the threshold window.
+        engine.insert(msg(1, 1, 101.0), &reg, 0.75, 0.999).unwrap();
+        let (msgs, _) = engine.take_candidate(&reg, 0.75, 0.999).unwrap();
+        assert_eq!(msgs.len(), 2, "inseparable arrival joins the candidate");
+        engine.commit_removal(&reg, 0.75);
+        assert_eq!(engine.len(), 0);
+    }
+
+    #[test]
+    fn rebuild_matches_incremental_bits() {
+        let reg = registry(&[(0, 0.5, 2.0), (1, -0.5, 2.5)]);
+        let mut incremental = SparseEngine::new();
+        incremental.observe_sigma(2.5);
+        let mut state = 7u64;
+        let mut messages = Vec::new();
+        for id in 0..64u64 {
+            let client = (lcg(&mut state) % 2) as u32;
+            let ts = (lcg(&mut state) % 500) as f64 * 0.5;
+            let m = msg(id, client, ts);
+            messages.push(m.clone());
+            incremental.insert(m, &reg, 0.75, 0.999).unwrap();
+        }
+        let mut rebuilt = SparseEngine::new();
+        rebuilt.observe_sigma(2.5);
+        rebuilt.rebuild_from(&messages, &reg, 0.75);
+        assert_eq!(incremental.pending_order(), rebuilt.pending_order());
+        assert_eq!(rebuilt.counters().full_rebuilds, 1);
+    }
+
+    #[test]
+    fn arrival_order_roundtrip_preserves_sequence() {
+        let reg = registry(&[(0, 0.0, 1.0)]);
+        let mut engine = SparseEngine::new();
+        engine.observe_sigma(1.0);
+        // Arrivals with descending timestamps from distinct clients would be
+        // rejected upstream; same client must ascend, so interleave keys by
+        // registering a second client.
+        let reg2 = registry(&[(0, 0.0, 1.0), (1, 10.0, 1.0)]);
+        for id in 0..10u64 {
+            let client = (id % 2) as u32;
+            engine
+                .insert(msg(id, client, id as f64), &reg2, 0.75, 0.999)
+                .unwrap();
+        }
+        let _ = reg;
+        let replay = engine.messages_in_arrival_order();
+        let ids: Vec<u64> = replay.iter().map(|m| m.id.0).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -209,11 +209,31 @@ pub struct OnlineStreamResult {
     /// the stream length.
     pub max_tracked_ids: usize,
     /// Total pairwise preceding-probability evaluations the run performed
-    /// (the registry's query counter). With the incremental, kernel-filled
-    /// precedence engine this is exactly Σ over arrivals of the pending-set
-    /// size — heartbeats and clock ticks evaluate nothing — so the field
-    /// tracks the engine's dominant cost across scenario sweeps.
+    /// (the registry's query counter). On the dense path this is exactly Σ
+    /// over arrivals of the pending-set size — heartbeats and clock ticks
+    /// evaluate nothing; on the sparse fast path (all-Gaussian census) it
+    /// collapses to the lazy boundary/candidate evaluations alone. Either
+    /// way the field tracks the engine's dominant cost across sweeps.
     pub probability_queries: u64,
+    /// Lazy pairwise evaluations the sparse fast path performed
+    /// (`stats.lazy_evals`, surfaced for sweep rows). Zero on dense runs.
+    pub lazy_evals: u64,
+    /// Arrivals the sparse fast path absorbed without materializing a dense
+    /// probability column (`stats.dense_columns_avoided`). Zero on dense
+    /// runs; equals the message count on all-Gaussian streams.
+    pub dense_columns_avoided: u64,
+    /// Sparse ⇄ dense engine migrations over the run
+    /// (`stats.mode_switches`). A scenario whose census never changes
+    /// mid-stream reports at most one (the initial settle on registration).
+    pub mode_switches: u64,
+    /// High-water mark of the dense probability matrix's backing storage in
+    /// bytes (`stats.peak_matrix_bytes`). Zero when the whole run rode the
+    /// sparse fast path — the sub-quadratic-memory acceptance signal.
+    pub peak_matrix_bytes: usize,
+    /// High-water mark of the sparse order-statistics index in bytes
+    /// (`stats.peak_index_bytes`): O(pending) node storage, zero on dense
+    /// runs.
+    pub peak_index_bytes: usize,
     /// Adjacent-pair boundary re-evaluations the incremental batch-boundary
     /// engine performed: at most two per arrival and one per removed run on
     /// emission, versus the `pending − 1` a from-scratch
@@ -390,6 +410,11 @@ pub fn run_online_stream(config: &ScenarioConfig, p_safe: f64) -> OnlineStreamRe
         max_undrained,
         max_tracked_ids: max_tracked,
         probability_queries: sequencer.registry().query_count(),
+        lazy_evals: stats.lazy_evals,
+        dense_columns_avoided: stats.dense_columns_avoided,
+        mode_switches: stats.mode_switches,
+        peak_matrix_bytes: stats.peak_matrix_bytes,
+        peak_index_bytes: stats.peak_index_bytes,
         boundary_evals: fair_counters.boundary_evals,
         batch_splits: fair_counters.batch_splits,
         batch_merges: fair_counters.batch_merges,
@@ -536,6 +561,34 @@ mod tests {
             result.stats.max_pending
         );
         assert!(result.stats.max_pending < cfg.messages);
+    }
+
+    /// The sparse fast path engages automatically on an all-Gaussian census
+    /// and never materializes a dense column, while a cyclic scenario (dice
+    /// clients: non-closed-form) routes through the dense machinery with the
+    /// fast-path counters pinned at zero.
+    #[test]
+    fn mode_split_matches_the_census() {
+        let gaussian = run_online_stream(&small(3.0, 5.0), 0.99);
+        assert_eq!(gaussian.stats.messages_emitted, 80);
+        assert_eq!(gaussian.dense_columns_avoided, 80, "{gaussian:?}");
+        assert!(gaussian.lazy_evals > 0, "{gaussian:?}");
+        assert_eq!(
+            gaussian.peak_matrix_bytes, 0,
+            "an all-Gaussian run must never allocate the dense matrix"
+        );
+        assert!(gaussian.peak_index_bytes > 0, "{gaussian:?}");
+        assert_eq!(gaussian.mode_switches, 0, "{gaussian:?}");
+
+        let cyclic = run_online_stream(&small(2.0, 1.0).with_cyclic_fraction(0.3), 0.99);
+        assert_eq!(cyclic.lazy_evals, 0, "{cyclic:?}");
+        assert_eq!(cyclic.dense_columns_avoided, 0, "{cyclic:?}");
+        assert!(cyclic.peak_matrix_bytes > 0, "{cyclic:?}");
+        assert_eq!(cyclic.peak_index_bytes, 0, "{cyclic:?}");
+        // The census settles to dense on the first dice-client registration
+        // (pending is still empty, so the switch is free) and never changes
+        // again mid-stream.
+        assert_eq!(cyclic.mode_switches, 1, "{cyclic:?}");
     }
 
     /// Satellite regression: a pure-Gaussian stream performs **zero** FAS
