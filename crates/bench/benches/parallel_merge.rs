@@ -1,0 +1,37 @@
+//! Parallel-merge bench: end-to-end sharded sequencing throughput at
+//! K ∈ {1, 2, 4} shards over the identical stream — the criterion twin of
+//! the `parallel_baseline` binary (which records the full 10k-message sweep
+//! plus the fairness columns into `BENCH_parallel.json`).
+//!
+//! K = 1 is the bit-identical single-engine passthrough, so the group
+//! directly prices the combiner: routing, per-shard staging, and the
+//! watermark-driven k-way merge. On a single-core host the K > 1 rows
+//! measure scoped-thread overhead rather than speedup (see the baseline's
+//! `caveat` convention).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tommy_bench::run_parallel_cell;
+
+const MESSAGES: usize = 1_500;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn parallel_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_merge");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    for shards in SHARD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("stream", shards),
+            &shards,
+            |b, &shards| b.iter(|| run_parallel_cell(MESSAGES, shards)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parallel_merge);
+criterion_main!(benches);

@@ -68,6 +68,23 @@ fn main() {
          {threads_used} worker(s) used"
     );
 
+    // Never let a single-core run clobber a baseline recorded on real
+    // parallel hardware: a multi-core recording is recognizable by the
+    // absence of the single-core `caveat` field (the convention every
+    // baseline binary in this crate follows).
+    if threads_detected == 1 {
+        if let Ok(existing) = std::fs::read_to_string("BENCH_offline.json") {
+            if !existing.contains("\"caveat\"") {
+                eprintln!(
+                    "skip: BENCH_offline.json was recorded on multi-core hardware \
+                     (no \"caveat\" field); refusing to overwrite it from a \
+                     single-core host — rerun on multi-core hardware to refresh"
+                );
+                return;
+            }
+        }
+    }
+
     let mut rows = Vec::new();
     for n in SIZES {
         let cfg = scenario(n);

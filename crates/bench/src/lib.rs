@@ -23,7 +23,9 @@ use tommy_core::sequencer::{SequencingCore, SequencingOutcome};
 use tommy_core::tournament::Tournament;
 use tommy_netsim::FaultPlan;
 use tommy_sim::faults::{run_fault_stream, FaultStreamResult};
-use tommy_sim::runner::{run_online_stream, OnlineStreamResult};
+use tommy_sim::runner::{
+    run_online_stream, run_parallel_stream, OnlineStreamResult, ParallelStreamResult,
+};
 use tommy_sim::scenario::ScenarioConfig;
 use tommy_stats::distribution::OffsetDistribution;
 use tommy_wire::RecoveryPolicy;
@@ -113,6 +115,34 @@ pub fn fault_scenario() -> ScenarioConfig {
 /// `BENCH_faults.json`.
 pub fn run_fault_cell(plans: &[FaultPlan], policy: RecoveryPolicy) -> FaultStreamResult {
     run_fault_stream(&fault_scenario(), plans, policy, FAULT_P_SAFE)
+}
+
+/// Safe-emission quantile of the parallel-merge sweep (the sim runner
+/// convention).
+pub const PARALLEL_P_SAFE: f64 = 0.99;
+
+/// Messages per parallel-merge baseline run — the pending-scale the
+/// `BENCH_parallel.json` acceptance numbers are quoted at.
+pub const PARALLEL_MESSAGES: usize = 10_000;
+
+/// The parallel-merge scenario regime: 16 clients (divisible across every
+/// shard count the sweep uses), σ = 3 clocks at gap 2 — dense enough that
+/// the combiner's watermark actually arbitrates overlapping cross-shard
+/// keys rather than rubber-stamping well-separated ones.
+pub fn parallel_scenario(messages: usize, shards: usize) -> ScenarioConfig {
+    ScenarioConfig::default()
+        .with_size(16, messages)
+        .with_clock_std_dev(3.0)
+        .with_gap(2.0)
+        .with_seed(42)
+        .with_shards(shards)
+}
+
+/// One parallel-merge cell: stream [`parallel_scenario`] through the
+/// sharded sequencer at [`PARALLEL_P_SAFE`] — the measurement behind
+/// `BENCH_parallel.json` and the `parallel_merge` criterion smoke.
+pub fn run_parallel_cell(messages: usize, shards: usize) -> ParallelStreamResult {
+    run_parallel_stream(&parallel_scenario(messages, shards), PARALLEL_P_SAFE)
 }
 
 /// Number of clients used by the streaming precedence benchmarks.
@@ -522,6 +552,28 @@ mod tests {
             assert_eq!(report.local_repairs, 0);
             assert_eq!(report.exhaustive_passes, 0);
         }
+    }
+
+    /// The parallel-merge harness really splits by shard count: K = 1 is
+    /// the single-engine anchor (no combiner work, no cross-shard pairs,
+    /// same score as the online runner) and K = 4 merges across shards with
+    /// every message emitted and real cross-shard pairs scored.
+    #[test]
+    fn parallel_cells_split_by_shard_count() {
+        let anchor = run_parallel_cell(300, 1);
+        assert_eq!(anchor.shards_used, 1);
+        assert_eq!(anchor.stats.shard_merges, 0, "{:?}", anchor.stats);
+        assert_eq!(anchor.stats.cross_shard_evals, 0, "{:?}", anchor.stats);
+        assert_eq!(anchor.partitioned.cross.pairs(), 0);
+        let single = run_online_stream(&parallel_scenario(300, 1), PARALLEL_P_SAFE);
+        assert_eq!(anchor.ras.score(), single.ras.score());
+
+        let merged = run_parallel_cell(300, 4);
+        assert_eq!(merged.shards_used, 4);
+        assert_eq!(merged.stats.messages_emitted, 300, "{:?}", merged.stats);
+        assert!(merged.stats.shard_merges > 0, "{:?}", merged.stats);
+        assert!(merged.partitioned.cross.pairs() > 0);
+        assert_eq!(merged.partitioned.total().score(), merged.ras.score());
     }
 
     /// The adversarial sweep harness really exercises the defense: the

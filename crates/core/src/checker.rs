@@ -56,7 +56,13 @@
 //! On top of the base invariants, [`ModelSpec::check_collusive`] checks a
 //! *collusive* model end to end: every schedule must leave every listed
 //! colluder quarantined by the cross-client correlation defense and every
-//! honest client untouched (see [`crate::defense`]).
+//! honest client untouched (see [`crate::defense`]). And
+//! [`ModelSpec::check_sharded`] replays every schedule through the
+//! [`ShardedSequencer`] instead, asserting the cross-shard margin
+//! invariant — no watermark-approved release ever precedes a cross-shard
+//! message whose probability of having happened first exceeds the
+//! threshold (see [`crate::sequencer::sharded`], "Merge watermark
+//! invariant").
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -67,7 +73,9 @@ use crate::defense::TrustLevel;
 use crate::error::CoreError;
 use crate::message::{ClientId, Message, MessageId};
 use crate::precedence::PrecedenceMatrix;
+use crate::registry::DistributionRegistry;
 use crate::sequencer::online::{EmittedBatch, OnlineSequencer, OnlineStats};
+use crate::sequencer::sharded::ShardedSequencer;
 use crate::sequencer::SequencingCore;
 use crate::session::{RecoveryPolicy, SequenceValidator, SessionAction, SessionCounters};
 
@@ -176,6 +184,20 @@ pub enum InvariantViolation {
         /// The wrongly quarantined client.
         client: ClientId,
     },
+    /// Sharded invariant ([`ModelSpec::check_sharded`]): a message released
+    /// through the cross-shard merge watermark preceded a cross-shard
+    /// message whose probability of having happened first exceeds the
+    /// batching threshold — the combiner emitted out of margin.
+    CrossShardMarginExceeded {
+        /// The message released earlier.
+        earlier: MessageId,
+        /// The cross-shard message released later.
+        later: MessageId,
+        /// `p(later ≺ earlier)` under the claimed distributions.
+        probability: f64,
+        /// The threshold the merge watermark must bound that probability by.
+        threshold: f64,
+    },
 }
 
 impl std::fmt::Display for InvariantViolation {
@@ -218,6 +240,16 @@ impl std::fmt::Display for InvariantViolation {
             InvariantViolation::HonestQuarantined { client } => {
                 write!(f, "honest {client} was quarantined under collusive load")
             }
+            InvariantViolation::CrossShardMarginExceeded {
+                earlier,
+                later,
+                probability,
+                threshold,
+            } => write!(
+                f,
+                "{earlier} released before cross-shard {later} with p(later first) = \
+                 {probability} > threshold {threshold}"
+            ),
         }
     }
 }
@@ -268,6 +300,33 @@ pub struct CheckReport {
 }
 
 impl CheckReport {
+    /// Whether every enumerated schedule satisfied every invariant.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Result of an exhaustive sharded check ([`ModelSpec::check_sharded`]).
+#[derive(Debug, Clone)]
+pub struct ShardedCheckReport {
+    /// Schedules enumerated and replayed (reductions are disabled for
+    /// sharded checks — shard assignment follows registration order, so
+    /// clients on different shards are not exchangeable).
+    pub schedules: usize,
+    /// Whether enumeration stopped at [`ModelSpec::max_schedules`].
+    pub truncated: bool,
+    /// Cross-shard ordered message pairs whose margin was evaluated across
+    /// every replay — the check is vacuous unless this is positive.
+    pub cross_pairs_checked: u64,
+    /// The largest `p(later ≺ earlier)` observed over every watermark-
+    /// approved cross-shard ordered pair (flush-forced releases excluded).
+    /// Bounded by the threshold when the merge watermark is sound.
+    pub max_cross_probability: f64,
+    /// Every invariant failure found, tagged with its schedule.
+    pub violations: Vec<ScheduleViolation>,
+}
+
+impl ShardedCheckReport {
     /// Whether every enumerated schedule satisfied every invariant.
     pub fn ok(&self) -> bool {
         self.violations.is_empty()
@@ -342,6 +401,14 @@ struct Enumeration {
     schedules: Vec<Vec<usize>>,
     truncated: bool,
     symmetry_pruned: u64,
+}
+
+/// What one sharded replay produced (see `ModelSpec::replay_sharded`).
+struct ShardedReplay {
+    trace: RunTrace,
+    violations: Vec<InvariantViolation>,
+    cross_pairs: u64,
+    max_cross_probability: f64,
 }
 
 impl ModelSpec {
@@ -495,6 +562,197 @@ impl ModelSpec {
             }
         }
         Ok(report)
+    }
+
+    /// Exhaustively check the **sharded** sequencer: enumerate every
+    /// admissible delivery schedule (reductions disabled — shard assignment
+    /// follows registration order, so clients on different shards are not
+    /// exchangeable and orbit canonicalization would be unsound), replay
+    /// each through a [`ShardedSequencer`] with `shards` shards, and assert:
+    ///
+    /// 1. the pure trace invariants (per-client monotone emission, no loss,
+    ///    no duplication, bounded violation rate);
+    /// 2. the **cross-shard margin invariant**: for every pair of messages
+    ///    `(i, j)` on different shards with `i` released in a strictly
+    ///    earlier batch than `j`, if `i`'s batch was released through the
+    ///    merge watermark (not forced out by the closing flush), then
+    ///    `p(j ≺ i) ≤ threshold + 1e-9` under the claimed distributions —
+    ///    the fairness bound the merge window `w = z_θ·√2·σ_min` is derived
+    ///    to guarantee (see `sequencer::sharded`).
+    ///
+    /// The report carries [`ShardedCheckReport::cross_pairs_checked`] and
+    /// the observed [`ShardedCheckReport::max_cross_probability`] so a test
+    /// can also assert the check was not vacuous.
+    ///
+    /// # Errors
+    ///
+    /// Errors propagate from replay (unknown client, duplicate id, a
+    /// rejected event) — they indicate a malformed model, not an invariant
+    /// violation.
+    pub fn check_sharded(&self, shards: usize) -> Result<ShardedCheckReport, CoreError> {
+        assert!(
+            !self.config.stochastic_cycle_breaking,
+            "sharded checks require a deterministic config"
+        );
+        let enumeration = {
+            let mut unreduced = self.clone();
+            unreduced.reductions = false;
+            unreduced.enumerate()
+        };
+        let mut report = ShardedCheckReport {
+            schedules: enumeration.schedules.len(),
+            truncated: enumeration.truncated,
+            cross_pairs_checked: 0,
+            max_cross_probability: 0.0,
+            violations: Vec::new(),
+        };
+        for schedule in &enumeration.schedules {
+            let outcome = self.replay_sharded(schedule, shards)?;
+            report.cross_pairs_checked += outcome.cross_pairs;
+            report.max_cross_probability =
+                report.max_cross_probability.max(outcome.max_cross_probability);
+            let mut violations = outcome.violations;
+            violations.extend(check_trace(&outcome.trace, self.max_violation_rate));
+            for violation in violations {
+                report.violations.push(ScheduleViolation {
+                    schedule: schedule.clone(),
+                    violation,
+                });
+            }
+        }
+        Ok(report)
+    }
+
+    /// Replay one delivery schedule through a [`ShardedSequencer`] with
+    /// `shards` shards (`0` is clamped to 1 so replays stay machine-
+    /// independent), mirroring [`replay`](Self::replay)'s semantics —
+    /// clamped monotone per-client timestamps, ordered-channel heartbeats,
+    /// the same stream close — with the wrapper driven after every event.
+    /// Checks the cross-shard margin invariant over the released order.
+    fn replay_sharded(
+        &self,
+        schedule: &[usize],
+        shards: usize,
+    ) -> Result<ShardedReplay, CoreError> {
+        let config = self.config.with_shards(shards.max(1));
+        let mut seq = ShardedSequencer::new(config);
+        let mut registry = DistributionRegistry::new();
+        for (client, dist) in &self.offsets {
+            seq.register_client(*client, dist.clone());
+            registry.register(*client, dist.clone());
+        }
+        let mut undelivered: HashMap<ClientId, Vec<f64>> = HashMap::new();
+        for m in &self.messages {
+            undelivered.entry(m.client).or_default().push(truth_of(m));
+        }
+
+        let mut clock = 0.0_f64;
+        let mut floors: HashMap<ClientId, f64> = HashMap::new();
+        let mut submitted: Vec<Message> = Vec::new();
+        for &idx in schedule {
+            let m = &self.messages[idx];
+            let t = truth_of(m);
+            clock = clock.max(t + self.network_delay);
+
+            let floor = floors.get(&m.client).copied().unwrap_or(f64::NEG_INFINITY);
+            let ts = m.timestamp.max(floor);
+            floors.insert(m.client, ts);
+            let msg = Message {
+                id: m.id,
+                client: m.client,
+                timestamp: ts,
+                true_time: m.true_time,
+            };
+            if let Some(v) = undelivered.get_mut(&m.client) {
+                if let Some(pos) = v.iter().position(|&u| u == t) {
+                    v.remove(pos);
+                }
+            }
+            submitted.push(msg.clone());
+            seq.submit(msg, clock)?;
+            seq.drive(clock);
+
+            for (client, _) in &self.offsets {
+                if *client == m.client {
+                    continue;
+                }
+                let blocked = undelivered
+                    .get(client)
+                    .is_some_and(|v| v.iter().any(|&u| u <= t));
+                if blocked {
+                    continue;
+                }
+                let floor = floors.get(client).copied().unwrap_or(f64::NEG_INFINITY);
+                let hb = t.max(floor);
+                floors.insert(*client, hb);
+                seq.heartbeat(*client, hb, clock)?;
+                seq.drive(clock);
+            }
+        }
+
+        // Close the stream exactly like the single-engine replay.
+        let max_ts = floors.values().fold(0.0_f64, |a, &b| a.max(b));
+        let max_sd = self
+            .offsets
+            .iter()
+            .map(|(_, d)| d.std_dev())
+            .fold(0.0_f64, f64::max);
+        let horizon = max_ts + 1000.0 * max_sd.max(1.0);
+        for (client, _) in &self.offsets {
+            seq.heartbeat(*client, horizon, clock)?;
+        }
+        seq.tick(horizon + self.network_delay);
+        // Batches released up to here were approved by the merge watermark
+        // and owe the margin bound; the flush force-drains the remainder.
+        let watermark_batches = seq.emitted().len();
+        seq.flush();
+        if let Some(rejection) = seq.take_rejections().into_iter().next() {
+            // Replay clamps timestamps monotone, so any queued rejection is
+            // a malformed model, mirroring the eager engine's error path.
+            return Err(rejection);
+        }
+
+        let stats = seq.stats();
+        let emitted = seq.take_emitted();
+        let mut violations = Vec::new();
+        let mut cross_pairs = 0u64;
+        let mut max_cross_probability = 0.0f64;
+        for (bi, earlier) in emitted.iter().enumerate() {
+            for later in emitted.iter().skip(bi + 1) {
+                for i in &earlier.messages {
+                    for j in &later.messages {
+                        if seq.shard_of(i.client) == seq.shard_of(j.client) {
+                            continue;
+                        }
+                        cross_pairs += 1;
+                        let p = registry.preceding_probability(j, i)?;
+                        if bi < watermark_batches {
+                            max_cross_probability = max_cross_probability.max(p);
+                            if p > self.config.threshold + 1e-9 {
+                                violations.push(InvariantViolation::CrossShardMarginExceeded {
+                                    earlier: i.id,
+                                    later: j.id,
+                                    probability: p,
+                                    threshold: self.config.threshold,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(ShardedReplay {
+            trace: RunTrace {
+                submitted,
+                emitted,
+                stats,
+                quarantined: Vec::new(),
+            },
+            violations,
+            cross_pairs,
+            max_cross_probability,
+        })
     }
 
     /// Enumerate every admissible delivery schedule (up to

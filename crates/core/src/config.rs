@@ -217,6 +217,22 @@ pub struct SequencerConfig {
     /// otherwise; [`FastPathMode::ForceDense`] pins the historical dense
     /// engine unconditionally.
     pub fast_path: FastPathMode,
+    /// Shard count for the sharded online sequencer
+    /// ([`ShardedSequencer`](crate::sequencer::sharded::ShardedSequencer)):
+    /// registered clients are partitioned round-robin across this many
+    /// per-shard engines whose locally-fair orders are merged by the
+    /// cross-shard combiner.
+    ///
+    /// * `1` (the default) — a single shard: the combiner is a passthrough
+    ///   and the emitted batches are bit-identical to a plain
+    ///   [`OnlineSequencer`](crate::sequencer::online::OnlineSequencer) fed
+    ///   the same calls, by construction.
+    /// * `0` — auto-detect via `std::thread::available_parallelism()`.
+    /// * any other value — that many shards.
+    ///
+    /// The plain `OnlineSequencer` ignores this knob; it only selects how
+    /// many per-shard engines a `ShardedSequencer` constructs.
+    pub shards: usize,
 }
 
 impl Default for SequencerConfig {
@@ -233,6 +249,7 @@ impl Default for SequencerConfig {
             defense: DefenseConfig::disabled(),
             liveness: LivenessConfig::disabled(),
             fast_path: FastPathMode::Auto,
+            shards: 1,
         }
     }
 }
@@ -248,6 +265,13 @@ pub fn resolve_parallelism(parallelism: usize) -> usize {
     } else {
         parallelism
     }
+}
+
+/// Resolve a [`SequencerConfig::shards`] knob value to a concrete shard
+/// count: `0` auto-detects the hardware parallelism (falling back to 1 when
+/// detection fails), anything else is used as-is.
+pub fn resolve_shards(shards: usize) -> usize {
+    resolve_parallelism(shards)
 }
 
 impl SequencerConfig {
@@ -358,6 +382,19 @@ impl SequencerConfig {
         self
     }
 
+    /// Set the sharded-sequencer shard count (see
+    /// [`SequencerConfig::shards`]): `1` single shard, `0` auto-detect.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The concrete shard count this configuration resolves to
+    /// (auto-detecting when [`shards`](Self::shards) is `0`).
+    pub fn resolved_shards(&self) -> usize {
+        resolve_shards(self.shards)
+    }
+
     /// Why the incremental FAS engine will *not* run for this
     /// configuration, or `None` when it will. This is the single source of
     /// truth consulted by [`SequencingCore`](crate::sequencer::SequencingCore)
@@ -406,6 +443,17 @@ mod tests {
         let auto = SequencerConfig::new().with_parallelism(0);
         assert!(auto.resolved_parallelism() >= 1);
         assert_eq!(resolve_parallelism(3), 3);
+    }
+
+    #[test]
+    fn shards_builder_and_resolution() {
+        assert_eq!(SequencerConfig::default().shards, 1);
+        let c = SequencerConfig::new().with_shards(4);
+        assert_eq!(c.shards, 4);
+        assert_eq!(c.resolved_shards(), 4);
+        let auto = SequencerConfig::new().with_shards(0);
+        assert!(auto.resolved_shards() >= 1);
+        assert_eq!(resolve_shards(3), 3);
     }
 
     #[test]

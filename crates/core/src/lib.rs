@@ -95,7 +95,7 @@ pub mod tournament;
 pub use batching::{Batch, FairOrder, FairOrderCounters, IncrementalFairOrder};
 pub use checker::{
     CheckReport, CrashLivenessReport, FaultCheckReport, FaultSpec, InvariantViolation, ModelSpec,
-    RunTrace,
+    RunTrace, ShardedCheckReport,
 };
 pub use config::{FasFallbackReason, FastPathMode, LivenessConfig, SequencerConfig};
 pub use defense::{
@@ -122,6 +122,7 @@ pub mod prelude {
     pub use crate::registry::DistributionRegistry;
     pub use crate::sequencer::offline::TommySequencer;
     pub use crate::sequencer::online::OnlineSequencer;
+    pub use crate::sequencer::sharded::ShardedSequencer;
     pub use tommy_stats::distribution::OffsetDistribution;
     pub use tommy_stats::gaussian::Gaussian;
 }

@@ -27,6 +27,7 @@ pub mod core;
 pub mod emission;
 pub mod offline;
 pub mod online;
+pub mod sharded;
 mod sparse;
 pub mod watermark;
 
@@ -34,4 +35,5 @@ pub use self::core::{SequencingCore, SequencingOutcome};
 pub use emission::{batch_emission_time, batch_emission_time_over, safe_emission_time};
 pub use offline::TommySequencer;
 pub use online::{CandidateStatus, EmittedBatch, OnlineSequencer, OnlineStats};
+pub use sharded::ShardedSequencer;
 pub use watermark::WatermarkTracker;

@@ -218,6 +218,23 @@ pub struct OnlineStats {
     /// Largest number of bytes the sparse order-statistics arena ever had
     /// reserved (O(n) in the fast-path pending set).
     pub peak_index_bytes: usize,
+    /// Per-shard candidate batches released through the cross-shard
+    /// combiner's watermark-driven merge
+    /// ([`ShardedSequencer`](crate::sequencer::sharded::ShardedSequencer)).
+    /// Fused releases count every member batch. Zero on a plain
+    /// single-engine run and on a single-shard (`shards = 1`) run, whose
+    /// combiner is a passthrough.
+    pub shard_merges: u64,
+    /// Frontier-versus-horizon comparisons the combiner performed while
+    /// deciding releases — the merge's unit of work, analogous to
+    /// `lazy_evals` for the sparse engine. Zero on single-engine and
+    /// single-shard runs.
+    pub cross_shard_evals: u64,
+    /// Peak difference between the most- and least-loaded shards' cumulative
+    /// routed message counts — how far the round-robin client partition
+    /// drifted from perfect balance under the actual traffic mix. Zero on
+    /// single-engine and single-shard runs.
+    pub shard_imbalance: usize,
 }
 
 impl OnlineStats {

@@ -1,0 +1,1037 @@
+//! Sharded, multi-core online sequencing.
+//!
+//! The single-engine [`OnlineSequencer`] is one core's worth of throughput.
+//! This module partitions registered clients round-robin across `K`
+//! per-shard engines (each a full [`OnlineSequencer`] — the shared
+//! [`SequencingCore`](crate::sequencer::SequencingCore) tail plus the
+//! sparse fast path), runs their event queues on a scoped thread pool, and
+//! merges their locally-fair candidate batches into one global emission
+//! order through a **watermark-driven k-way merge** on margin-adjusted
+//! keys.
+//!
+//! ## Partition rule
+//!
+//! Clients are assigned to shards round-robin in registration order —
+//! deterministic and balanced for a uniform census. Every event (submit,
+//! heartbeat) routes to its client's owner shard; shards never share
+//! pending state, so queue processing is embarrassingly parallel and the
+//! emitted output is bit-identical regardless of thread interleaving.
+//!
+//! ## Merge watermark invariant
+//!
+//! Each message gets a *margin-adjusted key* `key(m) = timestamp −
+//! μ_client` — the same quantity the sparse engine's treap orders by. For
+//! each shard the combiner maintains a **frontier**: the minimum over (a)
+//! the keys of the shard's still-pending messages, (b) the keys of its
+//! staged (emitted-but-unreleased) batches, and (c) per client,
+//! `latest observed timestamp − μ` (`−∞` until the client is first heard
+//! from — the cross-shard restatement of §3.5's completeness rule). Since
+//! per-client timestamps are monotone *by enforcement* (non-monotone
+//! submissions are rejected), every future message a shard can still
+//! produce has a key at or above its frontier.
+//!
+//! A staged batch is **released** only once every other shard's frontier
+//! has passed `max_key − w`, where `w = z_θ · √2 · σ_min` mirrors the
+//! sparse engine's pruning window with the *smallest* registered standard
+//! deviation (and collapses to `0` the moment any non-closed-form client
+//! registers). For Gaussian censuses this makes cross-shard confident
+//! inversions impossible by construction: any message released later from
+//! another shard has `key_j ≥ key_i − w`, and
+//! `w ≤ z_θ·√(σ_i² + σ_j²)` for every pair, so
+//! `p(j ≺ i) = Φ((key_i − key_j)/√(σ_i² + σ_j²)) ≤ Φ(z_θ) = θ` — never
+//! out of margin. For mixed censuses the bound is conservative (`w = 0`)
+//! within the key model; the residual fairness gap is *measured* via the
+//! cross-shard RAS (`tommy-metrics`), not assumed.
+//!
+//! Two staged heads whose key ranges overlap within `w` would block each
+//! other forever under a naive rule; the combiner instead **fuses** them
+//! into one global batch (rank-equal, an indifference in RAS terms) — the
+//! batch-level analogue of the Appendix C closure rule. With `shards = 1`
+//! the combiner is a passthrough and the output is bit-identical to a
+//! plain [`OnlineSequencer`] fed the same calls, by construction.
+//!
+//! ## Counters
+//!
+//! The combiner's work rides the three [`OnlineStats`] fields added for
+//! it: `shard_merges` (per-shard batches released through the merge, fused
+//! releases counting every member), `cross_shard_evals`
+//! (frontier-versus-horizon comparisons — the merge's unit of work), and
+//! `shard_imbalance` (peak spread between the most- and least-loaded
+//! shards' routed message counts).
+
+use crate::batching::FairOrder;
+use crate::config::{resolve_shards, SequencerConfig};
+use crate::error::CoreError;
+use crate::message::{ClientId, Message, MessageId};
+use crate::sequencer::online::{EmittedBatch, OnlineSequencer, OnlineStats};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use tommy_stats::distribution::{Distribution, OffsetDistribution};
+use tommy_stats::erf::std_normal_inv_cdf;
+
+/// Spawn scoped worker threads only when at least this many events are
+/// queued across shards — below it, per-drive thread setup costs more than
+/// the work it parallelizes. Output is bit-identical either way.
+const SPAWN_THRESHOLD: usize = 32;
+
+/// Map a finite `f64` to bits whose unsigned order matches
+/// [`f64::total_cmp`] — the deterministic key order the merge sorts by.
+fn key_bits(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b & (1 << 63) != 0 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// One queued, not-yet-processed event for a shard.
+#[derive(Debug, Clone)]
+enum ShardEvent {
+    /// `(message, arrival_time)`.
+    Submit(Message, f64),
+    /// `(client, timestamp, arrival_time)`.
+    Heartbeat(ClientId, f64, f64),
+    /// Clock advance.
+    Tick(f64),
+}
+
+/// What the wrapper knows about one registered client.
+#[derive(Debug, Clone, Copy)]
+struct ClientInfo {
+    /// Mean of the client's offset distribution (the key adjustment).
+    mean: f64,
+    /// Largest accepted timestamp (message or heartbeat); `−∞` until the
+    /// client is first heard from.
+    floor: f64,
+    /// Retired clients stop constraining the frontier, mirroring
+    /// [`OnlineSequencer::retire_client`].
+    retired: bool,
+}
+
+/// A batch a shard has emitted that the combiner has not yet released.
+#[derive(Debug, Clone)]
+struct StagedBatch {
+    batch: EmittedBatch,
+    /// Margin-adjusted key of each batch member (parallel to
+    /// `batch.messages`).
+    keys: Vec<f64>,
+    min_key: f64,
+    max_key: f64,
+}
+
+/// One shard: a full single-engine sequencer plus the bookkeeping the
+/// combiner's frontier needs. Queue processing touches only `&mut self`,
+/// so shards run on independent scoped threads.
+#[derive(Debug)]
+struct Shard {
+    seq: OnlineSequencer,
+    queue: VecDeque<ShardEvent>,
+    /// Emitted-but-unreleased batches, in shard emission (FIFO) order.
+    out: VecDeque<StagedBatch>,
+    clients: HashMap<ClientId, ClientInfo>,
+    /// Multiset of pending-message keys: total-order bits → `(key, count)`.
+    pending_keys: BTreeMap<u64, (f64, usize)>,
+    /// Submit-time key per pending message (consumed at emission).
+    key_of: HashMap<MessageId, f64>,
+    /// Cumulative accepted messages (the imbalance numerator).
+    routed: usize,
+    /// Events the inner sequencer rejected (drained by the wrapper).
+    rejections: Vec<CoreError>,
+}
+
+impl Shard {
+    fn new(config: SequencerConfig) -> Self {
+        Shard {
+            seq: OnlineSequencer::new(config),
+            queue: VecDeque::new(),
+            out: VecDeque::new(),
+            clients: HashMap::new(),
+            pending_keys: BTreeMap::new(),
+            key_of: HashMap::new(),
+            routed: 0,
+            rejections: Vec::new(),
+        }
+    }
+
+    fn add_pending_key(&mut self, key: f64) {
+        let entry = self.pending_keys.entry(key_bits(key)).or_insert((key, 0));
+        entry.1 += 1;
+    }
+
+    fn remove_pending_key(&mut self, key: f64) {
+        let bits = key_bits(key);
+        if let Some(entry) = self.pending_keys.get_mut(&bits) {
+            entry.1 -= 1;
+            if entry.1 == 0 {
+                self.pending_keys.remove(&bits);
+            }
+        }
+    }
+
+    /// Drain everything the inner sequencer emitted since the last drain
+    /// into the staged-output FIFO, consuming the members' pending keys.
+    fn stage_emissions(&mut self) {
+        for batch in self.seq.take_emitted() {
+            let mut keys = Vec::with_capacity(batch.messages.len());
+            let mut min_key = f64::INFINITY;
+            let mut max_key = f64::NEG_INFINITY;
+            for m in &batch.messages {
+                let key = self.key_of.remove(&m.id).unwrap_or_else(|| {
+                    let mean = self.clients.get(&m.client).map_or(0.0, |c| c.mean);
+                    m.timestamp - mean
+                });
+                self.remove_pending_key(key);
+                min_key = min_key.min(key);
+                max_key = max_key.max(key);
+                keys.push(key);
+            }
+            self.out.push_back(StagedBatch {
+                batch,
+                keys,
+                min_key,
+                max_key,
+            });
+        }
+    }
+
+    /// Apply every queued event, in order, staging any emissions.
+    fn process(&mut self) {
+        while let Some(event) = self.queue.pop_front() {
+            match event {
+                ShardEvent::Submit(message, arrival) => {
+                    let key = message.timestamp
+                        - self.clients.get(&message.client).map_or(0.0, |c| c.mean);
+                    match self.seq.submit(message.clone(), arrival) {
+                        Ok(_) => {
+                            if let Some(info) = self.clients.get_mut(&message.client) {
+                                info.floor = info.floor.max(message.timestamp);
+                            }
+                            self.key_of.insert(message.id, key);
+                            self.add_pending_key(key);
+                            self.routed += 1;
+                            self.stage_emissions();
+                        }
+                        Err(e) => self.rejections.push(e),
+                    }
+                }
+                ShardEvent::Heartbeat(client, timestamp, arrival) => {
+                    match self.seq.heartbeat(client, timestamp, arrival) {
+                        Ok(_) => {
+                            if let Some(info) = self.clients.get_mut(&client) {
+                                info.floor = info.floor.max(timestamp);
+                            }
+                            self.stage_emissions();
+                        }
+                        Err(e) => self.rejections.push(e),
+                    }
+                }
+                ShardEvent::Tick(now) => {
+                    self.seq.tick(now);
+                    self.stage_emissions();
+                }
+            }
+        }
+    }
+
+    /// The least key any future (or still-held) message of this shard can
+    /// carry, skipping the first `skip_staged` staged batches (the ones a
+    /// release under evaluation would take with it). `+∞` for a shard that
+    /// can produce nothing, `−∞` while any active client is unheard.
+    fn frontier(&self, skip_staged: usize) -> f64 {
+        let mut f = f64::INFINITY;
+        for info in self.clients.values() {
+            if info.retired {
+                continue;
+            }
+            f = f.min(info.floor - info.mean);
+        }
+        if let Some((_, &(key, _))) = self.pending_keys.iter().next() {
+            f = f.min(key);
+        }
+        for staged in self.out.iter().skip(skip_staged) {
+            f = f.min(staged.min_key);
+        }
+        f
+    }
+}
+
+/// The sharded online sequencer: `K` per-shard [`OnlineSequencer`]s behind
+/// one combiner (see the module docs for the partition rule and the merge
+/// watermark invariant).
+///
+/// Events are *enqueued* by [`submit`](Self::submit) /
+/// [`heartbeat`](Self::heartbeat) and *applied* by
+/// [`drive`](Self::drive) (or [`tick`](Self::tick)), which processes every
+/// shard's queue — on scoped worker threads when there is enough queued
+/// work — and then runs the single-threaded merge. Because shards share no
+/// state, the released output is a pure function of the event sequence and
+/// the drive cadence, independent of thread scheduling (the
+/// seed-stability property `tests/sharded_equivalence.rs` pins).
+///
+/// # Example
+///
+/// ```
+/// use tommy_core::prelude::*;
+///
+/// let mut seq = ShardedSequencer::new(SequencerConfig::default().with_shards(2));
+/// seq.register_client(ClientId(0), OffsetDistribution::gaussian(0.0, 1.0));
+/// seq.register_client(ClientId(1), OffsetDistribution::gaussian(0.0, 1.0));
+/// seq.submit(Message::new(MessageId(0), ClientId(0), 100.0), 100.5).unwrap();
+/// assert!(seq.drive(100.5).is_empty()); // client 1 unheard: frontier −∞
+/// seq.heartbeat(ClientId(0), 150.0, 150.0).unwrap();
+/// seq.heartbeat(ClientId(1), 150.0, 150.0).unwrap();
+/// let released = seq.drive(150.0);
+/// assert_eq!(released.len(), 1);
+/// assert_eq!(released[0].messages[0].id, MessageId(0));
+/// ```
+#[derive(Debug)]
+pub struct ShardedSequencer {
+    config: SequencerConfig,
+    shards: Vec<Shard>,
+    assignment: HashMap<ClientId, usize>,
+    next_shard: usize,
+    /// Global duplicate detection — shards only see their own ids, so the
+    /// wrapper rejects cross-shard duplicates synchronously, exactly where
+    /// the single engine would.
+    seen_ids: HashSet<MessageId>,
+    /// Smallest Gaussian σ registered so far (the merge-window scale).
+    min_sigma: Option<f64>,
+    /// Any non-closed-form registration collapses the merge window to 0.
+    has_non_gaussian: bool,
+    /// Released batches not yet drained via [`take_emitted`](Self::take_emitted).
+    released: Vec<EmittedBatch>,
+    /// Released batch groups (for [`emitted_order`](Self::emitted_order));
+    /// only kept under [`SequencerConfig::retain_history`].
+    released_groups: Vec<Vec<MessageId>>,
+    global_rank: usize,
+    released_messages: usize,
+    max_pending: usize,
+    shard_merges: u64,
+    cross_shard_evals: u64,
+    shard_imbalance: usize,
+    now: f64,
+}
+
+impl ShardedSequencer {
+    /// Create a sharded sequencer with the shard count
+    /// [`SequencerConfig::shards`] resolves to (`0` = auto-detect).
+    pub fn new(config: SequencerConfig) -> Self {
+        let k = resolve_shards(config.shards).max(1);
+        ShardedSequencer {
+            config,
+            shards: (0..k).map(|_| Shard::new(config)).collect(),
+            assignment: HashMap::new(),
+            next_shard: 0,
+            seen_ids: HashSet::new(),
+            min_sigma: None,
+            has_non_gaussian: false,
+            released: Vec::new(),
+            released_groups: Vec::new(),
+            global_rank: 0,
+            released_messages: 0,
+            max_pending: 0,
+            shard_merges: 0,
+            cross_shard_evals: 0,
+            shard_imbalance: 0,
+            now: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &SequencerConfig {
+        &self.config
+    }
+
+    /// The resolved shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a client is assigned to, if registered.
+    pub fn shard_of(&self, client: ClientId) -> Option<usize> {
+        self.assignment.get(&client).copied()
+    }
+
+    /// Register a client, assigning it round-robin to a shard (first
+    /// registration) and registering it on that shard's engine.
+    /// Registration is order-sensitive (it can re-key a shard's pending
+    /// set), so the owner shard's queue is applied first.
+    pub fn register_client(&mut self, client: ClientId, distribution: OffsetDistribution) {
+        let k = self.shards.len();
+        let shard_idx = *self.assignment.entry(client).or_insert_with(|| {
+            let i = self.next_shard;
+            self.next_shard = (self.next_shard + 1) % k;
+            i
+        });
+        match distribution.as_gaussian() {
+            Some(g) => {
+                let sigma = g.std_dev();
+                self.min_sigma = Some(self.min_sigma.map_or(sigma, |s| s.min(sigma)));
+            }
+            None => self.has_non_gaussian = true,
+        }
+        let shard = &mut self.shards[shard_idx];
+        shard.process();
+        let mean = distribution.mean();
+        shard
+            .clients
+            .entry(client)
+            .and_modify(|info| info.mean = mean)
+            .or_insert(ClientInfo {
+                mean,
+                floor: f64::NEG_INFINITY,
+                retired: false,
+            });
+        shard.seq.register_client(client, distribution);
+    }
+
+    /// Mark a client as failed: it stops constraining both its shard's
+    /// watermark and the cross-shard frontier (the same liveness trade-off
+    /// as [`OnlineSequencer::retire_client`]).
+    pub fn retire_client(&mut self, client: ClientId) {
+        let Some(&shard_idx) = self.assignment.get(&client) else {
+            return;
+        };
+        let shard = &mut self.shards[shard_idx];
+        shard.process();
+        if let Some(info) = shard.clients.get_mut(&client) {
+            info.retired = true;
+        }
+        shard.seq.retire_client(client);
+    }
+
+    /// Enqueue a message to its owner shard. Unknown clients and duplicate
+    /// ids are rejected synchronously (mirroring the single engine); other
+    /// rejections (e.g. a non-monotone timestamp) surface at
+    /// [`drive`](Self::drive) via [`take_rejections`](Self::take_rejections).
+    pub fn submit(&mut self, message: Message, arrival_time: f64) -> Result<(), CoreError> {
+        let Some(&shard_idx) = self.assignment.get(&message.client) else {
+            return Err(CoreError::UnknownClient(message.client));
+        };
+        if !self.seen_ids.insert(message.id) {
+            return Err(CoreError::DuplicateMessage(message.id));
+        }
+        self.shards[shard_idx]
+            .queue
+            .push_back(ShardEvent::Submit(message, arrival_time));
+        Ok(())
+    }
+
+    /// Enqueue a heartbeat to its client's owner shard.
+    pub fn heartbeat(
+        &mut self,
+        client: ClientId,
+        timestamp: f64,
+        arrival_time: f64,
+    ) -> Result<(), CoreError> {
+        let Some(&shard_idx) = self.assignment.get(&client) else {
+            return Err(CoreError::UnknownClient(client));
+        };
+        self.shards[shard_idx]
+            .queue
+            .push_back(ShardEvent::Heartbeat(client, timestamp, arrival_time));
+        Ok(())
+    }
+
+    /// Enqueue a clock advance to every shard, then drive.
+    pub fn tick(&mut self, now: f64) -> Vec<EmittedBatch> {
+        for shard in &mut self.shards {
+            shard.queue.push_back(ShardEvent::Tick(now));
+        }
+        self.drive(now)
+    }
+
+    /// Apply every queued event — on scoped worker threads when more than
+    /// one shard has enough queued work — then merge, returning the newly
+    /// released batches (also buffered for [`take_emitted`](Self::take_emitted)).
+    pub fn drive(&mut self, now: f64) -> Vec<EmittedBatch> {
+        if now > self.now {
+            self.now = now;
+        }
+        let busy = self.shards.iter().filter(|s| !s.queue.is_empty()).count();
+        let queued: usize = self.shards.iter().map(|s| s.queue.len()).sum();
+        if busy > 1 && queued >= SPAWN_THRESHOLD {
+            std::thread::scope(|scope| {
+                for shard in self.shards.iter_mut() {
+                    if !shard.queue.is_empty() {
+                        scope.spawn(move || shard.process());
+                    }
+                }
+            });
+        } else {
+            for shard in &mut self.shards {
+                shard.process();
+            }
+        }
+        self.finish_drive()
+    }
+
+    /// [`drive`](Self::drive) with the shards applied *serially* in the
+    /// given order — the schedule-permutation surface
+    /// `tests/sharded_equivalence.rs` uses to pin that the combiner's
+    /// watermark handoff is insensitive to shard scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `order` is a permutation of `0..shard_count()`.
+    pub fn drive_with_shard_order(&mut self, now: f64, order: &[usize]) -> Vec<EmittedBatch> {
+        let mut seen = vec![false; self.shards.len()];
+        assert_eq!(order.len(), self.shards.len(), "not a shard permutation");
+        for &i in order {
+            assert!(
+                i < self.shards.len() && !seen[i],
+                "not a shard permutation"
+            );
+            seen[i] = true;
+        }
+        if now > self.now {
+            self.now = now;
+        }
+        for &i in order {
+            self.shards[i].process();
+        }
+        self.finish_drive()
+    }
+
+    /// Post-processing shared by every drive variant: sample the global
+    /// counters, run the merge, buffer and return what it released.
+    fn finish_drive(&mut self) -> Vec<EmittedBatch> {
+        let pending: usize = self.shards.iter().map(|s| s.seq.pending_len()).sum();
+        self.max_pending = self.max_pending.max(pending);
+        if self.shards.len() > 1 {
+            let routed_max = self.shards.iter().map(|s| s.routed).max().unwrap_or(0);
+            let routed_min = self.shards.iter().map(|s| s.routed).min().unwrap_or(0);
+            self.shard_imbalance = self.shard_imbalance.max(routed_max - routed_min);
+        }
+        let released = self.merge();
+        self.record_released(&released);
+        released
+    }
+
+    /// Record released batches into the drain buffer and the run counters.
+    fn record_released(&mut self, released: &[EmittedBatch]) {
+        for batch in released {
+            self.released_messages += batch.messages.len();
+            if self.config.retain_history {
+                self.released_groups.push(batch.message_ids());
+            }
+        }
+        self.released.extend_from_slice(released);
+    }
+
+    /// The cross-shard release margin `w = z_θ · √2 · σ_min` (0 for mixed
+    /// censuses) — see the module docs, "Merge watermark invariant".
+    fn merge_window(&self) -> f64 {
+        if self.has_non_gaussian {
+            return 0.0;
+        }
+        let Some(sigma) = self.min_sigma else {
+            return 0.0;
+        };
+        std_normal_inv_cdf(self.config.threshold) * std::f64::consts::SQRT_2 * sigma
+    }
+
+    /// The watermark-driven k-way merge: release staged batches whose key
+    /// horizon every other shard's frontier has passed, fusing heads whose
+    /// key ranges overlap within the margin (see the module docs).
+    fn merge(&mut self) -> Vec<EmittedBatch> {
+        let mut released = Vec::new();
+        if self.shards.len() == 1 {
+            // Single shard: a passthrough — every staged batch releases in
+            // shard order, bit-identical to the single-engine output.
+            while let Some(staged) = self.shards[0].out.pop_front() {
+                let mut batch = staged.batch;
+                batch.rank = self.global_rank;
+                self.global_rank += 1;
+                released.push(batch);
+            }
+            return released;
+        }
+        let w = self.merge_window();
+        // Seed each round with the staged head carrying the globally
+        // smallest min key.
+        while let Some(seed) = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.out.is_empty())
+            .min_by(|(a, sa), (b, sb)| {
+                sa.out[0]
+                    .min_key
+                    .total_cmp(&sb.out[0].min_key)
+                    .then(a.cmp(b))
+            })
+            .map(|(i, _)| i)
+        {
+            // Closure: grow the release group over staged batches whose
+            // range overlaps the group horizon within the margin. `take[i]`
+            // is the FIFO prefix of shard i's staged batches in the group.
+            let mut take = vec![0usize; self.shards.len()];
+            take[seed] = 1;
+            let mut group_max = self.shards[seed].out[0].max_key;
+            loop {
+                let mut changed = false;
+                for (i, shard) in self.shards.iter().enumerate() {
+                    let Some(next) = shard.out.get(take[i]) else {
+                        continue;
+                    };
+                    self.cross_shard_evals += 1;
+                    if next.min_key < group_max - w {
+                        take[i] += 1;
+                        group_max = group_max.max(next.max_key);
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            // Release condition: every shard's *remaining* frontier (after
+            // the group leaves) must have passed the group horizon.
+            let mut ok = true;
+            for (i, shard) in self.shards.iter().enumerate() {
+                self.cross_shard_evals += 1;
+                if shard.frontier(take[i]) < group_max - w {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                break;
+            }
+            released.push(self.release_group(&take));
+        }
+        released
+    }
+
+    /// Pop the group's staged batches and fuse them into one released
+    /// batch: a single-member group keeps its shard batch verbatim (rank
+    /// aside); a fused group concatenates members ordered by
+    /// `(key, shard, position)` with the latest emission metadata.
+    fn release_group(&mut self, take: &[usize]) -> EmittedBatch {
+        let mut parts: Vec<(usize, StagedBatch)> = Vec::new();
+        for (i, &count) in take.iter().enumerate() {
+            for _ in 0..count {
+                let staged = self.shards[i].out.pop_front().expect("take within bounds");
+                parts.push((i, staged));
+            }
+        }
+        self.shard_merges += parts.len() as u64;
+        let rank = self.global_rank;
+        self.global_rank += 1;
+        if parts.len() == 1 {
+            let (_, staged) = parts.pop().expect("one part");
+            let mut batch = staged.batch;
+            batch.rank = rank;
+            return batch;
+        }
+        let mut members: Vec<(u64, usize, usize, Message)> = Vec::new();
+        let mut emitted_at = f64::NEG_INFINITY;
+        let mut safe_after = f64::NEG_INFINITY;
+        for (shard, staged) in parts {
+            emitted_at = emitted_at.max(staged.batch.emitted_at);
+            safe_after = safe_after.max(staged.batch.safe_after);
+            for (pos, (message, &key)) in staged
+                .batch
+                .messages
+                .into_iter()
+                .zip(staged.keys.iter())
+                .enumerate()
+            {
+                members.push((key_bits(key), shard, pos, message));
+            }
+        }
+        members.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        EmittedBatch {
+            rank,
+            messages: members.into_iter().map(|(_, _, _, m)| m).collect(),
+            emitted_at,
+            safe_after,
+        }
+    }
+
+    /// Drain every shard (queued events, then the inner `flush`), release
+    /// what the watermark rule allows, then force-release the rest in
+    /// `(min_key, shard)` order — the sharded analogue of
+    /// [`OnlineSequencer::flush`].
+    pub fn flush(&mut self) -> Vec<EmittedBatch> {
+        for shard in &mut self.shards {
+            shard.process();
+            shard.seq.flush();
+            shard.stage_emissions();
+        }
+        let mut released = self.merge();
+        while let Some(best) = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.out.is_empty())
+            .min_by(|(a, sa), (b, sb)| {
+                sa.out[0]
+                    .min_key
+                    .total_cmp(&sb.out[0].min_key)
+                    .then(a.cmp(b))
+            })
+            .map(|(i, _)| i)
+        {
+            let staged = self.shards[best].out.pop_front().expect("non-empty");
+            let mut batch = staged.batch;
+            batch.rank = self.global_rank;
+            self.global_rank += 1;
+            released.push(batch);
+        }
+        let pending: usize = self.shards.iter().map(|s| s.seq.pending_len()).sum();
+        self.max_pending = self.max_pending.max(pending);
+        self.record_released(&released);
+        released
+    }
+
+    /// Total messages pending across every shard.
+    pub fn pending_len(&self) -> usize {
+        self.shards.iter().map(|s| s.seq.pending_len()).sum()
+    }
+
+    /// The wrapper's clock: the largest time passed to any drive/tick.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Batches released and not yet drained.
+    pub fn emitted(&self) -> &[EmittedBatch] {
+        &self.released
+    }
+
+    /// Drain the released-batch buffer.
+    pub fn take_emitted(&mut self) -> Vec<EmittedBatch> {
+        std::mem::take(&mut self.released)
+    }
+
+    /// The global released order as a [`FairOrder`] (for RAS computation).
+    /// Empty under [`SequencerConfig::with_retain_history`]`(false)`.
+    /// Unlike [`OnlineSequencer::emitted_order`] this is built on demand —
+    /// the combiner does not maintain a rank index on the hot path.
+    pub fn emitted_order(&self) -> FairOrder {
+        FairOrder::from_groups(self.released_groups.clone())
+    }
+
+    /// Inner-sequencer rejections surfaced by queue processing (unknown
+    /// client and duplicate ids are instead rejected synchronously at
+    /// [`submit`](Self::submit)). Drains the buffer.
+    pub fn take_rejections(&mut self) -> Vec<CoreError> {
+        let mut all = Vec::new();
+        for shard in &mut self.shards {
+            all.append(&mut shard.rejections);
+        }
+        all
+    }
+
+    /// One shard's own counters (shard-local view; the combiner fields are
+    /// zero here — they live on the aggregate).
+    pub fn shard_stats(&self, shard: usize) -> OnlineStats {
+        self.shards[shard].seq.stats()
+    }
+
+    /// Aggregated counters. With one shard this is exactly the inner
+    /// engine's stats (bit-identical to a single-engine run). With more,
+    /// summable counters are summed, `peak_collusion_score` is the max,
+    /// `batches_emitted` / `messages_emitted` count *released* output,
+    /// `max_pending` is the peak global pending total sampled at drive
+    /// boundaries, and the three combiner counters are the wrapper's own.
+    pub fn stats(&self) -> OnlineStats {
+        if self.shards.len() == 1 {
+            return self.shards[0].seq.stats();
+        }
+        let mut agg = OnlineStats::default();
+        for shard in &self.shards {
+            let s = shard.seq.stats();
+            agg.fairness_violations += s.fairness_violations;
+            agg.total_emission_latency += s.total_emission_latency;
+            agg.quarantines += s.quarantines;
+            agg.reestimations += s.reestimations;
+            agg.margin_fallbacks += s.margin_fallbacks;
+            agg.gaps_detected += s.gaps_detected;
+            agg.dupes_dropped += s.dupes_dropped;
+            agg.reorders_buffered += s.reorders_buffered;
+            agg.retransmit_requests += s.retransmit_requests;
+            agg.sequences_skipped += s.sequences_skipped;
+            agg.evictions += s.evictions;
+            agg.rejoins += s.rejoins;
+            agg.watermark_stall_ticks += s.watermark_stall_ticks;
+            agg.collusion_checks += s.collusion_checks;
+            agg.collusion_quarantines += s.collusion_quarantines;
+            agg.peak_collusion_score = agg.peak_collusion_score.max(s.peak_collusion_score);
+            agg.lazy_evals += s.lazy_evals;
+            agg.dense_columns_avoided += s.dense_columns_avoided;
+            agg.mode_switches += s.mode_switches;
+            agg.peak_matrix_bytes += s.peak_matrix_bytes;
+            agg.peak_index_bytes += s.peak_index_bytes;
+        }
+        agg.batches_emitted = self.global_rank;
+        agg.messages_emitted = self.released_messages;
+        agg.max_pending = self.max_pending;
+        agg.shard_merges = self.shard_merges;
+        agg.cross_shard_evals = self.cross_shard_evals;
+        agg.shard_imbalance = self.shard_imbalance;
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_clients(n: u32, sigma: f64) -> Vec<(ClientId, OffsetDistribution)> {
+        (0..n)
+            .map(|c| (ClientId(c), OffsetDistribution::gaussian(0.0, sigma)))
+            .collect()
+    }
+
+    /// A well-separated stream: client `i mod n` speaks at `t = 10·i`, all
+    /// other clients heartbeat right after, so batches flow continuously.
+    fn run_stream(seq: &mut ShardedSequencer, clients: u32, messages: u64) -> Vec<EmittedBatch> {
+        for (c, d) in gaussian_clients(clients, 2.0) {
+            seq.register_client(c, d);
+        }
+        let mut out = Vec::new();
+        for i in 0..messages {
+            let t = 10.0 * i as f64;
+            let client = ClientId((i % clients as u64) as u32);
+            seq.submit(Message::new(MessageId(i), client, t), t + 1.0)
+                .unwrap();
+            out.extend(seq.drive(t + 1.0));
+            for c in 0..clients {
+                if c != client.0 {
+                    seq.heartbeat(ClientId(c), t, t + 1.0).unwrap();
+                }
+            }
+            out.extend(seq.drive(t + 1.0));
+        }
+        let horizon = 10.0 * messages as f64 + 1e4;
+        for c in 0..clients {
+            seq.heartbeat(ClientId(c), horizon, horizon).unwrap();
+        }
+        out.extend(seq.drive(horizon));
+        out.extend(seq.tick(horizon + 1.0));
+        out.extend(seq.flush());
+        assert!(seq.take_rejections().is_empty());
+        out
+    }
+
+    fn reference_stream(clients: u32, messages: u64) -> Vec<EmittedBatch> {
+        let mut seq = OnlineSequencer::new(SequencerConfig::default());
+        for (c, d) in gaussian_clients(clients, 2.0) {
+            seq.register_client(c, d);
+        }
+        let mut out = Vec::new();
+        for i in 0..messages {
+            let t = 10.0 * i as f64;
+            let client = ClientId((i % clients as u64) as u32);
+            out.extend(
+                seq.submit(Message::new(MessageId(i), client, t), t + 1.0)
+                    .unwrap(),
+            );
+            for c in 0..clients {
+                if c != client.0 {
+                    out.extend(seq.heartbeat(ClientId(c), t, t + 1.0).unwrap());
+                }
+            }
+        }
+        let horizon = 10.0 * messages as f64 + 1e4;
+        for c in 0..clients {
+            out.extend(seq.heartbeat(ClientId(c), horizon, horizon).unwrap());
+        }
+        out.extend(seq.tick(horizon + 1.0));
+        out.extend(seq.flush());
+        out
+    }
+
+    #[test]
+    fn round_robin_assignment() {
+        let mut seq = ShardedSequencer::new(SequencerConfig::default().with_shards(3));
+        for (c, d) in gaussian_clients(7, 1.0) {
+            seq.register_client(c, d);
+        }
+        for c in 0..7 {
+            assert_eq!(seq.shard_of(ClientId(c)), Some(c as usize % 3));
+        }
+        // Re-registration keeps the assignment.
+        seq.register_client(ClientId(1), OffsetDistribution::gaussian(0.0, 3.0));
+        assert_eq!(seq.shard_of(ClientId(1)), Some(1));
+        assert_eq!(seq.shard_count(), 3);
+    }
+
+    #[test]
+    fn single_shard_is_bit_identical_to_single_engine() {
+        let mut sharded = ShardedSequencer::new(SequencerConfig::default().with_shards(1));
+        let got = run_stream(&mut sharded, 4, 40);
+        let want = reference_stream(4, 40);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.rank, w.rank);
+            assert_eq!(g.messages, w.messages);
+            assert_eq!(g.emitted_at.to_bits(), w.emitted_at.to_bits());
+            assert_eq!(g.safe_after.to_bits(), w.safe_after.to_bits());
+        }
+        // Stats are the inner engine's verbatim; combiner counters stay 0.
+        let stats = sharded.stats();
+        assert_eq!(stats.shard_merges, 0);
+        assert_eq!(stats.cross_shard_evals, 0);
+        assert_eq!(stats.shard_imbalance, 0);
+    }
+
+    #[test]
+    fn multi_shard_emits_same_message_set_in_key_order() {
+        for shards in [2usize, 4] {
+            let mut sharded =
+                ShardedSequencer::new(SequencerConfig::default().with_shards(shards));
+            let released = run_stream(&mut sharded, 4, 40);
+            let mut ids: Vec<u64> = released
+                .iter()
+                .flat_map(|b| b.messages.iter().map(|m| m.id.0))
+                .collect();
+            assert_eq!(ids.len(), 40, "no loss, no duplication at K={shards}");
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 40);
+            // Ranks are dense and ascending.
+            for (i, b) in released.iter().enumerate() {
+                assert_eq!(b.rank, i);
+            }
+            // Per-client emission order follows per-client timestamps.
+            let mut last_ts: HashMap<ClientId, f64> = HashMap::new();
+            for b in &released {
+                for m in &b.messages {
+                    let floor = last_ts.entry(m.client).or_insert(f64::NEG_INFINITY);
+                    assert!(m.timestamp >= *floor, "client emission monotonicity");
+                    *floor = m.timestamp;
+                }
+            }
+            let stats = sharded.stats();
+            assert_eq!(stats.messages_emitted, 40);
+            assert!(stats.shard_merges > 0);
+            assert!(stats.cross_shard_evals > 0);
+        }
+    }
+
+    #[test]
+    fn unheard_client_on_another_shard_blocks_release() {
+        let mut seq = ShardedSequencer::new(SequencerConfig::default().with_shards(2));
+        for (c, d) in gaussian_clients(2, 1.0) {
+            seq.register_client(c, d);
+        }
+        seq.submit(Message::new(MessageId(0), ClientId(0), 100.0), 100.5)
+            .unwrap();
+        assert!(seq.drive(100.5).is_empty());
+        seq.heartbeat(ClientId(0), 200.0, 200.0).unwrap();
+        // Shard 0's engine has emitted (its local watermark is complete),
+        // but client 1 — on the other shard — has never been heard from.
+        assert!(seq.drive(200.0).is_empty());
+        seq.heartbeat(ClientId(1), 200.0, 200.0).unwrap();
+        let released = seq.drive(200.0);
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].messages[0].id, MessageId(0));
+    }
+
+    #[test]
+    fn retired_client_stops_constraining_the_frontier() {
+        let mut seq = ShardedSequencer::new(SequencerConfig::default().with_shards(2));
+        for (c, d) in gaussian_clients(2, 1.0) {
+            seq.register_client(c, d);
+        }
+        seq.submit(Message::new(MessageId(0), ClientId(0), 100.0), 100.5)
+            .unwrap();
+        seq.heartbeat(ClientId(0), 200.0, 200.0).unwrap();
+        assert!(seq.drive(200.0).is_empty());
+        seq.retire_client(ClientId(1));
+        assert_eq!(seq.drive(200.0).len(), 1);
+    }
+
+    #[test]
+    fn duplicates_and_unknown_clients_rejected_synchronously() {
+        let mut seq = ShardedSequencer::new(SequencerConfig::default().with_shards(2));
+        for (c, d) in gaussian_clients(2, 1.0) {
+            seq.register_client(c, d);
+        }
+        assert!(matches!(
+            seq.submit(Message::new(MessageId(0), ClientId(9), 1.0), 1.0),
+            Err(CoreError::UnknownClient(ClientId(9)))
+        ));
+        assert!(matches!(
+            seq.heartbeat(ClientId(9), 1.0, 1.0),
+            Err(CoreError::UnknownClient(ClientId(9)))
+        ));
+        seq.submit(Message::new(MessageId(0), ClientId(0), 1.0), 1.0)
+            .unwrap();
+        // A cross-shard duplicate: same id, different client (hence a
+        // different shard) — the per-shard engines alone would accept it.
+        assert!(matches!(
+            seq.submit(Message::new(MessageId(0), ClientId(1), 2.0), 2.0),
+            Err(CoreError::DuplicateMessage(MessageId(0)))
+        ));
+    }
+
+    #[test]
+    fn non_monotone_timestamp_surfaces_as_rejection() {
+        let mut seq = ShardedSequencer::new(SequencerConfig::default().with_shards(2));
+        for (c, d) in gaussian_clients(2, 1.0) {
+            seq.register_client(c, d);
+        }
+        seq.submit(Message::new(MessageId(0), ClientId(0), 100.0), 100.0)
+            .unwrap();
+        seq.submit(Message::new(MessageId(1), ClientId(0), 50.0), 101.0)
+            .unwrap();
+        seq.drive(101.0);
+        let rejections = seq.take_rejections();
+        assert_eq!(rejections.len(), 1);
+        assert!(matches!(
+            rejections[0],
+            CoreError::NonMonotoneTimestamp { .. }
+        ));
+        assert_eq!(seq.pending_len(), 1);
+    }
+
+    #[test]
+    fn drive_order_does_not_change_output() {
+        let orders: [[usize; 2]; 2] = [[0, 1], [1, 0]];
+        let mut outputs = Vec::new();
+        for order in orders {
+            let mut seq = ShardedSequencer::new(SequencerConfig::default().with_shards(2));
+            for (c, d) in gaussian_clients(4, 2.0) {
+                seq.register_client(c, d);
+            }
+            let mut out = Vec::new();
+            for i in 0..30u64 {
+                let t = 5.0 * i as f64;
+                let client = ClientId((i % 4) as u32);
+                seq.submit(Message::new(MessageId(i), client, t), t + 1.0)
+                    .unwrap();
+                for c in 0..4 {
+                    if c != client.0 {
+                        seq.heartbeat(ClientId(c), t, t + 1.0).unwrap();
+                    }
+                }
+                out.extend(seq.drive_with_shard_order(t + 1.0, &order));
+            }
+            for c in 0..4 {
+                seq.heartbeat(ClientId(c), 1e6, 1e6).unwrap();
+            }
+            out.extend(seq.drive_with_shard_order(1e6, &order));
+            out.extend(seq.flush());
+            outputs.push(out);
+        }
+        assert_eq!(outputs[0], outputs[1]);
+    }
+
+    #[test]
+    fn merge_window_matches_margin_formula() {
+        let mut seq = ShardedSequencer::new(SequencerConfig::default().with_shards(2));
+        seq.register_client(ClientId(0), OffsetDistribution::gaussian(0.0, 4.0));
+        seq.register_client(ClientId(1), OffsetDistribution::gaussian(0.0, 2.0));
+        let w = seq.merge_window();
+        let z = std_normal_inv_cdf(seq.config().threshold);
+        assert!((w - z * std::f64::consts::SQRT_2 * 2.0).abs() < 1e-12);
+        // A non-closed-form registration collapses the window.
+        seq.register_client(ClientId(2), OffsetDistribution::uniform(-1.0, 1.0));
+        assert_eq!(seq.merge_window(), 0.0);
+    }
+}

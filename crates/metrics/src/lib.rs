@@ -5,7 +5,9 @@
 //!
 //! * [`ras`] — the Rank Agreement Score the paper defines in §4: +1 per
 //!   correctly ordered pair, −1 per incorrectly ordered pair, 0 for pairs the
-//!   sequencer left in the same batch.
+//!   sequencer left in the same batch — plus the intra/cross-shard split
+//!   ([`ras::PartitionedRas`]) that measures what the sharded sequencer's
+//!   combiner costs relative to the single-engine anchor.
 //! * [`pairwise`] — pairwise accuracy and ordering coverage, a decomposition
 //!   of RAS that separates "how often you order" from "how often you are
 //!   right when you do".
@@ -29,4 +31,4 @@ pub use batchstats::BatchStats;
 pub use kendall::{kendall_tau_distance, normalized_kendall_tau, spearman_footrule};
 pub use latency::LatencySummary;
 pub use pairwise::PairwiseReport;
-pub use ras::{rank_agreement_score, RasScore};
+pub use ras::{partitioned_rank_agreement_score, rank_agreement_score, PartitionedRas, RasScore};

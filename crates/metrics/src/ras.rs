@@ -6,7 +6,7 @@
 //! RAS over all pairs of messages.
 
 use tommy_core::batching::FairOrder;
-use tommy_core::message::Message;
+use tommy_core::message::{ClientId, Message};
 
 /// The decomposed Rank Agreement Score of one sequencer output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -86,6 +86,83 @@ pub fn rank_agreement_score(order: &FairOrder, messages: &[Message]) -> RasScore
                 score.correct += 1;
             } else {
                 score.incorrect += 1;
+            }
+        }
+    }
+    score
+}
+
+/// The RAS of a *sharded* sequencer output, split by whether a pair's two
+/// messages came from clients on the same shard.
+///
+/// Intra-shard pairs are ordered by a single per-shard engine — the
+/// single-core fairness machinery applies to them unchanged. Cross-shard
+/// pairs are ordered by the combiner's watermark-driven merge, so this
+/// split is the direct measurement of what sharding costs: compare
+/// `cross.normalized()` against the same stream's K=1 anchor to get the
+/// recorded fairness gap (`BENCH_parallel.json`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PartitionedRas {
+    /// Pairs whose clients share a shard.
+    pub intra: RasScore,
+    /// Pairs whose clients live on different shards.
+    pub cross: RasScore,
+}
+
+impl PartitionedRas {
+    /// The combined score over all pairs (equals what
+    /// [`rank_agreement_score`] computes on the same inputs).
+    pub fn total(&self) -> RasScore {
+        RasScore {
+            correct: self.intra.correct + self.cross.correct,
+            incorrect: self.intra.incorrect + self.cross.incorrect,
+            indifferent: self.intra.indifferent + self.cross.indifferent,
+        }
+    }
+}
+
+/// Compute the RAS of a sequencer output split into intra-shard and
+/// cross-shard pair scores (see [`PartitionedRas`]).
+///
+/// `shard_of` maps each client to its shard index — for a
+/// `ShardedSequencer`, its `shard_of` accessor. Messages without a ground
+/// truth or a rank are skipped and ground-truth ties excluded, exactly as
+/// in [`rank_agreement_score`].
+pub fn partitioned_rank_agreement_score(
+    order: &FairOrder,
+    messages: &[Message],
+    shard_of: impl Fn(ClientId) -> usize,
+) -> PartitionedRas {
+    let mut usable: Vec<(usize, usize, f64)> = Vec::with_capacity(messages.len());
+    for m in messages {
+        if let (Some(rank), Some(true_time)) = (order.rank_of(m.id), m.true_time) {
+            usable.push((shard_of(m.client), rank, true_time));
+        }
+    }
+
+    let mut score = PartitionedRas::default();
+    for i in 0..usable.len() {
+        for j in (i + 1)..usable.len() {
+            let (shard_i, rank_i, true_i) = usable[i];
+            let (shard_j, rank_j, true_j) = usable[j];
+            if true_i == true_j {
+                continue; // ground-truth tie: not scored
+            }
+            let side = if shard_i == shard_j {
+                &mut score.intra
+            } else {
+                &mut score.cross
+            };
+            if rank_i == rank_j {
+                side.indifferent += 1;
+                continue;
+            }
+            let truth_says_i_first = true_i < true_j;
+            let sequencer_says_i_first = rank_i < rank_j;
+            if truth_says_i_first == sequencer_says_i_first {
+                side.correct += 1;
+            } else {
+                side.incorrect += 1;
             }
         }
     }
@@ -179,6 +256,41 @@ mod tests {
         let ras = rank_agreement_score(&order, &messages);
         assert_eq!(ras.pairs(), 1); // only the (0, 1) pair
         assert_eq!(ras.score(), 1);
+    }
+
+    #[test]
+    fn partitioned_ras_splits_by_shard_and_sums_to_total() {
+        // Clients 0..4, shard = client mod 2; perfect order.
+        let messages: Vec<Message> = (0..4)
+            .map(|i| Message::with_true_time(MessageId(i), ClientId(i as u32), i as f64, i as f64))
+            .collect();
+        let order = FairOrder::from_total_order(&messages.iter().map(|m| m.id).collect::<Vec<_>>());
+        let split =
+            partitioned_rank_agreement_score(&order, &messages, |c| (c.0 % 2) as usize);
+        // Intra pairs: (0,2), (1,3). Cross pairs: (0,1), (0,3), (1,2), (2,3).
+        assert_eq!(split.intra.pairs(), 2);
+        assert_eq!(split.cross.pairs(), 4);
+        assert_eq!(split.total(), rank_agreement_score(&order, &messages));
+        assert_eq!(split.total().score(), 6);
+    }
+
+    #[test]
+    fn partitioned_ras_scores_cross_shard_inversion() {
+        // Truth 0 before 1, sequencer reversed; the clients sit on
+        // different shards, so the inversion lands on the cross side.
+        let messages = vec![
+            Message::with_true_time(MessageId(0), ClientId(0), 0.0, 0.0),
+            Message::with_true_time(MessageId(1), ClientId(1), 1.0, 1.0),
+        ];
+        let order = FairOrder::from_groups(vec![vec![MessageId(1)], vec![MessageId(0)]]);
+        let split = partitioned_rank_agreement_score(&order, &messages, |c| c.0 as usize);
+        assert_eq!(split.cross.incorrect, 1);
+        assert_eq!(split.intra.pairs(), 0);
+        // A fused (rank-equal) cross pair is indifference, not a penalty.
+        let fused = FairOrder::from_groups(vec![vec![MessageId(0), MessageId(1)]]);
+        let split = partitioned_rank_agreement_score(&fused, &messages, |c| c.0 as usize);
+        assert_eq!(split.cross.indifferent, 1);
+        assert_eq!(split.cross.score(), 0);
     }
 
     #[test]

@@ -35,5 +35,8 @@ pub mod runner;
 pub mod scenario;
 
 pub use faults::{run_fault_stream, FaultStreamResult, FAULT_STALENESS_DEADLINE};
-pub use runner::{run_offline_comparison, ComparisonResult};
+pub use runner::{
+    run_offline_comparison, run_online_stream, run_parallel_stream, ComparisonResult,
+    OnlineStreamResult, ParallelStreamResult,
+};
 pub use scenario::ScenarioConfig;

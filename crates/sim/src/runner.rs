@@ -18,8 +18,9 @@ use tommy_core::message::{ClientId, Message};
 use tommy_core::registry::DistributionRegistry;
 use tommy_core::sequencer::offline::TommySequencer;
 use tommy_core::sequencer::online::{OnlineSequencer, OnlineStats};
+use tommy_core::sequencer::sharded::ShardedSequencer;
 use tommy_metrics::batchstats::BatchStats;
-use tommy_metrics::ras::{rank_agreement_score, RasScore};
+use tommy_metrics::ras::{partitioned_rank_agreement_score, rank_agreement_score, PartitionedRas, RasScore};
 use tommy_stats::distribution::OffsetDistribution;
 use tommy_workload::intransitive::IntransitiveWorkload;
 use tommy_workload::population::ClockPopulation;
@@ -431,6 +432,145 @@ pub fn run_online_stream(config: &ScenarioConfig, p_safe: f64) -> OnlineStreamRe
     }
 }
 
+/// The scored output of one *sharded* streaming run driven through
+/// [`ShardedSequencer`]: the same delivery schedule as
+/// [`run_online_stream`], with clients partitioned across `k` per-shard
+/// engines and the cross-shard combiner merging their batches.
+#[derive(Debug, Clone)]
+pub struct ParallelStreamResult {
+    /// RAS of the globally merged emission order against ground truth.
+    pub ras: RasScore,
+    /// The same score split into intra-shard pairs (decided by a single
+    /// engine, identical machinery to the unsharded run) and cross-shard
+    /// pairs (decided by the combiner's merge watermark) — the decomposition
+    /// that isolates what sharding costs.
+    pub partitioned: PartitionedRas,
+    /// Aggregated sequencer statistics (per-shard counters summed, combiner
+    /// counters from the wrapper; see `ShardedSequencer::stats`).
+    pub stats: OnlineStats,
+    /// Number of globally released batches over the whole run.
+    pub batches: usize,
+    /// The resolved shard count the run actually used (after `0` → auto).
+    pub shards_used: usize,
+    /// Largest number of undrained released batches ever buffered inside
+    /// the wrapper (the runner drains after every drive, so this stays O(1)).
+    pub max_undrained: usize,
+}
+
+/// Run the sharded online sequencer over a scenario's message stream — the
+/// same delivery schedule, heartbeat discipline, monotone timestamp clamp
+/// and stream close as [`run_online_stream`], driving a [`ShardedSequencer`]
+/// with `config.shards` shards and draining after every drive.
+///
+/// With `config.shards == 1` the wrapper is a bit-identical passthrough to
+/// the single engine, so this run reproduces [`run_online_stream`]'s emitted
+/// order exactly; with more shards the emission set is identical and the
+/// cross-shard score quantifies the combiner's fairness cost.
+pub fn run_parallel_stream(config: &ScenarioConfig, p_safe: f64) -> ParallelStreamResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let raw = generate_messages(config, &mut rng);
+
+    // Deliver in true-time order.
+    let mut deliveries: Vec<Message> = raw;
+    deliveries.sort_by(|a, b| {
+        let ta = a.true_time.expect("generated messages carry true times");
+        let tb = b.true_time.expect("generated messages carry true times");
+        ta.partial_cmp(&tb).expect("finite true times")
+    });
+
+    let mut seq_config = SequencerConfig::default()
+        .with_threshold(config.threshold)
+        .with_p_safe(p_safe)
+        .with_retain_history(false)
+        .with_shards(config.shards);
+    if config.defended {
+        seq_config = seq_config.with_defense(
+            DefenseConfig::enabled()
+                .with_window(24)
+                .with_min_samples(12)
+                .with_check_interval(4)
+                .with_expected_delay(ExpectedDelay::Online),
+        );
+    }
+    let mut sequencer = ShardedSequencer::new(seq_config);
+    let client_ids: Vec<ClientId> = scenario_claimed_offsets(config)
+        .into_iter()
+        .map(|(client, dist)| {
+            sequencer.register_client(client, dist);
+            client
+        })
+        .collect();
+
+    const NETWORK_DELAY: f64 = 1.0;
+    let mut order = FairOrder::default();
+    let mut max_undrained = 0usize;
+    let mut last_ts: HashMap<ClientId, f64> = HashMap::new();
+    let mut messages: Vec<Message> = Vec::with_capacity(deliveries.len());
+    for delivery in &deliveries {
+        let true_time = delivery.true_time.expect("true time");
+        let arrival = true_time + NETWORK_DELAY;
+        for &client in &client_ids {
+            if client == delivery.client {
+                continue;
+            }
+            let floor = last_ts.get(&client).copied().unwrap_or(f64::NEG_INFINITY);
+            let ts = true_time.max(floor);
+            last_ts.insert(client, ts);
+            sequencer
+                .heartbeat(client, ts, arrival)
+                .expect("registered client heartbeat");
+        }
+        let floor = last_ts
+            .get(&delivery.client)
+            .copied()
+            .unwrap_or(f64::NEG_INFINITY);
+        let ts = delivery.timestamp.max(floor);
+        last_ts.insert(delivery.client, ts);
+        let message = Message::with_true_time(delivery.id, delivery.client, ts, true_time);
+        messages.push(message.clone());
+        sequencer.submit(message, arrival).expect("valid submission");
+        sequencer.drive(arrival);
+        max_undrained = max_undrained.max(sequencer.emitted().len());
+        for batch in sequencer.take_emitted() {
+            order.push_batch(batch.message_ids());
+        }
+    }
+    // Close the stream exactly as the single-engine runner does.
+    let horizon = messages
+        .iter()
+        .map(|m| m.timestamp)
+        .fold(0.0f64, f64::max)
+        + 1_000.0 * config.clock_std_dev.max(1.0);
+    for &client in &client_ids {
+        sequencer
+            .heartbeat(client, horizon, horizon)
+            .expect("registered client heartbeat");
+    }
+    sequencer.tick(horizon);
+    sequencer.flush();
+    for batch in sequencer.take_emitted() {
+        order.push_batch(batch.message_ids());
+    }
+    let rejections = sequencer.take_rejections();
+    assert!(
+        rejections.is_empty(),
+        "monotone-clamped schedule must not be rejected: {rejections:?}"
+    );
+
+    let ras = rank_agreement_score(&order, &messages);
+    let partitioned = partitioned_rank_agreement_score(&order, &messages, |client| {
+        sequencer.shard_of(client).expect("registered client")
+    });
+    ParallelStreamResult {
+        ras,
+        partitioned,
+        stats: sequencer.stats(),
+        batches: order.num_batches(),
+        shards_used: sequencer.shard_count(),
+        max_undrained,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -763,6 +903,59 @@ mod tests {
             noisy.estimated_delay,
             noisy.true_delay
         );
+    }
+
+    /// The sharded wrapper with one shard is a bit-identical passthrough:
+    /// same delivery schedule, same engine, same emitted order, so the RAS
+    /// and every shared counter agree exactly with the single-engine run.
+    #[test]
+    fn parallel_stream_with_one_shard_matches_single_engine() {
+        let cfg = small(3.0, 5.0);
+        let single = run_online_stream(&cfg, 0.99);
+        let parallel = run_parallel_stream(&cfg.with_shards(1), 0.99);
+        assert_eq!(parallel.shards_used, 1);
+        assert_eq!(parallel.ras.score(), single.ras.score());
+        assert_eq!(parallel.ras.pairs(), single.ras.pairs());
+        assert_eq!(parallel.batches, single.batches);
+        assert_eq!(parallel.stats.messages_emitted, single.stats.messages_emitted);
+        assert_eq!(parallel.stats.shard_merges, 0);
+        assert_eq!(parallel.stats.cross_shard_evals, 0);
+        // One shard ⇒ every pair is intra-shard.
+        assert_eq!(parallel.partitioned.cross.pairs(), 0);
+        assert_eq!(parallel.partitioned.intra.score(), parallel.ras.score());
+    }
+
+    /// Multi-shard runs emit the complete message set through the combiner,
+    /// exercise the merge counters, and split the score into intra + cross
+    /// components that sum back to the total.
+    #[test]
+    fn parallel_stream_with_multiple_shards_emits_everything() {
+        let cfg = small(3.0, 5.0);
+        for shards in [2usize, 4] {
+            let result = run_parallel_stream(&cfg.with_shards(shards), 0.99);
+            assert_eq!(result.shards_used, shards);
+            assert_eq!(result.stats.messages_emitted, cfg.messages, "k={shards}");
+            assert!(result.stats.shard_merges > 0, "k={shards}: {result:?}");
+            assert!(result.stats.cross_shard_evals > 0, "k={shards}");
+            assert!(result.partitioned.cross.pairs() > 0, "k={shards}");
+            assert_eq!(
+                result.partitioned.total().score(),
+                result.ras.score(),
+                "k={shards}: intra + cross must sum to the total"
+            );
+        }
+    }
+
+    /// Sharded runs are deterministic per seed despite the worker threads —
+    /// shards share no state, so the merged order is schedule-independent.
+    #[test]
+    fn parallel_stream_is_seed_stable() {
+        let cfg = small(3.0, 5.0).with_shards(4);
+        let a = run_parallel_stream(&cfg, 0.99);
+        let b = run_parallel_stream(&cfg, 0.99);
+        assert_eq!(a.ras.score(), b.ras.score());
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.batches, b.batches);
     }
 
     #[test]

@@ -28,7 +28,11 @@
 //! * [`intransitive`] — cycle-forcing workloads: Condorcet (intransitive
 //!   dice) offset mixes and heavy-tailed populations whose preceding
 //!   probabilities are *not* transitive, exercising the feedback-arc-set
-//!   machinery that Gaussian workloads (Appendix A) never reach.
+//!   machinery that Gaussian workloads (Appendix A) never reach;
+//! * [`testkit`] — shared test scaffolding for the integration suites:
+//!   census builders, paired differential engines, the [`testkit::StreamEngine`]
+//!   driving surface over both the single-engine and sharded sequencers,
+//!   lockstep drain/compare helpers and the common stream-close sequence.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +44,7 @@ pub mod intransitive;
 pub mod poisson;
 pub mod population;
 pub mod tagging;
+pub mod testkit;
 pub mod uniform;
 
 pub use adversarial::{AttackFamily, AttackPlan};

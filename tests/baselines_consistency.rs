@@ -1,6 +1,9 @@
 //! Cross-sequencer consistency checks: under ideal conditions every
 //! sequencer (FIFO on a jitter-free network, WFO and Tommy with perfect
-//! clocks, TrueTime with tiny intervals) recovers the omniscient order.
+//! clocks, TrueTime with tiny intervals) recovers the omniscient order —
+//! plus schema validation of the recorded `BENCH_parallel.json` baseline
+//! (shard sweep present, fairness columns within the configured bound, and
+//! the single-core caveat convention honoured).
 
 use tommy::prelude::*;
 
@@ -71,4 +74,94 @@ fn tommy_degrades_gracefully_not_catastrophically() {
     assert!(ordered > 0);
     let accuracy = ras.correct as f64 / ordered as f64;
     assert!(accuracy > 0.8, "accuracy = {accuracy}");
+}
+
+/// Extract a numeric field (`"key": <number>`) from a JSON fragment. The
+/// baselines are written by hand (no serde in the workspace), so they are
+/// validated the same way: by shape.
+fn json_number(fragment: &str, key: &str) -> f64 {
+    let needle = format!("\"{key}\": ");
+    let start = fragment
+        .find(&needle)
+        .unwrap_or_else(|| panic!("missing field {key:?} in {fragment:.80}"))
+        + needle.len();
+    let rest = &fragment[start..];
+    let end = rest
+        .find([',', '}', '\n'])
+        .unwrap_or_else(|| panic!("unterminated field {key:?}"));
+    rest[..end]
+        .trim()
+        .parse::<f64>()
+        .unwrap_or_else(|e| panic!("field {key:?} is not a number: {e}"))
+}
+
+/// The recorded parallel baseline follows its schema: the full K ∈ {1, 2, 4}
+/// sweep over the 10k-message stream, a K = 1 anchor with speedup 1 and no
+/// combiner work, monotone non-empty counters for K > 1, the fairness gap
+/// within the differential harness's configured bound — and either real
+/// multi-core speedup (≥ 1.5× somewhere) or the explicit single-core caveat
+/// field mirroring the offline convention.
+#[test]
+fn bench_parallel_json_matches_its_schema() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_parallel.json");
+    let json = std::fs::read_to_string(path)
+        .expect("BENCH_parallel.json is recorded at the repository root");
+
+    assert!(json.contains("\"bench\": \"parallel_merge\""), "wrong bench id");
+    assert!(json.contains("\"unit\": \"messages_per_second\""));
+    assert_eq!(json_number(&json, "messages"), 10_000.0, "acceptance scale");
+    let threads_detected = json_number(&json, "threads_detected");
+    assert!(threads_detected >= 1.0);
+
+    // One row per shard count, in sweep order.
+    let rows: Vec<&str> = json
+        .split("{\"shards\": ")
+        .skip(1)
+        .map(|row| row.split('}').next().expect("row closes"))
+        .collect();
+    assert_eq!(rows.len(), 3, "the sweep records K ∈ {{1, 2, 4}}");
+
+    // The bound the differential harness enforces per family
+    // (`tests/sharded_equivalence.rs`, CROSS_SHARD_RAS_GAP).
+    const RAS_GAP_BOUND: f64 = 0.15;
+
+    let mut best_speedup = 0.0f64;
+    for (row, expected_shards) in rows.iter().zip([1.0, 2.0, 4.0]) {
+        let shards: f64 = row
+            .split(',')
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .expect("shards value leads the row");
+        assert_eq!(shards, expected_shards, "sweep order");
+        assert_eq!(json_number(row, "shards_used"), expected_shards);
+        assert!(json_number(row, "msgs_per_sec") > 0.0);
+        assert!(json_number(row, "elapsed_ms") > 0.0);
+        assert!(json_number(row, "batches") > 0.0);
+        let speedup = json_number(row, "speedup_vs_k1");
+        best_speedup = best_speedup.max(speedup);
+        let gap = json_number(row, "ras_gap_vs_k1");
+        assert!(
+            gap <= RAS_GAP_BOUND,
+            "recorded fairness gap {gap} exceeds the configured bound"
+        );
+        if expected_shards == 1.0 {
+            assert_eq!(speedup, 1.0, "K = 1 is its own anchor");
+            assert_eq!(gap, 0.0, "K = 1 is bit-identical to the anchor");
+            assert_eq!(json_number(row, "cross_pairs"), 0.0);
+            assert_eq!(json_number(row, "shard_merges"), 0.0);
+            assert_eq!(json_number(row, "cross_shard_evals"), 0.0);
+        } else {
+            assert!(json_number(row, "cross_pairs") > 0.0, "merge must be real");
+            assert!(json_number(row, "shard_merges") > 0.0);
+            assert!(json_number(row, "cross_shard_evals") > 0.0);
+        }
+    }
+
+    // The acceptance criterion: real speedup on multi-core hardware, or the
+    // explicit caveat field on a single-core recording host.
+    assert!(
+        (threads_detected > 1.0 && best_speedup >= 1.5) || json.contains("\"caveat\""),
+        "neither ≥1.5× multi-core speedup nor a single-core caveat recorded \
+         (threads_detected = {threads_detected}, best speedup = {best_speedup})"
+    );
 }

@@ -21,69 +21,12 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tommy_core::config::SequencerConfig;
 use tommy_core::defense::{DefenseConfig, ExpectedDelay};
 use tommy_core::sequencer::online::OnlineSequencer;
-use tommy_core::{ClientId, Message, MessageId, TrustLevel};
-use tommy_stats::distribution::{Distribution, OffsetDistribution};
+use tommy_core::{ClientId, TrustLevel};
+use tommy_stats::distribution::OffsetDistribution;
 use tommy_workload::adversarial::apply_correlated_collusion;
-
-/// The defended configuration both sim runners use: small windows so the
-/// defense reaches verdicts within short streams, online delay estimation
-/// so heterogeneous links don't shift the residuals.
-fn defended_config() -> SequencerConfig {
-    SequencerConfig::new().with_p_safe(0.99).with_defense(
-        DefenseConfig::enabled()
-            .with_window(24)
-            .with_min_samples(12)
-            .with_check_interval(4)
-            .with_expected_delay(ExpectedDelay::Online),
-    )
-}
-
-/// One honest message: client `c`'s clock error drawn from its own claimed
-/// distribution, arriving after its (sequencer-unknown) link delay.
-fn honest_message(
-    id: u64,
-    client: ClientId,
-    truth: f64,
-    dist: &OffsetDistribution,
-    delay: f64,
-    rng: &mut StdRng,
-) -> (Message, f64) {
-    let ts = truth + dist.sample(rng);
-    (
-        Message::with_true_time(MessageId(id), client, ts, truth),
-        truth + delay,
-    )
-}
-
-/// Drive a round-robin honest stream through a defended sequencer and
-/// return it for counter inspection.
-fn run_honest(
-    seed: u64,
-    dists: &[(ClientId, OffsetDistribution)],
-    delays: &[f64],
-    rounds: u64,
-    config: SequencerConfig,
-) -> OnlineSequencer {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut seq = OnlineSequencer::new(config);
-    for (client, dist) in dists {
-        seq.register_client(*client, dist.clone());
-    }
-    let clients = dists.len() as u64;
-    let mut id = 0;
-    for round in 0..rounds {
-        for (c, (client, dist)) in dists.iter().enumerate() {
-            let truth = (round * clients + c as u64) as f64 * 4.0;
-            let (msg, arrival) = honest_message(id, *client, truth, dist, delays[c], &mut rng);
-            seq.submit(msg, arrival).expect("registered, unique id");
-            id += 1;
-        }
-    }
-    seq
-}
+use tommy_workload::testkit::{defended_config, honest_message, run_honest};
 
 /// FP property: across 16 seeds of honest Gaussian *and* heavy-tailed
 /// streams over heterogeneous links, the correlation detector runs on every

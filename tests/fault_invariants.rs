@@ -18,42 +18,13 @@
 //!    `RequestRetransmit`: zero lost and zero duplicated emissions, and the
 //!    stream still fully sequenced.
 
-use tommy_core::checker::{FaultSpec, ModelSpec};
-use tommy_core::{ClientId, Message, MessageId};
+use tommy_core::checker::FaultSpec;
+use tommy_core::{ClientId, MessageId};
 use tommy_netsim::{FaultFamily, FaultPlan};
 use tommy_sim::faults::run_fault_stream;
 use tommy_sim::ScenarioConfig;
-use tommy_stats::distribution::OffsetDistribution;
 use tommy_wire::RecoveryPolicy;
-
-/// Three clients with moderate clocks (σ = 2).
-fn offsets() -> Vec<(ClientId, OffsetDistribution)> {
-    (0..3)
-        .map(|c| (ClientId(c), OffsetDistribution::gaussian(0.0, 2.0)))
-        .collect()
-}
-
-/// A tiny well-separated workload: two messages per client.
-fn messages() -> Vec<Message> {
-    let noise = [0.4, -0.7, 1.1, -0.2, 0.9, -1.3];
-    noise
-        .iter()
-        .enumerate()
-        .map(|(i, off)| {
-            let truth = 10.0 + 15.0 * i as f64;
-            Message::with_true_time(
-                MessageId(i as u64),
-                ClientId((i % 3) as u32),
-                truth + off,
-                truth,
-            )
-        })
-        .collect()
-}
-
-fn spec() -> ModelSpec {
-    ModelSpec::new(offsets(), messages()).with_max_in_flight(2)
-}
+use tommy_workload::testkit::model_spec as spec;
 
 const RETRANSMIT: RecoveryPolicy = RecoveryPolicy::RequestRetransmit {
     max_retries: 4,

@@ -23,57 +23,12 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use tommy::core::config::FastPathMode;
 use tommy::prelude::*;
 use tommy::workload::intransitive::IntransitiveWorkload;
-
-/// An `Auto` sequencer and its `ForceDense` twin over the same census.
-fn paired(offsets: &[(ClientId, OffsetDistribution)]) -> (OnlineSequencer, OnlineSequencer) {
-    let mut auto = OnlineSequencer::new(SequencerConfig::default());
-    let mut dense =
-        OnlineSequencer::new(SequencerConfig::default().with_fast_path(FastPathMode::ForceDense));
-    for (client, dist) in offsets {
-        auto.register_client(*client, dist.clone());
-        dense.register_client(*client, dist.clone());
-    }
-    (auto, dense)
-}
-
-/// Drain both twins and assert the freshly emitted batches are bit-identical
-/// (ids, ranks, safe-emission times, emission clocks). Returns how many
-/// messages were emitted this step.
-fn drain_lockstep(auto: &mut OnlineSequencer, dense: &mut OnlineSequencer, ctx: &str) -> usize {
-    let a = auto.take_emitted();
-    let d = dense.take_emitted();
-    assert_eq!(a.len(), d.len(), "batch count diverged at {ctx}");
-    let mut messages = 0;
-    for (x, y) in a.iter().zip(&d) {
-        assert_eq!(x.rank, y.rank, "rank diverged at {ctx}");
-        assert_eq!(x.message_ids(), y.message_ids(), "batch diverged at {ctx}");
-        assert_eq!(
-            x.safe_after.to_bits(),
-            y.safe_after.to_bits(),
-            "safe-emission time diverged at {ctx}"
-        );
-        assert_eq!(
-            x.emitted_at.to_bits(),
-            y.emitted_at.to_bits(),
-            "emission clock diverged at {ctx}"
-        );
-        messages += x.messages.len();
-    }
-    messages
-}
-
-/// Assert the twins agree on the maintained order *and* on every batch
-/// boundary over the current pending set.
-fn assert_boundaries_agree(auto: &mut OnlineSequencer, dense: &mut OnlineSequencer, ctx: &str) {
-    assert_eq!(
-        auto.pending_order(),
-        dense.pending_order(),
-        "pending order / boundary set diverged at {ctx}"
-    );
-}
+use tommy::workload::testkit::{
+    assert_batches_bit_identical, assert_boundaries_agree, close_stream, drain_lockstep,
+    paired_engines as paired,
+};
 
 /// Property 1: random all-Gaussian streams are bit-identical across the two
 /// engines — emissions, boundary sets, and FAS costs (zero on both,
@@ -131,16 +86,10 @@ fn sparse_matches_dense_on_random_gaussian_streams() {
             }
         }
         // Close the stream: far-future heartbeats, a final tick, then flush.
-        let horizon = t + 10_000.0;
-        for (client, _) in &offsets {
-            auto.heartbeat(*client, horizon, horizon).expect("heartbeat");
-            dense.heartbeat(*client, horizon, horizon).expect("heartbeat");
-        }
-        auto.tick(horizon);
-        dense.tick(horizon);
-        auto.flush();
-        dense.flush();
-        emitted += drain_lockstep(&mut auto, &mut dense, &format!("seed {seed} close"));
+        let clients: Vec<ClientId> = offsets.iter().map(|(c, _)| *c).collect();
+        let a = close_stream(&mut auto, &clients, t + 10_000.0);
+        let d = close_stream(&mut dense, &clients, t + 10_000.0);
+        emitted += assert_batches_bit_identical(&a, &d, &format!("seed {seed} close"));
         assert_eq!(emitted, MESSAGES, "every message must be emitted once");
         assert_boundaries_agree(&mut auto, &mut dense, &format!("seed {seed} final"));
 
@@ -241,15 +190,10 @@ fn cyclic_streams_exercise_identical_fas_machinery() {
             .map(|m| m.timestamp)
             .fold(0.0f64, f64::max)
             + 10_000.0;
-        for (client, _) in &offsets {
-            auto.heartbeat(*client, horizon, horizon).expect("heartbeat");
-            dense.heartbeat(*client, horizon, horizon).expect("heartbeat");
-        }
-        auto.tick(horizon);
-        dense.tick(horizon);
-        auto.flush();
-        dense.flush();
-        emitted += drain_lockstep(&mut auto, &mut dense, &format!("seed {seed} close"));
+        let clients: Vec<ClientId> = offsets.iter().map(|(c, _)| *c).collect();
+        let a = close_stream(&mut auto, &clients, horizon);
+        let d = close_stream(&mut dense, &clients, horizon);
+        emitted += assert_batches_bit_identical(&a, &d, &format!("seed {seed} close"));
         assert_eq!(emitted, stream.len());
 
         // Identical FAS costs: the dice census forces both twins onto the
@@ -325,16 +269,10 @@ fn mid_stream_mode_switches_preserve_equivalence() {
         assert_boundaries_agree(&mut auto, &mut dense, "sparse phase");
 
         // Close out and compare the full emission history.
-        let horizon = t + 10_000.0;
-        for c in 0..4u32 {
-            auto.heartbeat(ClientId(c), horizon, horizon).expect("heartbeat");
-            dense.heartbeat(ClientId(c), horizon, horizon).expect("heartbeat");
-        }
-        auto.tick(horizon);
-        dense.tick(horizon);
-        auto.flush();
-        dense.flush();
-        emitted += drain_lockstep(&mut auto, &mut dense, "close");
+        let clients: Vec<ClientId> = (0..4).map(ClientId).collect();
+        let a = close_stream(&mut auto, &clients, t + 10_000.0);
+        let d = close_stream(&mut dense, &clients, t + 10_000.0);
+        emitted += assert_batches_bit_identical(&a, &d, "close");
         assert_eq!(emitted, 75, "every message emitted exactly once");
 
         let a = auto.stats();
